@@ -1,0 +1,102 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable op in this workspace is validated with
+//! [`grad_check`]: build the scalar function twice per input element with a
+//! central difference, and compare against the analytic gradient from
+//! [`Graph::backward`].
+
+use crate::graph::{Graph, Var};
+use lttf_tensor::Tensor;
+
+/// Check the analytic gradient of `f` at `inputs` against central finite
+/// differences.
+///
+/// `f` receives a fresh [`Graph`] and one leaf [`Var`] per input tensor and
+/// must return a **scalar** variable. `tol` bounds the allowed absolute
+/// deviation per element, scaled by `1 + |numeric|` so large gradients get
+/// proportional slack.
+///
+/// Returns `Err` with a diagnostic on the first mismatch.
+pub fn grad_check<F>(inputs: &[Tensor], f: F, tol: f32) -> Result<(), String>
+where
+    F: for<'g> Fn(&'g Graph, &[Var<'g>]) -> Var<'g>,
+{
+    // Analytic gradients.
+    let g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let out = f(&g, &vars);
+    if out.shape() != Vec::<usize>::new() && out.with_value(|t| t.numel()) != 1 {
+        return Err(format!(
+            "grad_check requires a scalar output, got shape {:?}",
+            out.shape()
+        ));
+    }
+    let grads = g.backward(out);
+    let analytic: Vec<Option<Tensor>> = vars.iter().map(|&v| grads.get(v).cloned()).collect();
+
+    // Numeric gradients by central differences.
+    let eps = 1e-2f32;
+    for (i, input) in inputs.iter().enumerate() {
+        for j in 0..input.numel() {
+            let mut plus = inputs.to_vec();
+            plus[i].data_mut()[j] += eps;
+            let mut minus = inputs.to_vec();
+            minus[i].data_mut()[j] -= eps;
+            let fp = eval_scalar(&plus, &f);
+            let fm = eval_scalar(&minus, &f);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let got = analytic[i].as_ref().map(|t| t.data()[j]).unwrap_or(0.0);
+            let slack = tol * (1.0 + numeric.abs());
+            if (numeric - got).abs() > slack {
+                return Err(format!(
+                    "gradient mismatch for input {i} element {j}: \
+                     numeric {numeric:.6} vs analytic {got:.6} (tol {slack:.6})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_scalar<F>(inputs: &[Tensor], f: &F) -> f32
+where
+    F: for<'g> Fn(&'g Graph, &[Var<'g>]) -> Var<'g>,
+{
+    let g = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+    let out = f(&g, &vars);
+    out.with_value(|t| t.item())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_tensor::Rng;
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let x = Tensor::randn(&[4], &mut Rng::seed(1));
+        grad_check(&[x], |_, xs| xs[0].square().sum_all(), 1e-2).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_gradient() {
+        // tanh forward with relu-like magnitudes: construct a deliberately
+        // wrong gradient by comparing tanh against a detached transform.
+        let x = Tensor::randn(&[4], &mut Rng::seed(2));
+        // f computes sum(tanh(x)) analytically, but we check with a looser
+        // function mismatch: compare against sum(x) numerics by evaluating a
+        // *different* function in the numeric branch is not possible here,
+        // so instead verify that an absurdly tight tolerance fails for a
+        // nonlinear function (finite-difference error exceeds 1e-9).
+        let r = grad_check(&[x], |_, xs| xs[0].tanh().exp().sum_all(), 1e-9);
+        assert!(r.is_err(), "expected tolerance failure");
+    }
+
+    #[test]
+    fn rejects_non_scalar_output() {
+        let x = Tensor::randn(&[4], &mut Rng::seed(3));
+        let r = grad_check(&[x], |_, xs| xs[0].square(), 1e-2);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The tape: node storage, `Var` handles, and the backward pass.
+
+use lttf_tensor::Tensor;
+use std::cell::RefCell;
+
+/// Context handed to a backward closure.
+pub struct Ctx<'a> {
+    /// Forward value of this node.
+    pub out: &'a Tensor,
+    /// Gradient of the loss with respect to this node's output.
+    pub grad: &'a Tensor,
+    /// Forward values of this node's parents, in registration order.
+    pub inputs: Vec<&'a Tensor>,
+}
+
+/// A backward closure: maps the output gradient to one gradient per parent.
+pub(crate) type BackFn = Box<dyn Fn(&Ctx<'_>) -> Vec<Tensor>>;
+
+/// A dynamic computation graph (tape).
+///
+/// Create one per forward/backward pass. See the crate docs for the model.
+pub struct Graph {
+    pub(crate) values: RefCell<Vec<Tensor>>,
+    pub(crate) parents: RefCell<Vec<Vec<usize>>>,
+    pub(crate) backs: RefCell<Vec<Option<BackFn>>>,
+}
+
+/// A handle to a node in a [`Graph`]. Cheap to copy.
+#[derive(Clone, Copy)]
+pub struct Var<'g> {
+    pub(crate) g: &'g Graph,
+    pub(crate) id: usize,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// The gradient of the loss with respect to `v`, if `v` influenced it.
+    pub fn get(&self, v: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(v.id).and_then(|g| g.as_ref())
+    }
+
+    /// Take ownership of the gradient for `v`.
+    pub fn take(&mut self, v: Var<'_>) -> Option<Tensor> {
+        self.grads.get_mut(v.id).and_then(|g| g.take())
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph {
+            values: RefCell::new(Vec::new()),
+            parents: RefCell::new(Vec::new()),
+            backs: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.values.borrow().len()
+    }
+
+    /// True if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a leaf node (an input or parameter). Gradients flow *to*
+    /// leaves but not through them.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(value, Vec::new(), None)
+    }
+
+    /// Alias for [`Graph::leaf`] that reads better for non-trainable data.
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.leaf(value)
+    }
+
+    /// Push a computed node onto the tape.
+    pub(crate) fn push(&self, value: Tensor, parents: Vec<usize>, back: Option<BackFn>) -> Var<'_> {
+        let mut values = self.values.borrow_mut();
+        let id = values.len();
+        values.push(value);
+        self.parents.borrow_mut().push(parents);
+        self.backs.borrow_mut().push(back);
+        Var { g: self, id }
+    }
+
+    /// Register a custom differentiable operation.
+    ///
+    /// `value` is the precomputed forward output, `parents` the input
+    /// variables, and `back` maps the output gradient to one gradient per
+    /// parent (same order, same shapes as the parents' values).
+    ///
+    /// This is the extension point used by fused kernels (e.g. the
+    /// sliding-window attention in `lttf-nn`) whose backward passes are
+    /// hand-written rather than composed from primitives.
+    pub fn custom(
+        &self,
+        value: Tensor,
+        parents: &[Var<'_>],
+        back: impl Fn(&Ctx<'_>) -> Vec<Tensor> + 'static,
+    ) -> Var<'_> {
+        let ids = parents.iter().map(|v| v.id).collect();
+        self.push(value, ids, Some(Box::new(back)))
+    }
+
+    /// Run reverse-mode accumulation from `root`.
+    ///
+    /// The root is seeded with a gradient of ones (so a scalar root yields
+    /// plain derivatives; a tensor root yields the gradient of its sum).
+    pub fn backward(&self, root: Var<'_>) -> Grads {
+        let seed = self.values.borrow()[root.id].ones_like();
+        self.backward_with_seed(root, seed)
+    }
+
+    /// Run reverse-mode accumulation from `root` with an explicit seed
+    /// gradient (must have the root's shape).
+    ///
+    /// # Panics
+    /// Panics if the seed shape does not match the root value's shape.
+    pub fn backward_with_seed(&self, root: Var<'_>, seed: Tensor) -> Grads {
+        let values = self.values.borrow();
+        let parents = self.parents.borrow();
+        let backs = self.backs.borrow();
+        assert_eq!(
+            seed.shape(),
+            values[root.id].shape(),
+            "backward seed shape mismatch"
+        );
+        let n = values.len();
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        grads[root.id] = Some(seed);
+        for id in (0..=root.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            if let Some(back) = &backs[id] {
+                let inputs: Vec<&Tensor> = parents[id].iter().map(|&p| &values[p]).collect();
+                let ctx = Ctx {
+                    out: &values[id],
+                    grad: &g,
+                    inputs,
+                };
+                let pgrads = back(&ctx);
+                debug_assert_eq!(
+                    pgrads.len(),
+                    parents[id].len(),
+                    "backward fn returned wrong number of gradients"
+                );
+                for (&pid, pg) in parents[id].iter().zip(pgrads) {
+                    debug_assert_eq!(
+                        pg.shape(),
+                        values[pid].shape(),
+                        "gradient shape mismatch for parent node {pid}"
+                    );
+                    match &mut grads[pid] {
+                        Some(existing) => existing.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            grads[id] = Some(g);
+        }
+        Grads { grads }
+    }
+}
+
+impl<'g> Var<'g> {
+    /// The node's forward value (cloned out of the tape).
+    pub fn value(&self) -> Tensor {
+        self.g.values.borrow()[self.id].clone()
+    }
+
+    /// Shape of the node's value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.g.values.borrow()[self.id].shape().to_vec()
+    }
+
+    /// The graph this variable belongs to.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Node id (stable within its graph).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Reconstruct a handle from a graph and a node id previously obtained
+    /// via [`Var::id`]. Used by integrations (e.g. parameter binding in
+    /// `lttf-nn`) that must store ids rather than borrow-carrying handles.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a node of `g`.
+    pub fn from_raw(g: &'g Graph, id: usize) -> Self {
+        assert!(
+            id < g.len(),
+            "node id {id} out of range for graph of {} nodes",
+            g.len()
+        );
+        Var { g, id }
+    }
+
+    /// Apply `f` to the forward value without cloning it.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.g.values.borrow()[self.id])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let g = Graph::new();
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        let v = g.leaf(t.clone());
+        assert_eq!(v.value().data(), t.data());
+        assert_eq!(v.shape(), vec![2]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn backward_on_leaf_is_seed() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_slice(&[5.0, 6.0]));
+        let grads = g.backward(v);
+        assert_eq!(grads.get(v).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn custom_seed() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_slice(&[5.0, 6.0]));
+        let grads = g.backward_with_seed(v, Tensor::from_slice(&[2.0, 3.0]));
+        assert_eq!(grads.get(v).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed shape mismatch")]
+    fn wrong_seed_shape_panics() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::from_slice(&[5.0, 6.0]));
+        g.backward_with_seed(v, Tensor::from_slice(&[1.0]));
+    }
+
+    #[test]
+    fn gradient_fan_out_accumulates() {
+        // y = x + x  ⇒ dy/dx = 2
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_slice(&[3.0]));
+        let y = x.add(x);
+        let grads = g.backward(y);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn custom_op_round_trip() {
+        // A user-defined op: y = 3x with backward 3·g.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_slice(&[1.0, 2.0]));
+        let y = g.custom(x.value().mul_scalar(3.0), &[x], |ctx| {
+            vec![ctx.grad.mul_scalar(3.0)]
+        });
+        assert_eq!(y.value().data(), &[3.0, 6.0]);
+        let grads = g.backward(y);
+        assert_eq!(grads.get(x).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn custom_op_sees_parent_values() {
+        // backward reads its inputs from the tape rather than captures
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_slice(&[2.0]));
+        let b = g.leaf(Tensor::from_slice(&[5.0]));
+        let y = g.custom(a.value().mul(&b.value()), &[a, b], |ctx| {
+            vec![ctx.grad.mul(ctx.inputs[1]), ctx.grad.mul(ctx.inputs[0])]
+        });
+        let grads = g.backward(y);
+        assert_eq!(grads.get(a).unwrap().data(), &[5.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_raw_validates_id() {
+        let g = Graph::new();
+        Var::from_raw(&g, 3);
+    }
+
+    #[test]
+    fn unreached_nodes_have_no_grad() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_slice(&[1.0]));
+        let unused = g.leaf(Tensor::from_slice(&[9.0]));
+        let y = x.mul_scalar(2.0);
+        let grads = g.backward(y);
+        assert!(grads.get(unused).is_none());
+        assert!(grads.get(x).is_some());
+    }
+}

@@ -1,0 +1,458 @@
+//! Differentiable element-wise arithmetic and activations.
+
+use crate::graph::Var;
+use lttf_tensor::{broadcast_shapes, Tensor};
+
+/// Sum-reduce `grad` back to `shape`, undoing broadcasting.
+///
+/// Axes that were added by broadcasting are summed away; axes that were
+/// stretched from extent 1 are summed and kept with extent 1.
+pub fn reduce_to_shape(grad: &Tensor, shape: &[usize]) -> Tensor {
+    if grad.shape() == shape {
+        return grad.clone();
+    }
+    let mut g = grad.clone();
+    // Sum away leading axes added by broadcasting.
+    while g.ndim() > shape.len() {
+        g = g.sum_axis(0);
+    }
+    // Sum (keepdim) axes that were stretched from 1.
+    for (axis, (&gs, &ts)) in g.shape().to_vec().iter().zip(shape).enumerate() {
+        if ts == 1 && gs != 1 {
+            g = g.sum_axis_keepdim(axis as isize);
+        }
+    }
+    assert_eq!(
+        g.shape(),
+        shape,
+        "reduce_to_shape failed: grad {:?} cannot reduce to {:?}",
+        grad.shape(),
+        shape
+    );
+    g
+}
+
+impl<'g> Var<'g> {
+    /// Element-wise addition with broadcasting.
+    pub fn add(self, other: Var<'g>) -> Var<'g> {
+        let v = self.with_value(|a| other.with_value(|b| a.add(b)));
+        let (sa, sb) = (self.shape(), other.shape());
+        self.g.push(
+            v,
+            vec![self.id, other.id],
+            Some(Box::new(move |ctx| {
+                vec![
+                    reduce_to_shape(ctx.grad, &sa),
+                    reduce_to_shape(ctx.grad, &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    pub fn sub(self, other: Var<'g>) -> Var<'g> {
+        let v = self.with_value(|a| other.with_value(|b| a.sub(b)));
+        let (sa, sb) = (self.shape(), other.shape());
+        self.g.push(
+            v,
+            vec![self.id, other.id],
+            Some(Box::new(move |ctx| {
+                vec![
+                    reduce_to_shape(ctx.grad, &sa),
+                    reduce_to_shape(&ctx.grad.neg(), &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Element-wise multiplication with broadcasting.
+    pub fn mul(self, other: Var<'g>) -> Var<'g> {
+        let v = self.with_value(|a| other.with_value(|b| a.mul(b)));
+        let (sa, sb) = (self.shape(), other.shape());
+        self.g.push(
+            v,
+            vec![self.id, other.id],
+            Some(Box::new(move |ctx| {
+                let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+                vec![
+                    reduce_to_shape(&ctx.grad.mul(b), &sa),
+                    reduce_to_shape(&ctx.grad.mul(a), &sb),
+                ]
+            })),
+        )
+    }
+
+    /// Element-wise division with broadcasting.
+    pub fn div(self, other: Var<'g>) -> Var<'g> {
+        let v = self.with_value(|a| other.with_value(|b| a.div(b)));
+        let (sa, sb) = (self.shape(), other.shape());
+        self.g.push(
+            v,
+            vec![self.id, other.id],
+            Some(Box::new(move |ctx| {
+                let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+                let ga = ctx.grad.div(b);
+                let gb = ctx.grad.mul(a).neg().div(&b.square());
+                vec![reduce_to_shape(&ga, &sa), reduce_to_shape(&gb, &sb)]
+            })),
+        )
+    }
+
+    /// Add a scalar.
+    pub fn add_scalar(self, s: f32) -> Var<'g> {
+        let v = self.with_value(|a| a.add_scalar(s));
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| vec![ctx.grad.clone()])),
+        )
+    }
+
+    /// Multiply by a scalar.
+    pub fn mul_scalar(self, s: f32) -> Var<'g> {
+        let v = self.with_value(|a| a.mul_scalar(s));
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(move |ctx| vec![ctx.grad.mul_scalar(s)])),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Var<'g> {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Element-wise natural exponential.
+    pub fn exp(self) -> Var<'g> {
+        let v = self.with_value(|a| a.exp());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| vec![ctx.grad.mul(ctx.out)])),
+        )
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(self) -> Var<'g> {
+        let v = self.with_value(|a| a.ln());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| vec![ctx.grad.div(ctx.inputs[0])])),
+        )
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(self) -> Var<'g> {
+        let v = self.with_value(|a| a.sqrt());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                // d/dx √x = 1 / (2√x)
+                vec![ctx.grad.div(&ctx.out.mul_scalar(2.0))]
+            })),
+        )
+    }
+
+    /// Element-wise square.
+    pub fn square(self) -> Var<'g> {
+        let v = self.with_value(|a| a.square());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                vec![ctx.grad.mul(&ctx.inputs[0].mul_scalar(2.0))]
+            })),
+        )
+    }
+
+    /// Element-wise absolute value (subgradient 0 at 0).
+    pub fn abs(self) -> Var<'g> {
+        let v = self.with_value(|a| a.abs());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                let sign = ctx.inputs[0].map(|x| {
+                    if x > 0.0 {
+                        1.0
+                    } else if x < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    }
+                });
+                vec![ctx.grad.mul(&sign)]
+            })),
+        )
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(self) -> Var<'g> {
+        let v = self.with_value(|a| a.tanh());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                // d tanh = 1 - tanh²
+                let one_minus = ctx.out.square().neg().add_scalar(1.0);
+                vec![ctx.grad.mul(&one_minus)]
+            })),
+        )
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'g> {
+        let v = self.with_value(|a| a.sigmoid());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                // dσ = σ(1-σ)
+                let d = ctx.out.mul(&ctx.out.neg().add_scalar(1.0));
+                vec![ctx.grad.mul(&d)]
+            })),
+        )
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(self) -> Var<'g> {
+        let v = self.with_value(|a| a.relu());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                let mask = ctx.inputs[0].map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                vec![ctx.grad.mul(&mask)]
+            })),
+        )
+    }
+
+    /// Element-wise GELU (tanh approximation); gradient computed from the
+    /// same approximation.
+    pub fn gelu(self) -> Var<'g> {
+        let v = self.with_value(|a| a.gelu());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                let c = (2.0 / std::f32::consts::PI).sqrt();
+                let d = ctx.inputs[0].map(|x| {
+                    let inner = c * (x + 0.044_715 * x * x * x);
+                    let t = inner.tanh();
+                    let dinner = c * (1.0 + 3.0 * 0.044_715 * x * x);
+                    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+                });
+                vec![ctx.grad.mul(&d)]
+            })),
+        )
+    }
+
+    /// Element-wise softplus (stable); gradient is the sigmoid.
+    pub fn softplus(self) -> Var<'g> {
+        let v = self.with_value(|a| a.softplus());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| vec![ctx.grad.mul(&ctx.inputs[0].sigmoid())])),
+        )
+    }
+
+    /// Element-wise ELU (alpha = 1).
+    pub fn elu(self) -> Var<'g> {
+        let v = self.with_value(|a| a.elu());
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(|ctx| {
+                let d = ctx.inputs[0].map(|x| if x > 0.0 { 1.0 } else { x.exp() });
+                vec![ctx.grad.mul(&d)]
+            })),
+        )
+    }
+
+    /// Multiply by a constant mask tensor (used for dropout). The mask is
+    /// treated as non-differentiable.
+    pub fn mul_mask(self, mask: &Tensor) -> Var<'g> {
+        assert_eq!(
+            broadcast_shapes(&self.shape(), mask.shape()),
+            self.shape(),
+            "mask must broadcast to the variable's shape without growing it"
+        );
+        let v = self.with_value(|a| a.mul(mask));
+        let m = mask.clone();
+        let shape = self.shape();
+        self.g.push(
+            v,
+            vec![self.id],
+            Some(Box::new(move |ctx| {
+                vec![reduce_to_shape(&ctx.grad.mul(&m), &shape)]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check::grad_check;
+    use crate::Graph;
+    use lttf_tensor::{Rng, Tensor};
+
+    fn sample(shape: &[usize], seed: u64) -> Tensor {
+        Tensor::randn(shape, &mut Rng::seed(seed))
+    }
+
+    #[test]
+    fn add_grads() {
+        let a = sample(&[2, 3], 1);
+        let b = sample(&[2, 3], 2);
+        grad_check(&[a, b], |_, xs| xs[0].add(xs[1]).sum_all(), 1e-2)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let _ = Graph::new(); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn add_broadcast_grads() {
+        let a = sample(&[2, 3], 1);
+        let b = sample(&[1, 3], 2);
+        grad_check(&[a, b], |_, xs| xs[0].add(xs[1]).sum_all(), 1e-2)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn sub_grads() {
+        let a = sample(&[4], 3);
+        let b = sample(&[4], 4);
+        grad_check(&[a, b], |_, xs| xs[0].sub(xs[1]).square().sum_all(), 1e-2)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn mul_broadcast_grads() {
+        let a = sample(&[2, 3], 5);
+        let b = sample(&[3], 6);
+        grad_check(&[a, b], |_, xs| xs[0].mul(xs[1]).sum_all(), 1e-2)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn div_grads() {
+        let a = sample(&[3], 7);
+        let b = sample(&[3], 8).abs_offset();
+        grad_check(&[a, b], |_, xs| xs[0].div(xs[1]).sum_all(), 1e-2)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn unary_grads() {
+        let x = sample(&[5], 9);
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].tanh().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].sigmoid().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].exp().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].square().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].softplus().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].gelu().sum_all(),
+            2e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].elu().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn positive_domain_grads() {
+        let x = sample(&[5], 10).abs_offset();
+        grad_check(std::slice::from_ref(&x), |_, xs| xs[0].ln().sum_all(), 1e-2)
+            .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].sqrt().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn scalar_op_grads() {
+        let x = sample(&[4], 11);
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].mul_scalar(3.0).sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        grad_check(
+            std::slice::from_ref(&x),
+            |_, xs| xs[0].add_scalar(2.0).square().sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn mask_multiplication_grad() {
+        let x = sample(&[6], 12);
+        let mask = Tensor::from_slice(&[1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        grad_check(
+            std::slice::from_ref(&x),
+            move |_, xs| xs[0].mul_mask(&mask).sum_all(),
+            1e-2,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let g = Graph::new();
+        let t = sample(&[3, 3], 13);
+        let v = g.leaf(t.clone());
+        v.tanh().value().assert_close(&t.tanh(), 1e-6);
+        v.relu().value().assert_close(&t.relu(), 1e-6);
+        v.mul_scalar(2.0)
+            .value()
+            .assert_close(&t.mul_scalar(2.0), 1e-6);
+    }
+
+    /// Helper: shift samples away from zero for ln/sqrt/div domains.
+    trait AbsOffset {
+        fn abs_offset(&self) -> Tensor;
+    }
+    impl AbsOffset for Tensor {
+        fn abs_offset(&self) -> Tensor {
+            self.abs().add_scalar(0.5)
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: autograd gradients agree with calculus identities
+//! on randomly generated inputs.
+
+use crate::Graph;
+use lttf_tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, n)
+}
+
+proptest! {
+    // d/dx Σ (a·x) = a for any constant a (linearity).
+    #[test]
+    fn linear_gradient_is_coefficient(xs in arb_vec(6), a in -5.0f32..5.0) {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(xs, &[6]));
+        let y = x.mul_scalar(a).sum_all();
+        let grads = g.backward(y);
+        for &v in grads.get(x).unwrap().data() {
+            prop_assert!((v - a).abs() < 1e-5);
+        }
+    }
+
+    // Gradient of sum(x²) is 2x exactly.
+    #[test]
+    fn quadratic_gradient(xs in arb_vec(8)) {
+        let g = Graph::new();
+        let t = Tensor::from_vec(xs, &[8]);
+        let x = g.leaf(t.clone());
+        let y = x.square().sum_all();
+        let grads = g.backward(y);
+        grads.get(x).unwrap().assert_close(&t.mul_scalar(2.0), 1e-4);
+    }
+
+    // Product rule: d/dx Σ(x ⊙ c) = c.
+    #[test]
+    fn product_rule_with_constant(xs in arb_vec(5), cs in arb_vec(5)) {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(xs, &[5]));
+        let c = g.constant(Tensor::from_vec(cs.clone(), &[5]));
+        let y = x.mul(c).sum_all();
+        let grads = g.backward(y);
+        grads.get(x).unwrap().assert_close(&Tensor::from_vec(cs, &[5]), 1e-4);
+    }
+
+    // Chain rule through composition: d/dx Σ tanh(x)² = 2 tanh(x)(1 − tanh²(x)).
+    #[test]
+    fn chain_rule_composition(xs in arb_vec(5)) {
+        let g = Graph::new();
+        let t = Tensor::from_vec(xs, &[5]);
+        let x = g.leaf(t.clone());
+        let y = x.tanh().square().sum_all();
+        let grads = g.backward(y);
+        let th = t.tanh();
+        let expect = th.mul_scalar(2.0).mul(&th.square().neg().add_scalar(1.0));
+        grads.get(x).unwrap().assert_close(&expect, 1e-4);
+    }
+
+    // Gradient is additive over fan-out: f = Σx + Σx ⇒ grad = 2.
+    #[test]
+    fn fan_out_accumulation(xs in arb_vec(4)) {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(xs, &[4]));
+        let y = x.sum_all().add(x.sum_all());
+        let grads = g.backward(y);
+        for &v in grads.get(x).unwrap().data() {
+            prop_assert!((v - 2.0).abs() < 1e-5);
+        }
+    }
+
+    // Shape ops are gradient-orthogonal: reshape/swap do not change Σx².
+    #[test]
+    fn shape_ops_preserve_gradients(xs in arb_vec(12)) {
+        let t = Tensor::from_vec(xs, &[3, 4]);
+        let g1 = Graph::new();
+        let x1 = g1.leaf(t.clone());
+        let y1 = x1.square().sum_all();
+        let direct = g1.backward(y1).take(x1).unwrap();
+
+        let g2 = Graph::new();
+        let x2 = g2.leaf(t);
+        let y2 = x2.reshape(&[4, 3]).swap_axes(0, 1).square().sum_all();
+        let routed = g2.backward(y2).take(x2).unwrap();
+
+        direct.assert_close(&routed, 1e-5);
+    }
+
+    // Softmax gradient lanes sum to zero (softmax is shift-invariant).
+    #[test]
+    fn softmax_gradient_rows_sum_to_zero(xs in arb_vec(10)) {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(xs, &[2, 5]));
+        let y = x.softmax(-1).square().sum_all();
+        let grads = g.backward(y);
+        let gx = grads.get(x).unwrap();
+        for r in 0..2 {
+            let s: f32 = (0..5).map(|c| gx.at(&[r, c])).sum();
+            prop_assert!(s.abs() < 1e-4, "row {r} grad sum {s}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Classical statistical baselines (paper Section II-A): training-free
+//! anchors every deep model should beat — persistence, drift, seasonal
+//! naive, and additive Holt–Winters exponential smoothing. They operate
+//! directly on the input window, per series, with no learned parameters.
+
+use lttf_tensor::Tensor;
+
+/// Repeat the last observed value across the horizon.
+pub struct Persistence;
+
+impl Persistence {
+    /// `x: [b, lx, d] → [b, ly, d]`.
+    pub fn predict(&self, x: &Tensor, ly: usize) -> Tensor {
+        let (b, lx, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        x.narrow(1, lx - 1, 1).broadcast_to(&[b, ly, d])
+    }
+}
+
+/// Extrapolate the line through the first and last observations
+/// (the "drift" method).
+pub struct Drift;
+
+impl Drift {
+    /// `x: [b, lx, d] → [b, ly, d]`.
+    pub fn predict(&self, x: &Tensor, ly: usize) -> Tensor {
+        let (b, lx, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert!(lx >= 2, "drift needs at least two observations");
+        let mut out = Tensor::zeros(&[b, ly, d]);
+        for bi in 0..b {
+            for di in 0..d {
+                let first = x.at(&[bi, 0, di]);
+                let last = x.at(&[bi, lx - 1, di]);
+                let slope = (last - first) / (lx - 1) as f32;
+                for t in 0..ly {
+                    out.set(&[bi, t, di], last + slope * (t + 1) as f32);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Repeat the last full season.
+pub struct SeasonalNaive {
+    period: usize,
+}
+
+impl SeasonalNaive {
+    /// A seasonal-naive forecaster with the given period (e.g. 24 for
+    /// daily seasonality on hourly data).
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 1, "season period must be >= 1");
+        SeasonalNaive { period }
+    }
+
+    /// `x: [b, lx, d] → [b, ly, d]`; requires `lx >= period`.
+    pub fn predict(&self, x: &Tensor, ly: usize) -> Tensor {
+        let (b, lx, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert!(
+            lx >= self.period,
+            "input window {lx} shorter than season {}",
+            self.period
+        );
+        let mut out = Tensor::zeros(&[b, ly, d]);
+        for bi in 0..b {
+            for di in 0..d {
+                for t in 0..ly {
+                    let src = lx - self.period + (t % self.period);
+                    out.set(&[bi, t, di], x.at(&[bi, src, di]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Additive Holt–Winters exponential smoothing: level + trend + seasonal
+/// components fitted online over the input window.
+pub struct HoltWinters {
+    alpha: f32,
+    beta: f32,
+    gamma: f32,
+    period: usize,
+}
+
+impl HoltWinters {
+    /// Standard smoothing constants. `period` is the season length.
+    ///
+    /// # Panics
+    /// Panics if any constant is outside `[0, 1]` or `period == 0`.
+    pub fn new(alpha: f32, beta: f32, gamma: f32, period: usize) -> Self {
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
+        }
+        assert!(period >= 1, "season period must be >= 1");
+        HoltWinters {
+            alpha,
+            beta,
+            gamma,
+            period,
+        }
+    }
+
+    /// Reasonable defaults for hourly-scale data.
+    pub fn default_with_period(period: usize) -> Self {
+        Self::new(0.3, 0.05, 0.3, period)
+    }
+
+    /// Forecast one series (1-D slice).
+    fn forecast_series(&self, xs: &[f32], ly: usize) -> Vec<f32> {
+        let p = self.period;
+        let n = xs.len();
+        assert!(
+            n >= 2 * p,
+            "Holt–Winters needs at least two seasons ({} < {})",
+            n,
+            2 * p
+        );
+        // Initialize level/trend from the first two seasons.
+        let s1: f32 = xs[..p].iter().sum::<f32>() / p as f32;
+        let s2: f32 = xs[p..2 * p].iter().sum::<f32>() / p as f32;
+        let mut level = s1;
+        let mut trend = (s2 - s1) / p as f32;
+        let mut seasonal: Vec<f32> = (0..p).map(|i| xs[i] - s1).collect();
+        for (t, &x) in xs.iter().enumerate() {
+            let si = t % p;
+            let prev_level = level;
+            level = self.alpha * (x - seasonal[si]) + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+            seasonal[si] = self.gamma * (x - level) + (1.0 - self.gamma) * seasonal[si];
+        }
+        (0..ly)
+            .map(|h| level + trend * (h + 1) as f32 + seasonal[(xs.len() + h) % p])
+            .collect()
+    }
+
+    /// `x: [b, lx, d] → [b, ly, d]`.
+    pub fn predict(&self, x: &Tensor, ly: usize) -> Tensor {
+        let (b, lx, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut out = Tensor::zeros(&[b, ly, d]);
+        for bi in 0..b {
+            for di in 0..d {
+                let series: Vec<f32> = (0..lx).map(|t| x.at(&[bi, t, di])).collect();
+                let fc = self.forecast_series(&series, ly);
+                for (t, v) in fc.into_iter().enumerate() {
+                    out.set(&[bi, t, di], v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_tensor::Rng;
+
+    #[test]
+    fn persistence_repeats_last() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3, 1]);
+        let y = Persistence.predict(&x, 4);
+        assert_eq!(y.data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn drift_extends_line() {
+        // 0, 1, 2, 3 → slope 1 → 4, 5
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 4, 1]);
+        let y = Drift.predict(&x, 2);
+        assert_eq!(y.data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_season() {
+        // period 3: last season is [4, 5, 6]
+        let x = Tensor::from_vec((1..=6).map(|v| v as f32).collect(), &[1, 6, 1]);
+        let y = SeasonalNaive::new(3).predict(&x, 5);
+        assert_eq!(y.data(), &[4.0, 5.0, 6.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn holt_winters_nails_pure_seasonal_signal() {
+        // period-4 repeating pattern with no trend: forecast ≈ the pattern.
+        let pattern = [1.0f32, 5.0, 2.0, -3.0];
+        let xs: Vec<f32> = (0..32).map(|t| pattern[t % 4]).collect();
+        let x = Tensor::from_vec(xs, &[1, 32, 1]);
+        let hw = HoltWinters::default_with_period(4);
+        let y = hw.predict(&x, 8);
+        for t in 0..8 {
+            let expect = pattern[(32 + t) % 4];
+            assert!(
+                (y.at(&[0, t, 0]) - expect).abs() < 0.5,
+                "t={t}: {} vs {expect}",
+                y.at(&[0, t, 0])
+            );
+        }
+    }
+
+    #[test]
+    fn holt_winters_follows_trend() {
+        // pure ramp: forecast keeps climbing
+        let xs: Vec<f32> = (0..40).map(|t| t as f32).collect();
+        let x = Tensor::from_vec(xs, &[1, 40, 1]);
+        let hw = HoltWinters::new(0.5, 0.3, 0.1, 4);
+        let y = hw.predict(&x, 8);
+        // the horizon climbs overall (small seasonal residue may wiggle
+        // individual steps)
+        assert!(
+            y.at(&[0, 7, 0]) > y.at(&[0, 0, 0]) + 3.0,
+            "trend lost: {} → {}",
+            y.at(&[0, 0, 0]),
+            y.at(&[0, 7, 0])
+        );
+        assert!(
+            y.at(&[0, 0, 0]) > 38.0,
+            "lost the level: {}",
+            y.at(&[0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn holt_winters_beats_persistence_on_seasonal_data() {
+        // On strongly seasonal data with drift, HW should beat persistence.
+        let mut rng = Rng::seed(5);
+        let xs: Vec<f32> = (0..96)
+            .map(|t| {
+                (2.0 * std::f32::consts::PI * t as f32 / 12.0).sin() * 3.0
+                    + 0.02 * t as f32
+                    + 0.05 * rng.normal()
+            })
+            .collect();
+        let truth: Vec<f32> = (96..120)
+            .map(|t| (2.0 * std::f32::consts::PI * t as f32 / 12.0).sin() * 3.0 + 0.02 * t as f32)
+            .collect();
+        let x = Tensor::from_vec(xs, &[1, 96, 1]);
+        let t = Tensor::from_vec(truth, &[1, 24, 1]);
+        let hw_err = HoltWinters::default_with_period(12)
+            .predict(&x, 24)
+            .sub(&t)
+            .square()
+            .mean();
+        let pers_err = Persistence.predict(&x, 24).sub(&t).square().mean();
+        assert!(
+            hw_err < pers_err / 2.0,
+            "HW {hw_err} vs persistence {pers_err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two seasons")]
+    fn holt_winters_rejects_short_window() {
+        let x = Tensor::zeros(&[1, 5, 1]);
+        HoltWinters::default_with_period(4).predict(&x, 2);
+    }
+}

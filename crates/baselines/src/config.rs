@@ -1,0 +1,79 @@
+//! Shared baseline hyper-parameters.
+
+/// Hyper-parameters shared by every baseline model.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Input variables.
+    pub c_in: usize,
+    /// Output variables.
+    pub c_out: usize,
+    /// Input window length.
+    pub lx: usize,
+    /// Prediction length.
+    pub ly: usize,
+    /// Decoder warm-start length (transformer decoders).
+    pub label_len: usize,
+    /// Model width (attention dimensionality).
+    pub d_model: usize,
+    /// Attention heads (paper: 8; scaled down with `d_model`).
+    pub n_heads: usize,
+    /// Encoder depth.
+    pub e_layers: usize,
+    /// Decoder depth.
+    pub d_layers: usize,
+    /// RNN hidden size (GRU/LSTNet; paper tunes in {16, 24, 32, 64}).
+    pub hidden: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Calendar time features per step (0 disables mark embeddings).
+    pub mark_dim: usize,
+}
+
+impl BaselineConfig {
+    /// Defaults at a laptop-scale width.
+    pub fn new(c_in: usize, lx: usize, ly: usize) -> Self {
+        BaselineConfig {
+            c_in,
+            c_out: c_in,
+            lx,
+            ly,
+            label_len: lx / 2,
+            d_model: 32,
+            n_heads: 4,
+            e_layers: 2,
+            d_layers: 1,
+            hidden: 32,
+            dropout: 0.05,
+            mark_dim: lttf_data::MARK_DIM,
+        }
+    }
+
+    /// A deliberately small configuration for tests.
+    pub fn tiny(c_in: usize, lx: usize, ly: usize) -> Self {
+        let mut c = Self::new(c_in, lx, ly);
+        c.d_model = 8;
+        c.n_heads = 2;
+        c.e_layers = 1;
+        c.hidden = 8;
+        c.dropout = 0.0;
+        c
+    }
+
+    /// Decoder input length.
+    pub fn dec_len(&self) -> usize {
+        self.label_len + self.ly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = BaselineConfig::new(7, 96, 48);
+        assert_eq!(c.c_out, 7);
+        assert_eq!(c.dec_len(), 96);
+        assert_eq!(c.mark_dim, lttf_data::MARK_DIM);
+    }
+}

@@ -1,0 +1,190 @@
+//! DeepAR-style probabilistic forecaster (Salinas et al. 2020, cited as
+//! [9] in the paper's related work): an autoregressive GRU with a
+//! Gaussian output head, trained by negative log-likelihood on one-step
+//! transitions and rolled forward autoregressively at prediction time.
+//!
+//! Included as an extension baseline: it is the classic *probabilistic*
+//! deep forecaster, the natural non-flow reference point for Conformer's
+//! uncertainty quantification.
+
+use crate::config::BaselineConfig;
+use lttf_autograd::{Graph, Var};
+use lttf_nn::{Fwd, GruCell, Linear, ParamSet};
+use lttf_tensor::{Rng, Tensor};
+
+/// Autoregressive GRU with a diagonal-Gaussian emission head.
+pub struct DeepAr {
+    cfg: BaselineConfig,
+    cell: GruCell,
+    mu: Linear,
+    sigma: Linear,
+}
+
+impl DeepAr {
+    /// Allocate the cell and the two emission heads.
+    pub fn new(ps: &mut ParamSet, cfg: &BaselineConfig, rng: &mut Rng) -> Self {
+        DeepAr {
+            cfg: cfg.clone(),
+            cell: GruCell::new(ps, "deepar.gru", cfg.c_in, cfg.hidden, rng),
+            mu: Linear::new(ps, "deepar.mu", cfg.hidden, cfg.c_in, rng),
+            sigma: Linear::new(ps, "deepar.sigma", cfg.hidden, cfg.c_in, rng),
+        }
+    }
+
+    /// Gaussian negative log-likelihood of one-step-ahead transitions over
+    /// the input window plus the horizon (teacher forcing):
+    /// `−log N(x_{t+1} | μ(h_t), σ(h_t))`, averaged.
+    ///
+    /// `x: [b, lx, c]`, `y: [b, ly, c]` (scaled space).
+    pub fn loss<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>, y: &Tensor) -> Var<'g> {
+        let g = cx.graph();
+        let (b, lx, c) = {
+            let s = x.shape();
+            (s[0], s[1], s[2])
+        };
+        let full = Var::concat(&[x, g.constant(y.clone())], 1);
+        let total = lx + y.shape()[1];
+        let hs = self.cell.hidden_size();
+        let mut h = g.constant(Tensor::zeros(&[b, hs]));
+        let mut nll: Option<Var<'g>> = None;
+        for t in 0..total - 1 {
+            let xt = full.narrow(1, t, 1).reshape(&[b, c]);
+            h = self.cell.step(cx, xt, h);
+            let target = full.narrow(1, t + 1, 1).reshape(&[b, c]);
+            let mu = self.mu.forward(cx, h);
+            let sigma = self.sigma.forward(cx, h).softplus().add_scalar(1e-3);
+            // NLL = log σ + (x − μ)² / (2σ²)   (dropping the constant)
+            let z = target.sub(mu).div(sigma);
+            let term = sigma.ln().add(z.square().mul_scalar(0.5)).mean_all();
+            nll = Some(match nll {
+                Some(acc) => acc.add(term),
+                None => term,
+            });
+        }
+        nll.expect("at least one transition")
+            .mul_scalar(1.0 / (total - 1) as f32)
+    }
+
+    /// Roll the window forward autoregressively; at each horizon step the
+    /// mean is fed back (or a sample when `sample_seed` is set). Returns
+    /// `[b, ly, c]`.
+    pub fn predict_with(&self, ps: &ParamSet, x: &Tensor, sample_seed: Option<u64>) -> Tensor {
+        let g = Graph::new();
+        let cx = Fwd::new(&g, ps, false, 0);
+        let (b, lx, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let hs = self.cell.hidden_size();
+        let mut rng = sample_seed.map(Rng::seed);
+        let mut h = g.constant(Tensor::zeros(&[b, hs]));
+        // warm up over the observed window
+        for t in 0..lx {
+            let xt = g.constant(x.narrow(1, t, 1).reshape(&[b, c]));
+            h = self.cell.step(&cx, xt, h);
+        }
+        let mut out = Tensor::zeros(&[b, self.cfg.ly, c]);
+        let mut last: Option<Tensor> = None;
+        for t in 0..self.cfg.ly {
+            if let Some(prev) = &last {
+                let xt = g.constant(prev.clone());
+                h = self.cell.step(&cx, xt, h);
+            }
+            let mu = self.mu.forward(&cx, h).value();
+            let next = match &mut rng {
+                Some(r) => {
+                    let sigma = self
+                        .sigma
+                        .forward(&cx, h)
+                        .value()
+                        .softplus()
+                        .add_scalar(1e-3);
+                    mu.add(&sigma.mul(&Tensor::randn(&[b, c], r)))
+                }
+                None => mu,
+            };
+            for bi in 0..b {
+                for di in 0..c {
+                    out.set(&[bi, t, di], next.at(&[bi, di]));
+                }
+            }
+            last = Some(next);
+        }
+        out
+    }
+
+    /// Deterministic (mean-path) prediction.
+    pub fn predict(&self, ps: &ParamSet, x: &Tensor) -> Tensor {
+        self.predict_with(ps, x, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_nn::{Adam, Optimizer};
+
+    #[test]
+    fn prediction_shape() {
+        let cfg = BaselineConfig::tiny(3, 12, 6);
+        let mut ps = ParamSet::new();
+        let m = DeepAr::new(&mut ps, &cfg, &mut Rng::seed(0));
+        let x = Tensor::randn(&[2, 12, 3], &mut Rng::seed(1));
+        let y = m.predict(&ps, &x);
+        assert_eq!(y.shape(), &[2, 6, 3]);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn sampling_differs_from_mean_path() {
+        let cfg = BaselineConfig::tiny(2, 10, 5);
+        let mut ps = ParamSet::new();
+        let m = DeepAr::new(&mut ps, &cfg, &mut Rng::seed(0));
+        let x = Tensor::randn(&[1, 10, 2], &mut Rng::seed(1));
+        let mean = m.predict(&ps, &x);
+        let s1 = m.predict_with(&ps, &x, Some(7));
+        let s2 = m.predict_with(&ps, &x, Some(8));
+        assert!(mean.max_abs_diff(&s1) > 1e-6);
+        assert!(s1.max_abs_diff(&s2) > 1e-6);
+    }
+
+    #[test]
+    fn nll_training_learns_constant_series() {
+        let cfg = BaselineConfig::tiny(1, 8, 4);
+        let mut ps = ParamSet::new();
+        let m = DeepAr::new(&mut ps, &cfg, &mut Rng::seed(0));
+        let mut opt = Adam::new(0.01);
+        for step in 0..150 {
+            let level = if step % 2 == 0 { 0.5 } else { -0.5 };
+            let x = Tensor::full(&[4, 8, 1], level);
+            let y = Tensor::full(&[4, 4, 1], level);
+            let g = Graph::new();
+            let cx = Fwd::new(&g, &ps, true, step as u64);
+            let loss = m.loss(&cx, g.leaf(x), &y);
+            let grads = g.backward(loss);
+            let collected = cx.collect_grads(&grads);
+            ps.zero_grad();
+            ps.apply_grads(collected);
+            opt.step(&mut ps);
+        }
+        let x = Tensor::full(&[1, 8, 1], 0.5);
+        let pred = m.predict(&ps, &x);
+        for t in 0..4 {
+            assert!(
+                (pred.at(&[0, t, 0]) - 0.5).abs() < 0.2,
+                "t={t}: {}",
+                pred.at(&[0, t, 0])
+            );
+        }
+    }
+
+    #[test]
+    fn nll_is_finite() {
+        let cfg = BaselineConfig::tiny(2, 8, 4);
+        let mut ps = ParamSet::new();
+        let m = DeepAr::new(&mut ps, &cfg, &mut Rng::seed(0));
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, true, 0);
+        let x = g.leaf(Tensor::randn(&[2, 8, 2], &mut Rng::seed(1)));
+        let y = Tensor::randn(&[2, 4, 2], &mut Rng::seed(2));
+        let v = m.loss(&cx, x, &y).value().item();
+        assert!(v.is_finite());
+    }
+}

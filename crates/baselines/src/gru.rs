@@ -1,0 +1,90 @@
+//! The GRU baseline: a 2-layer GRU encoder with a direct multi-horizon
+//! projection head (the paper's one-step prediction strategy).
+
+use crate::config::BaselineConfig;
+use lttf_autograd::{Graph, Var};
+use lttf_nn::{mse_loss_to, Fwd, Gru, Linear, ParamSet};
+use lttf_tensor::{Rng, Tensor};
+
+/// 2-layer GRU → linear head over the last hidden state.
+pub struct GruForecaster {
+    cfg: BaselineConfig,
+    rnn: Gru,
+    head: Linear,
+}
+
+impl GruForecaster {
+    /// Allocate (paper: 2-layer GRU; hidden from {16, 24, 32, 64}).
+    pub fn new(ps: &mut ParamSet, cfg: &BaselineConfig, rng: &mut Rng) -> Self {
+        GruForecaster {
+            cfg: cfg.clone(),
+            rnn: Gru::new(ps, "gru", cfg.c_in, cfg.hidden, 2, cfg.dropout, rng),
+            head: Linear::new(ps, "gru.head", cfg.hidden, cfg.ly * cfg.c_out, rng),
+        }
+    }
+
+    /// Forward `x: [b, lx, c_in]` → `[b, ly, c_out]`. Marks and decoder
+    /// inputs are accepted for interface uniformity but unused.
+    pub fn forward<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let b = x.shape()[0];
+        let out = self.rnn.forward(cx, x);
+        let h = *out.last_hidden.last().expect("layer");
+        self.head
+            .forward(cx, h)
+            .reshape(&[b, self.cfg.ly, self.cfg.c_out])
+    }
+
+    /// MSE training loss.
+    pub fn loss<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>, target: &Tensor) -> Var<'g> {
+        mse_loss_to(self.forward(cx, x), target)
+    }
+
+    /// Deterministic prediction.
+    pub fn predict(&self, ps: &ParamSet, x: &Tensor) -> Tensor {
+        let g = Graph::new();
+        let cx = Fwd::new(&g, ps, false, 0);
+        self.forward(&cx, g.leaf(x.clone())).value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let cfg = BaselineConfig::tiny(3, 12, 6);
+        let mut ps = ParamSet::new();
+        let m = GruForecaster::new(&mut ps, &cfg, &mut Rng::seed(0));
+        let x = Tensor::randn(&[2, 12, 3], &mut Rng::seed(1));
+        let y = m.predict(&ps, &x);
+        assert_eq!(y.shape(), &[2, 6, 3]);
+    }
+
+    #[test]
+    fn learns_to_repeat_last_value() {
+        use lttf_nn::{Adam, Optimizer};
+        // Constant-series task: predict the constant forward.
+        let cfg = BaselineConfig::tiny(1, 8, 3);
+        let mut ps = ParamSet::new();
+        let m = GruForecaster::new(&mut ps, &cfg, &mut Rng::seed(0));
+        let mut opt = Adam::new(0.01);
+        let mut last = f32::MAX;
+        for step in 0..120 {
+            let mut rng = Rng::seed(10 + step % 8);
+            let level = rng.uniform(-1.0, 1.0);
+            let x = Tensor::full(&[4, 8, 1], level);
+            let y = Tensor::full(&[4, 3, 1], level);
+            let g = Graph::new();
+            let cx = Fwd::new(&g, &ps, true, step);
+            let loss = m.loss(&cx, g.leaf(x), &y);
+            last = loss.value().item();
+            let grads = g.backward(loss);
+            let collected = cx.collect_grads(&grads);
+            ps.zero_grad();
+            ps.apply_grads(collected);
+            opt.step(&mut ps);
+        }
+        assert!(last < 0.05, "GRU failed constancy task: {last}");
+    }
+}

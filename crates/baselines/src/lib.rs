@@ -1,0 +1,52 @@
+//! # lttf-baselines
+//!
+//! The nine baselines the paper compares Conformer against
+//! (Section V-A2):
+//!
+//! * **Transformer family** — [`TransformerForecaster`] instantiates
+//!   Informer (ProbSparse attention + distilling), Longformer
+//!   (sliding-window attention), LogTrans (log-sparse attention), and
+//!   Reformer (LSH attention) from one architecture, exactly mirroring
+//!   the paper's setup ("all Transformer-based baselines use the same
+//!   embedding method applied to the Informer"). [`Autoformer`] has its
+//!   own decomposition architecture.
+//! * **RNN family** — [`GruForecaster`] (2-layer GRU) and [`LstNet`]
+//!   (CNN + GRU, highway/skip omitted as the paper specifies).
+//! * **Others** — [`NBeats`] (doubly residual fully connected stacks) and
+//!   [`Ts2Vec`] (convolutional representation encoder with a forecasting
+//!   head; used in the univariate comparison, Table IV).
+//!
+//! All models share one calling convention (`x`, `x_mark`, `dec`,
+//! `dec_mark` → `[b, ly, c_out]` in scaled space) so the experiment
+//! runner treats them uniformly.
+//!
+//! Beyond the paper's comparison set, two extension groups are provided:
+//! training-free classical anchors ([`Persistence`], [`Drift`],
+//! [`SeasonalNaive`], [`HoltWinters`] — the statistical methods of
+//! Section II-A) and [`DeepAr`], the classic probabilistic deep
+//! forecaster cited in the paper's related work.
+
+#![warn(missing_docs)]
+
+mod autoformer;
+mod classical;
+mod config;
+mod deepar;
+mod gru;
+mod lstnet;
+mod nbeats;
+mod transformer;
+mod ts2vec;
+
+pub use autoformer::Autoformer;
+pub use classical::{Drift, HoltWinters, Persistence, SeasonalNaive};
+pub use config::BaselineConfig;
+pub use deepar::DeepAr;
+pub use gru::GruForecaster;
+pub use lstnet::LstNet;
+pub use nbeats::NBeats;
+pub use transformer::{TransformerFlavor, TransformerForecaster};
+pub use ts2vec::Ts2Vec;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,108 @@
+//! Property-based tests: every baseline honors the forward contract
+//! (finite `[b, ly, c_out]` output) across randomized configurations.
+
+use crate::{
+    Autoformer, BaselineConfig, DeepAr, GruForecaster, LstNet, NBeats, TransformerFlavor,
+    TransformerForecaster, Ts2Vec,
+};
+use lttf_nn::ParamSet;
+use lttf_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn cfg_for(c_in: usize, lx: usize, ly: usize) -> BaselineConfig {
+    let mut c = BaselineConfig::tiny(c_in, lx, ly);
+    c.label_len = lx / 2;
+    c
+}
+
+fn inputs(cfg: &BaselineConfig, seed: u64) -> (Tensor, Tensor, Tensor, Tensor) {
+    let mut rng = Rng::seed(seed);
+    (
+        Tensor::randn(&[2, cfg.lx, cfg.c_in], &mut rng),
+        Tensor::randn(&[2, cfg.lx, lttf_data::MARK_DIM], &mut rng),
+        Tensor::randn(&[2, cfg.dec_len(), cfg.c_in], &mut rng),
+        Tensor::randn(&[2, cfg.dec_len(), lttf_data::MARK_DIM], &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn transformer_flavors_forward_contract(
+        c_in in 1usize..4,
+        lx in 8usize..20,
+        ly in 2usize..8,
+        seed in 0u64..50,
+        flavor_idx in 0usize..5,
+    ) {
+        let flavor = [
+            TransformerFlavor::Informer,
+            TransformerFlavor::Longformer,
+            TransformerFlavor::LogTrans,
+            TransformerFlavor::Reformer,
+            TransformerFlavor::Vanilla,
+        ][flavor_idx];
+        let cfg = cfg_for(c_in, lx, ly);
+        let mut ps = ParamSet::new();
+        let m = TransformerForecaster::new(&mut ps, flavor, &cfg, &mut Rng::seed(seed));
+        let (x, xm, d, dm) = inputs(&cfg, seed);
+        let y = m.predict(&ps, &x, &xm, &d, &dm);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+        prop_assert!(!y.has_non_finite(), "{:?}", flavor);
+    }
+
+    #[test]
+    fn autoformer_forward_contract(
+        c_in in 1usize..4,
+        lx in 8usize..20,
+        ly in 2usize..8,
+        seed in 0u64..50,
+    ) {
+        let cfg = cfg_for(c_in, lx, ly);
+        let mut ps = ParamSet::new();
+        let m = Autoformer::new(&mut ps, &cfg, &mut Rng::seed(seed));
+        let (x, xm, d, dm) = inputs(&cfg, seed);
+        let y = m.predict(&ps, &x, &xm, &d, &dm);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+        prop_assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn simple_models_forward_contract(
+        c_in in 1usize..4,
+        lx in 8usize..20,
+        ly in 2usize..8,
+        seed in 0u64..50,
+    ) {
+        let cfg = cfg_for(c_in, lx, ly);
+        let (x, _, _, _) = inputs(&cfg, seed);
+        let mut rng = Rng::seed(seed);
+
+        let mut ps = ParamSet::new();
+        let gru = GruForecaster::new(&mut ps, &cfg, &mut rng);
+        let y = gru.predict(&ps, &x);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+
+        let mut ps = ParamSet::new();
+        let lstnet = LstNet::new(&mut ps, &cfg, &mut rng);
+        let y = lstnet.predict(&ps, &x);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+
+        let mut ps = ParamSet::new();
+        let nbeats = NBeats::new(&mut ps, &cfg, &mut rng);
+        let y = nbeats.predict(&ps, &x);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+
+        let mut ps = ParamSet::new();
+        let ts2vec = Ts2Vec::new(&mut ps, &cfg, &mut rng);
+        let y = ts2vec.predict(&ps, &x);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+
+        let mut ps = ParamSet::new();
+        let deepar = DeepAr::new(&mut ps, &cfg, &mut rng);
+        let y = deepar.predict(&ps, &x);
+        prop_assert_eq!(y.shape(), &[2, ly, c_in]);
+        prop_assert!(!y.has_non_finite());
+    }
+}

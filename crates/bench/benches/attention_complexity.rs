@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 5: forward-pass time of each attention
+//! mechanism across sequence lengths. The sliding-window mechanism should
+//! show linear growth; full/log-sparse quadratic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lttf_autograd::Graph;
+use lttf_nn::{attention::attend_folded, AttentionKind, Fwd, ParamSet};
+use lttf_tensor::{Rng, Tensor};
+
+fn bench_attention(c: &mut Criterion) {
+    let kinds = [
+        AttentionKind::SlidingWindow { w: 2 },
+        AttentionKind::Full,
+        AttentionKind::ProbSparse { factor: 1 },
+        AttentionKind::Lsh { n_buckets: 4 },
+        AttentionKind::LogSparse,
+        AttentionKind::AutoCorrelation { factor: 1 },
+    ];
+    let (bh, dh) = (4usize, 16usize);
+    let ps = ParamSet::new();
+    let mut group = c.benchmark_group("attention_forward");
+    for l in [96usize, 192, 384] {
+        let mut rng = Rng::seed(1);
+        let q = Tensor::randn(&[bh, l, dh], &mut rng);
+        let k = Tensor::randn(&[bh, l, dh], &mut rng);
+        let v = Tensor::randn(&[bh, l, dh], &mut rng);
+        for kind in kinds {
+            group.bench_with_input(BenchmarkId::new(kind.label(), l), &l, |bench, _| {
+                bench.iter(|| {
+                    let g = Graph::new();
+                    let cx = Fwd::new(&g, &ps, false, 0);
+                    let out = attend_folded(
+                        kind,
+                        &cx,
+                        g.leaf(q.clone()),
+                        g.leaf(k.clone()),
+                        g.leaf(v.clone()),
+                    );
+                    std::hint::black_box(out.value())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_attention
+}
+criterion_main!(benches);

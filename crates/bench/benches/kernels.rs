@@ -1,0 +1,89 @@
+//! Criterion benches for the substrate kernels: matmul, conv1d, moving
+//! average, FFT autocorrelation, GRU step, and dataset generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lttf_autograd::Graph;
+use lttf_data::synth::{Dataset, SynthSpec};
+use lttf_fft::autocorrelation;
+use lttf_nn::{Fwd, Gru, ParamSet};
+use lttf_tensor::{Rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let mut rng = Rng::seed(1);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut rng = Rng::seed(2);
+    let x = Tensor::randn(&[8, 16, 96], &mut rng);
+    let w = Tensor::randn(&[16, 16, 3], &mut rng);
+    c.bench_function("conv1d_8x16x96_k3", |b| {
+        b.iter(|| std::hint::black_box(x.conv1d(&w, None, 1, 1)))
+    });
+}
+
+fn bench_moving_avg(c: &mut Criterion) {
+    let mut rng = Rng::seed(3);
+    let x = Tensor::randn(&[8, 96, 16], &mut rng);
+    c.bench_function("moving_avg_96_k13", |b| {
+        b.iter(|| std::hint::black_box(x.moving_avg(1, 13)))
+    });
+}
+
+fn bench_autocorrelation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_autocorrelation");
+    for n in [96usize, 768] {
+        let sig: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(autocorrelation(&sig)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gru_forward(c: &mut Criterion) {
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed(4);
+    let gru = Gru::new(&mut ps, "g", 16, 16, 1, 0.0, &mut rng);
+    let x = Tensor::randn(&[8, 96, 16], &mut rng);
+    c.bench_function("gru_forward_8x96x16", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let cx = Fwd::new(&g, &ps, false, 0);
+            std::hint::black_box(gru.forward(&cx, g.leaf(x.clone())).outputs.value())
+        })
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for ds in [Dataset::Ecl, Dataset::Wind, Dataset::AirDelay] {
+        group.bench_function(ds.name(), |b| {
+            b.iter(|| {
+                std::hint::black_box(ds.generate(SynthSpec {
+                    len: 2_000,
+                    dims: Some(8.min(ds.default_dims())),
+                    seed: 5,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv1d, bench_moving_avg,
+              bench_autocorrelation, bench_gru_forward, bench_dataset_generation
+}
+criterion_main!(benches);

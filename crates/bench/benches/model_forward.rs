@@ -1,0 +1,63 @@
+//! Criterion benches for end-to-end model cost: Conformer forward,
+//! forward+backward, and the baselines' forward passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lttf_autograd::Graph;
+use lttf_bench::{series_for, splits};
+use lttf_data::synth::Dataset;
+use lttf_eval::{ModelKind, Scale, TrainedModel};
+use lttf_nn::Fwd;
+
+fn setup() -> (TrainedModel, lttf_data::Batch) {
+    let series = series_for(Dataset::Etth1, Scale::Smoke, 1);
+    let (train_set, _, _) = splits(&series, 48, 24, 24);
+    let model = TrainedModel::build(ModelKind::Conformer, series.dims(), 48, 24, 8, 2, 1);
+    let batch = train_set.batch(&[0, 1, 2, 3]);
+    (model, batch)
+}
+
+fn bench_conformer_forward(c: &mut Criterion) {
+    let (model, batch) = setup();
+    c.bench_function("conformer_predict_b4_lx48_ly24", |b| {
+        b.iter(|| std::hint::black_box(model.predict_batch(&batch)))
+    });
+}
+
+fn bench_conformer_train_step(c: &mut Criterion) {
+    let (model, batch) = setup();
+    c.bench_function("conformer_fwd_bwd_b4_lx48_ly24", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let cx = Fwd::new(&g, model.params(), true, 0);
+            let loss = model.batch_loss(&cx, &batch);
+            let grads = g.backward(loss);
+            std::hint::black_box(cx.collect_grads(&grads))
+        })
+    });
+}
+
+fn bench_baseline_forwards(c: &mut Criterion) {
+    let series = series_for(Dataset::Etth1, Scale::Smoke, 1);
+    let (train_set, _, _) = splits(&series, 48, 24, 24);
+    let batch = train_set.batch(&[0, 1, 2, 3]);
+    let mut group = c.benchmark_group("baseline_predict");
+    for kind in [
+        ModelKind::Informer,
+        ModelKind::Autoformer,
+        ModelKind::Gru,
+        ModelKind::NBeats,
+    ] {
+        let model = TrainedModel::build(kind, series.dims(), 48, 24, 8, 2, 1);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| std::hint::black_box(model.predict_batch(&batch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conformer_forward, bench_conformer_train_step, bench_baseline_forwards
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation bench for DESIGN.md decision #3: the fused banded
+//! sliding-window kernel vs the naive alternative (dense attention with a
+//! −∞ band mask). Both compute the same function — the bench shows why
+//! the custom kernel (O(L·w)) is worth its hand-written backward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lttf_nn::attention::window_forward;
+use lttf_tensor::{Rng, Tensor};
+
+/// Reference implementation: full scores + band mask + softmax.
+fn masked_full_forward(q: &Tensor, k: &Tensor, v: &Tensor, w: usize) -> Tensor {
+    let (bh, l, dh) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut mask = Tensor::full(&[l, l], -1e9);
+    let half = w / 2;
+    for i in 0..l {
+        for j in i.saturating_sub(half)..(i + half + 1).min(l) {
+            mask.set(&[i, j], 0.0);
+        }
+    }
+    let scores = q
+        .matmul(&k.swap_axes(1, 2))
+        .mul_scalar(scale)
+        .add(&mask.reshape(&[1, l, l]));
+    let _ = bh;
+    scores.softmax(-1).matmul(v)
+}
+
+fn bench_kernel_vs_masked(c: &mut Criterion) {
+    let (bh, dh, w) = (4usize, 16usize, 2usize);
+    let mut group = c.benchmark_group("window_kernel_ablation");
+    for l in [96usize, 384] {
+        let mut rng = Rng::seed(1);
+        let q = Tensor::randn(&[bh, l, dh], &mut rng);
+        let k = Tensor::randn(&[bh, l, dh], &mut rng);
+        let v = Tensor::randn(&[bh, l, dh], &mut rng);
+        // sanity: the two implementations agree
+        window_forward(&q, &k, &v, w).assert_close(&masked_full_forward(&q, &k, &v, w), 1e-4);
+        group.bench_with_input(BenchmarkId::new("fused_banded", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(window_forward(&q, &k, &v, w)))
+        });
+        group.bench_with_input(BenchmarkId::new("masked_full", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(masked_full_forward(&q, &k, &v, w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel_vs_masked
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 2: "different variables evolve at varying rhythms" — the per-
+//! variable autocorrelation heatmap data. For each dataset we print each
+//! variable's normalized autocorrelation at a grid of lags (the numbers
+//! behind the paper's heatmaps).
+
+use lttf_bench::{series_for, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+use lttf_fft::autocorrelation_matrix;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lags = [1usize, 2, 4, 8, 16, 24, 48, 96];
+    let mut header: Vec<String> = vec!["Dataset".into(), "Variable".into()];
+    header.extend(lags.iter().map(|l| format!("lag{l}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 2: per-variable rhythm (normalized autocorrelation, scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+    for ds in Dataset::ALL {
+        let s = series_for(ds, args.scale, args.seed);
+        // analysis window: first 512 steps keeps the table readable
+        let view = s.slice(0, s.len().min(512));
+        let m = autocorrelation_matrix(&view.values);
+        for d in 0..view.dims() {
+            let r0 = m.at(&[d, 0]).max(1e-9);
+            let mut row = vec![ds.name().to_string(), view.names[d].clone()];
+            for &lag in &lags {
+                let v = if lag < view.len() {
+                    m.at(&[d, lag]) / r0
+                } else {
+                    f32::NAN
+                };
+                row.push(format!("{v:+.3}"));
+            }
+            table.row(&row);
+        }
+    }
+    args.emit("fig2_rhythms", &table);
+}

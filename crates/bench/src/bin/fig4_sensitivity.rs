@@ -1,0 +1,87 @@
+//! Fig. 4: parameter sensitivity on the Wind dataset — four sweeps:
+//! (a) input length Lx, (b) window size w, (c) trade-off λ, (d) number of
+//! flow transformations. The paper's expected shape: performance is
+//! stable under all four knobs.
+
+use lttf_bench::{conformer_cfg, fmt, run_conformer, series_for, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+use lttf_nn::AttentionKind;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let horizons = args.scale.horizons();
+    let series = series_for(Dataset::Wind, args.scale, args.seed);
+    let base_lx = args.scale.lx();
+
+    let mut header: Vec<String> = vec!["Sweep".into(), "Value".into()];
+    for &ly in &horizons {
+        header.push(format!("MSE Ly={ly}"));
+        header.push(format!("MAE Ly={ly}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 4: parameter sensitivity on Wind (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    // (a) input length
+    for lx in [base_lx / 2, base_lx, base_lx * 2] {
+        let mut row = vec!["input-length".to_string(), lx.to_string()];
+        for &ly in &horizons {
+            eprintln!("[fig4a] Lx={lx} Ly={ly}");
+            let cfg = conformer_cfg(&series, args.scale, lx, ly);
+            let m = run_conformer(&cfg, &series, args.scale, args.seed);
+            row.push(fmt(m.mse));
+            row.push(fmt(m.mae));
+        }
+        table.row(&row);
+    }
+
+    // (b) window size
+    for w in [1usize, 2, 4, 8] {
+        let mut row = vec!["window-size".to_string(), w.to_string()];
+        for &ly in &horizons {
+            eprintln!("[fig4b] w={w} Ly={ly}");
+            let mut cfg = conformer_cfg(&series, args.scale, base_lx, ly);
+            cfg.attention = AttentionKind::SlidingWindow { w };
+            let m = run_conformer(&cfg, &series, args.scale, args.seed);
+            row.push(fmt(m.mse));
+            row.push(fmt(m.mae));
+        }
+        table.row(&row);
+    }
+
+    // (c) trade-off λ
+    for lambda in [0.0f32, 0.2, 0.5, 0.8, 1.0] {
+        let mut row = vec!["lambda".to_string(), format!("{lambda:.1}")];
+        for &ly in &horizons {
+            eprintln!("[fig4c] λ={lambda} Ly={ly}");
+            let mut cfg = conformer_cfg(&series, args.scale, base_lx, ly);
+            cfg.lambda = lambda;
+            let m = run_conformer(&cfg, &series, args.scale, args.seed);
+            row.push(fmt(m.mse));
+            row.push(fmt(m.mae));
+        }
+        table.row(&row);
+    }
+
+    // (d) number of flow transformations
+    for steps in [1usize, 2, 4, 8] {
+        let mut row = vec!["flow-steps".to_string(), steps.to_string()];
+        for &ly in &horizons {
+            eprintln!("[fig4d] T={steps} Ly={ly}");
+            let mut cfg = conformer_cfg(&series, args.scale, base_lx, ly);
+            cfg.flow_steps = steps;
+            let m = run_conformer(&cfg, &series, args.scale, args.seed);
+            row.push(fmt(m.mse));
+            row.push(fmt(m.mae));
+        }
+        table.row(&row);
+    }
+
+    args.emit("fig4_sensitivity", &table);
+}

@@ -1,0 +1,120 @@
+//! Fig. 5: computational efficiency of the attention mechanisms — wall
+//! time per forward pass and the dominant intermediate's memory across a
+//! sequence-length sweep. Conformer's sliding-window attention should
+//! scale linearly while full/log-sparse attention grow quadratically.
+//!
+//! Time is measured on the real graph-building forward path of each
+//! mechanism; memory is the analytic size of the mechanism's dominant
+//! intermediate (the score structure), which is what separates the
+//! complexity classes.
+
+use lttf_autograd::Graph;
+use lttf_bench::HarnessArgs;
+use lttf_eval::Table;
+use lttf_nn::{attention::attend_folded, AttentionKind, Fwd, ParamSet};
+use lttf_tensor::{Rng, Tensor};
+use std::time::Instant;
+
+/// Analytic memory (bytes of f32) of the dominant score intermediate.
+fn score_memory(kind: AttentionKind, bh: usize, l: usize, dh: usize) -> usize {
+    let f = std::mem::size_of::<f32>();
+    match kind {
+        AttentionKind::Full | AttentionKind::LogSparse => bh * l * l * f,
+        AttentionKind::SlidingWindow { w } => bh * l * (w + 1) * f,
+        AttentionKind::SlidingWindowGlobal { w, n_global } => bh * l * (w + 1 + n_global) * f,
+        AttentionKind::ProbSparse { factor } => {
+            let u = ((factor as f32) * (l as f32).ln()).ceil() as usize;
+            bh * u.max(1) * l * f
+        }
+        AttentionKind::Lsh { n_buckets } => {
+            let chunk = l.div_ceil(n_buckets.max(1));
+            bh * n_buckets * chunk * chunk * f
+        }
+        AttentionKind::AutoCorrelation { factor } => {
+            let topk = ((factor as f32) * (l as f32).ln()).ceil() as usize;
+            bh * topk.max(1) * l * dh * f
+        }
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let kinds = [
+        AttentionKind::SlidingWindow { w: 2 },
+        AttentionKind::Full,
+        AttentionKind::ProbSparse { factor: 1 },
+        AttentionKind::Lsh { n_buckets: 4 },
+        AttentionKind::LogSparse,
+        AttentionKind::AutoCorrelation { factor: 1 },
+    ];
+    let lengths: Vec<usize> = match args.scale {
+        lttf_eval::Scale::Smoke => vec![48, 96],
+        lttf_eval::Scale::Small => vec![48, 96, 192, 384],
+        lttf_eval::Scale::Full => vec![48, 96, 192, 384, 768, 1536],
+    };
+    let reps = match args.scale {
+        lttf_eval::Scale::Smoke => 3,
+        lttf_eval::Scale::Small => 10,
+        lttf_eval::Scale::Full => 20,
+    };
+    let (bh, dh) = (4usize, 16usize);
+
+    let mut header: Vec<String> = vec!["Attention".into()];
+    for &l in &lengths {
+        header.push(format!("t(L={l}) ms"));
+        header.push(format!("mem(L={l}) KiB"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 5: attention time & memory vs sequence length (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    let ps = ParamSet::new();
+    for kind in kinds {
+        let mut row = vec![kind.label().to_string()];
+        for &l in &lengths {
+            let mut rng = Rng::seed(args.seed);
+            let q = Tensor::randn(&[bh, l, dh], &mut rng);
+            let k = Tensor::randn(&[bh, l, dh], &mut rng);
+            let v = Tensor::randn(&[bh, l, dh], &mut rng);
+            // warm-up
+            {
+                let g = Graph::new();
+                let cx = Fwd::new(&g, &ps, false, 0);
+                let _ = attend_folded(
+                    kind,
+                    &cx,
+                    g.leaf(q.clone()),
+                    g.leaf(k.clone()),
+                    g.leaf(v.clone()),
+                );
+            }
+            let start = Instant::now();
+            for _ in 0..reps {
+                let g = Graph::new();
+                let cx = Fwd::new(&g, &ps, false, 0);
+                let out = attend_folded(
+                    kind,
+                    &cx,
+                    g.leaf(q.clone()),
+                    g.leaf(k.clone()),
+                    g.leaf(v.clone()),
+                );
+                std::hint::black_box(out.value());
+            }
+            let ms = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+            row.push(format!("{ms:.3}"));
+            row.push(format!(
+                "{:.1}",
+                score_memory(kind, bh, l, dh) as f64 / 1024.0
+            ));
+            eprintln!("[fig5] {} L={l}: {ms:.3} ms", kind.label());
+        }
+        table.row(&row);
+    }
+    args.emit("fig5_efficiency", &table);
+}

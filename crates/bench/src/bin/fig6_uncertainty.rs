@@ -1,0 +1,109 @@
+//! Fig. 6: uncertainty-aware forecasting on ETTm1 — one trained
+//! Conformer's point estimate plus normalizing-flow prediction intervals
+//! rendered at several inference blend weights λ (smaller λ leans on the
+//! flow and widens the band, which is how the paper's figure covers the
+//! extreme ground-truth values).
+
+use lttf_bench::{conformer_cfg, series_for, splits, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::{coverage, train, ModelImpl, Table, TrainOptions, TrainedModel};
+use lttf_tensor::Tensor;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let ly = *args.scale.horizons().last().unwrap();
+    let lambdas = [0.95f32, 0.9, 0.8];
+
+    let series = series_for(Dataset::Ettm1, args.scale, args.seed);
+    let cfg = conformer_cfg(&series, args.scale, lx, ly);
+    let (train_set, val, test) = splits(&series, lx, ly, cfg.label_len);
+    let mut model = TrainedModel::from_conformer(&cfg, args.seed);
+    eprintln!("[fig6] training Conformer on ETTm1 (Ly={ly})…");
+    train(
+        &mut model,
+        &train_set,
+        Some(&val),
+        &TrainOptions::for_scale(args.scale, args.seed),
+    );
+
+    let ModelImpl::Conformer(conformer) = model.inner() else {
+        unreachable!("built a Conformer")
+    };
+
+    // summary table: empirical coverage and band width per λ over several
+    // test windows
+    let mut header: Vec<String> = vec!["lambda".into(), "coverage@90".into(), "mean width".into()];
+    header.push("windows".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 6: uncertainty quantification on ETTm1, Ly={ly} (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+    let n_windows = 8.min(test.len());
+    let idx: Vec<usize> = (0..n_windows)
+        .map(|i| i * (test.len() / n_windows).max(1))
+        .collect();
+    for &lam in &lambdas {
+        let mut covs = Vec::new();
+        let mut widths = Vec::new();
+        for &w in &idx {
+            let b = test.batch(&[w]);
+            let (_, lo, hi) = conformer.predict_with_uncertainty_blend(
+                model.params(),
+                &b.x,
+                &b.x_mark,
+                &b.dec,
+                &b.dec_mark,
+                40,
+                0.9,
+                args.seed,
+                lam,
+            );
+            covs.push(coverage(&lo, &hi, &b.y));
+            widths.push(hi.sub(&lo).mean());
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        table.row(&[
+            format!("{lam:.2}"),
+            format!("{:.3}", mean(&covs)),
+            format!("{:.4}", mean(&widths)),
+            idx.len().to_string(),
+        ]);
+        eprintln!("[fig6] λ={lam}: coverage {:.3}", mean(&covs));
+    }
+    args.emit("fig6_uncertainty", &table);
+
+    // one illustrative window as CSV series (the plotted lines of Fig. 6)
+    let b = test.batch(&[idx[0]]);
+    let mut series_table = Table::new(
+        "Fig. 6 case: point / bands / truth (target variable)",
+        &["t", "truth", "point", "lo@0.8", "hi@0.8"],
+    );
+    let (point, lo, hi) = conformer.predict_with_uncertainty_blend(
+        model.params(),
+        &b.x,
+        &b.x_mark,
+        &b.dec,
+        &b.dec_mark,
+        40,
+        0.9,
+        args.seed,
+        0.8,
+    );
+    let target = test.target();
+    let pick = |t: &Tensor, step: usize| t.at(&[0, step, target.min(t.shape()[2] - 1)]);
+    for t in 0..ly {
+        series_table.row(&[
+            t.to_string(),
+            format!("{:.4}", pick(&b.y, t)),
+            format!("{:.4}", pick(&point, t)),
+            format!("{:.4}", pick(&lo, t)),
+            format!("{:.4}", pick(&hi, t)),
+        ]);
+    }
+    args.emit("fig6_case", &series_table);
+}

@@ -1,0 +1,46 @@
+//! Fig. 7: how far the message should be cascaded in the normalizing
+//! flow — λ is set to 0 (pure flow training, as the figure caption
+//! specifies) and the number of transformations T is swept on ECL and
+//! ETTm1. Expected shape: more transformations → better flow-only
+//! forecasts.
+
+use lttf_bench::{conformer_cfg, fmt, run_conformer, series_for, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let ly = *args.scale.horizons().last().unwrap();
+    let transforms = [1usize, 2, 4, 8];
+
+    let mut header: Vec<String> = vec!["#transforms".into()];
+    for ds in [Dataset::Ecl, Dataset::Ettm1] {
+        header.push(format!("{} MSE", ds.name()));
+        header.push(format!("{} MAE", ds.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 7: flow-only (λ=0) forecast quality vs #transforms, Ly={ly} (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    for &t in &transforms {
+        let mut row = vec![t.to_string()];
+        for ds in [Dataset::Ecl, Dataset::Ettm1] {
+            eprintln!("[fig7] {} / T={t}", ds.name());
+            let series = series_for(ds, args.scale, args.seed);
+            let mut cfg = conformer_cfg(&series, args.scale, lx, ly);
+            cfg.lambda = 0.0; // evaluate the flow alone
+            cfg.flow_steps = t;
+            let m = run_conformer(&cfg, &series, args.scale, args.seed);
+            row.push(fmt(m.mse));
+            row.push(fmt(m.mae));
+        }
+        table.row(&row);
+    }
+    args.emit("fig7_transforms", &table);
+}

@@ -1,0 +1,77 @@
+//! Fig. 8: qualitative forecasting showcase on ETTm1 — every model's
+//! prediction of the target variable over one test window, printed as the
+//! line-plot data behind the paper's figure, plus each model's MSE on
+//! that window.
+
+use lttf_bench::{series_for, splits, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::{train, Metrics, ModelKind, Table, TrainOptions, TrainedModel};
+use lttf_tensor::Tensor;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let ly = *args.scale.horizons().last().unwrap();
+
+    let series = series_for(Dataset::Ettm1, args.scale, args.seed);
+    let (train_set, val, test) = splits(&series, lx, ly, lx / 2);
+    let window = test.len() / 2;
+    let batch = test.batch(&[window]);
+    let target = test.target();
+
+    let mut preds: Vec<(ModelKind, Tensor)> = Vec::new();
+    for kind in ModelKind::TABLE2 {
+        eprintln!("[fig8] training {}…", kind.name());
+        let mut model = TrainedModel::build(
+            kind,
+            series.dims(),
+            lx,
+            ly,
+            args.scale.d_model(),
+            args.scale.n_heads(),
+            args.seed,
+        );
+        train(
+            &mut model,
+            &train_set,
+            Some(&val),
+            &TrainOptions::for_scale(args.scale, args.seed),
+        );
+        preds.push((kind, model.predict_batch(&batch)));
+    }
+
+    // per-model error on the showcased window
+    let mut summary = Table::new(
+        format!(
+            "Fig. 8 window metrics (ETTm1, input-{lx}-predict-{ly}, scale {})",
+            args.scale
+        ),
+        &["Model", "MSE", "MAE"],
+    );
+    for (kind, p) in &preds {
+        let m = Metrics::of(p, &batch.y);
+        summary.row(&[
+            kind.name().to_string(),
+            format!("{:.4}", m.mse),
+            format!("{:.4}", m.mae),
+        ]);
+    }
+    args.emit("fig8_metrics", &summary);
+
+    // the plotted series
+    let mut header: Vec<String> = vec!["t".into(), "truth".into()];
+    header.extend(preds.iter().map(|(k, _)| k.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut lines = Table::new(
+        "Fig. 8 series (target variable, scaled space)",
+        &header_refs,
+    );
+    for t in 0..ly {
+        let mut row = vec![t.to_string(), format!("{:.4}", batch.y.at(&[0, t, target]))];
+        for (_, p) in &preds {
+            row.push(format!("{:.4}", p.at(&[0, t, target])));
+        }
+        lines.row(&row);
+    }
+    args.emit("fig8_showcase", &lines);
+}

@@ -1,0 +1,51 @@
+//! Table I: statistical descriptions of the seven datasets — the paper's
+//! reference statistics next to the synthetic stand-ins actually
+//! generated at the chosen scale.
+
+use lttf_bench::{series_for, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_data::Freq;
+use lttf_eval::Table;
+
+fn freq_str(f: Freq) -> String {
+    match f {
+        Freq::Minutes(m) => format!("{m} mins"),
+        Freq::Hours(h) => format!("{h} hour"),
+        Freq::Days(d) => format!("{d} day"),
+        Freq::Irregular => "-".to_string(),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut table = Table::new(
+        format!("Table I: dataset statistics (scale {})", args.scale),
+        &[
+            "Dataset",
+            "#Dims(paper)",
+            "#Points(paper)",
+            "#Dims(gen)",
+            "#Points(gen)",
+            "Target",
+            "Interval",
+            "Mean(target)",
+            "Std(target)",
+        ],
+    );
+    for ds in Dataset::ALL {
+        let s = series_for(ds, args.scale, args.seed);
+        let target = s.target_series();
+        table.row(&[
+            ds.name().to_string(),
+            ds.default_dims().to_string(),
+            ds.default_len().to_string(),
+            s.dims().to_string(),
+            s.len().to_string(),
+            s.names[s.target].clone(),
+            freq_str(s.freq),
+            format!("{:.3}", target.mean()),
+            format!("{:.3}", target.std()),
+        ]);
+    }
+    args.emit("table1_datasets", &table);
+}

@@ -1,0 +1,45 @@
+//! Table II: multivariate LTTF comparison — Conformer vs the seven
+//! multivariate baselines on all seven datasets across predict lengths.
+//!
+//! The paper's shape to reproduce: Conformer best or second-best nearly
+//! everywhere; Transformer family beats the RNN family; errors grow with
+//! the horizon, slowest for Conformer.
+
+use lttf_bench::{fmt, run_model, series_for, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::{ModelKind, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let horizons = args.scale.horizons();
+
+    let mut header: Vec<String> = vec!["Dataset".into(), "Ly".into()];
+    for kind in ModelKind::TABLE2 {
+        header.push(format!("{} MSE", kind.name()));
+        header.push(format!("{} MAE", kind.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Table II: multivariate LTTF (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        &header_refs,
+    );
+
+    for ds in Dataset::ALL {
+        let series = series_for(ds, args.scale, args.seed);
+        for &ly in &horizons {
+            let mut row = vec![ds.name().to_string(), ly.to_string()];
+            for kind in ModelKind::TABLE2 {
+                eprintln!("[table2] {} / Ly={} / {}", ds.name(), ly, kind.name());
+                let m = run_model(kind, &series, args.scale, lx, ly, args.seed);
+                row.push(fmt(m.mse));
+                row.push(fmt(m.mae));
+            }
+            table.row(&row);
+        }
+    }
+    args.emit("table2_multivariate", &table);
+}

@@ -1,0 +1,58 @@
+//! Table III: multivariate LTTF with time-determined lengths — input one
+//! day, predict {1 day, 1 week, 2 weeks, 1 month} on ETTh1 and ETTm1.
+//! Horizons that do not fit the generated series at the chosen scale are
+//! reported as "—".
+
+use lttf_bench::{fmt, run_model, series_for, HarnessArgs, FRACTIONS};
+use lttf_data::synth::Dataset;
+use lttf_eval::{ModelKind, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spans: [(&str, usize); 4] = [("1D", 1), ("1W", 7), ("2W", 14), ("1M", 30)];
+
+    let mut header: Vec<String> = vec!["Dataset".into(), "Span".into(), "Ly".into()];
+    for kind in ModelKind::TABLE2 {
+        header.push(format!("{} MSE", kind.name()));
+        header.push(format!("{} MAE", kind.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Table III: time-determined horizons (scale {})", args.scale),
+        &header_refs,
+    );
+
+    for ds in [Dataset::Etth1, Dataset::Ettm1] {
+        let series = series_for(ds, args.scale, args.seed);
+        let steps_per_day = series
+            .freq
+            .steps_per_day()
+            .expect("ETT datasets have a fixed interval");
+        let lx = steps_per_day; // input = 1 day
+                                // a horizon fits only if every split (validation is the smallest)
+                                // can hold at least one window
+        let val_len = (series.len() as f32 * FRACTIONS.1) as usize;
+        let test_len = series.len() - (series.len() as f32 * (FRACTIONS.0 + FRACTIONS.1)) as usize;
+        let limit = val_len.min(test_len);
+        for (span, days) in spans {
+            let ly = steps_per_day * days;
+            let mut row = vec![ds.name().to_string(), span.to_string(), ly.to_string()];
+            if ly >= limit {
+                eprintln!("[table3] {} {span}: horizon {ly} exceeds the smallest split ({limit}), skipping", ds.name());
+                for _ in ModelKind::TABLE2 {
+                    row.push("—".into());
+                    row.push("—".into());
+                }
+            } else {
+                for kind in ModelKind::TABLE2 {
+                    eprintln!("[table3] {} / {span} / {}", ds.name(), kind.name());
+                    let m = run_model(kind, &series, args.scale, lx, ly, args.seed);
+                    row.push(fmt(m.mse));
+                    row.push(fmt(m.mae));
+                }
+            }
+            table.row(&row);
+        }
+    }
+    args.emit("table3_time_determined", &table);
+}

@@ -1,0 +1,41 @@
+//! Table IV: univariate LTTF — each dataset reduced to its target
+//! variable; the comparison set adds LogTrans and TS2Vec.
+
+use lttf_bench::{fmt, run_model, series_for, HarnessArgs};
+use lttf_data::synth::Dataset;
+use lttf_eval::{ModelKind, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let horizons = args.scale.horizons();
+
+    let mut header: Vec<String> = vec!["Dataset".into(), "Ly".into()];
+    for kind in ModelKind::TABLE4 {
+        header.push(format!("{} MSE", kind.name()));
+        header.push(format!("{} MAE", kind.name()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Table IV: univariate LTTF (scale {}, seed {})",
+            args.scale, args.seed
+        ),
+        &header_refs,
+    );
+
+    for ds in Dataset::ALL {
+        let series = series_for(ds, args.scale, args.seed).to_univariate();
+        for &ly in &horizons {
+            let mut row = vec![ds.name().to_string(), ly.to_string()];
+            for kind in ModelKind::TABLE4 {
+                eprintln!("[table4] {} / Ly={} / {}", ds.name(), ly, kind.name());
+                let m = run_model(kind, &series, args.scale, lx, ly, args.seed);
+                row.push(fmt(m.mse));
+                row.push(fmt(m.mae));
+            }
+            table.row(&row);
+        }
+    }
+    args.emit("table4_univariate", &table);
+}

@@ -1,0 +1,56 @@
+//! Table V: ablation of the input representation on ECL and ETTm1 — the
+//! six variants combining multivariate correlation (R), multiscale
+//! dynamics (Γ), and the raw series (X).
+
+use lttf_bench::{conformer_cfg, fmt, run_conformer, series_for, HarnessArgs};
+use lttf_conformer::InputReprMode;
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let horizons = args.scale.horizons();
+    let variants: [(&str, InputReprMode); 6] = [
+        ("X^in = X^v + Γ (Eq. 6)", InputReprMode::Full),
+        ("X^in_{-Γ}", InputReprMode::NoMultiscale),
+        ("X^in_{-R}", InputReprMode::NoCorrelation),
+        ("X^in_{-R-Γ}", InputReprMode::NoCorrelationNoMultiscale),
+        ("X^in_{-X}", InputReprMode::NoRaw),
+        ("X^in_{-X-Γ}", InputReprMode::NoRawNoMultiscale),
+    ];
+
+    let mut header: Vec<String> = vec!["Variant".into(), "Metric".into()];
+    for ds in [Dataset::Ecl, Dataset::Ettm1] {
+        for &ly in &horizons {
+            header.push(format!("{} Ly={ly}", ds.name()));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Table V: input-representation ablation (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    for (label, mode) in variants {
+        let mut mse_row = vec![label.to_string(), "MSE".to_string()];
+        let mut mae_row = vec![String::new(), "MAE".to_string()];
+        for ds in [Dataset::Ecl, Dataset::Ettm1] {
+            let series = series_for(ds, args.scale, args.seed);
+            for &ly in &horizons {
+                eprintln!("[table5] {label} / {} / Ly={ly}", ds.name());
+                let mut cfg = conformer_cfg(&series, args.scale, lx, ly);
+                cfg.input_repr = mode;
+                let m = run_conformer(&cfg, &series, args.scale, args.seed);
+                mse_row.push(fmt(m.mse));
+                mae_row.push(fmt(m.mae));
+            }
+        }
+        table.row(&mse_row);
+        table.row(&mae_row);
+    }
+    args.emit("table5_input_ablation", &table);
+}

@@ -1,0 +1,59 @@
+//! Table VII: ablation of the normalizing flow on the Wind dataset — the
+//! full flow vs the z_e/z_d/z_0 shortcuts and no flow at all, under both
+//! multivariate and univariate forecasting.
+
+use lttf_bench::{conformer_cfg, fmt, run_conformer, series_for, HarnessArgs};
+use lttf_conformer::FlowMode;
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let horizons = args.scale.horizons();
+    let variants: [(&str, FlowMode); 5] = [
+        ("Conformer", FlowMode::Full),
+        ("Conformer -NF^{z_e+z_d}", FlowMode::ZeZd),
+        ("Conformer -NF^{z_e}", FlowMode::ZeOnly),
+        ("Conformer -NF^{z_d}", FlowMode::ZdOnly),
+        ("Conformer -NF", FlowMode::None),
+    ];
+
+    let mut header: Vec<String> = vec!["Setting".into(), "Metric".into()];
+    for mode in ["multi", "uni"] {
+        for &ly in &horizons {
+            header.push(format!("{mode} Ly={ly}"));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Table VII: normalizing-flow ablation on Wind (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    let multi = series_for(Dataset::Wind, args.scale, args.seed);
+    let uni = multi.to_univariate();
+    for (label, mode) in variants {
+        let mut mse_row = vec![label.to_string(), "MSE".to_string()];
+        let mut mae_row = vec![String::new(), "MAE".to_string()];
+        for series in [&multi, &uni] {
+            for &ly in &horizons {
+                eprintln!("[table7] {label} / dims={} / Ly={ly}", series.dims());
+                let mut cfg = conformer_cfg(series, args.scale, lx, ly);
+                cfg.flow_mode = mode;
+                if series.dims() == 1 {
+                    cfg.dec_rnn_layers = 1;
+                }
+                let m = run_conformer(&cfg, series, args.scale, args.seed);
+                mse_row.push(fmt(m.mse));
+                mae_row.push(fmt(m.mae));
+            }
+        }
+        table.row(&mse_row);
+        table.row(&mae_row);
+    }
+    args.emit("table7_flow_ablation", &table);
+}

@@ -1,0 +1,55 @@
+//! Table VIII: comparisons of fusing inter-series correlation and
+//! temporal dependency — Conformer's Eq. 6 against Methods 1–4 on ECL and
+//! Exchange.
+
+use lttf_bench::{conformer_cfg, fmt, run_conformer, series_for, HarnessArgs};
+use lttf_conformer::InputReprMode;
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let horizons = args.scale.horizons();
+    let variants: [(&str, InputReprMode); 5] = [
+        ("Conformer", InputReprMode::Full),
+        ("Method 1", InputReprMode::Method1),
+        ("Method 2", InputReprMode::Method2),
+        ("Method 3", InputReprMode::Method3),
+        ("Method 4", InputReprMode::Method4),
+    ];
+
+    let mut header: Vec<String> = vec!["Setting".into(), "Metric".into()];
+    for ds in [Dataset::Ecl, Dataset::Exchange] {
+        for &ly in &horizons {
+            header.push(format!("{} Ly={ly}", ds.name()));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Table VIII: fusion-method comparison (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    for (label, mode) in variants {
+        let mut mse_row = vec![label.to_string(), "MSE".to_string()];
+        let mut mae_row = vec![String::new(), "MAE".to_string()];
+        for ds in [Dataset::Ecl, Dataset::Exchange] {
+            let series = series_for(ds, args.scale, args.seed);
+            for &ly in &horizons {
+                eprintln!("[table8] {label} / {} / Ly={ly}", ds.name());
+                let mut cfg = conformer_cfg(&series, args.scale, lx, ly);
+                cfg.input_repr = mode;
+                let m = run_conformer(&cfg, &series, args.scale, args.seed);
+                mse_row.push(fmt(m.mse));
+                mae_row.push(fmt(m.mae));
+            }
+        }
+        table.row(&mse_row);
+        table.row(&mae_row);
+    }
+    args.emit("table8_fusion", &table);
+}

@@ -1,0 +1,60 @@
+//! Table IX: which SIRN layers' hidden states feed the normalizing flow
+//! — the four (first/last encoder) × (first/last decoder) combinations on
+//! ECL and Exchange.
+//!
+//! Note: this reproduction's default hidden feed is the last layer's
+//! hidden in both encoder and decoder, so the "Conformer" row coincides
+//! with `(h_k^(e), h_k^(d))`; both rows are printed for the paper's table
+//! shape.
+
+use lttf_bench::{conformer_cfg, fmt, run_conformer, series_for, HarnessArgs};
+use lttf_conformer::HiddenFeed;
+use lttf_data::synth::Dataset;
+use lttf_eval::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lx = args.scale.lx();
+    let horizons = args.scale.horizons();
+    let variants: [(&str, HiddenFeed); 5] = [
+        ("Conformer", HiddenFeed::LastEncLastDec),
+        ("(h_k^(e), h_k^(d))", HiddenFeed::LastEncLastDec),
+        ("(h_1^(e), h_k^(d))", HiddenFeed::FirstEncLastDec),
+        ("(h_1^(e), h_1^(d))", HiddenFeed::FirstEncFirstDec),
+        ("(h_k^(e), h_1^(d))", HiddenFeed::LastEncFirstDec),
+    ];
+
+    let mut header: Vec<String> = vec!["Setting".into(), "Metric".into()];
+    for ds in [Dataset::Ecl, Dataset::Exchange] {
+        for &ly in &horizons {
+            header.push(format!("{} Ly={ly}", ds.name()));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Table IX: hidden-state feeding into the flow (scale {})",
+            args.scale
+        ),
+        &header_refs,
+    );
+
+    for (label, feed) in variants {
+        let mut mse_row = vec![label.to_string(), "MSE".to_string()];
+        let mut mae_row = vec![String::new(), "MAE".to_string()];
+        for ds in [Dataset::Ecl, Dataset::Exchange] {
+            let series = series_for(ds, args.scale, args.seed);
+            for &ly in &horizons {
+                eprintln!("[table9] {label} / {} / Ly={ly}", ds.name());
+                let mut cfg = conformer_cfg(&series, args.scale, lx, ly);
+                cfg.hidden_feed = feed;
+                let m = run_conformer(&cfg, &series, args.scale, args.seed);
+                mse_row.push(fmt(m.mse));
+                mae_row.push(fmt(m.mae));
+            }
+        }
+        table.row(&mse_row);
+        table.row(&mae_row);
+    }
+    args.emit("table9_hidden_feed", &table);
+}

@@ -1,0 +1,205 @@
+//! # lttf-bench
+//!
+//! Shared harness utilities for the table/figure reproduction binaries
+//! (`src/bin/table*.rs`, `src/bin/fig*.rs`) and the Criterion benches.
+//!
+//! Every binary accepts `--scale smoke|small|full` (default `small`) and
+//! `--seed N`, prints the paper-shaped table to stdout, and writes
+//! `results/<name>.txt` and `results/<name>.csv`.
+
+#![warn(missing_docs)]
+
+use lttf_conformer::ConformerConfig;
+use lttf_data::synth::{Dataset, SynthSpec};
+use lttf_data::{Split, TimeSeries, WindowDataset};
+use lttf_eval::{
+    evaluate_subset, train, Metrics, ModelKind, Scale, Table, TrainOptions, TrainedModel,
+};
+use std::path::PathBuf;
+
+/// Train/val/test fractions used by every harness (mirrors the paper's
+/// per-dataset month splits in spirit: majority train, small val, held-out
+/// test).
+pub const FRACTIONS: (f32, f32) = (0.7, 0.1);
+
+/// Parsed command-line arguments of a harness binary.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for `.txt`/`.csv` artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessArgs {
+    /// Parse `--scale`, `--seed`, and `--out-dir` from `std::env::args`.
+    ///
+    /// Unknown flags abort with a usage message.
+    pub fn parse() -> HarnessArgs {
+        let mut scale = Scale::Small;
+        let mut seed = 42u64;
+        let mut out_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    scale = Scale::parse(&v).unwrap_or_else(|| {
+                        eprintln!("unknown scale '{v}' (want smoke|small|full)");
+                        std::process::exit(2);
+                    });
+                }
+                "--seed" => {
+                    seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+                }
+                "--out-dir" => {
+                    out_dir = PathBuf::from(args.next().unwrap_or_default());
+                }
+                "--help" | "-h" => {
+                    println!("usage: <bin> [--scale smoke|small|full] [--seed N] [--out-dir DIR]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag '{other}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+        HarnessArgs {
+            scale,
+            seed,
+            out_dir,
+        }
+    }
+
+    /// Write a rendered table (text + CSV) under the output directory and
+    /// echo it to stdout.
+    pub fn emit(&self, name: &str, table: &Table) {
+        let rendered = table.render();
+        println!("{rendered}");
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let txt = self.out_dir.join(format!("{name}.txt"));
+        let csv = self.out_dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&txt, &rendered) {
+            eprintln!("warning: cannot write {}: {e}", txt.display());
+        }
+        if let Err(e) = std::fs::write(&csv, table.to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", csv.display());
+        }
+    }
+}
+
+/// Generate a dataset at harness scale (dims capped per scale).
+pub fn series_for(dataset: Dataset, scale: Scale, seed: u64) -> TimeSeries {
+    dataset.generate(SynthSpec {
+        len: scale.series_len(),
+        dims: Some(dataset.default_dims().min(scale.max_dims())),
+        seed,
+    })
+}
+
+/// Build the three window splits for a series.
+pub fn splits(
+    series: &TimeSeries,
+    lx: usize,
+    ly: usize,
+    label_len: usize,
+) -> (WindowDataset, WindowDataset, WindowDataset) {
+    let mk = |split| WindowDataset::new(series, split, FRACTIONS, lx, ly, label_len);
+    (mk(Split::Train), mk(Split::Val), mk(Split::Test))
+}
+
+/// Train one model kind on a series and return its test metrics.
+pub fn run_model(
+    kind: ModelKind,
+    series: &TimeSeries,
+    scale: Scale,
+    lx: usize,
+    ly: usize,
+    seed: u64,
+) -> Metrics {
+    let (train_set, val, test) = splits(series, lx, ly, lx / 2);
+    let mut model = TrainedModel::build(
+        kind,
+        series.dims(),
+        lx,
+        ly,
+        scale.d_model(),
+        scale.n_heads(),
+        seed,
+    );
+    let opts = TrainOptions::for_scale(scale, seed);
+    train(&mut model, &train_set, Some(&val), &opts);
+    evaluate_subset(&model, &test, opts.batch_size, scale.eval_max_windows())
+}
+
+/// Train a Conformer built from an explicit config (ablation harnesses).
+pub fn run_conformer(
+    cfg: &ConformerConfig,
+    series: &TimeSeries,
+    scale: Scale,
+    seed: u64,
+) -> Metrics {
+    let (train_set, val, test) = splits(series, cfg.lx, cfg.ly, cfg.label_len);
+    let mut model = TrainedModel::from_conformer(cfg, seed);
+    let opts = TrainOptions::for_scale(scale, seed);
+    train(&mut model, &train_set, Some(&val), &opts);
+    evaluate_subset(&model, &test, opts.batch_size, scale.eval_max_windows())
+}
+
+/// A Conformer config at harness scale for a dataset.
+pub fn conformer_cfg(series: &TimeSeries, scale: Scale, lx: usize, ly: usize) -> ConformerConfig {
+    let mut cfg = ConformerConfig::new(series.dims(), lx, ly);
+    cfg.d_model = scale.d_model();
+    cfg.n_heads = scale.n_heads();
+    let day = series.freq.steps_per_day().unwrap_or(24).min(lx / 2).max(2);
+    cfg.multiscale_strides = vec![1, day];
+    cfg
+}
+
+/// Format a metric cell the way the paper prints them.
+pub fn fmt(v: f32) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_for_caps_dims() {
+        let s = series_for(Dataset::Ecl, Scale::Smoke, 1);
+        assert_eq!(s.dims(), Scale::Smoke.max_dims());
+        assert_eq!(s.len(), Scale::Smoke.series_len());
+    }
+
+    #[test]
+    fn run_model_smoke() {
+        let s = series_for(Dataset::Etth1, Scale::Smoke, 2);
+        let m = run_model(ModelKind::Gru, &s, Scale::Smoke, 24, 8, 3);
+        assert!(m.mse.is_finite() && m.mse > 0.0);
+    }
+
+    #[test]
+    fn run_conformer_smoke() {
+        let s = series_for(Dataset::Wind, Scale::Smoke, 4);
+        let mut cfg = conformer_cfg(&s, Scale::Smoke, 24, 8);
+        cfg.label_len = 12;
+        let m = run_conformer(&cfg, &s, Scale::Smoke, 5);
+        assert!(m.mse.is_finite() && m.mse > 0.0);
+    }
+
+    #[test]
+    fn fmt_matches_paper_precision() {
+        assert_eq!(fmt(0.21239), "0.2124");
+    }
+}

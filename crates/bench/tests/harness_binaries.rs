@@ -1,0 +1,83 @@
+//! End-to-end checks of the harness binaries themselves: the training-free
+//! ones run at smoke scale in well under a second and must produce their
+//! artifacts; the argument parser must reject garbage.
+
+use std::process::Command;
+
+fn tmp_out(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lttf_harness_test_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn table1_binary_writes_artifacts() {
+    let out = tmp_out("t1");
+    let status = Command::new(env!("CARGO_BIN_EXE_table1_datasets"))
+        .args(["--scale", "smoke", "--seed", "7", "--out-dir"])
+        .arg(&out)
+        .output()
+        .expect("run table1");
+    assert!(status.status.success());
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("ECL"), "{stdout}");
+    assert!(stdout.contains("AirDelay"), "{stdout}");
+    assert!(out.join("table1_datasets.txt").exists());
+    assert!(out.join("table1_datasets.csv").exists());
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn fig5_binary_reports_every_attention() {
+    let out = tmp_out("f5");
+    let output = Command::new(env!("CARGO_BIN_EXE_fig5_efficiency"))
+        .args(["--scale", "smoke", "--seed", "1", "--out-dir"])
+        .arg(&out)
+        .output()
+        .expect("run fig5");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for label in [
+        "sliding-window",
+        "full",
+        "prob-sparse",
+        "lsh",
+        "log-sparse",
+        "auto-correlation",
+    ] {
+        assert!(stdout.contains(label), "missing {label} in:\n{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn fig2_binary_covers_all_datasets() {
+    let out = tmp_out("f2");
+    let output = Command::new(env!("CARGO_BIN_EXE_fig2_rhythms"))
+        .args(["--scale", "smoke", "--out-dir"])
+        .arg(&out)
+        .output()
+        .expect("run fig2");
+    assert!(output.status.success());
+    let csv = std::fs::read_to_string(out.join("fig2_rhythms.csv")).unwrap();
+    for ds in [
+        "ECL", "Weather", "Exchange", "ETTh1", "ETTm1", "Wind", "AirDelay",
+    ] {
+        assert!(csv.contains(ds), "missing {ds}");
+    }
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn bad_flags_are_rejected() {
+    let output = Command::new(env!("CARGO_BIN_EXE_table1_datasets"))
+        .args(["--scale", "enormous"])
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+    let output = Command::new(env!("CARGO_BIN_EXE_table1_datasets"))
+        .args(["--bogus", "1"])
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+}

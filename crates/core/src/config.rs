@@ -1,0 +1,242 @@
+//! Model configuration and the ablation switches of Tables V–IX.
+
+use lttf_nn::AttentionKind;
+
+/// How the input representation combines multivariate correlation (R),
+/// multiscale dynamics (Γ), and the raw series (X) — the variants of
+/// Table V plus the fusion methods of Table VIII.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputReprMode {
+    /// Paper default (Eq. 6): `X^in = Conv(W^R X + X) + Γ̄`.
+    Full,
+    /// `X^in_{−Γ}`: drop multiscale dynamics.
+    NoMultiscale,
+    /// `X^in_{−R}`: drop the correlation weighting, keep raw X and Γ̄.
+    NoCorrelation,
+    /// `X^in_{−R−Γ}`: convolution of raw X only.
+    NoCorrelationNoMultiscale,
+    /// `X^in_{−X}`: drop the raw-series residual, keep W^R X and Γ̄.
+    NoRaw,
+    /// `X^in_{−X−Γ}`: W^R X alone through the convolution.
+    NoRawNoMultiscale,
+    /// Table VIII Method 1: `Conv(W^Γ W^R X + X)`.
+    Method1,
+    /// Table VIII Method 2: `Conv(W^R X + W^Γ X)`.
+    Method2,
+    /// Table VIII Method 3: `Conv(W^R X + W^Γ X + X)`.
+    Method3,
+    /// Table VIII Method 4: `W^Γ [Conv(W^R X + X)]`.
+    Method4,
+}
+
+/// Which generative head produces `Z^out` — the variants of Table VII.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowMode {
+    /// Paper default: the full normalizing-flow chain (Eq. 15–17).
+    Full,
+    /// `Conformer −NF^{z_e}`: output generated from `z_e` alone (Eq. 15).
+    ZeOnly,
+    /// `Conformer −NF^{z_d}`: `z_d` computed from `h_d` the way `z_e` is
+    /// from `h_e`.
+    ZdOnly,
+    /// `Conformer −NF^{z_e+z_d}`: stop at the flow initialization `z_0`
+    /// (Eq. 16).
+    ZeZd,
+    /// `Conformer −NF`: no generative head; train on the decoder loss only.
+    None,
+}
+
+/// Which SIRN layers' RNN hidden states feed the flow — Table IX.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HiddenFeed {
+    /// Paper default: first RNN's hidden state of the **last** SIRN layer
+    /// in both encoder and decoder.
+    LastEncLastDec,
+    /// `(h_1^{(e)}, h_k^{(d)})`: first encoder layer, last decoder layer.
+    FirstEncLastDec,
+    /// `(h_1^{(e)}, h_1^{(d)})`.
+    FirstEncFirstDec,
+    /// `(h_k^{(e)}, h_1^{(d)})`.
+    LastEncFirstDec,
+}
+
+/// Full Conformer hyper-parameter set.
+///
+/// Defaults follow Section V-A3: 2-layer encoder, 1-layer decoder,
+/// sliding-window attention with `w = 2`, a 2-step normalizing flow,
+/// `λ = 0.8`, 1-layer encoder GRU / 2-layer decoder GRU.
+#[derive(Clone, Debug)]
+pub struct ConformerConfig {
+    /// Input variables (encoder channels).
+    pub c_in: usize,
+    /// Output variables (decoder channels; = `c_in` for multivariate,
+    /// 1 for univariate LTTF).
+    pub c_out: usize,
+    /// Input window length `Lx`.
+    pub lx: usize,
+    /// Prediction length `Ly`.
+    pub ly: usize,
+    /// Decoder warm-start length (label length).
+    pub label_len: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Encoder SIRN layers (paper: 2).
+    pub enc_layers: usize,
+    /// Decoder SIRN layers (paper: 1).
+    pub dec_layers: usize,
+    /// Attention mechanism (paper: sliding window, `w = 2`;
+    /// Table VI swaps this out).
+    pub attention: AttentionKind,
+    /// Decomposition-distillation iterations η in Eq. (10).
+    pub eta: usize,
+    /// Moving-average window of the series decomposition (Eq. 9).
+    pub moving_avg: usize,
+    /// Number of flow transformations T (paper: 2-layer flow block).
+    pub flow_steps: usize,
+    /// Trade-off λ in Eq. (18) (paper: 0.8).
+    pub lambda: f32,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// GRU layers in the encoder's RNN blocks (paper: 1).
+    pub enc_rnn_layers: usize,
+    /// GRU layers in the decoder's RNN blocks (paper: 2 multivariate,
+    /// 1 univariate).
+    pub dec_rnn_layers: usize,
+    /// Multiscale sampling strides (Eq. 3's temporal resolutions),
+    /// e.g. `[1, 24]` for hourly data = {hour, day}.
+    pub multiscale_strides: Vec<usize>,
+    /// Calendar time features per step (0 disables the mark embedding).
+    pub mark_dim: usize,
+    /// Input-representation ablation switch (Tables V, VIII).
+    pub input_repr: InputReprMode,
+    /// Generative-head ablation switch (Table VII).
+    pub flow_mode: FlowMode,
+    /// Hidden-state feed switch (Table IX).
+    pub hidden_feed: HiddenFeed,
+}
+
+impl ConformerConfig {
+    /// The paper's defaults at a configurable width.
+    pub fn new(c_in: usize, lx: usize, ly: usize) -> Self {
+        ConformerConfig {
+            c_in,
+            c_out: c_in,
+            lx,
+            ly,
+            label_len: lx / 2,
+            d_model: 32,
+            n_heads: 4,
+            enc_layers: 2,
+            dec_layers: 1,
+            attention: AttentionKind::SlidingWindow { w: 2 },
+            eta: 1,
+            moving_avg: 13,
+            flow_steps: 2,
+            lambda: 0.8,
+            dropout: 0.05,
+            enc_rnn_layers: 1,
+            dec_rnn_layers: 2,
+            multiscale_strides: vec![1, 24],
+            mark_dim: lttf_data::MARK_DIM,
+            input_repr: InputReprMode::Full,
+            flow_mode: FlowMode::Full,
+            hidden_feed: HiddenFeed::LastEncLastDec,
+        }
+    }
+
+    /// A deliberately small configuration for unit tests and doctests.
+    pub fn tiny(c_in: usize, lx: usize, ly: usize) -> Self {
+        let mut cfg = Self::new(c_in, lx, ly);
+        cfg.d_model = 8;
+        cfg.n_heads = 2;
+        cfg.enc_layers = 1;
+        cfg.moving_avg = 5;
+        cfg.multiscale_strides = vec![1, 4];
+        cfg.dropout = 0.0;
+        cfg
+    }
+
+    /// Decoder input length (`label_len + ly`).
+    pub fn dec_len(&self) -> usize {
+        self.label_len + self.ly
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings, with a message naming the field.
+    pub fn validate(&self) {
+        assert!(self.c_in >= 1, "c_in must be >= 1");
+        assert!(
+            self.c_out >= 1 && self.c_out <= self.c_in,
+            "c_out must be in 1..=c_in"
+        );
+        assert!(self.lx >= 2 && self.ly >= 1, "window lengths too small");
+        assert!(self.label_len <= self.lx, "label_len cannot exceed lx");
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "n_heads must divide d_model"
+        );
+        assert!(
+            self.enc_layers >= 1 && self.dec_layers >= 1,
+            "need at least one layer"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.lambda),
+            "lambda must be in [0, 1]"
+        );
+        assert!(self.moving_avg >= 1, "moving_avg must be >= 1");
+        assert!(
+            !self.multiscale_strides.is_empty(),
+            "need at least one multiscale stride"
+        );
+        // Strides larger than the window are filtered out by the input
+        // representation, so only zero is invalid here.
+        assert!(
+            self.multiscale_strides.iter().all(|&s| s >= 1),
+            "multiscale strides must be >= 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = ConformerConfig::new(7, 96, 48);
+        assert_eq!(cfg.enc_layers, 2);
+        assert_eq!(cfg.dec_layers, 1);
+        assert_eq!(cfg.flow_steps, 2);
+        assert_eq!(cfg.lambda, 0.8);
+        assert_eq!(cfg.attention, AttentionKind::SlidingWindow { w: 2 });
+        assert_eq!(cfg.enc_rnn_layers, 1);
+        assert_eq!(cfg.dec_rnn_layers, 2);
+        cfg.validate();
+    }
+
+    #[test]
+    fn tiny_validates() {
+        ConformerConfig::tiny(3, 12, 6).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "label_len")]
+    fn bad_label_len_rejected() {
+        let mut cfg = ConformerConfig::tiny(3, 12, 6);
+        cfg.label_len = 20;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "n_heads")]
+    fn bad_heads_rejected() {
+        let mut cfg = ConformerConfig::tiny(3, 12, 6);
+        cfg.d_model = 9;
+        cfg.validate();
+    }
+}

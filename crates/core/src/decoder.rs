@@ -1,0 +1,113 @@
+//! The Conformer decoder: SIRN layers with cross-attention over the
+//! encoder output (paper default: 1 layer), followed by the output
+//! projection that produces `Y^out`.
+
+use crate::config::ConformerConfig;
+use crate::sirn::SirnLayer;
+use lttf_autograd::Var;
+use lttf_nn::{Fwd, Linear, ParamSet};
+use lttf_tensor::Rng;
+
+/// Decoder output: predictions plus each layer's RNN hidden state.
+pub struct DecoderOutput<'g> {
+    /// Prediction for the horizon, `[b, ly, c_out]` (scaled space).
+    pub y: Var<'g>,
+    /// First-RNN hidden state per layer, `[b, d_model]`, bottom first —
+    /// candidates for the flow's `h_d` (Table IX).
+    pub hiddens: Vec<Var<'g>>,
+}
+
+/// Cross-attending SIRN stack plus the projection to `c_out` variables.
+pub struct Decoder {
+    layers: Vec<SirnLayer>,
+    proj: Linear,
+    ly: usize,
+    c_out: usize,
+}
+
+impl Decoder {
+    /// Allocate `cfg.dec_layers` cross-attending SIRN layers.
+    pub fn new(ps: &mut ParamSet, cfg: &ConformerConfig, rng: &mut Rng) -> Self {
+        let layers = (0..cfg.dec_layers)
+            .map(|i| {
+                SirnLayer::new(
+                    ps,
+                    &format!("decoder.l{i}"),
+                    cfg.d_model,
+                    cfg.n_heads,
+                    cfg.attention,
+                    cfg.dec_rnn_layers,
+                    cfg.eta,
+                    cfg.moving_avg,
+                    cfg.dropout,
+                    true,
+                    rng,
+                )
+            })
+            .collect();
+        Decoder {
+            layers,
+            proj: Linear::new(ps, "decoder.proj", cfg.d_model, cfg.c_out, rng),
+            ly: cfg.ly,
+            c_out: cfg.c_out,
+        }
+    }
+
+    /// Decode `x: [b, dec_len, d_model]` against `enc: [b, lx, d_model]`,
+    /// returning the last `ly` projected steps (the horizon).
+    pub fn forward<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>, enc: Var<'g>) -> DecoderOutput<'g> {
+        let mut h = x;
+        let mut hiddens = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let out = layer.forward(cx, h, Some(enc));
+            h = out.out;
+            hiddens.push(out.hidden);
+        }
+        let dec_len = h.shape()[1];
+        assert!(
+            dec_len >= self.ly,
+            "decoder input length {dec_len} shorter than horizon {}",
+            self.ly
+        );
+        let horizon = h.narrow(1, dec_len - self.ly, self.ly);
+        let y = self.proj.forward(cx, horizon);
+        debug_assert_eq!(y.shape()[2], self.c_out);
+        DecoderOutput { y, hiddens }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_autograd::Graph;
+    use lttf_tensor::Tensor;
+
+    #[test]
+    fn decoder_shapes() {
+        let cfg = crate::ConformerConfig::tiny(3, 12, 6);
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(0);
+        let dec = Decoder::new(&mut ps, &cfg, &mut rng);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        let x = g.leaf(Tensor::randn(&[2, cfg.dec_len(), cfg.d_model], &mut rng));
+        let enc = g.leaf(Tensor::randn(&[2, cfg.lx, cfg.d_model], &mut rng));
+        let out = dec.forward(&cx, x, enc);
+        assert_eq!(out.y.shape(), vec![2, cfg.ly, cfg.c_out]);
+        assert_eq!(out.hiddens.len(), 1);
+    }
+
+    #[test]
+    fn univariate_projection() {
+        let mut cfg = crate::ConformerConfig::tiny(5, 12, 6);
+        cfg.c_out = 1;
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(1);
+        let dec = Decoder::new(&mut ps, &cfg, &mut rng);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        let x = g.leaf(Tensor::randn(&[1, cfg.dec_len(), cfg.d_model], &mut rng));
+        let enc = g.leaf(Tensor::randn(&[1, cfg.lx, cfg.d_model], &mut rng));
+        assert_eq!(dec.forward(&cx, x, enc).y.shape(), vec![1, 6, 1]);
+    }
+}

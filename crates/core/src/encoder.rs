@@ -1,0 +1,103 @@
+//! The Conformer encoder: a stack of SIRN layers (paper default: 2).
+
+use crate::config::ConformerConfig;
+use crate::sirn::SirnLayer;
+use lttf_autograd::Var;
+use lttf_nn::{Fwd, ParamSet};
+use lttf_tensor::Rng;
+
+/// Encoder output: the representation plus each layer's RNN hidden state.
+pub struct EncoderOutput<'g> {
+    /// Final representation, `[b, lx, d_model]`.
+    pub out: Var<'g>,
+    /// First-RNN hidden state per layer, `[b, d_model]`, bottom first —
+    /// the candidates for the normalizing flow's `h_e` (Table IX).
+    pub hiddens: Vec<Var<'g>>,
+}
+
+/// A stack of self-attention SIRN layers.
+pub struct Encoder {
+    layers: Vec<SirnLayer>,
+}
+
+impl Encoder {
+    /// Allocate `cfg.enc_layers` SIRN layers.
+    pub fn new(ps: &mut ParamSet, cfg: &ConformerConfig, rng: &mut Rng) -> Self {
+        let layers = (0..cfg.enc_layers)
+            .map(|i| {
+                SirnLayer::new(
+                    ps,
+                    &format!("encoder.l{i}"),
+                    cfg.d_model,
+                    cfg.n_heads,
+                    cfg.attention,
+                    cfg.enc_rnn_layers,
+                    cfg.eta,
+                    cfg.moving_avg,
+                    cfg.dropout,
+                    false,
+                    rng,
+                )
+            })
+            .collect();
+        Encoder { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Encode `x: [b, lx, d_model]`.
+    pub fn forward<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>) -> EncoderOutput<'g> {
+        let mut h = x;
+        let mut hiddens = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let out = layer.forward(cx, h, None);
+            h = out.out;
+            hiddens.push(out.hidden);
+        }
+        EncoderOutput { out: h, hiddens }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConformerConfig;
+    use lttf_autograd::Graph;
+    use lttf_tensor::Tensor;
+
+    #[test]
+    fn two_layer_encoder_shapes() {
+        let mut cfg = ConformerConfig::tiny(3, 12, 6);
+        cfg.enc_layers = 2;
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(0);
+        let enc = Encoder::new(&mut ps, &cfg, &mut rng);
+        assert_eq!(enc.num_layers(), 2);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        let x = g.leaf(Tensor::randn(&[2, 12, cfg.d_model], &mut rng));
+        let out = enc.forward(&cx, x);
+        assert_eq!(out.out.shape(), vec![2, 12, cfg.d_model]);
+        assert_eq!(out.hiddens.len(), 2);
+        assert_eq!(out.hiddens[0].shape(), vec![2, cfg.d_model]);
+    }
+
+    #[test]
+    fn layers_transform_progressively() {
+        let mut cfg = ConformerConfig::tiny(3, 12, 6);
+        cfg.enc_layers = 2;
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(1);
+        let enc = Encoder::new(&mut ps, &cfg, &mut rng);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        let x = g.leaf(Tensor::randn(&[1, 12, cfg.d_model], &mut rng));
+        let out = enc.forward(&cx, x);
+        // output differs from input and hiddens differ between layers
+        assert!(out.out.value().max_abs_diff(&x.value()) > 1e-4);
+        assert!(out.hiddens[0].value().max_abs_diff(&out.hiddens[1].value()) > 1e-6);
+    }
+}

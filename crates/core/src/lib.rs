@@ -1,0 +1,56 @@
+//! # lttf-conformer
+//!
+//! The paper's primary contribution: **Conformer**, a Transformer-based
+//! model for long-term time-series forecasting (LTTF) built from three
+//! blocks (paper Fig. 1):
+//!
+//! 1. **Input representation** ([`InputRepresentation`]) — multivariate correlation
+//!    via FFT autocorrelation (Eq. 1–2), multiscale dynamics (Eq. 3–4),
+//!    and their fusion with the raw series (Eq. 5–6).
+//! 2. **Encoder–decoder with SIRN** ([`SirnLayer`], [`Encoder`], [`Decoder`]) —
+//!    sliding-window multi-head attention for local patterns plus the
+//!    Stationary and Instant Recurrent Network for global trends
+//!    (Eq. 8–11), giving O(L) complexity.
+//! 3. **Normalizing flow** ([`NormalizingFlow`]) — latent states of the SIRN RNNs are
+//!    absorbed into a chain of conditional affine transforms that generate
+//!    the target series directly (Eq. 15–17) and quantify uncertainty.
+//!
+//! Training uses the combined objective `λ·MSE(Y_dec) + (1−λ)·MSE(Z_flow)`
+//! (Eq. 18).
+//!
+//! Every ablation switch exercised in the paper's Tables V–IX is a field
+//! of [`ConformerConfig`]:
+//! [`InputReprMode`] (Table V and VIII), the attention mechanism
+//! (Table VI), [`FlowMode`] (Table VII), and [`HiddenFeed`] (Table IX).
+//!
+//! ```
+//! use lttf_conformer::{Conformer, ConformerConfig};
+//! use lttf_nn::ParamSet;
+//! use lttf_tensor::Rng;
+//!
+//! let cfg = ConformerConfig::tiny(3, 12, 6); // 3 vars, Lx=12, Ly=6
+//! let mut ps = ParamSet::new();
+//! let model = Conformer::new(&mut ps, &cfg, &mut Rng::seed(0));
+//! assert!(ps.num_elements() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod decoder;
+mod encoder;
+mod flow;
+mod input_repr;
+mod model;
+mod sirn;
+
+pub use config::{ConformerConfig, FlowMode, HiddenFeed, InputReprMode};
+pub use decoder::Decoder;
+pub use encoder::Encoder;
+pub use flow::NormalizingFlow;
+pub use input_repr::InputRepresentation;
+pub use model::{Conformer, ConformerOutput};
+pub use sirn::SirnLayer;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,112 @@
+//! Property-based tests: the Conformer forward contract holds across
+//! randomized shapes and ablation switches.
+
+use crate::{Conformer, ConformerConfig, FlowMode, HiddenFeed, InputReprMode};
+use lttf_nn::ParamSet;
+use lttf_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn arb_repr() -> impl Strategy<Value = InputReprMode> {
+    prop::sample::select(vec![
+        InputReprMode::Full,
+        InputReprMode::NoMultiscale,
+        InputReprMode::NoCorrelation,
+        InputReprMode::NoCorrelationNoMultiscale,
+        InputReprMode::NoRaw,
+        InputReprMode::NoRawNoMultiscale,
+        InputReprMode::Method1,
+        InputReprMode::Method2,
+        InputReprMode::Method3,
+        InputReprMode::Method4,
+    ])
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowMode> {
+    prop::sample::select(vec![
+        FlowMode::Full,
+        FlowMode::ZeOnly,
+        FlowMode::ZdOnly,
+        FlowMode::ZeZd,
+        FlowMode::None,
+    ])
+}
+
+fn arb_feed() -> impl Strategy<Value = HiddenFeed> {
+    prop::sample::select(vec![
+        HiddenFeed::LastEncLastDec,
+        HiddenFeed::FirstEncLastDec,
+        HiddenFeed::FirstEncFirstDec,
+        HiddenFeed::LastEncFirstDec,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Every combination of shape and ablation switch produces a finite
+    // prediction of the right shape.
+    #[test]
+    fn forward_contract_holds(
+        c_in in 1usize..4,
+        lx in 8usize..16,
+        ly_half in 2usize..6,
+        repr in arb_repr(),
+        flow in arb_flow(),
+        feed in arb_feed(),
+        seed in 0u64..100,
+    ) {
+        let ly = ly_half * 2;
+        let mut cfg = ConformerConfig::tiny(c_in, lx, ly);
+        cfg.input_repr = repr;
+        cfg.flow_mode = flow;
+        cfg.hidden_feed = feed;
+        cfg.enc_layers = 2; // make hidden-feed variants meaningful
+        let mut ps = ParamSet::new();
+        let model = Conformer::new(&mut ps, &cfg, &mut Rng::seed(seed));
+        let mut rng = Rng::seed(seed + 1);
+        let x = Tensor::randn(&[1, lx, c_in], &mut rng);
+        let xm = Tensor::randn(&[1, lx, cfg.mark_dim], &mut rng);
+        let dec = Tensor::randn(&[1, cfg.dec_len(), c_in], &mut rng);
+        let dm = Tensor::randn(&[1, cfg.dec_len(), cfg.mark_dim], &mut rng);
+        let y = model.predict(&ps, &x, &xm, &dec, &dm);
+        prop_assert_eq!(y.shape(), &[1, ly, c_in]);
+        prop_assert!(!y.has_non_finite(), "{:?}/{:?}/{:?}", repr, flow, feed);
+    }
+
+    // Prediction is a pure function of (weights, inputs): repeated calls
+    // agree bit-for-bit regardless of configuration.
+    #[test]
+    fn prediction_is_deterministic(seed in 0u64..50, flow in arb_flow()) {
+        let mut cfg = ConformerConfig::tiny(2, 10, 4);
+        cfg.flow_mode = flow;
+        let mut ps = ParamSet::new();
+        let model = Conformer::new(&mut ps, &cfg, &mut Rng::seed(seed));
+        let mut rng = Rng::seed(seed ^ 0xABCD);
+        let x = Tensor::randn(&[2, 10, 2], &mut rng);
+        let xm = Tensor::randn(&[2, 10, cfg.mark_dim], &mut rng);
+        let dec = Tensor::randn(&[2, cfg.dec_len(), 2], &mut rng);
+        let dm = Tensor::randn(&[2, cfg.dec_len(), cfg.mark_dim], &mut rng);
+        let a = model.predict(&ps, &x, &xm, &dec, &dm);
+        let b = model.predict(&ps, &x, &xm, &dec, &dm);
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    // Uncertainty bands are ordered (lo ≤ hi) for any seed and coverage.
+    #[test]
+    fn bands_are_ordered(seed in 0u64..20, cov_pct in 50u32..99) {
+        let cfg = ConformerConfig::tiny(2, 10, 4);
+        let mut ps = ParamSet::new();
+        let model = Conformer::new(&mut ps, &cfg, &mut Rng::seed(seed));
+        let mut rng = Rng::seed(seed + 7);
+        let x = Tensor::randn(&[1, 10, 2], &mut rng);
+        let xm = Tensor::randn(&[1, 10, cfg.mark_dim], &mut rng);
+        let dec = Tensor::randn(&[1, cfg.dec_len(), 2], &mut rng);
+        let dm = Tensor::randn(&[1, cfg.dec_len(), cfg.mark_dim], &mut rng);
+        let (_, lo, hi) = model.predict_with_uncertainty(
+            &ps, &x, &xm, &dec, &dm, 10, cov_pct as f32 / 100.0, seed,
+        );
+        for (l, h) in lo.data().iter().zip(hi.data()) {
+            prop_assert!(l <= h, "{l} > {h}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal CSV import/export for [`TimeSeries`] — lets users bring the
+//! real datasets when they have them (the generators are stand-ins).
+//!
+//! Format: header `timestamp,<name>,<name>,…`; one row per step; the
+//! target column is identified by name at read time.
+
+use crate::series::{Freq, TimeSeries};
+use lttf_tensor::Tensor;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Write a series as CSV.
+pub fn write_csv(series: &TimeSeries, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write!(w, "timestamp")?;
+    for n in &series.names {
+        write!(w, ",{n}")?;
+    }
+    writeln!(w)?;
+    for (t, &ts) in series.timestamps.iter().enumerate() {
+        write!(w, "{ts}")?;
+        for d in 0..series.dims() {
+            write!(w, ",{}", series.values.at(&[t, d]))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a series from CSV. `target` names the target column; `freq` is the
+/// nominal interval (use [`Freq::Irregular`] if unsure).
+pub fn read_csv(path: impl AsRef<Path>, target: &str, freq: Freq) -> io::Result<TimeSeries> {
+    let f = std::fs::File::open(path)?;
+    let mut lines = io::BufReader::new(f).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+    let mut cols = header.split(',');
+    let first = cols.next().unwrap_or_default();
+    if first != "timestamp" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("first column must be 'timestamp', got '{first}'"),
+        ));
+    }
+    let names: Vec<String> = cols.map(str::to_string).collect();
+    if names.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no value columns",
+        ));
+    }
+    let target_idx = names.iter().position(|n| n == target).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("target column '{target}' not found in {names:?}"),
+        )
+    })?;
+    let mut timestamps = Vec::new();
+    let mut data = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let ts: i64 = fields
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .parse()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad timestamp: {e}", lineno + 2),
+                )
+            })?;
+        timestamps.push(ts);
+        let mut count = 0;
+        for field in fields {
+            let v: f32 = field.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad value: {e}", lineno + 2),
+                )
+            })?;
+            data.push(v);
+            count += 1;
+        }
+        if count != names.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {} values, got {count}",
+                    lineno + 2,
+                    names.len()
+                ),
+            ));
+        }
+    }
+    let len = timestamps.len();
+    let dims = names.len();
+    Ok(TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        target_idx,
+        freq,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{etth1, SynthSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lttf_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = etth1(SynthSpec {
+            len: 50,
+            dims: None,
+            seed: 1,
+        });
+        let p = tmp("rt.csv");
+        write_csv(&s, &p).unwrap();
+        let r = read_csv(&p, "OT", Freq::Hours(1)).unwrap();
+        assert_eq!(r.len(), s.len());
+        assert_eq!(r.dims(), s.dims());
+        assert_eq!(r.target, s.target);
+        assert_eq!(r.timestamps, s.timestamps);
+        r.values.assert_close(&s.values, 1e-4);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        let s = etth1(SynthSpec {
+            len: 10,
+            dims: None,
+            seed: 2,
+        });
+        let p = tmp("mt.csv");
+        write_csv(&s, &p).unwrap();
+        let err = read_csv(&p, "NOPE", Freq::Hours(1)).unwrap_err();
+        assert!(err.to_string().contains("not found"));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "timestamp,a\n100,1.0\n200,notanumber\n").unwrap();
+        let err = read_csv(&p, "a", Freq::Hours(1)).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn wrong_column_count_errors() {
+        let p = tmp("cols.csv");
+        std::fs::write(&p, "timestamp,a,b\n100,1.0\n").unwrap();
+        let err = read_csv(&p, "a", Freq::Hours(1)).unwrap_err();
+        assert!(err.to_string().contains("expected 2"), "{err}");
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,225 @@
+//! Missing-value handling for imported series. Real exports of the
+//! paper's datasets contain gaps (the paper itself drops the first year
+//! of ECL because of its zeros); these utilities make such data usable
+//! by the window pipeline, which requires dense values.
+//!
+//! Missing entries are represented as `NaN` in the value tensor.
+
+use crate::series::TimeSeries;
+use lttf_tensor::Tensor;
+
+/// How to fill missing (`NaN`) values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImputeStrategy {
+    /// Carry the previous observed value forward (leading gaps use the
+    /// first observed value).
+    ForwardFill,
+    /// Linear interpolation between the surrounding observations
+    /// (edge gaps fall back to the nearest observation).
+    Linear,
+    /// Replace with the column's observed mean.
+    Mean,
+}
+
+/// Count of missing entries per column.
+pub fn missing_counts(values: &Tensor) -> Vec<usize> {
+    assert_eq!(values.ndim(), 2, "expected [len, dims]");
+    let (len, dims) = (values.shape()[0], values.shape()[1]);
+    let mut counts = vec![0usize; dims];
+    for t in 0..len {
+        for (d, count) in counts.iter_mut().enumerate() {
+            if values.at(&[t, d]).is_nan() {
+                *count += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Fill `NaN`s in a `[len, dims]` tensor, column by column.
+///
+/// # Panics
+/// Panics if any column is entirely missing (nothing to fill from).
+pub fn impute(values: &Tensor, strategy: ImputeStrategy) -> Tensor {
+    assert_eq!(values.ndim(), 2, "expected [len, dims]");
+    let (len, dims) = (values.shape()[0], values.shape()[1]);
+    let mut out = values.clone();
+    for d in 0..dims {
+        let col: Vec<f32> = (0..len).map(|t| values.at(&[t, d])).collect();
+        let observed: Vec<(usize, f32)> = col
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .map(|(i, &v)| (i, v))
+            .collect();
+        assert!(
+            !observed.is_empty(),
+            "column {d} has no observed values to impute from"
+        );
+        match strategy {
+            ImputeStrategy::ForwardFill => {
+                let mut last = observed[0].1;
+                for (t, &v) in col.iter().enumerate() {
+                    if v.is_nan() {
+                        out.set(&[t, d], last);
+                    } else {
+                        last = v;
+                    }
+                }
+            }
+            ImputeStrategy::Mean => {
+                let mean = observed.iter().map(|(_, v)| v).sum::<f32>() / observed.len() as f32;
+                for (t, v) in col.iter().enumerate() {
+                    if v.is_nan() {
+                        out.set(&[t, d], mean);
+                    }
+                }
+            }
+            ImputeStrategy::Linear => {
+                for (t, cv) in col.iter().enumerate() {
+                    if !cv.is_nan() {
+                        continue;
+                    }
+                    // nearest observed neighbours on each side
+                    let prev = observed.iter().rev().find(|(i, _)| *i < t);
+                    let next = observed.iter().find(|(i, _)| *i > t);
+                    let v = match (prev, next) {
+                        (Some(&(i0, v0)), Some(&(i1, v1))) => {
+                            let w = (t - i0) as f32 / (i1 - i0) as f32;
+                            v0 + w * (v1 - v0)
+                        }
+                        (Some(&(_, v0)), None) => v0,
+                        (None, Some(&(_, v1))) => v1,
+                        (None, None) => unreachable!("observed is non-empty"),
+                    };
+                    out.set(&[t, d], v);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl TimeSeries {
+    /// A copy with missing values filled by `strategy`.
+    pub fn imputed(&self, strategy: ImputeStrategy) -> TimeSeries {
+        let mut s = self.clone();
+        s.values = impute(&self.values, strategy);
+        s
+    }
+
+    /// True if the series contains any missing (`NaN`) values.
+    pub fn has_missing(&self) -> bool {
+        self.values.data().iter().any(|v| v.is_nan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_gaps() -> Tensor {
+        // column 0: 1, NaN, 3, NaN, NaN, 6
+        // column 1: NaN, 2, 2, 2, 2, NaN
+        let mut t = Tensor::from_vec(
+            vec![
+                1.0,
+                f32::NAN,
+                f32::NAN,
+                2.0,
+                3.0,
+                2.0,
+                f32::NAN,
+                2.0,
+                f32::NAN,
+                2.0,
+                6.0,
+                f32::NAN,
+            ],
+            &[6, 2],
+        );
+        let _ = &mut t;
+        t
+    }
+
+    #[test]
+    fn counts_missing() {
+        assert_eq!(missing_counts(&with_gaps()), vec![3, 2]);
+    }
+
+    #[test]
+    fn forward_fill() {
+        let f = impute(&with_gaps(), ImputeStrategy::ForwardFill);
+        // column 0: 1, 1, 3, 3, 3, 6
+        let col0: Vec<f32> = (0..6).map(|t| f.at(&[t, 0])).collect();
+        assert_eq!(col0, vec![1.0, 1.0, 3.0, 3.0, 3.0, 6.0]);
+        // leading gap in column 1 backfills from first observation
+        assert_eq!(f.at(&[0, 1]), 2.0);
+        assert!(!f.has_non_finite());
+    }
+
+    #[test]
+    fn linear_interpolation() {
+        let f = impute(&with_gaps(), ImputeStrategy::Linear);
+        // column 0 gap at t=1 between 1 (t=0) and 3 (t=2) → 2
+        assert_eq!(f.at(&[1, 0]), 2.0);
+        // gaps at t=3,4 between 3 (t=2) and 6 (t=5) → 4, 5
+        assert_eq!(f.at(&[3, 0]), 4.0);
+        assert_eq!(f.at(&[4, 0]), 5.0);
+        // trailing gap in column 1 holds the last observation
+        assert_eq!(f.at(&[5, 1]), 2.0);
+    }
+
+    #[test]
+    fn mean_fill() {
+        let f = impute(&with_gaps(), ImputeStrategy::Mean);
+        // column 0 observed mean = (1+3+6)/3
+        let m = (1.0 + 3.0 + 6.0) / 3.0;
+        assert!((f.at(&[1, 0]) - m).abs() < 1e-6);
+        assert!((f.at(&[3, 0]) - m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_values_untouched() {
+        for strategy in [
+            ImputeStrategy::ForwardFill,
+            ImputeStrategy::Linear,
+            ImputeStrategy::Mean,
+        ] {
+            let raw = with_gaps();
+            let f = impute(&raw, strategy);
+            for t in 0..6 {
+                for d in 0..2 {
+                    let v = raw.at(&[t, d]);
+                    if !v.is_nan() {
+                        assert_eq!(f.at(&[t, d]), v, "{strategy:?} moved an observation");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no observed values")]
+    fn all_missing_column_rejected() {
+        let t = Tensor::from_vec(vec![f32::NAN, f32::NAN], &[2, 1]);
+        impute(&t, ImputeStrategy::Linear);
+    }
+
+    #[test]
+    fn series_level_api() {
+        use crate::series::Freq;
+        let values = Tensor::from_vec(vec![1.0, f32::NAN, 3.0], &[3, 1]);
+        let s = TimeSeries::new(
+            values,
+            vec![0, 3600, 7200],
+            vec!["a".into()],
+            0,
+            Freq::Hours(1),
+        );
+        assert!(s.has_missing());
+        let fixed = s.imputed(ImputeStrategy::Linear);
+        assert!(!fixed.has_missing());
+        assert_eq!(fixed.values.at(&[1, 0]), 2.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The [`TimeSeries`] container and calendar time features.
+
+use lttf_tensor::Tensor;
+
+/// Number of calendar time features produced by [`time_features`]:
+/// month, day-of-month, weekday, hour, minute — the Informer convention.
+pub const MARK_DIM: usize = 5;
+
+/// Nominal sampling interval of a series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Freq {
+    /// Fixed interval in minutes.
+    Minutes(u32),
+    /// Fixed interval in hours.
+    Hours(u32),
+    /// Fixed interval in days.
+    Days(u32),
+    /// Varying interval (e.g. the AirDelay dataset).
+    Irregular,
+}
+
+impl Freq {
+    /// The nominal interval in seconds (the mean gap for irregular series
+    /// is dataset-specific; this returns `None`).
+    pub fn seconds(&self) -> Option<u64> {
+        match self {
+            Freq::Minutes(m) => Some(*m as u64 * 60),
+            Freq::Hours(h) => Some(*h as u64 * 3600),
+            Freq::Days(d) => Some(*d as u64 * 86_400),
+            Freq::Irregular => None,
+        }
+    }
+
+    /// How many steps make up one day, for time-determined horizons
+    /// (Table III). Irregular series have no well-defined answer and
+    /// return `None`.
+    pub fn steps_per_day(&self) -> Option<usize> {
+        self.seconds().map(|s| (86_400 / s.max(1)) as usize)
+    }
+}
+
+/// A multivariate time series: `[len, dims]` values, per-step UNIX
+/// timestamps, variable names, and a designated target variable.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    /// Values, `[len, dims]`.
+    pub values: Tensor,
+    /// UNIX timestamps (seconds), strictly increasing, one per row.
+    pub timestamps: Vec<i64>,
+    /// One name per variable.
+    pub names: Vec<String>,
+    /// Index of the target variable in `names` / value columns.
+    pub target: usize,
+    /// Nominal sampling interval.
+    pub freq: Freq,
+}
+
+impl TimeSeries {
+    /// Construct, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree, timestamps are not strictly increasing,
+    /// or the target index is out of range.
+    pub fn new(
+        values: Tensor,
+        timestamps: Vec<i64>,
+        names: Vec<String>,
+        target: usize,
+        freq: Freq,
+    ) -> Self {
+        assert_eq!(values.ndim(), 2, "values must be [len, dims]");
+        assert_eq!(
+            values.shape()[0],
+            timestamps.len(),
+            "got {} rows but {} timestamps",
+            values.shape()[0],
+            timestamps.len()
+        );
+        assert_eq!(
+            values.shape()[1],
+            names.len(),
+            "got {} columns but {} names",
+            values.shape()[1],
+            names.len()
+        );
+        assert!(target < names.len(), "target index {target} out of range");
+        assert!(
+            timestamps.windows(2).all(|w| w[0] < w[1]),
+            "timestamps must be strictly increasing"
+        );
+        TimeSeries {
+            values,
+            timestamps,
+            names,
+            target,
+            freq,
+        }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True if the series has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Number of variables.
+    pub fn dims(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The target variable as a 1-D tensor of length `len`.
+    pub fn target_series(&self) -> Tensor {
+        self.values.select(1, &[self.target]).reshape(&[self.len()])
+    }
+
+    /// A copy containing only the target variable (for univariate LTTF).
+    pub fn to_univariate(&self) -> TimeSeries {
+        TimeSeries {
+            values: self.values.select(1, &[self.target]),
+            timestamps: self.timestamps.clone(),
+            names: vec![self.names[self.target].clone()],
+            target: 0,
+            freq: self.freq,
+        }
+    }
+
+    /// Calendar time-feature matrix, `[len, MARK_DIM]`.
+    pub fn marks(&self) -> Tensor {
+        let mut data = Vec::with_capacity(self.len() * MARK_DIM);
+        for &ts in &self.timestamps {
+            data.extend_from_slice(&time_features(ts));
+        }
+        Tensor::from_vec(data, &[self.len(), MARK_DIM])
+    }
+
+    /// Rows `[start, end)` as a new series.
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        assert!(
+            start <= end && end <= self.len(),
+            "bad slice {start}..{end}"
+        );
+        TimeSeries {
+            values: self.values.narrow(0, start, end - start),
+            timestamps: self.timestamps[start..end].to_vec(),
+            names: self.names.clone(),
+            target: self.target,
+            freq: self.freq,
+        }
+    }
+}
+
+/// Civil-date decomposition of a UNIX timestamp (UTC), without a calendar
+/// dependency: days-to-date via Howard Hinnant's algorithm.
+fn civil_from_unix(ts: i64) -> (i32, u32, u32, u32, u32, u32) {
+    let secs_of_day = ts.rem_euclid(86_400) as u32;
+    let days = (ts - secs_of_day as i64) / 86_400;
+    let (hour, min, sec) = (
+        secs_of_day / 3600,
+        (secs_of_day / 60) % 60,
+        secs_of_day % 60,
+    );
+    // days since 1970-01-01 → y/m/d
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = (if m <= 2 { y + 1 } else { y }) as i32;
+    (year, m, d, hour, min, sec)
+}
+
+/// Day of week, 0 = Monday … 6 = Sunday.
+fn weekday_from_unix(ts: i64) -> u32 {
+    let days = ts.div_euclid(86_400);
+    // 1970-01-01 was a Thursday (weekday 3 with Monday = 0).
+    (days + 3).rem_euclid(7) as u32
+}
+
+/// The Informer-style normalized calendar features for one timestamp:
+/// `[month, day, weekday, hour, minute]`, each mapped into `[−0.5, 0.5]`.
+pub fn time_features(ts: i64) -> [f32; MARK_DIM] {
+    let (_, month, day, hour, minute, _) = civil_from_unix(ts);
+    let weekday = weekday_from_unix(ts);
+    [
+        (month as f32 - 1.0) / 11.0 - 0.5,
+        (day as f32 - 1.0) / 30.0 - 0.5,
+        weekday as f32 / 6.0 - 0.5,
+        hour as f32 / 23.0 - 0.5,
+        minute as f32 / 59.0 - 0.5,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(len: usize, dims: usize) -> TimeSeries {
+        let values = Tensor::from_vec((0..len * dims).map(|i| i as f32).collect(), &[len, dims]);
+        let timestamps: Vec<i64> = (0..len as i64).map(|i| 1_600_000_000 + i * 3600).collect();
+        let names = (0..dims).map(|d| format!("v{d}")).collect();
+        TimeSeries::new(values, timestamps, names, dims - 1, Freq::Hours(1))
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = series(10, 3);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.dims(), 3);
+        assert_eq!(s.target, 2);
+        assert_eq!(s.target_series().shape(), &[10]);
+        assert_eq!(s.target_series().data()[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_timestamps() {
+        let values = Tensor::zeros(&[2, 1]);
+        TimeSeries::new(values, vec![100, 100], vec!["a".into()], 0, Freq::Hours(1));
+    }
+
+    #[test]
+    fn univariate_projection() {
+        let s = series(5, 3);
+        let u = s.to_univariate();
+        assert_eq!(u.dims(), 1);
+        assert_eq!(u.target, 0);
+        assert_eq!(u.values.data()[0], 2.0); // column 2 of row 0
+        assert_eq!(u.names[0], "v2");
+    }
+
+    #[test]
+    fn slice_window() {
+        let s = series(10, 2);
+        let w = s.slice(3, 7);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.timestamps[0], s.timestamps[3]);
+        assert_eq!(w.values.at(&[0, 0]), s.values.at(&[3, 0]));
+    }
+
+    #[test]
+    fn civil_date_known_values() {
+        // 2020-06-15 12:30:45 UTC = 1592224245
+        let (y, m, d, h, mi, s) = civil_from_unix(1_592_224_245);
+        assert_eq!((y, m, d, h, mi, s), (2020, 6, 15, 12, 30, 45));
+        // epoch
+        let (y, m, d, h, mi, s) = civil_from_unix(0);
+        assert_eq!((y, m, d, h, mi, s), (1970, 1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn weekday_known_values() {
+        assert_eq!(weekday_from_unix(0), 3); // 1970-01-01 Thursday
+        assert_eq!(weekday_from_unix(1_592_224_245), 0); // 2020-06-15 Monday
+        assert_eq!(weekday_from_unix(86_400 * 3), 6); // 1970-01-04 Sunday
+    }
+
+    #[test]
+    fn time_features_in_range() {
+        for ts in [0i64, 1_000_000_000, 1_592_224_245, 1_700_000_000] {
+            for f in time_features(ts) {
+                assert!((-0.5..=0.5).contains(&f), "feature {f} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn time_features_distinguish_hours() {
+        let a = time_features(1_592_224_245);
+        let b = time_features(1_592_224_245 + 3600);
+        assert_ne!(a[3], b[3]);
+    }
+
+    #[test]
+    fn marks_shape() {
+        let s = series(6, 2);
+        let m = s.marks();
+        assert_eq!(m.shape(), &[6, MARK_DIM]);
+    }
+
+    #[test]
+    fn freq_steps_per_day() {
+        assert_eq!(Freq::Hours(1).steps_per_day(), Some(24));
+        assert_eq!(Freq::Minutes(15).steps_per_day(), Some(96));
+        assert_eq!(Freq::Days(1).steps_per_day(), Some(1));
+        assert_eq!(Freq::Irregular.steps_per_day(), None);
+    }
+}

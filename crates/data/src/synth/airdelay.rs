@@ -1,0 +1,126 @@
+//! AirDelay stand-in: flight arrival delays at irregular timestamps.
+
+use crate::series::{Freq, TimeSeries};
+use crate::synth::SynthSpec;
+use lttf_tensor::{Rng, Tensor};
+
+/// Flight arrivals with exponential inter-arrival gaps (arrivals cluster
+/// by time of day), a heavy-tailed arrival-delay target (most flights are
+/// roughly on time; a minority are very late), plus departure delay,
+/// distance, air time, and taxi-in covariates. Mirrors the BTS "On-Time"
+/// extraction the paper describes (Texas airports, January 2022).
+pub fn airdelay(spec: SynthSpec) -> TimeSeries {
+    let dims = spec.dims.unwrap_or(6).max(2);
+    let len = spec.len;
+    let mut rng = Rng::seed(spec.seed ^ 0xA17);
+    let t0: i64 = 1_640_995_200; // 2022-01-01
+
+    let mut data = vec![0.0f32; len * dims];
+    let mut timestamps = Vec::with_capacity(len);
+    let mut ts = t0;
+    let mut congestion = 0.0f32; // slowly varying airport congestion state
+    for t in 0..len {
+        // Inter-arrival gaps: exponential, busier during the day.
+        let hour = ((ts % 86_400) / 3600) as f32;
+        let day_factor = 1.0 + 2.0 * (std::f32::consts::PI * (hour - 2.0) / 24.0).sin().max(0.0);
+        let gap = (rng.exponential(day_factor / 90.0) as i64).clamp(1, 3600);
+        ts += gap;
+        timestamps.push(ts);
+
+        congestion = 0.995 * congestion + 0.15 * rng.normal();
+        // Departure delay: mixture of on-time and heavy-tail late.
+        let dep_delay = if rng.bernoulli(0.75) {
+            rng.normal() * 6.0
+        } else {
+            rng.exponential(1.0 / 35.0) + 10.0
+        };
+        let distance = rng.uniform(200.0, 2400.0);
+        let air_time = distance / 8.0 + rng.normal() * 8.0;
+        let taxi_in = 5.0 + rng.exponential(0.25);
+        // Arrival delay: departure delay propagates, congestion adds, some
+        // recovery in the air.
+        let arr_delay = 0.9 * dep_delay + 4.0 * congestion - 0.002 * distance + rng.normal() * 5.0;
+
+        let row = [arr_delay, dep_delay, distance, air_time, taxi_in, hour];
+        for d in 0..dims {
+            data[t * dims + d] = row[d.min(row.len() - 1)];
+        }
+    }
+    let mut names = vec![
+        "ArrDelay".to_string(),
+        "DepDelay".to_string(),
+        "Distance".to_string(),
+        "AirTime".to_string(),
+        "TaxiIn".to_string(),
+        "HourOfDay".to_string(),
+    ];
+    names.truncate(dims);
+    while names.len() < dims {
+        names.push(format!("aux_{}", names.len()));
+    }
+    TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        0,
+        Freq::Irregular,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_strictly_increasing_timestamps() {
+        let s = airdelay(SynthSpec {
+            len: 1000,
+            dims: None,
+            seed: 1,
+        });
+        assert!(s.timestamps.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s.freq, Freq::Irregular);
+    }
+
+    #[test]
+    fn arrival_tracks_departure_delay() {
+        let s = airdelay(SynthSpec {
+            len: 3000,
+            dims: None,
+            seed: 2,
+        });
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        let (ma, mb) = (
+            (0..s.len()).map(|t| s.values.at(&[t, 0])).sum::<f32>() / s.len() as f32,
+            (0..s.len()).map(|t| s.values.at(&[t, 1])).sum::<f32>() / s.len() as f32,
+        );
+        for t in 0..s.len() {
+            let a = s.values.at(&[t, 0]) - ma;
+            let b = s.values.at(&[t, 1]) - mb;
+            num += a * b;
+            da += a * a;
+            db += b * b;
+        }
+        let corr = num / (da.sqrt() * db.sqrt());
+        assert!(corr > 0.6, "ArrDelay decoupled from DepDelay: {corr}");
+    }
+
+    #[test]
+    fn most_flights_roughly_on_time() {
+        let s = airdelay(SynthSpec {
+            len: 5000,
+            dims: None,
+            seed: 3,
+        });
+        let d = s.target_series();
+        let on_time = d.data().iter().filter(|&&v| v.abs() < 15.0).count();
+        assert!(
+            on_time as f32 / d.numel() as f32 > 0.5,
+            "too few on-time flights"
+        );
+        // but the tail reaches far
+        assert!(d.max() > 60.0, "no heavy tail: max {}", d.max());
+    }
+}

@@ -1,0 +1,86 @@
+//! ECL stand-in: hourly electricity consumption of many clients.
+
+use crate::series::{Freq, TimeSeries};
+use crate::synth::SynthSpec;
+use lttf_tensor::{Rng, Tensor};
+
+/// Hourly electricity consumption: each client has a log-normal base load,
+/// a daily cycle with a client-specific phase (morning vs evening peaks),
+/// a weekly cycle (weekday/weekend), AR(1) noise, and non-negativity.
+/// The last client (`MT_321`-like) is the target.
+pub fn ecl(spec: SynthSpec) -> TimeSeries {
+    let dims = spec.dims.unwrap_or(321);
+    let len = spec.len;
+    let mut rng = Rng::seed(spec.seed ^ 0xEC1);
+    let t0: i64 = 1_325_376_000; // 2012-01-01, matching the paper's span
+
+    let mut data = vec![0.0f32; len * dims];
+    for d in 0..dims {
+        let base = (rng.normal() * 0.6).exp() * 50.0; // log-normal scale
+        let daily_amp = base * rng.uniform(0.2, 0.6);
+        let weekly_amp = base * rng.uniform(0.05, 0.25);
+        let phase = rng.uniform(0.0, 2.0 * std::f32::consts::PI);
+        let noise_scale = base * rng.uniform(0.03, 0.12);
+        let rho = rng.uniform(0.6, 0.9);
+        let mut ar = 0.0f32;
+        for t in 0..len {
+            let hour = t as f32;
+            let daily = (2.0 * std::f32::consts::PI * hour / 24.0 + phase).sin();
+            let weekly = (2.0 * std::f32::consts::PI * hour / 168.0).sin();
+            ar = rho * ar + noise_scale * rng.normal();
+            let v = base + daily_amp * daily + weekly_amp * weekly + ar;
+            data[t * dims + d] = v.max(0.0);
+        }
+    }
+    let timestamps: Vec<i64> = (0..len as i64).map(|i| t0 + i * 3600).collect();
+    let names: Vec<String> = (0..dims).map(|d| format!("MT_{:03}", d + 1)).collect();
+    TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        dims - 1,
+        Freq::Hours(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonnegative_values() {
+        let s = ecl(SynthSpec {
+            len: 500,
+            dims: Some(8),
+            seed: 1,
+        });
+        assert!(s.values.min() >= 0.0);
+    }
+
+    #[test]
+    fn clients_have_heterogeneous_scales() {
+        let s = ecl(SynthSpec {
+            len: 200,
+            dims: Some(16),
+            seed: 2,
+        });
+        let means: Vec<f32> = (0..16).map(|d| s.values.select(1, &[d]).mean()).collect();
+        let max = means.iter().cloned().fold(f32::MIN, f32::max);
+        let min = means.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(
+            max / min.max(1e-3) > 1.5,
+            "scales too uniform: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn hourly_timestamps() {
+        let s = ecl(SynthSpec {
+            len: 10,
+            dims: Some(2),
+            seed: 3,
+        });
+        assert_eq!(s.timestamps[1] - s.timestamps[0], 3600);
+        assert_eq!(s.freq, Freq::Hours(1));
+    }
+}

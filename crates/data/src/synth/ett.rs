@@ -1,0 +1,134 @@
+//! ETT stand-in: electricity transformer temperature driven by load
+//! covariates, at hourly (ETTh1) and 15-minute (ETTm1) resolution.
+
+use crate::series::{Freq, TimeSeries};
+use crate::synth::SynthSpec;
+use lttf_tensor::{Rng, Tensor};
+
+/// Shared generator: `dims − 1` load features (HUFL/HULL/MUFL/… analogues)
+/// with daily cycles and AR noise; the target "OT" (oil temperature) is a
+/// lagged, smoothed linear mix of the loads plus a slow seasonal trend —
+/// i.e. the covariate-driven-target structure of the real ETT data.
+fn ett(spec: SynthSpec, step_secs: i64, steps_per_day: f32, freq: Freq) -> TimeSeries {
+    let dims = spec.dims.unwrap_or(7).max(2);
+    let n_loads = dims - 1;
+    let len = spec.len;
+    let mut rng = Rng::seed(spec.seed ^ 0xE77);
+    let t0: i64 = 1_467_331_200; // 2016-07-01
+
+    let mut data = vec![0.0f32; len * dims];
+    let amps: Vec<f32> = (0..n_loads).map(|_| rng.uniform(1.0, 4.0)).collect();
+    let phases: Vec<f32> = (0..n_loads)
+        .map(|_| rng.uniform(0.0, 2.0 * std::f32::consts::PI))
+        .collect();
+    let mix: Vec<f32> = (0..n_loads).map(|_| rng.uniform(0.05, 0.35)).collect();
+    let mut ar = vec![0.0f32; n_loads];
+    let mut oil = 30.0f32; // slow thermal state
+    for t in 0..len {
+        let tau = t as f32;
+        let daily = 2.0 * std::f32::consts::PI * tau / steps_per_day;
+        let annual = (2.0 * std::f32::consts::PI * tau / (steps_per_day * 365.0)).sin();
+        let mut load_sum = 0.0;
+        for l in 0..n_loads {
+            ar[l] = 0.9 * ar[l] + 0.4 * rng.normal();
+            let v = amps[l] * (daily + phases[l]).sin() + ar[l] + 2.0 * annual;
+            data[t * dims + l] = v;
+            load_sum += mix[l] * v;
+        }
+        // Oil temperature integrates load with a slow time constant
+        // (thermal inertia ⇒ the target lags its drivers).
+        let alpha = 4.0 / steps_per_day; // ~6-hour time constant
+        oil += alpha * (load_sum + 10.0 * annual + 25.0 - oil) + 0.05 * rng.normal();
+        data[t * dims + n_loads] = oil;
+    }
+    let timestamps: Vec<i64> = (0..len as i64).map(|i| t0 + i * step_secs).collect();
+    let base_names = ["HUFL", "HULL", "MUFL", "MULL", "LUFL", "LULL"];
+    let mut names: Vec<String> = (0..n_loads)
+        .map(|l| {
+            base_names
+                .get(l)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("LOAD{l}"))
+        })
+        .collect();
+    names.push("OT".to_string());
+    TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        dims - 1,
+        freq,
+    )
+}
+
+/// ETTh1 stand-in: hourly observations.
+pub fn etth1(spec: SynthSpec) -> TimeSeries {
+    ett(spec, 3600, 24.0, Freq::Hours(1))
+}
+
+/// ETTm1 stand-in: 15-minute observations of the same process.
+pub fn ettm1(spec: SynthSpec) -> TimeSeries {
+    ett(spec, 900, 96.0, Freq::Minutes(15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_fft::autocorrelation;
+
+    #[test]
+    fn target_named_ot() {
+        let s = etth1(SynthSpec {
+            len: 50,
+            dims: None,
+            seed: 1,
+        });
+        assert_eq!(s.names[s.target], "OT");
+        assert_eq!(s.dims(), 7);
+    }
+
+    #[test]
+    fn loads_have_daily_cycle() {
+        let s = etth1(SynthSpec {
+            len: 24 * 50,
+            dims: None,
+            seed: 2,
+        });
+        let load: Vec<f32> = (0..s.len()).map(|t| s.values.at(&[t, 0])).collect();
+        let r = autocorrelation(&load);
+        assert!(r[24] > 0.3 * r[0], "load lacks daily cycle");
+    }
+
+    #[test]
+    fn oil_temperature_is_smooth() {
+        // Thermal inertia: OT's step-to-step changes are much smaller than
+        // its overall range.
+        let s = etth1(SynthSpec {
+            len: 2000,
+            dims: None,
+            seed: 3,
+        });
+        let ot = s.target_series();
+        let range = ot.max() - ot.min();
+        let max_step = ot
+            .data()
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_step < 0.2 * range,
+            "OT too jumpy: step {max_step} range {range}"
+        );
+    }
+
+    #[test]
+    fn minute_variant_has_finer_grid() {
+        let m = ettm1(SynthSpec {
+            len: 10,
+            dims: None,
+            seed: 4,
+        });
+        assert_eq!(m.timestamps[1] - m.timestamps[0], 900);
+        assert_eq!(m.freq, Freq::Minutes(15));
+    }
+}

@@ -1,0 +1,95 @@
+//! Exchange stand-in: daily exchange rates as correlated random walks.
+
+use crate::series::{Freq, TimeSeries};
+use crate::synth::SynthSpec;
+use lttf_tensor::{Rng, Tensor};
+
+/// Daily exchange rates of `dims` "countries": geometric-like random walks
+/// with a shared market factor (so the series are cross-correlated), tiny
+/// drift, and **no periodic structure** — the regime where decomposition
+/// and periodicity priors must not help. The last country is the target,
+/// matching the paper's use of country 8 (Singapore).
+pub fn exchange(spec: SynthSpec) -> TimeSeries {
+    let dims = spec.dims.unwrap_or(8);
+    let len = spec.len;
+    let mut rng = Rng::seed(spec.seed ^ 0xE8);
+    let t0: i64 = 631_152_000; // 1990-01-01
+
+    let mut levels: Vec<f32> = (0..dims).map(|_| rng.uniform(0.5, 2.0)).collect();
+    let betas: Vec<f32> = (0..dims).map(|_| rng.uniform(0.3, 1.0)).collect();
+    let vols: Vec<f32> = (0..dims).map(|_| rng.uniform(0.002, 0.008)).collect();
+    let drifts: Vec<f32> = (0..dims).map(|_| rng.uniform(-2e-5, 2e-5)).collect();
+
+    let mut data = vec![0.0f32; len * dims];
+    for t in 0..len {
+        let market = rng.normal() * 0.004;
+        for d in 0..dims {
+            let shock = betas[d] * market + vols[d] * rng.normal() + drifts[d];
+            levels[d] = (levels[d] * (1.0 + shock)).max(1e-3);
+            data[t * dims + d] = levels[d];
+        }
+    }
+    let timestamps: Vec<i64> = (0..len as i64).map(|i| t0 + i * 86_400).collect();
+    let names: Vec<String> = (0..dims).map(|d| format!("Country{}", d + 1)).collect();
+    TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        dims - 1,
+        Freq::Days(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_stay_positive() {
+        let s = exchange(SynthSpec {
+            len: 3000,
+            dims: None,
+            seed: 1,
+        });
+        assert!(s.values.min() > 0.0);
+    }
+
+    #[test]
+    fn daily_interval_and_target() {
+        let s = exchange(SynthSpec {
+            len: 10,
+            dims: None,
+            seed: 2,
+        });
+        assert_eq!(s.timestamps[1] - s.timestamps[0], 86_400);
+        assert_eq!(s.names[s.target], "Country8");
+    }
+
+    #[test]
+    fn walk_is_persistent() {
+        // A random walk has long memory: values 100 steps apart remain
+        // highly correlated relative to white noise.
+        let s = exchange(SynthSpec {
+            len: 2000,
+            dims: None,
+            seed: 3,
+        });
+        let x = s.target_series();
+        let n = x.numel();
+        let a: Vec<f32> = x.data()[..n - 100].to_vec();
+        let b: Vec<f32> = x.data()[100..].to_vec();
+        let (ma, mb) = (
+            a.iter().sum::<f32>() / a.len() as f32,
+            b.iter().sum::<f32>() / b.len() as f32,
+        );
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for i in 0..a.len() {
+            num += (a[i] - ma) * (b[i] - mb);
+            da += (a[i] - ma).powi(2);
+            db += (b[i] - mb).powi(2);
+        }
+        assert!(num / (da.sqrt() * db.sqrt()) > 0.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Weather stand-in: 10-minute meteorological indicators.
+
+use crate::series::{Freq, TimeSeries};
+use crate::synth::SynthSpec;
+use lttf_tensor::{Rng, Tensor};
+
+/// 10-minute weather indicators built from two shared latent drivers — a
+/// daily cycle and an annual cycle — plus smooth AR(1) weather-system
+/// noise. Each indicator is an affine mixture of the drivers, so the
+/// channels are strongly cross-correlated (like real met data).
+/// The first channel plays the role of temperature and is the target.
+pub fn weather(spec: SynthSpec) -> TimeSeries {
+    let dims = spec.dims.unwrap_or(21);
+    let len = spec.len;
+    let mut rng = Rng::seed(spec.seed ^ 0x7EA7);
+    let t0: i64 = 1_577_836_800; // 2020-01-01
+    let steps_per_day = 144.0; // 10-minute sampling
+    let steps_per_year = steps_per_day * 365.25;
+
+    // Per-channel mixing weights and noise.
+    let mut daily_w = Vec::with_capacity(dims);
+    let mut annual_w = Vec::with_capacity(dims);
+    let mut offset = Vec::with_capacity(dims);
+    let mut noise_w = Vec::with_capacity(dims);
+    let mut phase = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        daily_w.push(rng.uniform(0.3, 1.5));
+        annual_w.push(rng.uniform(0.5, 2.0));
+        offset.push(rng.uniform(-5.0, 15.0));
+        noise_w.push(rng.uniform(0.1, 0.5));
+        phase.push(rng.uniform(-0.4, 0.4));
+    }
+
+    let mut system = 0.0f32; // shared slow weather-system state
+    let mut chan_ar = vec![0.0f32; dims];
+    let mut data = vec![0.0f32; len * dims];
+    for t in 0..len {
+        let tau = t as f32;
+        let daily = (2.0 * std::f32::consts::PI * tau / steps_per_day).sin();
+        let annual = (2.0 * std::f32::consts::PI * tau / steps_per_year).sin();
+        system = 0.999 * system + 0.05 * rng.normal();
+        for d in 0..dims {
+            chan_ar[d] = 0.95 * chan_ar[d] + noise_w[d] * 0.2 * rng.normal();
+            let v = offset[d]
+                + daily_w[d] * (daily + phase[d]).sin().mul_add(1.0, 0.0)
+                + annual_w[d] * annual
+                + system
+                + chan_ar[d];
+            data[t * dims + d] = v;
+        }
+    }
+    let timestamps: Vec<i64> = (0..len as i64).map(|i| t0 + i * 600).collect();
+    let mut names: Vec<String> = (0..dims).map(|d| format!("indicator_{d}")).collect();
+    names[0] = "Temperature".to_string();
+    TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        0,
+        Freq::Minutes(10),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_cross_correlated() {
+        let s = weather(SynthSpec {
+            len: 2000,
+            dims: Some(6),
+            seed: 1,
+        });
+        // correlation of channel 0 and channel 3 should be visible because
+        // of shared drivers
+        let a: Vec<f32> = (0..s.len()).map(|t| s.values.at(&[t, 0])).collect();
+        let b: Vec<f32> = (0..s.len()).map(|t| s.values.at(&[t, 3])).collect();
+        let (ma, mb) = (
+            a.iter().sum::<f32>() / a.len() as f32,
+            b.iter().sum::<f32>() / b.len() as f32,
+        );
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for i in 0..a.len() {
+            num += (a[i] - ma) * (b[i] - mb);
+            da += (a[i] - ma).powi(2);
+            db += (b[i] - mb).powi(2);
+        }
+        let corr = num / (da.sqrt() * db.sqrt());
+        assert!(corr.abs() > 0.2, "channels decoupled: corr {corr}");
+    }
+
+    #[test]
+    fn target_is_temperature() {
+        let s = weather(SynthSpec {
+            len: 50,
+            dims: Some(4),
+            seed: 2,
+        });
+        assert_eq!(s.names[s.target], "Temperature");
+    }
+
+    #[test]
+    fn ten_minute_interval() {
+        let s = weather(SynthSpec {
+            len: 5,
+            dims: Some(2),
+            seed: 3,
+        });
+        assert_eq!(s.timestamps[1] - s.timestamps[0], 600);
+    }
+}

@@ -1,0 +1,134 @@
+//! Wind stand-in: 15-minute wind-farm power with a saturating power curve.
+
+use crate::series::{Freq, TimeSeries};
+use crate::synth::SynthSpec;
+use lttf_tensor::{Rng, Tensor};
+
+/// Wind farm telemetry: a latent wind speed follows a persistent AR(1)
+/// process with a weak diurnal component and occasional ramps; power is the
+/// standard cubic curve clipped at rated capacity (so the target spends
+/// time pinned at 0 and at the cap — the high-entropy, weakly periodic
+/// regime the paper runs its ablations on). Extra channels are wind
+/// speed/direction/temperature-like covariates.
+pub fn wind(spec: SynthSpec) -> TimeSeries {
+    let dims = spec.dims.unwrap_or(7).max(2);
+    let len = spec.len;
+    let mut rng = Rng::seed(spec.seed ^ 0x817D);
+    let t0: i64 = 1_577_836_800; // 2020-01-01
+    let steps_per_day = 96.0;
+    let rated = 100.0f32; // rated capacity (arbitrary units)
+    let cut_in = 3.0f32;
+    let rated_speed = 12.0f32;
+
+    let mut speed = 7.0f32;
+    let mut gust = 0.0f32;
+    let mut data = vec![0.0f32; len * dims];
+    for t in 0..len {
+        let tau = t as f32;
+        let diurnal = 0.8 * (2.0 * std::f32::consts::PI * tau / steps_per_day).sin();
+        // occasional ramp events
+        if rng.bernoulli(0.002) {
+            gust += rng.uniform(-4.0, 6.0);
+        }
+        gust *= 0.98;
+        speed = 0.985 * speed + 0.015 * 7.5 + 0.35 * rng.normal();
+        let s = (speed + diurnal + gust).max(0.0);
+        // cubic power curve with cut-in and rated clipping
+        let power = if s < cut_in {
+            0.0
+        } else if s >= rated_speed {
+            rated
+        } else {
+            rated * ((s - cut_in) / (rated_speed - cut_in)).powi(3)
+        };
+        data[t * dims] = power; // target: Wind_Power (column 0)
+        if dims > 1 {
+            data[t * dims + 1] = s; // wind speed
+        }
+        if dims > 2 {
+            data[t * dims + 2] = (tau * 0.01).sin() * 180.0 + 10.0 * rng.normal();
+            // direction
+        }
+        if dims > 3 {
+            data[t * dims + 3] = 15.0
+                + 8.0 * (2.0 * std::f32::consts::PI * tau / (steps_per_day * 365.0)).sin()
+                + 0.5 * rng.normal();
+            // ambient temperature
+        }
+        for d in 4..dims {
+            // auxiliary SCADA channels loosely coupled to speed
+            data[t * dims + d] = 0.5 * s + 2.0 * rng.normal();
+        }
+    }
+    let timestamps: Vec<i64> = (0..len as i64).map(|i| t0 + i * 900).collect();
+    let mut names = vec![
+        "Wind_Power".to_string(),
+        "Wind_Speed".to_string(),
+        "Wind_Direction".to_string(),
+        "Temperature".to_string(),
+    ];
+    for d in 4..dims {
+        names.push(format!("aux_{d}"));
+    }
+    names.truncate(dims);
+    TimeSeries::new(
+        Tensor::from_vec(data, &[len, dims]),
+        timestamps,
+        names,
+        0,
+        Freq::Minutes(15),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_bounded_by_capacity() {
+        let s = wind(SynthSpec {
+            len: 3000,
+            dims: None,
+            seed: 1,
+        });
+        let p = s.target_series();
+        assert!(p.min() >= 0.0 && p.max() <= 100.0);
+    }
+
+    #[test]
+    fn power_correlates_with_speed() {
+        let s = wind(SynthSpec {
+            len: 2000,
+            dims: None,
+            seed: 2,
+        });
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for t in 1..s.len() {
+            let dp = s.values.at(&[t, 0]) - s.values.at(&[t - 1, 0]);
+            let dv = s.values.at(&[t, 1]) - s.values.at(&[t - 1, 1]);
+            if dp != 0.0 {
+                total += 1;
+                if (dp > 0.0) == (dv > 0.0) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            agree as f32 / total as f32 > 0.8,
+            "power decoupled from speed ({agree}/{total})"
+        );
+    }
+
+    #[test]
+    fn fifteen_minute_interval() {
+        let s = wind(SynthSpec {
+            len: 5,
+            dims: None,
+            seed: 3,
+        });
+        assert_eq!(s.timestamps[1] - s.timestamps[0], 900);
+        assert_eq!(s.names[0], "Wind_Power");
+        assert_eq!(s.target, 0);
+    }
+}

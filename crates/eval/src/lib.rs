@@ -1,0 +1,28 @@
+//! # lttf-eval
+//!
+//! The experiment substrate: metrics (MSE/MAE, interval coverage), a
+//! unified wrapper over Conformer and all nine baselines, the training
+//! loop (Adam + early stopping + LR halving, per Section V-A3), the
+//! evaluation protocol (rolling windows, stride 1), and text-table
+//! formatting for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+
+#![warn(missing_docs)]
+
+mod anomaly;
+mod backtest;
+mod metrics;
+mod model;
+mod multirun;
+mod scale;
+mod table;
+mod trainer;
+
+pub use anomaly::{detect_anomalies, Anomaly, AnomalyReport};
+pub use backtest::{backtest, BacktestConfig, BacktestReport};
+pub use metrics::{corr, coverage, mae, mse, pinball, rse, Metrics};
+pub use model::{ModelImpl, ModelKind, TrainedModel};
+pub use multirun::{run_seeds, RunStats};
+pub use scale::Scale;
+pub use table::Table;
+pub use trainer::{evaluate, evaluate_subset, train, TrainOptions, TrainReport};

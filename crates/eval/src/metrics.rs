@@ -1,0 +1,210 @@
+//! Evaluation metrics: MSE and MAE (the paper's two), plus interval
+//! coverage for the uncertainty experiments.
+
+use lttf_tensor::Tensor;
+
+/// Mean squared error between two tensors of identical shape.
+///
+/// # Panics
+/// Panics on shape mismatch or empty input.
+pub fn mse(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "mse shape mismatch");
+    assert!(pred.numel() > 0, "mse of empty tensors");
+    pred.sub(truth).square().mean()
+}
+
+/// Mean absolute error between two tensors of identical shape.
+///
+/// # Panics
+/// Panics on shape mismatch or empty input.
+pub fn mae(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "mae shape mismatch");
+    assert!(pred.numel() > 0, "mae of empty tensors");
+    pred.sub(truth).abs().mean()
+}
+
+/// Fraction of truth values inside `[lo, hi]` — empirical coverage of a
+/// prediction interval.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn coverage(lo: &Tensor, hi: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(lo.shape(), truth.shape(), "coverage shape mismatch");
+    assert_eq!(hi.shape(), truth.shape(), "coverage shape mismatch");
+    let inside = truth
+        .data()
+        .iter()
+        .zip(lo.data().iter().zip(hi.data()))
+        .filter(|(t, (l, h))| **l <= **t && **t <= **h)
+        .count();
+    inside as f32 / truth.numel() as f32
+}
+
+/// Root relative squared error (LSTNet's RSE): RMSE of the prediction
+/// divided by the truth's standard deviation — scale-free.
+///
+/// # Panics
+/// Panics on shape mismatch or a constant truth tensor.
+pub fn rse(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "rse shape mismatch");
+    let denom = truth.std();
+    assert!(denom > 1e-9, "rse undefined for constant truth");
+    mse(pred, truth).sqrt() / denom
+}
+
+/// Empirical correlation coefficient between prediction and truth
+/// (LSTNet's CORR, computed over all elements).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn corr(pred: &Tensor, truth: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "corr shape mismatch");
+    let (mp, mt) = (pred.mean(), truth.mean());
+    let mut num = 0.0;
+    let mut dp = 0.0;
+    let mut dt = 0.0;
+    for (&p, &t) in pred.data().iter().zip(truth.data()) {
+        num += (p - mp) * (t - mt);
+        dp += (p - mp) * (p - mp);
+        dt += (t - mt) * (t - mt);
+    }
+    let denom = (dp * dt).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        num / denom
+    }
+}
+
+/// Pinball (quantile) loss at level `q ∈ (0, 1)`: the proper scoring rule
+/// for quantile forecasts, used to assess the flow's interval endpoints.
+///
+/// # Panics
+/// Panics on shape mismatch or `q` outside `(0, 1)`.
+pub fn pinball(pred: &Tensor, truth: &Tensor, q: f32) -> f32 {
+    assert_eq!(pred.shape(), truth.shape(), "pinball shape mismatch");
+    assert!(q > 0.0 && q < 1.0, "quantile level must be in (0, 1)");
+    let mut acc = 0.0;
+    for (&p, &t) in pred.data().iter().zip(truth.data()) {
+        let d = t - p;
+        acc += if d >= 0.0 { q * d } else { (q - 1.0) * d };
+    }
+    acc / pred.numel() as f32
+}
+
+/// An (MSE, MAE) result pair with streaming accumulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Mean squared error.
+    pub mse: f32,
+    /// Mean absolute error.
+    pub mae: f32,
+}
+
+impl Metrics {
+    /// Combine per-batch metrics weighted by element counts.
+    pub fn weighted_mean(parts: &[(Metrics, usize)]) -> Metrics {
+        let total: usize = parts.iter().map(|(_, n)| n).sum();
+        assert!(total > 0, "no metric parts");
+        let mut out = Metrics::default();
+        for (m, n) in parts {
+            let w = *n as f32 / total as f32;
+            out.mse += m.mse * w;
+            out.mae += m.mae * w;
+        }
+        out
+    }
+
+    /// Compute both metrics at once.
+    pub fn of(pred: &Tensor, truth: &Tensor) -> Metrics {
+        Metrics {
+            mse: mse(pred, truth),
+            mae: mae(pred, truth),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MSE {:.4} / MAE {:.4}", self.mse, self.mae)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_hand_computed() {
+        let p = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let t = Tensor::from_slice(&[2.0, 2.0, 1.0]);
+        assert!((mse(&p, &t) - 5.0 / 3.0).abs() < 1e-6);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_error_for_identical() {
+        let p = Tensor::from_slice(&[4.0, 5.0]);
+        assert_eq!(mse(&p, &p), 0.0);
+        assert_eq!(mae(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_inside() {
+        let truth = Tensor::from_slice(&[0.0, 1.0, 2.0, 3.0]);
+        let lo = Tensor::from_slice(&[-1.0, 2.0, 1.0, 2.0]);
+        let hi = Tensor::from_slice(&[1.0, 3.0, 3.0, 2.5]);
+        // inside: 0 ∈ [-1,1] ✓, 1 ∈ [2,3] ✗, 2 ∈ [1,3] ✓, 3 ∈ [2,2.5] ✗
+        assert!((coverage(&lo, &hi, &truth) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_mean_combines() {
+        let a = Metrics { mse: 1.0, mae: 1.0 };
+        let b = Metrics { mse: 3.0, mae: 2.0 };
+        let m = Metrics::weighted_mean(&[(a, 1), (b, 3)]);
+        assert!((m.mse - 2.5).abs() < 1e-6);
+        assert!((m.mae - 1.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rse_is_scale_free() {
+        let p = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let t = Tensor::from_slice(&[1.5, 2.5, 2.5, 4.5]);
+        let r1 = rse(&p, &t);
+        let r2 = rse(&p.mul_scalar(10.0), &t.mul_scalar(10.0));
+        assert!((r1 - r2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn corr_bounds_and_signs() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((corr(&t, &t) - 1.0).abs() < 1e-6);
+        assert!((corr(&t.neg(), &t) + 1.0).abs() < 1e-6);
+        let flat = Tensor::from_slice(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(corr(&flat, &t), 0.0);
+    }
+
+    #[test]
+    fn pinball_asymmetry() {
+        let t = Tensor::from_slice(&[1.0]);
+        let under = Tensor::from_slice(&[0.0]); // pred below truth
+        let over = Tensor::from_slice(&[2.0]); // pred above truth
+                                               // at q = 0.9, under-prediction is penalized 9x more than over
+        let pu = pinball(&under, &t, 0.9);
+        let po = pinball(&over, &t, 0.9);
+        assert!((pu - 0.9).abs() < 1e-6, "{pu}");
+        assert!((po - 0.1).abs() < 1e-6, "{po}");
+        // perfect prediction scores zero
+        assert_eq!(pinball(&t, &t, 0.5), 0.0);
+    }
+
+    #[test]
+    fn metrics_of() {
+        let p = Tensor::from_slice(&[0.0, 0.0]);
+        let t = Tensor::from_slice(&[3.0, 4.0]);
+        let m = Metrics::of(&p, &t);
+        assert!((m.mse - 12.5).abs() < 1e-5);
+        assert!((m.mae - 3.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Multi-seed runs: the paper reports the average of 5 runs; this module
+//! provides the seeded repetition and the mean/std aggregation.
+
+use crate::metrics::Metrics;
+
+/// Aggregate statistics over repeated runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Mean MSE across runs.
+    pub mse_mean: f32,
+    /// Standard deviation of MSE across runs.
+    pub mse_std: f32,
+    /// Mean MAE across runs.
+    pub mae_mean: f32,
+    /// Standard deviation of MAE across runs.
+    pub mae_std: f32,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl RunStats {
+    /// Aggregate a list of per-run metrics.
+    ///
+    /// # Panics
+    /// Panics on an empty list.
+    pub fn aggregate(results: &[Metrics]) -> RunStats {
+        assert!(!results.is_empty(), "no runs to aggregate");
+        let n = results.len() as f32;
+        let mse_mean = results.iter().map(|m| m.mse).sum::<f32>() / n;
+        let mae_mean = results.iter().map(|m| m.mae).sum::<f32>() / n;
+        let mse_std = (results
+            .iter()
+            .map(|m| (m.mse - mse_mean).powi(2))
+            .sum::<f32>()
+            / n)
+            .sqrt();
+        let mae_std = (results
+            .iter()
+            .map(|m| (m.mae - mae_mean).powi(2))
+            .sum::<f32>()
+            / n)
+            .sqrt();
+        RunStats {
+            mse_mean,
+            mse_std,
+            mae_mean,
+            mae_std,
+            runs: results.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MSE {:.4}±{:.4} / MAE {:.4}±{:.4} over {} runs",
+            self.mse_mean, self.mse_std, self.mae_mean, self.mae_std, self.runs
+        )
+    }
+}
+
+/// Run `f(seed)` for `n_seeds` seeds derived from `base_seed` and
+/// aggregate the metrics — the paper's "averaged results in 5 runs".
+pub fn run_seeds(base_seed: u64, n_seeds: usize, mut f: impl FnMut(u64) -> Metrics) -> RunStats {
+    assert!(n_seeds >= 1, "need at least one seed");
+    let results: Vec<Metrics> = (0..n_seeds)
+        .map(|i| f(base_seed.wrapping_add(i as u64 * 1_000_003)))
+        .collect();
+    RunStats::aggregate(&results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_hand_computed() {
+        let runs = vec![
+            Metrics { mse: 1.0, mae: 0.5 },
+            Metrics { mse: 3.0, mae: 1.5 },
+        ];
+        let s = RunStats::aggregate(&runs);
+        assert_eq!(s.mse_mean, 2.0);
+        assert_eq!(s.mae_mean, 1.0);
+        assert!((s.mse_std - 1.0).abs() < 1e-6);
+        assert_eq!(s.runs, 2);
+    }
+
+    #[test]
+    fn run_seeds_passes_distinct_seeds() {
+        let mut seen = Vec::new();
+        run_seeds(10, 3, |seed| {
+            seen.push(seed);
+            Metrics { mse: 1.0, mae: 1.0 }
+        });
+        assert_eq!(seen.len(), 3);
+        let unique: std::collections::HashSet<u64> = seen.iter().cloned().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let s = run_seeds(1, 1, |_| Metrics { mse: 2.0, mae: 1.0 });
+        assert_eq!(s.mse_std, 0.0);
+        assert_eq!(s.mse_mean, 2.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Experiment scale presets: the paper's full protocol does not fit a
+//! CPU-only environment, so every harness runs at a chosen scale with the
+//! same *relative* structure.
+
+/// How big an experiment run is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per table cell — CI smoke tests.
+    Smoke,
+    /// Minutes per table — the default for harness runs.
+    Small,
+    /// The closest a CPU run gets to the paper's setup.
+    Full,
+}
+
+impl Scale {
+    /// Parse `smoke|small|full` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Series length generated for each dataset.
+    pub fn series_len(&self) -> usize {
+        match self {
+            Scale::Smoke => 400,
+            Scale::Small => 1_600,
+            Scale::Full => 6_000,
+        }
+    }
+
+    /// Cap on dataset dimensionality (ECL's 321 clients are subsampled).
+    pub fn max_dims(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Small => 8,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Small => 16,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Attention heads.
+    pub fn n_heads(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Small => 4,
+            Scale::Full => 4,
+        }
+    }
+
+    /// Training epochs (the paper trains ≤ 10 with early stopping).
+    pub fn epochs(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Small => 2,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Cap on evaluation windows (subsampled evenly); `usize::MAX` = all.
+    pub fn eval_max_windows(&self) -> usize {
+        match self {
+            Scale::Smoke => 32,
+            Scale::Small => 96,
+            Scale::Full => usize::MAX,
+        }
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Small => 16,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Cap on training batches per epoch (keeps epochs bounded on the
+    /// stride-1 window sets).
+    pub fn max_batches_per_epoch(&self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Small => 28,
+            Scale::Full => 150,
+        }
+    }
+
+    /// Learning rate (higher than the paper's 1e-4 because the scaled-down
+    /// models see far fewer steps).
+    pub fn lr(&self) -> f32 {
+        match self {
+            Scale::Smoke => 3e-3,
+            Scale::Small => 1.5e-3,
+            Scale::Full => 5e-4,
+        }
+    }
+
+    /// The horizon subset of `{48, 96, 192, 384, 768}` exercised.
+    pub fn horizons(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![24],
+            Scale::Small => vec![48, 96],
+            Scale::Full => vec![48, 96, 192, 384],
+        }
+    }
+
+    /// Input length (the paper's default Lx = 96).
+    pub fn lx(&self) -> usize {
+        match self {
+            Scale::Smoke => 48,
+            Scale::Small | Scale::Full => 96,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for s in [Scale::Smoke, Scale::Small, Scale::Full] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scale::parse("SMALL"), Some(Scale::Small));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Smoke.series_len() < Scale::Small.series_len());
+        assert!(Scale::Small.series_len() < Scale::Full.series_len());
+        assert!(Scale::Smoke.epochs() <= Scale::Small.epochs());
+    }
+
+    #[test]
+    fn windows_fit_series() {
+        for s in [Scale::Smoke, Scale::Small, Scale::Full] {
+            let horizon = *s.horizons().iter().max().unwrap();
+            // test split is 20%: it must hold at least one window
+            assert!(
+                s.series_len() / 5 > horizon,
+                "{s}: test split too short for horizon {horizon}"
+            );
+        }
+    }
+}

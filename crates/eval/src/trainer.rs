@@ -1,0 +1,249 @@
+//! The training loop (Section V-A3): Adam, early stopping on validation
+//! loss within 10 epochs, learning-rate halving per epoch, gradient
+//! clipping; and the rolling-window evaluation protocol.
+
+use crate::metrics::Metrics;
+use crate::model::TrainedModel;
+use lttf_autograd::Graph;
+use lttf_data::WindowDataset;
+use lttf_nn::{Adam, Fwd, GradClip, Optimizer};
+use lttf_tensor::Rng;
+
+/// Trainer knobs.
+#[derive(Clone, Debug)]
+pub struct TrainOptions {
+    /// Maximum epochs (paper: 10 with early stopping).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 32).
+    pub batch_size: usize,
+    /// Initial Adam learning rate (paper: 1e-4 at full scale).
+    pub lr: f32,
+    /// Early-stopping patience in epochs (0 disables).
+    pub patience: usize,
+    /// Per-epoch LR multiplier (0.5 = Informer-style halving).
+    pub lr_decay: f32,
+    /// Cap on training batches per epoch (0 = no cap).
+    pub max_batches: usize,
+    /// Global-norm gradient clip (0 disables).
+    pub clip: f32,
+    /// RNG seed for shuffling and dropout.
+    pub seed: u64,
+    /// Cap on validation windows used for early stopping
+    /// (`usize::MAX` = all).
+    pub val_max_windows: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 10,
+            batch_size: 32,
+            lr: 1e-4,
+            patience: 3,
+            lr_decay: 0.5,
+            max_batches: 0,
+            clip: 5.0,
+            seed: 0,
+            val_max_windows: usize::MAX,
+        }
+    }
+}
+
+impl TrainOptions {
+    /// Options derived from a [`crate::Scale`] preset.
+    pub fn for_scale(scale: crate::Scale, seed: u64) -> Self {
+        TrainOptions {
+            epochs: scale.epochs(),
+            batch_size: scale.batch_size(),
+            lr: scale.lr(),
+            patience: 2,
+            lr_decay: 0.7,
+            max_batches: scale.max_batches_per_epoch(),
+            clip: 5.0,
+            seed,
+            val_max_windows: scale.eval_max_windows() / 2,
+        }
+    }
+}
+
+/// What a training run did.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_losses: Vec<f32>,
+    /// Validation MSE per epoch (when a validation set was given).
+    pub val_losses: Vec<f32>,
+    /// Epoch index training stopped at (== epochs when never stopped).
+    pub stopped_at: usize,
+}
+
+/// Train `model` in place. Returns the per-epoch report.
+///
+/// # Panics
+/// Panics if the training set is empty.
+pub fn train(
+    model: &mut TrainedModel,
+    train_set: &WindowDataset,
+    val_set: Option<&WindowDataset>,
+    opts: &TrainOptions,
+) -> TrainReport {
+    assert!(!train_set.is_empty(), "empty training set");
+    let mut opt = Adam::new(opts.lr);
+    let clip = (opts.clip > 0.0).then(|| GradClip::new(opts.clip));
+    let mut rng = Rng::seed(opts.seed);
+    let mut report = TrainReport::default();
+    let mut best_val = f32::INFINITY;
+    let mut bad_epochs = 0usize;
+    for epoch in 0..opts.epochs {
+        let mut batches = train_set.shuffled_batches(opts.batch_size, &mut rng);
+        if batches.is_empty() {
+            // fewer windows than one batch: train on everything at once
+            batches = vec![(0..train_set.len()).collect()];
+        }
+        if opts.max_batches > 0 {
+            batches.truncate(opts.max_batches);
+        }
+        let mut epoch_loss = 0.0;
+        for (bi, idx) in batches.iter().enumerate() {
+            let batch = train_set.batch(idx);
+            let g = Graph::new();
+            let cx = Fwd::new(
+                &g,
+                model.params(),
+                true,
+                opts.seed.wrapping_add((epoch * 10_007 + bi) as u64),
+            );
+            let loss = model.batch_loss(&cx, &batch);
+            epoch_loss += loss.value().item();
+            let grads = g.backward(loss);
+            let collected = cx.collect_grads(&grads);
+            let ps = model.params_mut();
+            ps.zero_grad();
+            ps.apply_grads(collected);
+            if let Some(c) = &clip {
+                c.apply(ps);
+            }
+            opt.step(ps);
+        }
+        report.train_losses.push(epoch_loss / batches.len() as f32);
+        report.stopped_at = epoch + 1;
+
+        if let Some(val) = val_set {
+            let m = evaluate_subset(model, val, opts.batch_size.max(1), opts.val_max_windows);
+            report.val_losses.push(m.mse);
+            if m.mse < best_val - 1e-6 {
+                best_val = m.mse;
+                bad_epochs = 0;
+            } else {
+                bad_epochs += 1;
+                if opts.patience > 0 && bad_epochs >= opts.patience {
+                    break;
+                }
+            }
+        }
+        opt.set_lr(opt.lr() * opts.lr_decay);
+    }
+    report
+}
+
+/// Evaluate on every window of `set`, returning MSE/MAE in scaled space
+/// (the paper's reporting convention).
+pub fn evaluate(model: &TrainedModel, set: &WindowDataset, batch_size: usize) -> Metrics {
+    evaluate_subset(model, set, batch_size, usize::MAX)
+}
+
+/// Evaluate on at most `max_windows` windows, subsampled evenly across the
+/// split — the rolling protocol at reduced cost for the scaled-down
+/// harness runs.
+pub fn evaluate_subset(
+    model: &TrainedModel,
+    set: &WindowDataset,
+    batch_size: usize,
+    max_windows: usize,
+) -> Metrics {
+    let n = set.len();
+    let take = n.min(max_windows.max(1));
+    let stride = n.div_ceil(take).max(1);
+    let windows: Vec<usize> = (0..n).step_by(stride).collect();
+    let mut parts = Vec::new();
+    for idx in windows.chunks(batch_size.max(1)) {
+        let batch = set.batch(idx);
+        let pred = model.predict_batch(&batch);
+        parts.push((Metrics::of(&pred, &batch.y), pred.numel()));
+    }
+    Metrics::weighted_mean(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use lttf_data::synth::{Dataset, SynthSpec};
+    use lttf_data::Split;
+
+    fn datasets(ly: usize) -> (WindowDataset, WindowDataset, WindowDataset) {
+        let series = Dataset::Ettm1.generate(SynthSpec {
+            len: 600,
+            dims: Some(2),
+            seed: 3,
+        });
+        let mk = |split| WindowDataset::new(&series, split, (0.7, 0.15), 24, ly, 12);
+        (mk(Split::Train), mk(Split::Val), mk(Split::Test))
+    }
+
+    #[test]
+    fn training_improves_over_untrained() {
+        let (train_set, val, test) = datasets(8);
+        let mut model = TrainedModel::build(ModelKind::Gru, 2, 24, 8, 8, 2, 1);
+        let before = evaluate(&model, &test, 16);
+        let opts = TrainOptions {
+            epochs: 3,
+            batch_size: 16,
+            lr: 5e-3,
+            patience: 0,
+            lr_decay: 0.8,
+            max_batches: 20,
+            clip: 5.0,
+            seed: 2,
+            val_max_windows: usize::MAX,
+        };
+        let report = train(&mut model, &train_set, Some(&val), &opts);
+        let after = evaluate(&model, &test, 16);
+        assert!(!report.train_losses.is_empty());
+        assert!(
+            after.mse < before.mse,
+            "training did not help: {before} → {after}"
+        );
+        // training loss decreased over epochs
+        assert!(report.train_losses.last().unwrap() < &report.train_losses[0]);
+    }
+
+    #[test]
+    fn early_stopping_halts() {
+        let (train_set, val, _) = datasets(8);
+        let mut model = TrainedModel::build(ModelKind::Gru, 2, 24, 8, 8, 2, 1);
+        let opts = TrainOptions {
+            epochs: 50,
+            batch_size: 16,
+            lr: 0.0, // parameters never move, so val never improves
+            patience: 2,
+            lr_decay: 1.0,
+            max_batches: 2,
+            clip: 0.0,
+            seed: 3,
+            val_max_windows: usize::MAX,
+        };
+        let report = train(&mut model, &train_set, Some(&val), &opts);
+        assert!(report.stopped_at < 50, "never early-stopped");
+    }
+
+    #[test]
+    fn evaluate_covers_all_windows() {
+        let (_, _, test) = datasets(8);
+        let model = TrainedModel::build(ModelKind::NBeats, 2, 24, 8, 8, 2, 1);
+        let m1 = evaluate(&model, &test, 7);
+        let m2 = evaluate(&model, &test, 64);
+        // batch size must not change the aggregate result
+        assert!((m1.mse - m2.mse).abs() < 1e-4, "{} vs {}", m1.mse, m2.mse);
+    }
+}

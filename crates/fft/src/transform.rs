@@ -1,0 +1,276 @@
+//! Forward and inverse FFT: radix-2 Cooley–Tukey plus Bluestein for
+//! arbitrary lengths.
+
+use crate::complex::Complex;
+
+/// Smallest power of two `>= n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `sign = -1.0` gives the forward transform, `+1.0` the (unscaled) inverse.
+///
+/// # Panics
+/// Panics unless `buf.len()` is a power of two.
+fn fft_pow2(buf: &mut [Complex], sign: f64) {
+    let n = buf.len();
+    assert!(
+        n.is_power_of_two(),
+        "fft_pow2 requires power-of-two length, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::from_re(1.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward DFT of arbitrary length via Bluestein's chirp-z transform.
+fn bluestein(x: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = x.len();
+    let m = next_pow2(2 * n - 1);
+    // Chirp: w_k = e^{sign * iπ k² / n}
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k² mod 2n avoids precision loss for large k.
+            let k2 = (k as u64 * k as u64) % (2 * n as u64);
+            Complex::cis(sign * std::f64::consts::PI * k2 as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![Complex::zero(); m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+    }
+    let mut b = vec![Complex::zero(); m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2(&mut a, -1.0);
+    fft_pow2(&mut b, -1.0);
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av = *av * *bv;
+    }
+    fft_pow2(&mut a, 1.0);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect()
+}
+
+/// Forward DFT: `X[k] = Σ_t x[t] e^{-2πi kt / n}`.
+///
+/// Accepts any length: powers of two use radix-2 Cooley–Tukey, other
+/// lengths use Bluestein's algorithm. An empty input returns empty.
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_pow2(&mut buf, -1.0);
+        buf
+    } else {
+        bluestein(x, -1.0)
+    }
+}
+
+/// Inverse DFT with `1/n` normalization: `ifft(fft(x)) == x`.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        fft_pow2(&mut buf, 1.0);
+        buf
+    } else {
+        bluestein(x, 1.0)
+    };
+    let scale = 1.0 / n as f64;
+    for v in out.iter_mut() {
+        *v = v.scale(scale);
+    }
+    out
+}
+
+/// Magnitudes of the positive-frequency half of the DFT of a real signal.
+///
+/// Returns `n/2 + 1` magnitudes (bins `0..=n/2`). Useful for spectrum
+/// inspection and period detection.
+pub fn rfft_magnitudes(x: &[f32]) -> Vec<f32> {
+    let buf: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v as f64)).collect();
+    let spec = fft(&buf);
+    spec.iter()
+        .take(x.len() / 2 + 1)
+        .map(|c| c.abs() as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT for cross-checking.
+    fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::zero();
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    acc = acc + v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_pow2() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_arbitrary_lengths() {
+        for n in [1usize, 2, 3, 5, 6, 7, 12, 15, 31, 96, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.9).cos()))
+                .collect();
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-7);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 13, 96] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64 * 0.1 - 0.5, (i as f64).cos()))
+                .collect();
+            let back = ifft(&fft(&x));
+            assert_spectra_close(&back, &x, 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::zero(); 8];
+        x[0] = Complex::from_re(1.0);
+        let spec = fft(&x);
+        for c in &spec {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let x = vec![Complex::from_re(2.0); 8];
+        let spec = fft(&x);
+        assert!((spec[0].re - 16.0).abs() < 1e-9);
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let n = 12;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::from_re((i as f64).sin())).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::from_re((i as f64).cos())).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let expect: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_spectra_close(&fsum, &expect, 1e-9);
+    }
+
+    #[test]
+    fn rfft_detects_sine_frequency() {
+        // A pure sine with 4 cycles over 64 samples peaks at bin 4.
+        let x: Vec<f32> = (0..64)
+            .map(|i| (2.0 * std::f32::consts::PI * 4.0 * i as f32 / 64.0).sin())
+            .collect();
+        let mags = rfft_magnitudes(&x);
+        assert_eq!(mags.len(), 33);
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 4);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::from_re((i as f64 * 0.37).sin()))
+            .collect();
+        let spec = fft(&x);
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(16), 16);
+        assert_eq!(next_pow2(17), 32);
+    }
+}

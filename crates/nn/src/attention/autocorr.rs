@@ -1,0 +1,173 @@
+//! Autoformer's auto-correlation mechanism: instead of point-wise
+//! attention, aggregate time-delayed copies of the values weighted by the
+//! series' autocorrelation at the top-k delays.
+//!
+//! Delay *candidates* are found with FFT on detached values (exactly how
+//! Autoformer does it); the per-delay *weights* are computed
+//! differentiably in the time domain as `mean_t,d (Q ⊙ roll(K, τ))` and
+//! softmax-normalized.
+
+use lttf_autograd::Var;
+use lttf_fft::top_k_periods;
+
+/// Cyclic-roll index list: `out[t] = (t + tau) mod len`.
+fn roll_indices(len: usize, tau: usize) -> Vec<usize> {
+    (0..len).map(|t| (t + tau) % len).collect()
+}
+
+/// Auto-correlation "attention" on head-folded tensors
+/// (`q, k, v: [bh, L, dh]`). Cross-attention inputs are length-aligned by
+/// truncation / zero-padding of K and V, as in Autoformer.
+pub fn auto_correlation_attention<'g>(
+    q: Var<'g>,
+    k: Var<'g>,
+    v: Var<'g>,
+    factor: usize,
+) -> Var<'g> {
+    let (bh, lq, _dh) = {
+        let s = q.shape();
+        (s[0], s[1], s[2])
+    };
+    let lk = k.shape()[1];
+    // Length-align K and V to the query length.
+    let (k, v) = if lk == lq {
+        (k, v)
+    } else if lk > lq {
+        (k.narrow(1, 0, lq), v.narrow(1, 0, lq))
+    } else {
+        (k.pad_axis(1, 0, lq - lk), v.pad_axis(1, 0, lq - lk))
+    };
+
+    // Top-k delay candidates from the detached, aggregated query series.
+    let topk = ((factor.max(1) as f32) * (lq as f32).ln().max(1.0)).ceil() as usize;
+    let topk = topk.clamp(1, lq.saturating_sub(1).max(1));
+    let delays = {
+        let qv = q.value();
+        // aggregate over batch·head and features → one series of length L
+        let series: Vec<f32> = (0..lq)
+            .map(|t| {
+                let mut s = 0.0;
+                for b in 0..bh {
+                    s += qv.narrow(0, b, 1).narrow(1, t, 1).sum();
+                }
+                s
+            })
+            .collect();
+        let mut d = top_k_periods(&series, topk);
+        if d.is_empty() {
+            d.push(1);
+        }
+        d
+    };
+
+    // Differentiable delay weights: w_τ = mean(Q ⊙ roll(K, τ)) per bh row.
+    let mut weight_parts: Vec<Var<'g>> = Vec::with_capacity(delays.len());
+    let mut rolled_vs: Vec<Var<'g>> = Vec::with_capacity(delays.len());
+    for &tau in &delays {
+        let idx = roll_indices(lq, tau);
+        let k_rolled = k.select(1, &idx);
+        let score = q.mul(k_rolled).mean_axis_keepdim(1).mean_axis_keepdim(2); // [bh, 1, 1]
+        weight_parts.push(score);
+        rolled_vs.push(v.select(1, &idx));
+    }
+    let weights = Var::concat(&weight_parts, 1).softmax(1); // [bh, topk, 1]
+
+    // Weighted sum of rolled values.
+    let mut out: Option<Var<'g>> = None;
+    for (i, v_rolled) in rolled_vs.into_iter().enumerate() {
+        let w = weights.narrow(1, i, 1); // [bh, 1, 1] broadcasts over [bh, L, dv]
+        let term = v_rolled.mul(w);
+        out = Some(match out {
+            Some(acc) => acc.add(term),
+            None => term,
+        });
+    }
+    out.expect("at least one delay")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_autograd::Graph;
+    use lttf_tensor::{Rng, Tensor};
+
+    #[test]
+    fn roll_indices_wrap() {
+        assert_eq!(roll_indices(4, 1), vec![1, 2, 3, 0]);
+        assert_eq!(roll_indices(4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(roll_indices(4, 5), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn shape_preserved_self() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(1);
+        let q = g.leaf(Tensor::randn(&[2, 24, 4], &mut rng));
+        let k = g.leaf(Tensor::randn(&[2, 24, 4], &mut rng));
+        let v = g.leaf(Tensor::randn(&[2, 24, 4], &mut rng));
+        assert_eq!(
+            auto_correlation_attention(q, k, v, 1).shape(),
+            vec![2, 24, 4]
+        );
+    }
+
+    #[test]
+    fn shape_preserved_cross_short_kv() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(2);
+        let q = g.leaf(Tensor::randn(&[1, 16, 4], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, 8, 4], &mut rng));
+        let v = g.leaf(Tensor::randn(&[1, 8, 4], &mut rng));
+        assert_eq!(
+            auto_correlation_attention(q, k, v, 1).shape(),
+            vec![1, 16, 4]
+        );
+    }
+
+    #[test]
+    fn output_is_convex_combination_of_rolled_values() {
+        // Weights softmax to 1, so a constant V must pass through unchanged.
+        let g = Graph::new();
+        let mut rng = Rng::seed(3);
+        let q = g.leaf(Tensor::randn(&[1, 12, 3], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, 12, 3], &mut rng));
+        let v = g.leaf(Tensor::full(&[1, 12, 3], 2.5));
+        let out = auto_correlation_attention(q, k, v, 2).value();
+        out.assert_close(&Tensor::full(&[1, 12, 3], 2.5), 1e-4);
+    }
+
+    #[test]
+    fn periodic_series_picks_its_period() {
+        // Q = K = a period-8 wave; the dominant delay must be 8, so
+        // V rolled by 8 (identical to V for a period-8 V) dominates.
+        let l = 32;
+        let wave: Vec<f32> = (0..l)
+            .map(|t| (2.0 * std::f32::consts::PI * t as f32 / 8.0).sin())
+            .collect();
+        let g = Graph::new();
+        let qk = Tensor::from_vec(wave.clone(), &[1, l, 1]);
+        let v = Tensor::from_vec(wave, &[1, l, 1]);
+        let out = auto_correlation_attention(g.leaf(qk.clone()), g.leaf(qk), g.leaf(v.clone()), 1)
+            .value();
+        // rolling a period-8 series by multiples of 8 is identity, so the
+        // output should look very much like V itself.
+        let corr: f32 = (0..l)
+            .map(|t| out.at(&[0, t, 0]) * v.at(&[0, t, 0]))
+            .sum::<f32>()
+            / (0..l).map(|t| v.at(&[0, t, 0]).powi(2)).sum::<f32>();
+        assert!(corr > 0.7, "correlation with V is only {corr}");
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(4);
+        let q = g.leaf(Tensor::randn(&[1, 10, 3], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, 10, 3], &mut rng));
+        let v = g.leaf(Tensor::randn(&[1, 10, 3], &mut rng));
+        let grads = g.backward(auto_correlation_attention(q, k, v, 1).square().sum_all());
+        assert!(grads.get(q).unwrap().abs().sum() > 0.0);
+        assert!(grads.get(k).unwrap().abs().sum() > 0.0);
+        assert!(grads.get(v).unwrap().abs().sum() > 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dense (full) scaled-dot-product attention — the Vaswani et al. baseline.
+
+use lttf_autograd::Var;
+use lttf_tensor::Tensor;
+
+/// Full attention on head-folded tensors:
+/// `softmax(QKᵀ/√d + mask) V`, with an optional additive mask of shape
+/// `[Lq, Lk]` (−∞-style entries disable positions).
+pub fn full_attention<'g>(q: Var<'g>, k: Var<'g>, v: Var<'g>, mask: Option<&Tensor>) -> Var<'g> {
+    let dh = *q.shape().last().expect("q must have a feature axis");
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut scores = q.matmul(k.swap_axes(1, 2)).mul_scalar(scale);
+    if let Some(m) = mask {
+        let g = q.graph();
+        let lq = scores.shape()[1];
+        let lk = scores.shape()[2];
+        assert_eq!(m.shape(), &[lq, lk], "attention mask must be [Lq, Lk]");
+        scores = scores.add(g.constant(m.reshape(&[1, lq, lk])));
+    }
+    scores.softmax(-1).matmul(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_autograd::Graph;
+    use lttf_tensor::{Rng, Tensor};
+
+    #[test]
+    fn uniform_attention_averages_values() {
+        // Identical queries/keys ⇒ uniform weights ⇒ output = mean of V.
+        let g = Graph::new();
+        let q = g.leaf(Tensor::ones(&[1, 3, 4]));
+        let k = g.leaf(Tensor::ones(&[1, 3, 4]));
+        let v = g.leaf(Tensor::from_vec(
+            (0..12).map(|x| x as f32).collect(),
+            &[1, 3, 4],
+        ));
+        let out = full_attention(q, k, v, None).value();
+        let mean = v.value().mean_axis_keepdim(1);
+        for i in 0..3 {
+            out.narrow(1, i, 1).assert_close(&mean, 1e-5);
+        }
+    }
+
+    #[test]
+    fn sharp_attention_selects_matching_key() {
+        // One key aligned with the query and scaled up ⇒ output ≈ its value.
+        let g = Graph::new();
+        let mut qd = Tensor::zeros(&[1, 1, 2]);
+        qd.set(&[0, 0, 0], 10.0);
+        let mut kd = Tensor::zeros(&[1, 3, 2]);
+        kd.set(&[0, 1, 0], 10.0); // key 1 matches strongly
+        let v = Tensor::from_vec(vec![1.0, 1.0, 5.0, 5.0, 9.0, 9.0], &[1, 3, 2]);
+        let out = full_attention(g.leaf(qd), g.leaf(kd), g.leaf(v), None).value();
+        assert!((out.at(&[0, 0, 0]) - 5.0).abs() < 1e-2, "{out:?}");
+    }
+
+    #[test]
+    fn mask_disables_positions() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(1);
+        let q = g.leaf(Tensor::randn(&[1, 2, 4], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, 3, 4], &mut rng));
+        let v = g.leaf(Tensor::randn(&[1, 3, 4], &mut rng));
+        // Only key 0 allowed for every query.
+        let mut mask = Tensor::full(&[2, 3], -1e9);
+        mask.set(&[0, 0], 0.0);
+        mask.set(&[1, 0], 0.0);
+        let out = full_attention(q, k, v, Some(&mask)).value();
+        let v0 = v.value().narrow(1, 0, 1);
+        out.narrow(1, 0, 1).assert_close(&v0, 1e-4);
+        out.narrow(1, 1, 1).assert_close(&v0, 1e-4);
+    }
+
+    #[test]
+    fn output_rows_are_convex_combinations() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(2);
+        let q = g.leaf(Tensor::randn(&[2, 4, 3], &mut rng));
+        let k = g.leaf(Tensor::randn(&[2, 5, 3], &mut rng));
+        let v = g.leaf(Tensor::randn(&[2, 5, 3], &mut rng));
+        let out = full_attention(q, k, v, None).value();
+        let vv = v.value();
+        // each output element is within [min V, max V] per batch/feature lane
+        for b in 0..2 {
+            for f in 0..3 {
+                let col: Vec<f32> = (0..5).map(|t| vv.at(&[b, t, f])).collect();
+                let (lo, hi) = (
+                    col.iter().cloned().fold(f32::INFINITY, f32::min),
+                    col.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+                );
+                for t in 0..4 {
+                    let o = out.at(&[b, t, f]);
+                    assert!(o >= lo - 1e-4 && o <= hi + 1e-4);
+                }
+            }
+        }
+    }
+}

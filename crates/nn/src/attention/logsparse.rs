@@ -1,0 +1,97 @@
+//! LogTrans' log-sparse attention: each query attends to itself and to
+//! predecessors at exponentially growing distances (i−1, i−2, i−4, …),
+//! realized here as an additive mask on dense scores.
+
+use crate::attention::full::full_attention;
+use lttf_autograd::Var;
+use lttf_tensor::Tensor;
+
+/// Build the `[lq, lk]` log-sparse additive mask (0 = allowed, −1e9 =
+/// blocked). For cross-attention, query positions are rescaled onto the
+/// key axis first.
+pub fn log_sparse_mask(lq: usize, lk: usize) -> Tensor {
+    let mut mask = Tensor::full(&[lq, lk], -1e9);
+    for i in 0..lq {
+        let center = if lq == lk { i } else { i * lk / lq };
+        mask.set(&[i, center], 0.0);
+        // successors at +1 keep a minimal forward context
+        if center + 1 < lk {
+            mask.set(&[i, center + 1], 0.0);
+        }
+        let mut step = 1usize;
+        while step <= center {
+            mask.set(&[i, center - step], 0.0);
+            step *= 2;
+        }
+    }
+    mask
+}
+
+/// Log-sparse attention on head-folded tensors.
+pub fn log_sparse_attention<'g>(q: Var<'g>, k: Var<'g>, v: Var<'g>) -> Var<'g> {
+    let lq = q.shape()[1];
+    let lk = k.shape()[1];
+    let mask = log_sparse_mask(lq, lk);
+    full_attention(q, k, v, Some(&mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_autograd::Graph;
+    use lttf_tensor::Rng;
+
+    #[test]
+    fn mask_allows_exponential_predecessors() {
+        let m = log_sparse_mask(16, 16);
+        // row 8 allows 8 (self), 9 (next), and 8−1, 8−2, 8−4, 8−8.
+        for j in [8usize, 9, 7, 6, 4, 0] {
+            assert_eq!(m.at(&[8, j]), 0.0, "position {j} should be allowed");
+        }
+        // 8−3 = 5 and 8−5 = 3 are blocked.
+        for j in [5usize, 3, 2] {
+            assert!(m.at(&[8, j]) < -1e8, "position {j} should be blocked");
+        }
+    }
+
+    #[test]
+    fn allowed_count_is_logarithmic() {
+        let l = 256;
+        let m = log_sparse_mask(l, l);
+        for i in [0usize, 17, 128, 255] {
+            let allowed = (0..l).filter(|&j| m.at(&[i, j]) == 0.0).count();
+            assert!(
+                allowed <= 2 + (l as f32).log2() as usize + 1,
+                "row {i}: {allowed} allowed"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_shape_and_grads() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(1);
+        let q = g.leaf(Tensor::randn(&[2, 10, 4], &mut rng));
+        let k = g.leaf(Tensor::randn(&[2, 10, 4], &mut rng));
+        let v = g.leaf(Tensor::randn(&[2, 10, 4], &mut rng));
+        let out = log_sparse_attention(q, k, v);
+        assert_eq!(out.shape(), vec![2, 10, 4]);
+        let grads = g.backward(out.square().sum_all());
+        assert!(grads.get(q).unwrap().abs().sum() > 0.0);
+    }
+
+    #[test]
+    fn first_row_sees_only_self_and_next() {
+        let g = Graph::new();
+        let q = g.leaf(Tensor::ones(&[1, 4, 2]));
+        let k = g.leaf(Tensor::ones(&[1, 4, 2]));
+        // distinct values per position
+        let v = g.leaf(Tensor::from_vec(
+            vec![1.0, 1.0, 3.0, 3.0, 100.0, 100.0, 200.0, 200.0],
+            &[1, 4, 2],
+        ));
+        let out = log_sparse_attention(q, k, v).value();
+        // row 0: uniform over positions {0, 1} → (1+3)/2 = 2
+        assert!((out.at(&[0, 0, 0]) - 2.0).abs() < 1e-4, "{out:?}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Attention mechanisms.
+//!
+//! Implements the paper's **sliding-window attention** (linear in sequence
+//! length) plus the five mechanisms it is compared against in Table VI and
+//! Fig. 5:
+//!
+//! | kind | paper | complexity |
+//! |------|-------|------------|
+//! | [`AttentionKind::SlidingWindow`] | Conformer (this paper) | O(L·w) |
+//! | [`AttentionKind::Full`] | Vaswani et al. | O(L²) |
+//! | [`AttentionKind::ProbSparse`] | Informer | O(L log L) |
+//! | [`AttentionKind::Lsh`] | Reformer | O(L log L) |
+//! | [`AttentionKind::LogSparse`] | LogTrans | O(L log L) scores on a full mask |
+//! | [`AttentionKind::AutoCorrelation`] | Autoformer | O(L log L) |
+//!
+//! All mechanisms share one calling convention: head-folded tensors of
+//! shape `[batch·heads, len, d_head]` go in, the same shape comes out.
+//! [`MultiHeadAttention`] wraps projection, head folding, dispatch, and the
+//! output projection.
+//!
+//! ### Faithfulness notes (documented deviations)
+//!
+//! * ProbSparse and LSH pick their sparse structure (top queries / bucket
+//!   assignments) from batch-aggregated statistics rather than per batch
+//!   row. The per-row variant requires per-row gather, which this
+//!   reproduction trades away for simplicity; the asymptotic cost and the
+//!   attention structure are unchanged.
+//! * Delay candidates in auto-correlation are chosen by FFT on detached
+//!   values (as in Autoformer); the delay *weights* are differentiable.
+
+mod autocorr;
+mod full;
+mod logsparse;
+mod lsh;
+mod prob;
+mod window;
+
+#[cfg(test)]
+mod proptests;
+
+pub use full::full_attention;
+pub use logsparse::{log_sparse_attention, log_sparse_mask};
+pub use lsh::lsh_forward;
+pub use window::{
+    sliding_window_attention, sliding_window_global_attention, window_forward,
+    window_global_forward,
+};
+
+use crate::linear::Linear;
+use crate::param::{Fwd, ParamSet};
+use lttf_autograd::Var;
+use lttf_tensor::Rng;
+
+/// Which attention mechanism to use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttentionKind {
+    /// Dense softmax attention, O(L²).
+    Full,
+    /// The paper's sliding-window attention with window size `w`
+    /// (each query attends to `w/2` neighbours on each side plus the
+    /// aligned centre). The paper's default is `w = 2`.
+    SlidingWindow {
+        /// Total window width (neighbours on both sides).
+        w: usize,
+    },
+    /// Longformer's combined pattern: sliding window plus `n_global`
+    /// global tokens that attend to (and are attended by) everything.
+    /// Complexity O(L·(w + n_global)).
+    SlidingWindowGlobal {
+        /// Local window width.
+        w: usize,
+        /// Number of leading global positions.
+        n_global: usize,
+    },
+    /// Informer's ProbSparse attention: only the `factor·ln L` most
+    /// "active" queries attend; the rest receive the mean value.
+    ProbSparse {
+        /// Sampling factor `c` (paper sets 1).
+        factor: usize,
+    },
+    /// Reformer's LSH attention with `n_buckets` hash buckets.
+    Lsh {
+        /// Number of hash buckets.
+        n_buckets: usize,
+    },
+    /// LogTrans' log-sparse attention: each query sees itself and
+    /// exponentially spaced predecessors.
+    LogSparse,
+    /// Autoformer's auto-correlation: aggregate time-delayed copies of V
+    /// weighted by series autocorrelation; `factor·ln L` delays are used.
+    AutoCorrelation {
+        /// Sampling factor `c` (paper sets 1).
+        factor: usize,
+    },
+}
+
+impl AttentionKind {
+    /// A short identifier used in benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttentionKind::Full => "full",
+            AttentionKind::SlidingWindow { .. } => "sliding-window",
+            AttentionKind::SlidingWindowGlobal { .. } => "sliding-window+global",
+            AttentionKind::ProbSparse { .. } => "prob-sparse",
+            AttentionKind::Lsh { .. } => "lsh",
+            AttentionKind::LogSparse => "log-sparse",
+            AttentionKind::AutoCorrelation { .. } => "auto-correlation",
+        }
+    }
+}
+
+/// Run an attention mechanism on head-folded tensors
+/// `q: [bh, Lq, dh]`, `k, v: [bh, Lk, dh]` → `[bh, Lq, dh]`.
+pub fn attend_folded<'g>(
+    kind: AttentionKind,
+    cx: &Fwd<'g, '_>,
+    q: Var<'g>,
+    k: Var<'g>,
+    v: Var<'g>,
+) -> Var<'g> {
+    match kind {
+        AttentionKind::Full => full::full_attention(q, k, v, None),
+        AttentionKind::SlidingWindow { w } => window::sliding_window_attention(q, k, v, w),
+        AttentionKind::SlidingWindowGlobal { w, n_global } => {
+            window::sliding_window_global_attention(q, k, v, w, n_global)
+        }
+        AttentionKind::ProbSparse { factor } => prob::prob_sparse_attention(q, k, v, factor),
+        AttentionKind::Lsh { n_buckets } => lsh::lsh_attention(cx, q, k, v, n_buckets),
+        AttentionKind::LogSparse => logsparse::log_sparse_attention(q, k, v),
+        AttentionKind::AutoCorrelation { factor } => {
+            autocorr::auto_correlation_attention(q, k, v, factor)
+        }
+    }
+}
+
+/// Multi-head attention: project, fold heads, dispatch to a mechanism,
+/// merge heads, project out (paper Eq. 7).
+pub struct MultiHeadAttention {
+    kind: AttentionKind,
+    n_heads: usize,
+    d_model: usize,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    dropout: f32,
+}
+
+impl MultiHeadAttention {
+    /// Allocate the four projections.
+    ///
+    /// # Panics
+    /// Panics unless `n_heads` divides `d_model`.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        kind: AttentionKind,
+        d_model: usize,
+        n_heads: usize,
+        dropout: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(
+            d_model % n_heads,
+            0,
+            "n_heads {n_heads} must divide d_model {d_model}"
+        );
+        MultiHeadAttention {
+            kind,
+            n_heads,
+            d_model,
+            wq: Linear::new(ps, &format!("{name}.wq"), d_model, d_model, rng),
+            wk: Linear::new(ps, &format!("{name}.wk"), d_model, d_model, rng),
+            wv: Linear::new(ps, &format!("{name}.wv"), d_model, d_model, rng),
+            wo: Linear::new(ps, &format!("{name}.wo"), d_model, d_model, rng),
+            dropout,
+        }
+    }
+
+    /// The configured mechanism.
+    pub fn kind(&self) -> AttentionKind {
+        self.kind
+    }
+
+    /// `[B, L, d] → [B·N, L, d/N]`.
+    fn split_heads<'g>(&self, x: Var<'g>) -> Var<'g> {
+        let s = x.shape();
+        let (b, l) = (s[0], s[1]);
+        let dh = self.d_model / self.n_heads;
+        x.reshape(&[b, l, self.n_heads, dh])
+            .permute(&[0, 2, 1, 3])
+            .reshape(&[b * self.n_heads, l, dh])
+    }
+
+    /// `[B·N, L, d/N] → [B, L, d]`.
+    fn merge_heads<'g>(&self, x: Var<'g>, b: usize) -> Var<'g> {
+        let s = x.shape();
+        let l = s[1];
+        let dh = self.d_model / self.n_heads;
+        x.reshape(&[b, self.n_heads, l, dh])
+            .permute(&[0, 2, 1, 3])
+            .reshape(&[b, l, self.d_model])
+    }
+
+    /// Attend `query → key/value`. All inputs `[B, L, d_model]`.
+    pub fn forward<'g>(
+        &self,
+        cx: &Fwd<'g, '_>,
+        query: Var<'g>,
+        key: Var<'g>,
+        value: Var<'g>,
+    ) -> Var<'g> {
+        let b = query.shape()[0];
+        let q = self.split_heads(self.wq.forward(cx, query));
+        let k = self.split_heads(self.wk.forward(cx, key));
+        let v = self.split_heads(self.wv.forward(cx, value));
+        let ctxt = attend_folded(self.kind, cx, q, k, v);
+        let merged = self.merge_heads(ctxt, b);
+        let out = self.wo.forward(cx, merged);
+        cx.dropout(out, self.dropout)
+    }
+
+    /// Self-attention convenience: query = key = value = `x`.
+    pub fn forward_self<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>) -> Var<'g> {
+        self.forward(cx, x, x, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamSet;
+    use lttf_autograd::Graph;
+    use lttf_tensor::{Rng, Tensor};
+
+    fn run_kind(kind: AttentionKind) -> Vec<usize> {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(0);
+        let mha = MultiHeadAttention::new(&mut ps, "a", kind, 16, 4, 0.0, &mut rng);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        let x = g.leaf(Tensor::randn(&[2, 12, 16], &mut rng));
+        mha.forward_self(&cx, x).shape()
+    }
+
+    #[test]
+    fn all_kinds_preserve_shape() {
+        for kind in [
+            AttentionKind::Full,
+            AttentionKind::SlidingWindow { w: 2 },
+            AttentionKind::ProbSparse { factor: 1 },
+            AttentionKind::Lsh { n_buckets: 4 },
+            AttentionKind::LogSparse,
+            AttentionKind::AutoCorrelation { factor: 1 },
+        ] {
+            assert_eq!(run_kind(kind), vec![2, 12, 16], "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn cross_attention_shapes() {
+        // decoder-style: query length != key length
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(1);
+        for kind in [
+            AttentionKind::Full,
+            AttentionKind::SlidingWindow { w: 4 },
+            AttentionKind::ProbSparse { factor: 1 },
+            AttentionKind::AutoCorrelation { factor: 1 },
+        ] {
+            let mha = MultiHeadAttention::new(&mut ps, "a", kind, 16, 2, 0.0, &mut rng);
+            let g = Graph::new();
+            let cx = Fwd::new(&g, &ps, false, 0);
+            let q = g.leaf(Tensor::randn(&[1, 20, 16], &mut rng));
+            let kv = g.leaf(Tensor::randn(&[1, 8, 16], &mut rng));
+            let y = mha.forward(&cx, q, kv, kv);
+            assert_eq!(y.shape(), vec![1, 20, 16], "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_every_kind() {
+        for kind in [
+            AttentionKind::Full,
+            AttentionKind::SlidingWindow { w: 2 },
+            AttentionKind::ProbSparse { factor: 1 },
+            AttentionKind::Lsh { n_buckets: 2 },
+            AttentionKind::LogSparse,
+            AttentionKind::AutoCorrelation { factor: 1 },
+        ] {
+            let mut ps = ParamSet::new();
+            let mut rng = Rng::seed(2);
+            let mha = MultiHeadAttention::new(&mut ps, "a", kind, 8, 2, 0.0, &mut rng);
+            let g = Graph::new();
+            let cx = Fwd::new(&g, &ps, true, 0);
+            let x = g.leaf(Tensor::randn(&[1, 10, 8], &mut rng));
+            let loss = mha.forward_self(&cx, x).square().sum_all();
+            let grads = g.backward(loss);
+            let collected = cx.collect_grads(&grads);
+            ps.zero_grad();
+            ps.apply_grads(collected);
+            let total: f32 = ps.ids().map(|id| ps.grad(id).abs().sum()).sum();
+            assert!(total > 0.0, "no gradient for {kind:?}");
+            assert!(total.is_finite(), "non-finite gradient for {kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn head_mismatch_panics() {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(0);
+        MultiHeadAttention::new(&mut ps, "a", AttentionKind::Full, 10, 3, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,148 @@
+//! Informer's ProbSparse attention.
+//!
+//! Only the `u = factor·⌈ln Lq⌉` queries with the highest sparsity
+//! measurement `M(q) = max_j s(q,k_j) − mean_j s(q,k_j)` perform full
+//! attention; the remaining queries output the mean of the values (the
+//! Informer "lazy query" shortcut for non-causal attention).
+//!
+//! Deviation from the original: the top-u query set is chosen from
+//! batch-aggregated scores (see module docs in `attention`), keeping the
+//! structure and asymptotics while avoiding per-batch gathers.
+
+use crate::attention::full::full_attention;
+use lttf_autograd::Var;
+
+/// ProbSparse attention on head-folded tensors.
+pub fn prob_sparse_attention<'g>(q: Var<'g>, k: Var<'g>, v: Var<'g>, factor: usize) -> Var<'g> {
+    let (bh, lq, _dh) = {
+        let s = q.shape();
+        (s[0], s[1], s[2])
+    };
+    let lk = k.shape()[1];
+    let u = (factor.max(1) as f32 * (lq as f32).ln().max(1.0)).ceil() as usize;
+    let u = u.clamp(1, lq);
+    if u == lq {
+        // Every query is active: identical to full attention.
+        return full_attention(q, k, v, None);
+    }
+
+    // Sparsity measurement from detached values, aggregated over the
+    // batch·head axis.
+    let active = {
+        let qv = q.value();
+        let kv = k.value();
+        let dh = qv.shape()[2];
+        let scale = 1.0 / (dh as f32).sqrt();
+        let scores = qv.matmul(&kv.swap_axes(1, 2)).mul_scalar(scale); // [bh, lq, lk]
+        let max = scores.max_axis(-1); // [bh, lq]
+        let mean = scores.mean_axis(-1); // [bh, lq]
+        let m = max.sub(&mean).mean_axis(0); // [lq] aggregated over bh
+        let mut idx: Vec<usize> = (0..lq).collect();
+        idx.sort_by(|&a, &b| {
+            m.data()[b]
+                .partial_cmp(&m.data()[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut sel = idx[..u].to_vec();
+        sel.sort_unstable();
+        sel
+    };
+
+    // Active queries attend fully.
+    let q_sel = q.select(1, &active); // [bh, u, dh]
+    let attn_sel = full_attention(q_sel, k, v, None); // [bh, u, dv]
+
+    // Lazy queries receive mean(V).
+    let dv = v.shape()[2];
+    let v_mean = v
+        .mean_axis_keepdim(1) // [bh, 1, dv]
+        .broadcast_to(&[bh, lq, dv]);
+
+    // Scatter: concat [lazy rows | active rows] and select per position.
+    let combined = Var::concat(&[v_mean, attn_sel], 1); // [bh, lq + u, dv]
+    let mut order = Vec::with_capacity(lq);
+    let mut next_active = 0usize;
+    for (i, slot) in (0..lq)
+        .map(|i| {
+            if next_active < active.len() && active[next_active] == i {
+                next_active += 1;
+                lq + next_active - 1
+            } else {
+                i
+            }
+        })
+        .enumerate()
+    {
+        debug_assert!(i < lq);
+        order.push(slot);
+    }
+    let _ = lk;
+    combined.select(1, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::full::full_attention;
+    use lttf_autograd::Graph;
+    use lttf_tensor::{Rng, Tensor};
+
+    #[test]
+    fn output_shape() {
+        let g = Graph::new();
+        let mut rng = Rng::seed(1);
+        let q = g.leaf(Tensor::randn(&[2, 20, 4], &mut rng));
+        let k = g.leaf(Tensor::randn(&[2, 20, 4], &mut rng));
+        let v = g.leaf(Tensor::randn(&[2, 20, 4], &mut rng));
+        assert_eq!(prob_sparse_attention(q, k, v, 1).shape(), vec![2, 20, 4]);
+    }
+
+    #[test]
+    fn small_sequences_fall_back_to_full() {
+        // ln(3) ≈ 1.1, u = 2 < 3... use factor large enough to cover all.
+        let g = Graph::new();
+        let mut rng = Rng::seed(2);
+        let q = g.leaf(Tensor::randn(&[1, 3, 4], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, 3, 4], &mut rng));
+        let v = g.leaf(Tensor::randn(&[1, 3, 4], &mut rng));
+        let sparse = prob_sparse_attention(q, k, v, 5);
+        let full = full_attention(q, k, v, None);
+        sparse.value().assert_close(&full.value(), 1e-5);
+    }
+
+    #[test]
+    fn lazy_queries_get_value_mean() {
+        // Craft one clearly dominant query (big magnitude), the rest tiny:
+        // non-selected rows must equal mean(V).
+        let g = Graph::new();
+        let lq = 12;
+        let mut qd = Tensor::zeros(&[1, lq, 2]);
+        qd.set(&[0, 0, 0], 10.0); // query 0 is "active"
+        let k = g.leaf(Tensor::randn(&[1, lq, 2], &mut Rng::seed(3)));
+        let v = g.leaf(Tensor::randn(&[1, lq, 2], &mut Rng::seed(4)));
+        let out = prob_sparse_attention(g.leaf(qd), k, v, 1).value();
+        let vmean = v.value().mean_axis(1); // [1, 2]
+                                            // u = ceil(ln 12) = 3 selected; at least the flat rows match mean(V).
+        let mut mean_rows = 0;
+        for i in 0..lq {
+            let row = out.narrow(1, i, 1).reshape(&[1, 2]);
+            if row.max_abs_diff(&vmean) < 1e-4 {
+                mean_rows += 1;
+            }
+        }
+        assert!(mean_rows >= lq - 3, "only {mean_rows} rows are mean(V)");
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = Rng::seed(5);
+        let g = Graph::new();
+        let q = g.leaf(Tensor::randn(&[1, 10, 3], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, 10, 3], &mut rng));
+        let v = g.leaf(Tensor::randn(&[1, 10, 3], &mut rng));
+        let loss = prob_sparse_attention(q, k, v, 1).square().sum_all();
+        let grads = g.backward(loss);
+        assert!(grads.get(v).unwrap().abs().sum() > 0.0);
+        assert!(grads.get(q).unwrap().abs().sum() > 0.0);
+    }
+}

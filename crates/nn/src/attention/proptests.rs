@@ -1,0 +1,99 @@
+//! Property-based tests for the attention mechanisms: the fused banded
+//! kernel agrees with a dense masked reference for arbitrary window and
+//! global-token configurations, and every mechanism preserves the
+//! convex-combination property of softmax attention.
+
+use crate::attention::{full_attention, sliding_window_global_attention, window_global_forward};
+use lttf_autograd::Graph;
+use lttf_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+/// Dense reference for the banded+global pattern: full scores with a
+/// −1e9 mask wherever the fused kernel would not look.
+fn masked_reference(q: &Tensor, k: &Tensor, v: &Tensor, w: usize, n_global: usize) -> Tensor {
+    let l = q.shape()[1];
+    let half = w / 2;
+    let mut mask = Tensor::full(&[l, l], -1e9);
+    for i in 0..l {
+        if i < n_global {
+            for j in 0..l {
+                mask.set(&[i, j], 0.0);
+            }
+            continue;
+        }
+        for j in 0..n_global.min(l) {
+            mask.set(&[i, j], 0.0);
+        }
+        for j in i.saturating_sub(half)..(i + half + 1).min(l) {
+            mask.set(&[i, j], 0.0);
+        }
+    }
+    let g = Graph::new();
+    full_attention(
+        g.leaf(q.clone()),
+        g.leaf(k.clone()),
+        g.leaf(v.clone()),
+        Some(&mask),
+    )
+    .value()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_kernel_matches_masked_reference(
+        l in 3usize..12,
+        w_half in 0usize..4,
+        n_global in 0usize..4,
+        seed in 0u64..200,
+    ) {
+        let w = (2 * w_half).max(1);
+        let n_global = n_global.min(l);
+        let mut rng = Rng::seed(seed);
+        let q = Tensor::randn(&[2, l, 3], &mut rng);
+        let k = Tensor::randn(&[2, l, 3], &mut rng);
+        let v = Tensor::randn(&[2, l, 3], &mut rng);
+        let fused = window_global_forward(&q, &k, &v, w, n_global);
+        let reference = masked_reference(&q, &k, &v, w, n_global);
+        fused.assert_close(&reference, 1e-3);
+    }
+
+    #[test]
+    fn window_output_bounded_by_value_range(
+        l in 2usize..16,
+        w in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::seed(seed);
+        let q = Tensor::randn(&[1, l, 4], &mut rng);
+        let k = Tensor::randn(&[1, l, 4], &mut rng);
+        let v = Tensor::randn(&[1, l, 4], &mut rng);
+        let out = window_global_forward(&q, &k, &v, w, 0);
+        // softmax attention is a convex combination: global bounds hold
+        prop_assert!(out.max() <= v.max() + 1e-4);
+        prop_assert!(out.min() >= v.min() - 1e-4);
+    }
+
+    #[test]
+    fn window_gradients_are_finite(
+        l in 3usize..10,
+        w in 1usize..4,
+        n_global in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Rng::seed(seed);
+        let g = Graph::new();
+        let q = g.leaf(Tensor::randn(&[1, l, 3], &mut rng));
+        let k = g.leaf(Tensor::randn(&[1, l, 3], &mut rng));
+        let v = g.leaf(Tensor::randn(&[1, l, 3], &mut rng));
+        let loss = sliding_window_global_attention(q, k, v, w, n_global.min(l))
+            .square()
+            .sum_all();
+        let grads = g.backward(loss);
+        for var in [q, k, v] {
+            let gt = grads.get(var).expect("gradient present");
+            prop_assert!(!gt.has_non_finite());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Weight initialization schemes.
+
+use lttf_tensor::{Rng, Tensor};
+
+/// Xavier/Glorot uniform initialization: `U(−a, a)` with
+/// `a = √(6 / (fan_in + fan_out))`. The default for linear projections.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Kaiming/He uniform initialization: `U(−a, a)` with `a = √(6 / fan_in)`.
+/// Used for convolution kernels feeding ReLU-family activations.
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds_and_scale() {
+        let mut rng = Rng::seed(1);
+        let t = xavier_uniform(&[100, 100], 100, 100, &mut rng);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+        // variance of U(-a,a) is a²/3
+        assert!((t.var() - a * a / 3.0).abs() < 0.002);
+    }
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut rng = Rng::seed(2);
+        let t = kaiming_uniform(&[64, 64], 64, &mut rng);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+        assert!(t.std() > 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Layer normalization.
+
+use crate::param::{Fwd, ParamId, ParamSet};
+use lttf_autograd::Var;
+use lttf_tensor::Tensor;
+
+/// Layer normalization over the last axis with learnable scale and shift:
+/// `y = γ ⊙ (x − μ)/√(σ² + ε) + β`.
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Allocate a layer norm over a last axis of width `dim`.
+    pub fn new(ps: &mut ParamSet, name: &str, dim: usize) -> Self {
+        let gamma = ps.add(format!("{name}.gamma"), Tensor::ones(&[dim]));
+        let beta = ps.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply the normalization.
+    ///
+    /// # Panics
+    /// Panics if the input's last axis is not `dim`.
+    pub fn forward<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let shape = x.shape();
+        assert_eq!(
+            *shape.last().expect("layernorm input must have an axis"),
+            self.dim,
+            "layernorm expects last axis {}, got {:?}",
+            self.dim,
+            shape
+        );
+        let normed = x.normalize_last(self.eps);
+        normed.mul(cx.param(self.gamma)).add(cx.param(self.beta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_autograd::Graph;
+    use lttf_tensor::Rng;
+
+    #[test]
+    fn normalizes_rows() {
+        let mut ps = ParamSet::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 8);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        let x = g.leaf(
+            Tensor::randn(&[4, 8], &mut Rng::seed(1))
+                .mul_scalar(3.0)
+                .add_scalar(7.0),
+        );
+        let y = ln.forward(&cx, x).value();
+        for r in 0..4 {
+            let row = y.narrow(0, r, 1);
+            assert!(row.mean().abs() < 1e-4, "row {r} mean {}", row.mean());
+            assert!((row.var() - 1.0).abs() < 1e-2, "row {r} var {}", row.var());
+        }
+    }
+
+    #[test]
+    fn gamma_beta_trainable() {
+        let mut ps = ParamSet::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 4);
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, true, 0);
+        let x = g.leaf(Tensor::randn(&[2, 4], &mut Rng::seed(2)));
+        let loss = ln.forward(&cx, x).square().sum_all();
+        let grads = g.backward(loss);
+        let collected = cx.collect_grads(&grads);
+        ps.zero_grad();
+        ps.apply_grads(collected);
+        // both gamma and beta must receive nonzero gradients
+        let mut ids = ps.ids();
+        let gamma = ids.next().unwrap();
+        let beta = ids.next().unwrap();
+        assert!(ps.grad(gamma).abs().sum() > 0.0);
+        assert!(ps.grad(beta).abs().sum() > 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Learning-rate schedules.
+//!
+//! The paper's protocol halves the learning rate each epoch (the Informer
+//! convention); cosine and warmup schedules are provided for the extended
+//! experiments.
+
+/// A learning-rate schedule: maps a 0-based epoch (or step) index to a
+/// multiplier of the base rate.
+pub trait LrSchedule {
+    /// Multiplier applied to the base learning rate at `epoch`.
+    fn factor(&self, epoch: usize) -> f32;
+
+    /// Convenience: the absolute rate at `epoch` for a given base.
+    fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        base * self.factor(epoch)
+    }
+}
+
+/// Exponential decay: `γ^epoch` (γ = 0.5 reproduces the paper's halving).
+pub struct ExponentialDecay {
+    gamma: f32,
+}
+
+impl ExponentialDecay {
+    /// Decay with factor `gamma` per epoch.
+    ///
+    /// # Panics
+    /// Panics unless `0 < gamma <= 1`.
+    pub fn new(gamma: f32) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        ExponentialDecay { gamma }
+    }
+
+    /// The paper's per-epoch halving.
+    pub fn halving() -> Self {
+        Self::new(0.5)
+    }
+}
+
+impl LrSchedule for ExponentialDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi(epoch as i32)
+    }
+}
+
+/// Step decay: multiply by `gamma` every `every` epochs.
+pub struct StepDecay {
+    gamma: f32,
+    every: usize,
+}
+
+impl StepDecay {
+    /// Decay by `gamma` each `every` epochs.
+    ///
+    /// # Panics
+    /// Panics if `every == 0` or gamma is outside `(0, 1]`.
+    pub fn new(gamma: f32, every: usize) -> Self {
+        assert!(every >= 1, "step interval must be >= 1");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        StepDecay { gamma, every }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.every) as i32)
+    }
+}
+
+/// Cosine annealing from 1 down to `min_factor` over `total` epochs.
+pub struct CosineAnnealing {
+    total: usize,
+    min_factor: f32,
+}
+
+impl CosineAnnealing {
+    /// Anneal over `total` epochs to `min_factor` of the base rate.
+    ///
+    /// # Panics
+    /// Panics if `total == 0`.
+    pub fn new(total: usize, min_factor: f32) -> Self {
+        assert!(total >= 1, "total epochs must be >= 1");
+        CosineAnnealing { total, min_factor }
+    }
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total)) as f32 / self.total as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_factor + (1.0 - self.min_factor) * cos
+    }
+}
+
+/// Linear warmup for `warmup` epochs, then an inner schedule.
+pub struct Warmup<S> {
+    warmup: usize,
+    inner: S,
+}
+
+impl<S: LrSchedule> Warmup<S> {
+    /// Ramp linearly from `1/warmup` to 1 over the first `warmup` epochs,
+    /// then follow `inner` (re-indexed from 0).
+    pub fn new(warmup: usize, inner: S) -> Self {
+        Warmup { warmup, inner }
+    }
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn factor(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup {
+            (epoch + 1) as f32 / self.warmup as f32
+        } else {
+            self.inner.factor(epoch - self.warmup)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_matches_paper_protocol() {
+        let s = ExponentialDecay::halving();
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(3), 0.125);
+        assert_eq!(s.lr_at(1e-4, 1), 5e-5);
+    }
+
+    #[test]
+    fn step_decay_plateaus() {
+        let s = StepDecay::new(0.1, 3);
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(2), 1.0);
+        assert!((s.factor(3) - 0.1).abs() < 1e-7);
+        assert!((s.factor(6) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineAnnealing::new(10, 0.1);
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(10) - 0.1).abs() < 1e-6);
+        // midpoint is halfway
+        let mid = s.factor(5);
+        assert!((mid - 0.55).abs() < 1e-5, "mid {mid}");
+        // monotone decreasing
+        for e in 0..10 {
+            assert!(s.factor(e) >= s.factor(e + 1));
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = Warmup::new(4, ExponentialDecay::new(0.5));
+        assert_eq!(s.factor(0), 0.25);
+        assert_eq!(s.factor(3), 1.0);
+        assert_eq!(s.factor(4), 1.0); // inner epoch 0
+        assert_eq!(s.factor(5), 0.5); // inner epoch 1
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_gamma_rejected() {
+        ExponentialDecay::new(1.5);
+    }
+}

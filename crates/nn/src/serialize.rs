@@ -1,0 +1,195 @@
+//! Checkpointing: save and load a [`ParamSet`] in a simple self-describing
+//! binary format.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "LTTF" | u32 version | u32 n_params
+//! per param: u32 name_len | name bytes (utf-8)
+//!            u32 ndim | u32 × ndim shape | f32 × numel data
+//! ```
+
+use crate::param::ParamSet;
+use lttf_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LTTF";
+const VERSION: u32 = 1;
+
+/// Serialize a parameter set to a writer.
+pub fn write_params<W: Write>(ps: &ParamSet, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(ps.len() as u32).to_le_bytes())?;
+    for id in ps.ids() {
+        let name = ps.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let t = ps.value(id);
+        w.write_all(&(t.ndim() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Save a parameter set to a file.
+pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_params(ps, io::BufWriter::new(f))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Deserialize parameter values from a reader **into an existing set**.
+///
+/// The set must have been built by constructing the same model: names,
+/// order, and shapes must match, or an error is returned. This
+/// load-into-structure design avoids any reflection machinery.
+pub fn read_params<R: Read>(ps: &mut ParamSet, mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let n = read_u32(&mut r)? as usize;
+    if n != ps.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {n} params, model has {}", ps.len()),
+        ));
+    }
+    for id in ps.ids().collect::<Vec<_>>() {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if name != ps.name(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "param name mismatch: checkpoint '{name}' vs model '{}'",
+                    ps.name(id)
+                ),
+            ));
+        }
+        let ndim = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        if shape != ps.value(id).shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "param '{name}' shape mismatch: checkpoint {shape:?} vs model {:?}",
+                    ps.value(id).shape()
+                ),
+            ));
+        }
+        let numel: usize = shape.iter().product::<usize>().max(1);
+        let mut data = Vec::with_capacity(numel);
+        let mut b = [0u8; 4];
+        for _ in 0..numel {
+            r.read_exact(&mut b)?;
+            data.push(f32::from_le_bytes(b));
+        }
+        *ps.value_mut(id) = Tensor::from_vec(data, &shape);
+    }
+    Ok(())
+}
+
+/// Load parameter values from a file into an existing set.
+pub fn load_params(ps: &mut ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::open(path)?;
+    read_params(ps, io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lttf_tensor::{Rng, Tensor};
+
+    fn sample_set(seed: u64) -> ParamSet {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(seed);
+        ps.add("a.weight", Tensor::randn(&[3, 4], &mut rng));
+        ps.add("a.bias", Tensor::randn(&[4], &mut rng));
+        ps.add("b.gamma", Tensor::randn(&[2, 2, 2], &mut rng));
+        ps
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let src = sample_set(1);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let mut dst = sample_set(2); // same structure, different values
+        read_params(&mut dst, buf.as_slice()).unwrap();
+        for (a, b) in src.ids().zip(dst.ids()) {
+            src.value(a).assert_close(dst.value(b), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut dst = sample_set(1);
+        let err = read_params(&mut dst, &b"NOPE0000"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_param_count_mismatch() {
+        let src = sample_set(1);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let mut dst = ParamSet::new();
+        dst.add("a.weight", Tensor::zeros(&[3, 4]));
+        let err = read_params(&mut dst, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("params"));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = sample_set(1);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let mut dst = ParamSet::new();
+        dst.add("a.weight", Tensor::zeros(&[4, 3])); // transposed shape
+        dst.add("a.bias", Tensor::zeros(&[4]));
+        dst.add("b.gamma", Tensor::zeros(&[2, 2, 2]));
+        let err = read_params(&mut dst, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let src = sample_set(3);
+        let dir = std::env::temp_dir().join("lttf_ser_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        save_params(&src, &path).unwrap();
+        let mut dst = sample_set(4);
+        load_params(&mut dst, &path).unwrap();
+        for (a, b) in src.ids().zip(dst.ids()) {
+            src.value(a).assert_close(dst.value(b), 0.0);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,181 @@
+//! NumPy-style broadcasting between shapes.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Compute the broadcast shape of two shapes under NumPy rules.
+///
+/// Shapes are aligned at the trailing axes; each axis pair must be equal or
+/// one of them must be 1.
+///
+/// # Panics
+/// Panics if the shapes are not broadcast-compatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let n = a.len().max(b.len());
+    let mut out = vec![0usize; n];
+    for i in 0..n {
+        let da = if i < n - a.len() {
+            1
+        } else {
+            a[i - (n - a.len())]
+        };
+        let db = if i < n - b.len() {
+            1
+        } else {
+            b[i - (n - b.len())]
+        };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            panic!(
+                "shapes {} and {} are not broadcast-compatible (axis {i}: {da} vs {db})",
+                Shape::new(a),
+                Shape::new(b)
+            )
+        };
+    }
+    out
+}
+
+impl Tensor {
+    /// Materialize this tensor broadcast to `target` shape.
+    ///
+    /// # Panics
+    /// Panics if `self.shape()` cannot broadcast to `target`.
+    pub fn broadcast_to(&self, target: &[usize]) -> Tensor {
+        let bs = broadcast_shapes(self.shape(), target);
+        assert_eq!(
+            bs,
+            target,
+            "cannot broadcast {} to {}",
+            self.shape,
+            Shape::new(target)
+        );
+        if self.shape() == target {
+            return self.clone();
+        }
+        let tgt = Shape::new(target);
+        let n = tgt.ndim();
+        let pad = n - self.ndim();
+        // Source strides aligned to target rank; broadcast axes get stride 0.
+        let src_strides = self.shape.strides();
+        let mut strides = vec![0usize; n];
+        for i in 0..self.ndim() {
+            strides[pad + i] = if self.shape.dims()[i] == 1 {
+                0
+            } else {
+                src_strides[i]
+            };
+        }
+        let mut out = vec![0.0f32; tgt.numel()];
+        let mut idx = vec![0usize; n];
+        let mut src_off = 0usize;
+        for slot in out.iter_mut() {
+            *slot = self.data[src_off];
+            // Increment the multi-index, updating the source offset.
+            for axis in (0..n).rev() {
+                idx[axis] += 1;
+                src_off += strides[axis];
+                if idx[axis] < tgt.dims()[axis] {
+                    break;
+                }
+                src_off -= strides[axis] * tgt.dims()[axis];
+                idx[axis] = 0;
+            }
+        }
+        Tensor::from_vec(out, target)
+    }
+
+    /// Apply a binary op element-wise with broadcasting, returning the result.
+    pub(crate) fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape() == other.shape() {
+            // Fast path: identical shapes.
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                data,
+                shape: self.shape.clone(),
+            };
+        }
+        let target = broadcast_shapes(self.shape(), other.shape());
+        let a = self.broadcast_to(&target);
+        let b = other.broadcast_to(&target);
+        let data = a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect();
+        Tensor {
+            data,
+            shape: Shape::new(&target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_shape_rules() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[4]), vec![4]);
+        assert_eq!(broadcast_shapes(&[5, 1, 2], &[4, 1]), vec![5, 4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcast-compatible")]
+    fn incompatible_shapes_panic() {
+        broadcast_shapes(&[2, 3], &[2, 4]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let row = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = row.broadcast_to(&[2, 3]);
+        assert_eq!(b.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        let col = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let b = col.broadcast_to(&[2, 3]);
+        assert_eq!(b.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_to_matrix() {
+        let s = Tensor::scalar(7.0);
+        let b = s.broadcast_to(&[2, 2]);
+        assert_eq!(b.data(), &[7.0; 4]);
+    }
+
+    #[test]
+    fn broadcast_adds_leading_axis() {
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        let b = v.broadcast_to(&[3, 2]);
+        assert_eq!(b.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_middle_axis() {
+        // [2,1,2] -> [2,2,2]
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]);
+        let b = t.broadcast_to(&[2, 2, 2]);
+        assert_eq!(b.data(), &[1.0, 2.0, 1.0, 2.0, 3.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zip_same_shape_fast_path() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let c = a.broadcast_zip(&b, |x, y| x * y);
+        assert_eq!(c.data(), &[3.0, 8.0]);
+    }
+}

@@ -1,0 +1,290 @@
+//! 1-D convolution, the workhorse of the models' embedding layers.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// 1-D cross-correlation (the deep-learning "convolution").
+    ///
+    /// * `self`: input of shape `[batch, in_ch, len]`
+    /// * `weight`: kernel of shape `[out_ch, in_ch, k]`
+    /// * `bias`: optional `[out_ch]`
+    /// * `padding`: zeros added to both ends of the length axis
+    /// * `stride`: step between output positions
+    ///
+    /// Output shape: `[batch, out_ch, (len + 2*padding - k)/stride + 1]`.
+    ///
+    /// # Panics
+    /// Panics on rank/channel mismatches or if the kernel does not fit the
+    /// padded input.
+    pub fn conv1d(
+        &self,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        padding: usize,
+        stride: usize,
+    ) -> Tensor {
+        assert_eq!(
+            self.ndim(),
+            3,
+            "conv1d input must be [batch, in_ch, len], got {}",
+            self.shape
+        );
+        assert_eq!(
+            weight.ndim(),
+            3,
+            "conv1d weight must be [out_ch, in_ch, k], got {}",
+            weight.shape
+        );
+        assert!(stride >= 1, "conv1d stride must be >= 1");
+        let (b, cin, len) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (cout, cin_w, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+        assert_eq!(
+            cin, cin_w,
+            "conv1d channel mismatch: input has {cin}, weight expects {cin_w}"
+        );
+        if let Some(bias) = bias {
+            assert_eq!(
+                bias.shape(),
+                &[cout],
+                "conv1d bias must be [out_ch={cout}], got {}",
+                bias.shape
+            );
+        }
+        let padded_len = len + 2 * padding;
+        assert!(
+            padded_len >= k,
+            "conv1d kernel of size {k} does not fit padded input of length {padded_len}"
+        );
+        let out_len = (padded_len - k) / stride + 1;
+        let mut out = vec![0.0f32; b * cout * out_len];
+        for bi in 0..b {
+            for oc in 0..cout {
+                let bias_v = bias.map_or(0.0, |bv| bv.data[oc]);
+                for ot in 0..out_len {
+                    let start = ot * stride; // position in padded input
+                    let mut acc = bias_v;
+                    for ic in 0..cin {
+                        let in_base = (bi * cin + ic) * len;
+                        let w_base = (oc * cin + ic) * k;
+                        for kk in 0..k {
+                            let pos = start + kk;
+                            if pos < padding || pos >= padding + len {
+                                continue; // zero padding
+                            }
+                            acc += self.data[in_base + pos - padding] * weight.data[w_base + kk];
+                        }
+                    }
+                    out[(bi * cout + oc) * out_len + ot] = acc;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, cout, out_len])
+    }
+
+    /// Gradient of `conv1d` with respect to its input.
+    ///
+    /// `grad_out` has the shape of the forward output. Returns a tensor
+    /// shaped like the forward input.
+    pub fn conv1d_backward_input(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        input_shape: &[usize],
+        padding: usize,
+        stride: usize,
+    ) -> Tensor {
+        let (b, cin, len) = (input_shape[0], input_shape[1], input_shape[2]);
+        let (cout, _, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
+        let out_len = grad_out.shape()[2];
+        let mut gin = vec![0.0f32; b * cin * len];
+        for bi in 0..b {
+            for oc in 0..cout {
+                for ot in 0..out_len {
+                    let go = grad_out.data[(bi * cout + oc) * out_len + ot];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    let start = ot * stride;
+                    for ic in 0..cin {
+                        let w_base = (oc * cin + ic) * k;
+                        let g_base = (bi * cin + ic) * len;
+                        for kk in 0..k {
+                            let pos = start + kk;
+                            if pos < padding || pos >= padding + len {
+                                continue;
+                            }
+                            gin[g_base + pos - padding] += go * weight.data[w_base + kk];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gin, input_shape)
+    }
+
+    /// Gradient of `conv1d` with respect to its weight.
+    pub fn conv1d_backward_weight(
+        grad_out: &Tensor,
+        input: &Tensor,
+        weight_shape: &[usize],
+        padding: usize,
+        stride: usize,
+    ) -> Tensor {
+        let (b, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (cout, _, k) = (weight_shape[0], weight_shape[1], weight_shape[2]);
+        let out_len = grad_out.shape()[2];
+        let mut gw = vec![0.0f32; cout * cin * k];
+        for bi in 0..b {
+            for oc in 0..cout {
+                for ot in 0..out_len {
+                    let go = grad_out.data[(bi * cout + oc) * out_len + ot];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    let start = ot * stride;
+                    for ic in 0..cin {
+                        let in_base = (bi * cin + ic) * len;
+                        let w_base = (oc * cin + ic) * k;
+                        for kk in 0..k {
+                            let pos = start + kk;
+                            if pos < padding || pos >= padding + len {
+                                continue;
+                            }
+                            gw[w_base + kk] += go * input.data[in_base + pos - padding];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gw, weight_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        // 1x1 kernel of value 1 reproduces the input.
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1]);
+        let y = x.conv1d(&w, None, 0, 1);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv1d_moving_sum() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![1., 1.], &[1, 1, 2]);
+        let y = x.conv1d(&w, None, 0, 1);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[3., 5., 7.]);
+    }
+
+    #[test]
+    fn conv1d_padding_same() {
+        // kernel 3, padding 1 keeps the length ("same" convolution).
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 4]);
+        let w = Tensor::from_vec(vec![0., 1., 0.], &[1, 1, 3]);
+        let y = x.conv1d(&w, None, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 4]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv1d_stride() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5.], &[1, 1, 5]);
+        let w = Tensor::from_vec(vec![1.], &[1, 1, 1]);
+        let y = x.conv1d(&w, None, 0, 2);
+        assert_eq!(y.data(), &[1., 3., 5.]);
+    }
+
+    #[test]
+    fn conv1d_multi_channel() {
+        // 2 input channels summed by a kernel of ones.
+        let x = Tensor::from_vec(vec![1., 2., 10., 20.], &[1, 2, 2]);
+        let w = Tensor::from_vec(vec![1., 1.], &[1, 2, 1]);
+        let y = x.conv1d(&w, None, 0, 1);
+        assert_eq!(y.data(), &[11., 22.]);
+    }
+
+    #[test]
+    fn conv1d_bias() {
+        let x = Tensor::from_vec(vec![1., 2.], &[1, 1, 2]);
+        let w = Tensor::from_vec(vec![1.], &[1, 1, 1]);
+        let b = Tensor::from_slice(&[100.0]);
+        let y = x.conv1d(&w, Some(&b), 0, 1);
+        assert_eq!(y.data(), &[101., 102.]);
+    }
+
+    #[test]
+    fn conv1d_batched() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 1, 2]);
+        let w = Tensor::from_vec(vec![2.], &[1, 1, 1]);
+        let y = x.conv1d(&w, None, 0, 1);
+        assert_eq!(y.shape(), &[2, 1, 2]);
+        assert_eq!(y.data(), &[2., 4., 6., 8.]);
+    }
+
+    /// Numerical check of the input gradient: perturb each input element and
+    /// compare the finite-difference slope of sum(conv) to the analytic one.
+    #[test]
+    fn conv1d_input_gradient_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.2, -0.7], &[1, 2, 3]);
+        let w = Tensor::from_vec(vec![0.2, -0.4, 0.6, 0.1, -0.3, 0.5, 0.7, 0.9], &[2, 2, 2]);
+        let pad = 1;
+        let stride = 1;
+        let y = x.conv1d(&w, None, pad, stride);
+        let go = y.ones_like();
+        let gin = Tensor::conv1d_backward_input(&go, &w, x.shape(), pad, stride);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (xp.conv1d(&w, None, pad, stride).sum()
+                - xm.conv1d(&w, None, pad, stride).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - gin.data()[i]).abs() < 1e-2,
+                "input grad mismatch at {i}: numeric {num} vs analytic {}",
+                gin.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv1d_weight_gradient_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.2, -0.7], &[1, 2, 3]);
+        let w = Tensor::from_vec(vec![0.2, -0.4, 0.6, 0.1, -0.3, 0.5, 0.7, 0.9], &[2, 2, 2]);
+        let pad = 0;
+        let stride = 1;
+        let y = x.conv1d(&w, None, pad, stride);
+        let go = y.ones_like();
+        let gw = Tensor::conv1d_backward_weight(&go, &x, w.shape(), pad, stride);
+        let eps = 1e-3;
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (x.conv1d(&wp, None, pad, stride).sum()
+                - x.conv1d(&wm, None, pad, stride).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - gw.data()[i]).abs() < 1e-2,
+                "weight grad mismatch at {i}: numeric {num} vs analytic {}",
+                gw.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv1d_channel_mismatch_panics() {
+        let x = Tensor::zeros(&[1, 2, 4]);
+        let w = Tensor::zeros(&[1, 3, 2]);
+        x.conv1d(&w, None, 0, 1);
+    }
+}

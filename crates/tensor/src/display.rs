@@ -1,0 +1,35 @@
+//! Debug formatting for tensors.
+
+use crate::tensor::Tensor;
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        const MAX: usize = 12;
+        if self.data.len() <= MAX {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "{:?}… ({} elements)", &self.data[..MAX], self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_small() {
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        let s = format!("{t:?}");
+        assert!(s.contains("[2]"), "{s}");
+        assert!(s.contains("1.0"), "{s}");
+    }
+
+    #[test]
+    fn debug_truncates_large() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("100 elements"), "{s}");
+    }
+}

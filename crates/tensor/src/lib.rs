@@ -1,0 +1,57 @@
+//! # lttf-tensor
+//!
+//! A small, self-contained N-dimensional `f32` tensor library that serves as
+//! the numerical substrate for the Conformer (ICDE 2023) reproduction.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Correctness** — every kernel is covered by unit tests against
+//!    hand-computed values and by property tests of algebraic identities.
+//! 2. **Simplicity** — tensors are always row-major and contiguous. Shape
+//!    transformations that would require strided views (`permute`, `slice`)
+//!    materialize a new tensor instead. At the model sizes used in this
+//!    reproduction (sequence length ≤ 1k, width ≤ 64) the copies are cheap
+//!    and the kernels stay trivially verifiable.
+//! 3. **Just enough surface** — exactly the operations the forecasting
+//!    models need: broadcasting arithmetic, matmul, 1-D convolution and
+//!    pooling, reductions, softmax, shape surgery, and seeded randomness.
+//!
+//! Shape errors are programming errors in this codebase, so shape-mismatched
+//! operations **panic** with a descriptive message rather than returning
+//! `Result`. Every panicking precondition is documented on the method.
+//!
+//! ```
+//! use lttf_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+// The arithmetic methods on `Tensor` (`add`, `mul`, …) intentionally mirror
+// the vocabulary of numpy/PyTorch rather than implementing the operator
+// traits, which would force either pervasive references (`&a + &b`) or
+// implicit clones.
+#![allow(clippy::should_implement_trait)]
+#![warn(missing_docs)]
+
+mod broadcast;
+mod conv;
+mod display;
+mod elementwise;
+mod matmul;
+mod pool;
+mod random;
+mod reduce;
+mod shape;
+mod shape_ops;
+mod tensor;
+
+pub use broadcast::broadcast_shapes;
+pub use random::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,224 @@
+//! Matrix multiplication kernels: 2-D, batched 3-D, and transposed variants.
+
+use crate::tensor::Tensor;
+
+/// Multiply an `m×k` row-major block by a `k×n` row-major block into `m×n`.
+///
+/// Uses the i-k-j loop order so the inner loop streams both `b` and `out`
+/// rows sequentially, which the compiler auto-vectorizes well.
+fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product.
+    ///
+    /// Supported rank combinations:
+    /// - `[m,k] @ [k,n] -> [m,n]`
+    /// - `[b,m,k] @ [k,n] -> [b,m,n]` (shared right operand)
+    /// - `[b,m,k] @ [b,k,n] -> [b,m,n]` (batched)
+    /// - `[m,k] @ [b,k,n] -> [b,m,n]` (shared left operand)
+    ///
+    /// # Panics
+    /// Panics on unsupported ranks or mismatched inner/batch dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        match (self.ndim(), other.ndim()) {
+            (2, 2) => {
+                let (m, k) = (self.shape()[0], self.shape()[1]);
+                let (k2, n) = (other.shape()[0], other.shape()[1]);
+                assert_eq!(
+                    k, k2,
+                    "matmul inner dimension mismatch: {} vs {}",
+                    self.shape, other.shape
+                );
+                let mut out = vec![0.0; m * n];
+                gemm(&self.data, &other.data, &mut out, m, k, n);
+                Tensor::from_vec(out, &[m, n])
+            }
+            (3, 2) => {
+                let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (k2, n) = (other.shape()[0], other.shape()[1]);
+                assert_eq!(
+                    k, k2,
+                    "matmul inner dimension mismatch: {} vs {}",
+                    self.shape, other.shape
+                );
+                let mut out = vec![0.0; b * m * n];
+                for bi in 0..b {
+                    gemm(
+                        &self.data[bi * m * k..(bi + 1) * m * k],
+                        &other.data,
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+                assert_eq!(
+                    b, b2,
+                    "batched matmul batch mismatch: {} vs {}",
+                    self.shape, other.shape
+                );
+                assert_eq!(
+                    k, k2,
+                    "matmul inner dimension mismatch: {} vs {}",
+                    self.shape, other.shape
+                );
+                let mut out = vec![0.0; b * m * n];
+                for bi in 0..b {
+                    gemm(
+                        &self.data[bi * m * k..(bi + 1) * m * k],
+                        &other.data[bi * k * n..(bi + 1) * k * n],
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (2, 3) => {
+                let (m, k) = (self.shape()[0], self.shape()[1]);
+                let (b, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+                assert_eq!(
+                    k, k2,
+                    "matmul inner dimension mismatch: {} vs {}",
+                    self.shape, other.shape
+                );
+                let mut out = vec![0.0; b * m * n];
+                for bi in 0..b {
+                    gemm(
+                        &self.data,
+                        &other.data[bi * k * n..(bi + 1) * k * n],
+                        &mut out[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (ra, rb) => panic!(
+                "matmul supports rank (2|3)x(2|3) operands, got rank {ra} {} and rank {rb} {}",
+                self.shape, other.shape
+            ),
+        }
+    }
+
+    /// Dot product of two 1-D tensors.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 1-D or lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.ndim(),
+            1,
+            "dot requires 1-D operands, got {}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            1,
+            "dot requires 1-D operands, got {}",
+            other.shape
+        );
+        assert_eq!(
+            self.numel(),
+            other.numel(),
+            "dot length mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i).data(), a.data());
+        assert_eq!(i.matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        // [1 2 3]   [7  8]     [58  64]
+        // [4 5 6] x [9 10]  =  [139 154]
+        //           [11 12]
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::from_vec(vec![7., 8., 9., 10., 11., 12.], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn batched_matmul() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let b = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // batch 0: [[0,1,2],[3,4,5]] @ [[0,1],[2,3],[4,5]]
+        assert_eq!(&c.data()[..4], &[10., 13., 28., 40.]);
+        // batch 1: [[6,7,8],[9,10,11]] @ [[6,7],[8,9],[10,11]]
+        assert_eq!(&c.data()[4..], &[172., 193., 244., 274.]);
+    }
+
+    #[test]
+    fn broadcast_batch_right() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let w = Tensor::eye(3);
+        let c = a.matmul(&w);
+        assert_eq!(c.shape(), &[2, 2, 3]);
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn broadcast_batch_left() {
+        let a = Tensor::eye(3);
+        let b = Tensor::from_vec((0..18).map(|v| v as f32).collect(), &[2, 3, 3]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 3, 3]);
+        assert_eq!(c.data(), b.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn inner_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+}

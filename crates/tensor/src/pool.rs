@@ -1,0 +1,166 @@
+//! 1-D pooling and the moving average used by series decomposition (Eq. 9).
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Average pooling over the last axis of a `[batch, ch, len]` tensor.
+    ///
+    /// Output length is `(len - k)/stride + 1`.
+    ///
+    /// # Panics
+    /// Panics unless the tensor is 3-D and the window fits.
+    pub fn avg_pool1d(&self, k: usize, stride: usize) -> Tensor {
+        assert_eq!(
+            self.ndim(),
+            3,
+            "avg_pool1d input must be [b, c, len], got {}",
+            self.shape
+        );
+        assert!(
+            k >= 1 && stride >= 1,
+            "avg_pool1d window and stride must be >= 1"
+        );
+        let (b, c, len) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        assert!(len >= k, "avg_pool1d window {k} exceeds length {len}");
+        let out_len = (len - k) / stride + 1;
+        let mut out = vec![0.0f32; b * c * out_len];
+        let inv = 1.0 / k as f32;
+        for bc in 0..b * c {
+            let base = bc * len;
+            for ot in 0..out_len {
+                let start = ot * stride;
+                let s: f32 = self.data[base + start..base + start + k].iter().sum();
+                out[bc * out_len + ot] = s * inv;
+            }
+        }
+        Tensor::from_vec(out, &[b, c, out_len])
+    }
+
+    /// Max pooling over the last axis of a `[batch, ch, len]` tensor.
+    pub fn max_pool1d(&self, k: usize, stride: usize) -> Tensor {
+        assert_eq!(
+            self.ndim(),
+            3,
+            "max_pool1d input must be [b, c, len], got {}",
+            self.shape
+        );
+        let (b, c, len) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        assert!(len >= k, "max_pool1d window {k} exceeds length {len}");
+        let out_len = (len - k) / stride + 1;
+        let mut out = vec![0.0f32; b * c * out_len];
+        for bc in 0..b * c {
+            let base = bc * len;
+            for ot in 0..out_len {
+                let start = ot * stride;
+                out[bc * out_len + ot] = self.data[base + start..base + start + k]
+                    .iter()
+                    .cloned()
+                    .fold(f32::NEG_INFINITY, f32::max);
+            }
+        }
+        Tensor::from_vec(out, &[b, c, out_len])
+    }
+
+    /// Length-preserving moving average along `axis` with replicate padding —
+    /// exactly the `AvgPool(Padding(x))` trend extractor of Autoformer-style
+    /// series decomposition (paper Eq. 9).
+    ///
+    /// The series is padded with `(k-1)/2` leading and `k/2` trailing copies
+    /// of the edge values, then averaged with a length-`k` window, so the
+    /// output has the same extent along `axis` as the input.
+    pub fn moving_avg(&self, axis: isize, k: usize) -> Tensor {
+        assert!(k >= 1, "moving_avg window must be >= 1");
+        let ax = self.shape.normalize_axis(axis);
+        let before = (k - 1) / 2;
+        let after = k / 2;
+        let padded = self.pad_axis_replicate(ax as isize, before, after);
+        // Reduce along the axis with a sliding window.
+        let dims = padded.shape();
+        let extent = dims[ax];
+        let out_extent = extent - k + 1;
+        let outer: usize = dims[..ax].iter().product();
+        let inner: usize = dims[ax + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * out_extent * inner];
+        let inv = 1.0 / k as f32;
+        for o in 0..outer {
+            for t in 0..out_extent {
+                for i in 0..inner {
+                    let mut s = 0.0;
+                    for kk in 0..k {
+                        s += padded.data[(o * extent + t + kk) * inner + i];
+                    }
+                    out[(o * out_extent + t) * inner + i] = s * inv;
+                }
+            }
+        }
+        let mut new_dims = self.shape.dims().to_vec();
+        new_dims[ax] = out_extent.min(new_dims[ax]);
+        debug_assert_eq!(out_extent, self.shape.dims()[ax]);
+        Tensor::from_vec(out, &new_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_basic() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 4]);
+        let y = x.avg_pool1d(2, 2);
+        assert_eq!(y.data(), &[1.5, 3.5]);
+        let y1 = x.avg_pool1d(2, 1);
+        assert_eq!(y1.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn max_pool_basic() {
+        let x = Tensor::from_vec(vec![1., 3., 2., 5.], &[1, 1, 4]);
+        let y = x.max_pool1d(2, 2);
+        assert_eq!(y.data(), &[3., 5.]);
+    }
+
+    #[test]
+    fn moving_avg_preserves_length() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5.], &[5, 1]);
+        let y = x.moving_avg(0, 3);
+        assert_eq!(y.shape(), &[5, 1]);
+        // with replicate padding: [1,1,2,3,4,5,5]
+        y.assert_close(
+            &Tensor::from_vec(vec![4.0 / 3.0, 2.0, 3.0, 4.0, 14.0 / 3.0], &[5, 1]),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn moving_avg_window_one_is_identity() {
+        let x = Tensor::from_vec(vec![3., 1., 4., 1., 5.], &[5]);
+        assert_eq!(x.moving_avg(0, 1).data(), x.data());
+    }
+
+    #[test]
+    fn moving_avg_constant_series_unchanged() {
+        let x = Tensor::full(&[8, 2], 7.0);
+        let y = x.moving_avg(0, 4);
+        y.assert_close(&x, 1e-6);
+    }
+
+    #[test]
+    fn moving_avg_even_window() {
+        let x = Tensor::from_vec(vec![0., 2., 4., 6.], &[4]);
+        // pad before=(2-1)/2=0, after=2/2=1 -> [0,2,4,6,6]
+        let y = x.moving_avg(0, 2);
+        assert_eq!(y.data(), &[1., 3., 5., 6.]);
+    }
+
+    #[test]
+    fn moving_avg_on_middle_axis() {
+        // [batch=1, len=4, ch=2]: smooth along axis 1
+        let x = Tensor::from_vec(vec![1., 10., 3., 30., 5., 50., 7., 70.], &[1, 4, 2]);
+        let y = x.moving_avg(1, 3);
+        assert_eq!(y.shape(), &[1, 4, 2]);
+        // channel 0 padded: [1,1,3,5,7,7] -> [5/3, 3, 5, 19/3]
+        assert!((y.at(&[0, 1, 0]) - 3.0).abs() < 1e-6);
+        assert!((y.at(&[0, 2, 1]) - 50.0).abs() < 1e-6);
+    }
+}

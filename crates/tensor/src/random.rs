@@ -1,0 +1,176 @@
+//! Seeded random tensor construction.
+//!
+//! All randomness in the workspace flows through [`Rng`], a thin wrapper
+//! over `rand::rngs::StdRng`, so that a single `u64` seed reproduces entire
+//! experiments bit-for-bit.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seeded random number generator for tensor construction.
+pub struct Rng {
+    inner: StdRng,
+}
+
+impl Rng {
+    /// Create a generator from a `u64` seed.
+    pub fn seed(seed: u64) -> Self {
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A standard-normal sample.
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller transform; avoids a rand_distr dependency.
+        loop {
+            let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = self.inner.gen();
+            let v = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli sample with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.inner.gen::<f32>() < p
+    }
+
+    /// An exponential sample with rate `lambda`.
+    pub fn exponential(&mut self, lambda: f32) -> f32 {
+        let u: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        -u.ln() / lambda
+    }
+
+    /// Fork an independent child generator (used to give each model /
+    /// dataset its own stream while staying reproducible from one seed).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed(self.inner.gen())
+    }
+
+    /// A fresh `u64` for seeding external components.
+    pub fn next_seed(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl Tensor {
+    /// A tensor of i.i.d. standard-normal samples.
+    pub fn randn(shape: &[usize], rng: &mut Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.normal()).collect(), shape)
+    }
+
+    /// A tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.uniform(lo, hi)).collect(), shape)
+    }
+
+    /// A 0/1 Bernoulli mask with keep-probability `p`.
+    pub fn bernoulli_mask(shape: &[usize], p: f32, rng: &mut Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n)
+                .map(|_| if rng.bernoulli(p) { 1.0 } else { 0.0 })
+                .collect(),
+            shape,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_reproducibility() {
+        let mut r1 = Rng::seed(42);
+        let mut r2 = Rng::seed(42);
+        let a = Tensor::randn(&[16], &mut r1);
+        let b = Tensor::randn(&[16], &mut r2);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Tensor::randn(&[16], &mut Rng::seed(1));
+        let b = Tensor::randn(&[16], &mut Rng::seed(2));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = Rng::seed(7);
+        let t = Tensor::randn(&[20_000], &mut rng);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        assert!((t.std() - 1.0).abs() < 0.05, "std {}", t.std());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = Rng::seed(3);
+        let t = Tensor::rand_uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.min() >= -2.0 && t.max() < 3.0);
+        // rough mean check
+        assert!((t.mean() - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn bernoulli_mask_rate() {
+        let mut rng = Rng::seed(9);
+        let m = Tensor::bernoulli_mask(&[10_000], 0.3, &mut rng);
+        let rate = m.mean();
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+        assert!(m.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed(11);
+        let mean: f32 = (0..20_000).map(|_| rng.exponential(2.0)).sum::<f32>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut base = Rng::seed(5);
+        let mut c1 = base.fork();
+        let mut c2 = base.fork();
+        let a = Tensor::randn(&[8], &mut c1);
+        let b = Tensor::randn(&[8], &mut c2);
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed(13);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

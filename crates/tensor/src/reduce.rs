@@ -1,0 +1,288 @@
+//! Reductions (sum, mean, variance, extrema) over whole tensors or axes,
+//! plus softmax.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> f32 {
+        assert!(self.numel() > 0, "mean of empty tensor");
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(self.numel() > 0, "max of empty tensor");
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f32 {
+        assert!(self.numel() > 0, "min of empty tensor");
+        self.data.iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Population variance of all elements.
+    pub fn var(&self) -> f32 {
+        let m = self.mean();
+        self.data.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / self.numel() as f32
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        self.var().sqrt()
+    }
+
+    /// Flat index of the maximum element (first occurrence).
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(self.numel() > 0, "argmax of empty tensor");
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// Generic axis reduction: folds each lane along `axis` with `f` starting
+    /// from `init`, then post-processes the lane result with `fin`.
+    fn reduce_axis(
+        &self,
+        axis: isize,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32,
+        fin: impl Fn(f32, usize) -> f32,
+        keepdim: bool,
+    ) -> Tensor {
+        let ax = self.shape.normalize_axis(axis);
+        let dims = self.shape.dims();
+        let extent = dims[ax];
+        let outer: usize = dims[..ax].iter().product();
+        let inner: usize = dims[ax + 1..].iter().product();
+        let mut out = vec![init; outer * inner];
+        for o in 0..outer {
+            for e in 0..extent {
+                let base = (o * extent + e) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] = f(out[obase + i], self.data[base + i]);
+                }
+            }
+        }
+        for v in out.iter_mut() {
+            *v = fin(*v, extent);
+        }
+        let mut new_dims: Vec<usize> = dims.to_vec();
+        if keepdim {
+            new_dims[ax] = 1;
+        } else {
+            new_dims.remove(ax);
+        }
+        Tensor::from_vec(out, &new_dims)
+    }
+
+    /// Sum along `axis`, removing that axis.
+    pub fn sum_axis(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |a, b| a + b, |v, _| v, false)
+    }
+
+    /// Sum along `axis`, keeping it with extent 1.
+    pub fn sum_axis_keepdim(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |a, b| a + b, |v, _| v, true)
+    }
+
+    /// Mean along `axis`, removing that axis.
+    pub fn mean_axis(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |a, b| a + b, |v, n| v / n as f32, false)
+    }
+
+    /// Mean along `axis`, keeping it with extent 1.
+    pub fn mean_axis_keepdim(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |a, b| a + b, |v, n| v / n as f32, true)
+    }
+
+    /// Maximum along `axis`, removing that axis.
+    pub fn max_axis(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max, |v, _| v, false)
+    }
+
+    /// Maximum along `axis`, keeping it with extent 1.
+    pub fn max_axis_keepdim(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max, |v, _| v, true)
+    }
+
+    /// Minimum along `axis`, removing that axis.
+    pub fn min_axis(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, f32::INFINITY, f32::min, |v, _| v, false)
+    }
+
+    /// Population variance along `axis`, keeping it with extent 1.
+    pub fn var_axis_keepdim(&self, axis: isize) -> Tensor {
+        let m = self.mean_axis_keepdim(axis);
+        self.sub(&m).square().mean_axis_keepdim(axis)
+    }
+
+    /// Numerically stable softmax along `axis`.
+    ///
+    /// Each lane along `axis` is shifted by its maximum before
+    /// exponentiation, so the result is finite for any finite input.
+    pub fn softmax(&self, axis: isize) -> Tensor {
+        let m = self.max_axis_keepdim(axis);
+        let e = self.sub(&m).exp();
+        let s = e.sum_axis_keepdim(axis);
+        e.div(&s)
+    }
+
+    /// Log-softmax along `axis` (stable).
+    pub fn log_softmax(&self, axis: isize) -> Tensor {
+        let m = self.max_axis_keepdim(axis);
+        let shifted = self.sub(&m);
+        let lse = shifted.exp().sum_axis_keepdim(axis).ln();
+        shifted.sub(&lse)
+    }
+
+    /// Cumulative sum along `axis`.
+    pub fn cumsum(&self, axis: isize) -> Tensor {
+        let ax = self.shape.normalize_axis(axis);
+        let dims = self.shape.dims();
+        let extent = dims[ax];
+        let outer: usize = dims[..ax].iter().product();
+        let inner: usize = dims[ax + 1..].iter().product();
+        let mut out = self.data.clone();
+        for o in 0..outer {
+            for e in 1..extent {
+                let prev = (o * extent + e - 1) * inner;
+                let cur = (o * extent + e) * inner;
+                for i in 0..inner {
+                    out[cur + i] += out[prev + i];
+                }
+            }
+        }
+        Tensor {
+            data: out,
+            shape: Shape::new(dims),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Tensor {
+        Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3])
+    }
+
+    #[test]
+    fn global_reductions() {
+        let t = m23();
+        assert_eq!(t.sum(), 21.0);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.max(), 6.0);
+        assert_eq!(t.min(), 1.0);
+        assert!((t.var() - 35.0 / 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        let t = Tensor::from_slice(&[1.0, 5.0, 5.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = m23();
+        assert_eq!(t.sum_axis(0).data(), &[5., 7., 9.]);
+        assert_eq!(t.sum_axis(1).data(), &[6., 15.]);
+        assert_eq!(t.sum_axis(-1).data(), &[6., 15.]);
+        assert_eq!(t.mean_axis(1).data(), &[2., 5.]);
+        assert_eq!(t.max_axis(0).data(), &[4., 5., 6.]);
+        assert_eq!(t.min_axis(1).data(), &[1., 4.]);
+    }
+
+    #[test]
+    fn keepdim_shapes() {
+        let t = m23();
+        assert_eq!(t.sum_axis_keepdim(0).shape(), &[1, 3]);
+        assert_eq!(t.mean_axis_keepdim(1).shape(), &[2, 1]);
+        assert_eq!(t.max_axis_keepdim(-1).shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn axis_reduction_3d_middle() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]);
+        let s = t.sum_axis(1);
+        assert_eq!(s.shape(), &[2, 4]);
+        // lane (0, :, 0) = 0 + 4 + 8 = 12
+        assert_eq!(s.at(&[0, 0]), 12.0);
+        // lane (1, :, 3) = 15 + 19 + 23 = 57
+        assert_eq!(s.at(&[1, 3]), 57.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = m23();
+        let s = t.softmax(-1);
+        for r in 0..2 {
+            let row: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((row - 1.0).abs() < 1e-6);
+        }
+        // softmax is monotone: larger input -> larger probability
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let t = Tensor::from_slice(&[1000.0, 1000.0]);
+        let s = t.softmax(0);
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let t = m23();
+        let a = t.log_softmax(1);
+        let b = t.softmax(1).ln();
+        a.assert_close(&b, 1e-5);
+    }
+
+    #[test]
+    fn cumsum_axis() {
+        let t = m23();
+        assert_eq!(t.cumsum(1).data(), &[1., 3., 6., 4., 9., 15.]);
+        assert_eq!(t.cumsum(0).data(), &[1., 2., 3., 5., 7., 9.]);
+    }
+
+    #[test]
+    fn var_axis() {
+        let t = Tensor::from_vec(vec![1., 3., 2., 2.], &[2, 2]);
+        let v = t.var_axis_keepdim(1);
+        assert_eq!(v.shape(), &[2, 1]);
+        assert!((v.at(&[0, 0]) - 1.0).abs() < 1e-6);
+        assert!((v.at(&[1, 0]) - 0.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Forecasting on irregular time series — the AirDelay scenario
+//! (Section V-A1): flight arrival delays whose timestamps are not evenly
+//! spaced, where calendar time features carry the structure. Compares
+//! Conformer against a GRU, mirroring the paper's finding that the gap
+//! narrows on less-structured data.
+//!
+//! ```sh
+//! cargo run --release --example airdelay_irregular
+//! ```
+
+use lttf::conformer::ConformerConfig;
+use lttf::data::synth::{Dataset, SynthSpec};
+use lttf::data::{Split, WindowDataset};
+use lttf::eval::{evaluate, train, ModelKind, TrainOptions, TrainedModel};
+
+fn main() {
+    let series = Dataset::AirDelay.generate(SynthSpec {
+        len: 1_500,
+        dims: Some(6),
+        seed: 5,
+    });
+    // Show the irregular sampling.
+    let gaps: Vec<i64> = series
+        .timestamps
+        .windows(2)
+        .take(6)
+        .map(|w| w[1] - w[0])
+        .collect();
+    println!("first inter-arrival gaps (seconds): {gaps:?}");
+    println!(
+        "target: {} (heavy-tailed delay minutes), {} flights",
+        series.names[series.target],
+        series.len()
+    );
+
+    let (lx, ly) = (48, 24);
+    let mk = |split| WindowDataset::new(&series, split, (0.7, 0.1), lx, ly, lx / 2);
+    let (train_set, val_set, test_set) = (mk(Split::Train), mk(Split::Val), mk(Split::Test));
+    let opts = TrainOptions {
+        epochs: 3,
+        batch_size: 16,
+        lr: 1e-3,
+        patience: 2,
+        lr_decay: 0.7,
+        max_batches: 30,
+        clip: 5.0,
+        seed: 7,
+        val_max_windows: usize::MAX,
+    };
+
+    // Conformer — its mark embedding sees the varying timestamps.
+    let mut cfg = ConformerConfig::new(series.dims(), lx, ly);
+    cfg.d_model = 16;
+    cfg.n_heads = 4;
+    cfg.multiscale_strides = vec![1, 8];
+    let mut conformer = TrainedModel::from_conformer(&cfg, 1);
+    println!("\ntraining Conformer…");
+    train(&mut conformer, &train_set, Some(&val_set), &opts);
+    let m_conf = evaluate(&conformer, &test_set, 16);
+
+    // GRU baseline.
+    let mut gru = TrainedModel::build(ModelKind::Gru, series.dims(), lx, ly, 16, 4, 1);
+    println!("training GRU…");
+    train(&mut gru, &train_set, Some(&val_set), &opts);
+    let m_gru = evaluate(&gru, &test_set, 16);
+
+    println!("\nirregular-interval forecasting (scaled space):");
+    println!("  Conformer  {m_conf}");
+    println!("  GRU        {m_gru}");
+    if m_conf.mse < m_gru.mse {
+        println!(
+            "Conformer leads by {:.1}% MSE — note the margin is smaller than on \
+             periodic datasets, matching the paper's AirDelay observation.",
+            100.0 * (m_gru.mse - m_conf.mse) / m_gru.mse
+        );
+    } else {
+        println!("GRU edged out Conformer on this run — on less-structured data the paper also reports narrow margins.");
+    }
+}

@@ -1,0 +1,113 @@
+//! Classical statistical baselines vs deep forecasters on periodic data —
+//! the sanity anchor every deep model should clear, plus a look at DeepAR,
+//! the classic probabilistic deep baseline from the paper's related work.
+//!
+//! ```sh
+//! cargo run --release --example classical_vs_deep
+//! ```
+
+use lttf::baselines::{BaselineConfig, DeepAr, Drift, HoltWinters, Persistence, SeasonalNaive};
+use lttf::conformer::ConformerConfig;
+use lttf::data::synth::{Dataset, SynthSpec};
+use lttf::data::{Split, WindowDataset};
+use lttf::eval::{evaluate, train, Metrics, TrainOptions, TrainedModel};
+use lttf::nn::ParamSet;
+use lttf::tensor::Rng;
+
+fn main() {
+    // Strongly periodic hourly data (daily cycle = period 24).
+    let series = Dataset::Ecl.generate(SynthSpec {
+        len: 1_200,
+        dims: Some(4),
+        seed: 21,
+    });
+    let (lx, ly) = (96, 24);
+    let mk = |split| WindowDataset::new(&series, split, (0.7, 0.1), lx, ly, lx / 2);
+    let (train_set, val_set, test_set) = (mk(Split::Train), mk(Split::Val), mk(Split::Test));
+
+    // --- classical anchors: no training, evaluated over the same windows.
+    let eval_classical = |name: &str, f: &dyn Fn(&lttf::tensor::Tensor) -> lttf::tensor::Tensor| {
+        let mut parts = Vec::new();
+        for idx in test_set.sequential_batches(32) {
+            let b = test_set.batch(&idx);
+            let pred = f(&b.x);
+            parts.push((Metrics::of(&pred, &b.y), pred.numel()));
+        }
+        let m = Metrics::weighted_mean(&parts);
+        println!("  {name:<16} {m}");
+        m
+    };
+    println!("classical anchors (scaled space):");
+    eval_classical("persistence", &|x| Persistence.predict(x, ly));
+    eval_classical("drift", &|x| Drift.predict(x, ly));
+    let snaive = eval_classical("seasonal-naive", &{
+        let m = SeasonalNaive::new(24);
+        move |x| m.predict(x, ly)
+    });
+    eval_classical("holt-winters", &{
+        let m = HoltWinters::default_with_period(24);
+        move |x| m.predict(x, ly)
+    });
+
+    // --- DeepAR (probabilistic GRU, NLL-trained).
+    let opts = TrainOptions {
+        epochs: 2,
+        batch_size: 16,
+        lr: 2e-3,
+        patience: 0,
+        lr_decay: 0.7,
+        max_batches: 25,
+        clip: 5.0,
+        seed: 2,
+        val_max_windows: 64,
+    };
+    println!("\ntraining DeepAR…");
+    let mut ps = ParamSet::new();
+    let mut bcfg = BaselineConfig::new(series.dims(), lx, ly);
+    bcfg.hidden = 16;
+    let deepar = DeepAr::new(&mut ps, &bcfg, &mut Rng::seed(3));
+    {
+        use lttf::autograd::Graph;
+        use lttf::nn::{Adam, Fwd, Optimizer};
+        let mut opt = Adam::new(opts.lr);
+        let mut rng = Rng::seed(opts.seed);
+        for epoch in 0..opts.epochs {
+            let mut batches = train_set.shuffled_batches(opts.batch_size, &mut rng);
+            batches.truncate(opts.max_batches);
+            for (i, idx) in batches.iter().enumerate() {
+                let b = train_set.batch(idx);
+                let g = Graph::new();
+                let cx = Fwd::new(&g, &ps, true, (epoch * 1000 + i) as u64);
+                let loss = deepar.loss(&cx, g.leaf(b.x.clone()), &b.y);
+                let grads = g.backward(loss);
+                let collected = cx.collect_grads(&grads);
+                ps.zero_grad();
+                ps.apply_grads(collected);
+                opt.step(&mut ps);
+            }
+        }
+    }
+    let mut parts = Vec::new();
+    for idx in test_set.sequential_batches(32) {
+        let b = test_set.batch(&idx);
+        let pred = deepar.predict(&ps, &b.x);
+        parts.push((Metrics::of(&pred, &b.y), pred.numel()));
+    }
+    println!("  DeepAR           {}", Metrics::weighted_mean(&parts));
+
+    // --- Conformer.
+    println!("\ntraining Conformer…");
+    let mut cfg = ConformerConfig::new(series.dims(), lx, ly);
+    cfg.d_model = 16;
+    cfg.n_heads = 4;
+    cfg.multiscale_strides = vec![1, 24];
+    let mut conformer = TrainedModel::from_conformer(&cfg, 4);
+    train(&mut conformer, &train_set, Some(&val_set), &opts);
+    let conf = evaluate(&conformer, &test_set, 32);
+    println!("  Conformer        {conf}");
+
+    println!(
+        "\nConformer vs the best classical anchor (seasonal-naive): {:+.1}% MSE",
+        100.0 * (conf.mse - snaive.mse) / snaive.mse
+    );
+}

@@ -1,0 +1,334 @@
+//! `lttf` — command-line forecasting with the Conformer reproduction.
+//!
+//! Subcommands:
+//!
+//! * `generate` — write one of the seven synthetic datasets to CSV,
+//! * `train` — train Conformer on a CSV, report test metrics, and save a
+//!   checkpoint (+ sidecar config),
+//! * `forecast` — load a checkpoint and forecast the steps after the end
+//!   of a CSV, with normalizing-flow uncertainty bands.
+//!
+//! ```sh
+//! lttf generate --dataset wind --len 2000 --out wind.csv
+//! lttf train --data wind.csv --target Wind_Power --lx 96 --ly 48 \
+//!            --epochs 3 --out wind_model
+//! lttf forecast --data wind.csv --model wind_model --samples 50
+//! ```
+
+use lttf::conformer::{Conformer, ConformerConfig};
+use lttf::data::synth::{Dataset, SynthSpec};
+use lttf::data::{read_csv, write_csv, Freq, Split, TimeSeries, WindowDataset, MARK_DIM};
+use lttf::eval::{evaluate, train, TrainOptions, TrainedModel};
+use lttf::nn::{load_params, save_params, ParamSet};
+use lttf::tensor::{Rng, Tensor};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  lttf generate --dataset <ecl|weather|exchange|etth1|ettm1|wind|airdelay> \
+         [--len N] [--dims N] [--seed N] --out FILE.csv\n  \
+         lttf train --data FILE.csv --target COL [--lx N] [--ly N] [--d-model N] \
+         [--epochs N] [--seed N] --out MODEL\n  \
+         lttf forecast --data FILE.csv --model MODEL [--samples N] [--coverage P]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument '{}'", args[i]);
+            usage();
+        };
+        if i + 1 >= args.len() {
+            eprintln!("flag --{key} needs a value");
+            usage();
+        }
+        map.insert(key.to_string(), args[i + 1].clone());
+        i += 2;
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{key}: '{v}'");
+                exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{key}");
+        usage();
+    })
+}
+
+fn dataset_by_name(name: &str) -> Dataset {
+    match name.to_ascii_lowercase().as_str() {
+        "ecl" => Dataset::Ecl,
+        "weather" => Dataset::Weather,
+        "exchange" => Dataset::Exchange,
+        "etth1" => Dataset::Etth1,
+        "ettm1" => Dataset::Ettm1,
+        "wind" => Dataset::Wind,
+        "airdelay" => Dataset::AirDelay,
+        other => {
+            eprintln!("unknown dataset '{other}'");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_generate(flags: HashMap<String, String>) {
+    let ds = dataset_by_name(require(&flags, "dataset"));
+    let len = get(&flags, "len", 2_000usize);
+    let dims = flags.get("dims").map(|v| get(&flags, "dims", v.len()));
+    let seed = get(&flags, "seed", 42u64);
+    let out = require(&flags, "out");
+    let series = ds.generate(SynthSpec { len, dims, seed });
+    write_csv(&series, out).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!(
+        "wrote {} ({} steps x {} vars, target '{}')",
+        out,
+        series.len(),
+        series.dims(),
+        series.names[series.target]
+    );
+}
+
+/// Sidecar config format: one `key value` pair per line.
+fn save_config(cfg: &ConformerConfig, target: &str, path: &str) -> std::io::Result<()> {
+    let text = format!(
+        "c_in {}\nc_out {}\nlx {}\nly {}\nlabel_len {}\nd_model {}\nn_heads {}\n\
+         enc_layers {}\ndec_layers {}\nflow_steps {}\nlambda {}\ntarget {}\n\
+         strides {}\n",
+        cfg.c_in,
+        cfg.c_out,
+        cfg.lx,
+        cfg.ly,
+        cfg.label_len,
+        cfg.d_model,
+        cfg.n_heads,
+        cfg.enc_layers,
+        cfg.dec_layers,
+        cfg.flow_steps,
+        cfg.lambda,
+        target,
+        cfg.multiscale_strides
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    std::fs::write(path, text)
+}
+
+fn load_config(path: &str) -> (ConformerConfig, String) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let mut kv = HashMap::new();
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once(' ') {
+            kv.insert(k.to_string(), v.to_string());
+        }
+    }
+    let geti = |k: &str| -> usize {
+        kv.get(k).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("config {path} missing field '{k}'");
+            exit(1);
+        })
+    };
+    let mut cfg = ConformerConfig::new(geti("c_in"), geti("lx"), geti("ly"));
+    cfg.c_out = geti("c_out");
+    cfg.label_len = geti("label_len");
+    cfg.d_model = geti("d_model");
+    cfg.n_heads = geti("n_heads");
+    cfg.enc_layers = geti("enc_layers");
+    cfg.dec_layers = geti("dec_layers");
+    cfg.flow_steps = geti("flow_steps");
+    cfg.lambda = kv.get("lambda").and_then(|v| v.parse().ok()).unwrap_or(0.8);
+    cfg.multiscale_strides = kv
+        .get("strides")
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1]);
+    let target = kv.get("target").cloned().unwrap_or_default();
+    (cfg, target)
+}
+
+fn cmd_train(flags: HashMap<String, String>) {
+    let data = require(&flags, "data");
+    let target = require(&flags, "target");
+    let lx = get(&flags, "lx", 96usize);
+    let ly = get(&flags, "ly", 48usize);
+    let d_model = get(&flags, "d-model", 16usize);
+    let epochs = get(&flags, "epochs", 3usize);
+    let seed = get(&flags, "seed", 1u64);
+    let out = require(&flags, "out");
+
+    let series = read_csv(data, target, Freq::Irregular).unwrap_or_else(|e| {
+        eprintln!("cannot read {data}: {e}");
+        exit(1);
+    });
+    println!(
+        "loaded {}: {} steps x {} vars",
+        data,
+        series.len(),
+        series.dims()
+    );
+    let mk = |split| WindowDataset::new(&series, split, (0.7, 0.1), lx, ly, lx / 2);
+    let (train_set, val_set, test_set) = (mk(Split::Train), mk(Split::Val), mk(Split::Test));
+
+    let mut cfg = ConformerConfig::new(series.dims(), lx, ly);
+    cfg.d_model = d_model;
+    cfg.n_heads = if d_model.is_multiple_of(4) { 4 } else { 2 };
+    cfg.multiscale_strides = vec![1, (lx / 4).max(2)];
+    let mut model = TrainedModel::from_conformer(&cfg, seed);
+    println!(
+        "training Conformer ({} params, {epochs} epochs)…",
+        model.num_parameters()
+    );
+    let report = train(
+        &mut model,
+        &train_set,
+        Some(&val_set),
+        &TrainOptions {
+            epochs,
+            batch_size: 16,
+            lr: 1e-3,
+            patience: 2,
+            lr_decay: 0.7,
+            max_batches: 60,
+            clip: 5.0,
+            seed,
+            val_max_windows: usize::MAX,
+        },
+    );
+    for (e, l) in report.train_losses.iter().enumerate() {
+        println!("  epoch {e}: train loss {l:.4}");
+    }
+    println!("test: {}", evaluate(&model, &test_set, 16));
+
+    save_params(model.params(), format!("{out}.params")).unwrap_or_else(|e| {
+        eprintln!("cannot save checkpoint: {e}");
+        exit(1);
+    });
+    save_config(&cfg, target, &format!("{out}.config")).unwrap_or_else(|e| {
+        eprintln!("cannot save config: {e}");
+        exit(1);
+    });
+    println!("saved {out}.params / {out}.config");
+}
+
+/// Assemble the single forecast window at the end of the series.
+fn final_window(
+    series: &TimeSeries,
+    cfg: &ConformerConfig,
+) -> (Tensor, Tensor, Tensor, Tensor, lttf::data::StandardScaler) {
+    let scaler = lttf::data::StandardScaler::fit(&series.values);
+    let scaled = scaler.transform(&series.values);
+    let n = series.len();
+    let (lx, ly, label) = (cfg.lx, cfg.ly, cfg.label_len);
+    assert!(n >= lx, "series shorter than the input window");
+    let x = scaled.narrow(0, n - lx, lx).reshape(&[1, lx, cfg.c_in]);
+    let marks = series.marks();
+    let xm = marks.narrow(0, n - lx, lx).reshape(&[1, lx, MARK_DIM]);
+    let dec_known = scaled.narrow(0, n - label, label);
+    let dec = Tensor::concat(&[&dec_known, &Tensor::zeros(&[ly, cfg.c_in])], 0).reshape(&[
+        1,
+        label + ly,
+        cfg.c_in,
+    ]);
+    // future marks: extrapolate timestamps at the median recent gap
+    let gap = if n >= 2 {
+        (series.timestamps[n - 1] - series.timestamps[n - 1 - (n - 1).min(20)])
+            / (n - 1).min(20) as i64
+    } else {
+        3600
+    };
+    let mut mark_rows = Vec::new();
+    for t in n - label..n {
+        mark_rows.extend_from_slice(&lttf::data::time_features(series.timestamps[t]));
+    }
+    for i in 1..=ly {
+        let ts = series.timestamps[n - 1] + gap.max(1) * i as i64;
+        mark_rows.extend_from_slice(&lttf::data::time_features(ts));
+    }
+    let dm = Tensor::from_vec(mark_rows, &[1, label + ly, MARK_DIM]);
+    (x, xm, dec, dm, scaler)
+}
+
+fn cmd_forecast(flags: HashMap<String, String>) {
+    let data = require(&flags, "data");
+    let model_base = require(&flags, "model");
+    let samples = get(&flags, "samples", 50usize);
+    let cov = get(&flags, "coverage", 0.9f32);
+
+    let (cfg, target) = load_config(&format!("{model_base}.config"));
+    let series = read_csv(data, &target, Freq::Irregular).unwrap_or_else(|e| {
+        eprintln!("cannot read {data}: {e}");
+        exit(1);
+    });
+    assert_eq!(
+        series.dims(),
+        cfg.c_in,
+        "CSV has {} vars but the model expects {}",
+        series.dims(),
+        cfg.c_in
+    );
+    let mut ps = ParamSet::new();
+    let model = Conformer::new(&mut ps, &cfg, &mut Rng::seed(0));
+    load_params(&mut ps, format!("{model_base}.params")).unwrap_or_else(|e| {
+        eprintln!("cannot load checkpoint: {e}");
+        exit(1);
+    });
+
+    let (x, xm, dec, dm, scaler) = final_window(&series, &cfg);
+    let (point, lo, hi) = model.predict_with_uncertainty(&ps, &x, &xm, &dec, &dm, samples, cov, 7);
+    let t_col = series.target;
+    let inv = |t: &Tensor| scaler.inverse_transform(t);
+    let (p, l, h) = (inv(&point), inv(&lo), inv(&hi));
+    println!(
+        "forecast of '{}' for the next {} steps ({}% interval, {} samples):",
+        target,
+        cfg.ly,
+        (cov * 100.0) as u32,
+        samples
+    );
+    println!("step,point,lo,hi");
+    for t in 0..cfg.ly {
+        println!(
+            "{t},{:.4},{:.4},{:.4}",
+            p.at(&[0, t, t_col]),
+            l.at(&[0, t, t_col]),
+            h.at(&[0, t, t_col])
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(flags),
+        "train" => cmd_train(flags),
+        "forecast" => cmd_forecast(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,41 @@
+//! # lttf
+//!
+//! Umbrella crate for the Rust reproduction of *Towards Long-Term
+//! Time-Series Forecasting: Feature, Pattern, and Distribution*
+//! (Conformer, ICDE 2023). Re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`tensor`] — N-D `f32` arrays, broadcasting, matmul, conv1d, pooling
+//! * [`fft`] — FFT and autocorrelation
+//! * [`autograd`] — tape-based reverse-mode differentiation
+//! * [`nn`] — layers, six attention mechanisms, optimizers, losses
+//! * [`data`] — series containers, scalers, windows, synthetic datasets
+//! * [`conformer`] — the paper's model (SIRN + sliding-window attention +
+//!   normalizing flow)
+//! * [`baselines`] — GRU, LSTNet, N-BEATS, Informer, Autoformer,
+//!   Reformer, Longformer, LogTrans, TS2Vec
+//! * [`eval`] — metrics, trainer, experiment utilities
+//!
+//! See `examples/quickstart.rs` for an end-to-end training run.
+
+pub use lttf_autograd as autograd;
+pub use lttf_baselines as baselines;
+pub use lttf_conformer as conformer;
+pub use lttf_data as data;
+pub use lttf_eval as eval;
+pub use lttf_fft as fft;
+pub use lttf_nn as nn;
+pub use lttf_tensor as tensor;
+
+/// Crate version, for binaries that report it.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_compile() {
+        let t = crate::tensor::Tensor::ones(&[2]);
+        assert_eq!(t.sum(), 2.0);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration tests for the classical baselines through the full window
+//! pipeline, and the sanity relationship between anchors and deep models.
+
+use lttf::baselines::{Drift, HoltWinters, Persistence, SeasonalNaive};
+use lttf::data::synth::{Dataset, SynthSpec};
+use lttf::data::{Split, WindowDataset};
+use lttf::eval::Metrics;
+use lttf::tensor::Tensor;
+
+fn eval_fn(test: &WindowDataset, f: impl Fn(&Tensor) -> Tensor) -> Metrics {
+    let mut parts = Vec::new();
+    for idx in test.sequential_batches(32) {
+        let b = test.batch(&idx);
+        let pred = f(&b.x);
+        parts.push((Metrics::of(&pred, &b.y), pred.numel()));
+    }
+    Metrics::weighted_mean(&parts)
+}
+
+#[test]
+fn seasonal_naive_beats_persistence_on_periodic_data() {
+    // Hourly ECL with a strong daily cycle: repeating yesterday beats
+    // repeating the last hour for a 24-step horizon.
+    let series = Dataset::Ecl.generate(SynthSpec {
+        len: 1_000,
+        dims: Some(3),
+        seed: 31,
+    });
+    let test = WindowDataset::new(&series, Split::Test, (0.7, 0.1), 96, 24, 0);
+    let pers = eval_fn(&test, |x| Persistence.predict(x, 24));
+    let snaive = eval_fn(&test, |x| SeasonalNaive::new(24).predict(x, 24));
+    assert!(
+        snaive.mse < pers.mse,
+        "seasonal naive {} should beat persistence {}",
+        snaive.mse,
+        pers.mse
+    );
+}
+
+#[test]
+fn persistence_beats_seasonal_naive_on_random_walk() {
+    // Exchange is a random walk: the last value is the best predictor and
+    // fake seasonality must not help.
+    let series = Dataset::Exchange.generate(SynthSpec {
+        len: 1_000,
+        dims: Some(4),
+        seed: 32,
+    });
+    let test = WindowDataset::new(&series, Split::Test, (0.7, 0.1), 96, 24, 0);
+    let pers = eval_fn(&test, |x| Persistence.predict(x, 24));
+    let snaive = eval_fn(&test, |x| SeasonalNaive::new(24).predict(x, 24));
+    assert!(
+        pers.mse < snaive.mse,
+        "persistence {} should beat seasonal naive {} on a random walk",
+        pers.mse,
+        snaive.mse
+    );
+}
+
+#[test]
+fn holt_winters_competitive_on_smooth_seasonal_data() {
+    let series = Dataset::Weather.generate(SynthSpec {
+        len: 1_200,
+        dims: Some(3),
+        seed: 33,
+    });
+    // 10-minute data: daily period = 144; use a window of 2 days.
+    let test = WindowDataset::new(&series, Split::Test, (0.7, 0.1), 288, 36, 0);
+    let hw = eval_fn(&test, |x| {
+        HoltWinters::default_with_period(144).predict(x, 36)
+    });
+    let drift = eval_fn(&test, |x| Drift.predict(x, 36));
+    assert!(hw.mse.is_finite() && drift.mse.is_finite());
+    // HW must not be catastrophically worse than drift on smooth data.
+    assert!(
+        hw.mse < drift.mse * 3.0,
+        "HW {} vs drift {}",
+        hw.mse,
+        drift.mse
+    );
+}
+
+#[test]
+fn anchors_produce_finite_predictions_on_every_dataset() {
+    for ds in Dataset::ALL {
+        let series = ds.generate(SynthSpec {
+            len: 600,
+            dims: Some(3),
+            seed: 34,
+        });
+        let test = WindowDataset::new(&series, Split::Test, (0.7, 0.1), 64, 16, 0);
+        let b = test.batch(&[0]);
+        for pred in [
+            Persistence.predict(&b.x, 16),
+            Drift.predict(&b.x, 16),
+            SeasonalNaive::new(8).predict(&b.x, 16),
+            HoltWinters::default_with_period(8).predict(&b.x, 16),
+        ] {
+            assert_eq!(pred.shape(), &[1, 16, 3], "{ds:?}");
+            assert!(!pred.has_non_finite(), "{ds:?}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `lttf` CLI: generate → train → forecast.
+
+use std::process::Command;
+
+fn workdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("lttf_cli_test");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn generate_train_forecast_pipeline() {
+    let dir = workdir();
+    let csv = dir.join("ett.csv");
+    let model = dir.join("model");
+
+    // generate
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .args([
+            "generate",
+            "--dataset",
+            "etth1",
+            "--len",
+            "600",
+            "--seed",
+            "3",
+            "--out",
+        ])
+        .arg(&csv)
+        .output()
+        .expect("generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(csv.exists());
+
+    // train (1 epoch to stay fast)
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .args(["train", "--data"])
+        .arg(&csv)
+        .args([
+            "--target",
+            "OT",
+            "--lx",
+            "32",
+            "--ly",
+            "8",
+            "--epochs",
+            "1",
+            "--d-model",
+            "8",
+            "--out",
+        ])
+        .arg(&model)
+        .output()
+        .expect("train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("test: MSE"), "{stdout}");
+    assert!(model.with_extension("params").exists());
+    assert!(model.with_extension("config").exists());
+
+    // forecast
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .args(["forecast", "--data"])
+        .arg(&csv)
+        .args(["--model"])
+        .arg(&model)
+        .args(["--samples", "10"])
+        .output()
+        .expect("forecast");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("step,point,lo,hi"), "{stdout}");
+    // 8 forecast rows follow the header
+    let rows = stdout
+        .lines()
+        .filter(|l| l.starts_with(char::is_numeric))
+        .count();
+    assert_eq!(rows, 8, "{stdout}");
+    // bands are ordered on every row
+    for line in stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("step"))
+        .skip(1)
+    {
+        let f: Vec<f32> = line
+            .split(',')
+            .skip(1)
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        if f.len() == 3 {
+            assert!(f[1] <= f[2], "lo > hi in {line}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .arg("frobnicate")
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .args(["generate", "--dataset", "wind"]) // no --out
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}

@@ -1,0 +1,279 @@
+//! Cross-crate integration tests: the full pipeline (synthetic data →
+//! windows → training → evaluation) behaves sensibly for Conformer and
+//! for representative baselines.
+
+use lttf::conformer::{ConformerConfig, FlowMode};
+use lttf::data::synth::{Dataset, SynthSpec};
+use lttf::data::{Split, WindowDataset};
+use lttf::eval::{evaluate, train, Metrics, ModelKind, TrainOptions, TrainedModel};
+use lttf::tensor::Tensor;
+
+fn splits(
+    series: &lttf::data::TimeSeries,
+    lx: usize,
+    ly: usize,
+) -> (WindowDataset, WindowDataset, WindowDataset) {
+    let mk = |split| WindowDataset::new(series, split, (0.7, 0.1), lx, ly, lx / 2);
+    (mk(Split::Train), mk(Split::Val), mk(Split::Test))
+}
+
+fn quick_opts(seed: u64) -> TrainOptions {
+    TrainOptions {
+        epochs: 2,
+        batch_size: 16,
+        lr: 2e-3,
+        patience: 0,
+        lr_decay: 0.7,
+        max_batches: 15,
+        clip: 5.0,
+        seed,
+        val_max_windows: usize::MAX,
+    }
+}
+
+/// MSE of predicting "the last observed value persists" — the naive
+/// baseline any trained model must beat on a learnable dataset.
+fn persistence_mse(test: &WindowDataset) -> f32 {
+    let mut parts = Vec::new();
+    for idx in test.sequential_batches(32) {
+        let b = test.batch(&idx);
+        let last = b.x.narrow(1, test.lx() - 1, 1); // [n, 1, d]
+        let persist = last.broadcast_to(&[b.y.shape()[0], test.ly(), b.y.shape()[2]]);
+        parts.push((Metrics::of(&persist, &b.y), b.y.numel()));
+    }
+    Metrics::weighted_mean(&parts).mse
+}
+
+#[test]
+fn conformer_beats_persistence_on_periodic_data() {
+    let series = Dataset::Ettm1.generate(SynthSpec {
+        len: 900,
+        dims: Some(4),
+        seed: 10,
+    });
+    let (train_set, val, test) = splits(&series, 48, 24);
+    let mut cfg = ConformerConfig::new(4, 48, 24);
+    cfg.d_model = 16;
+    cfg.n_heads = 4;
+    cfg.multiscale_strides = vec![1, 24];
+    let mut model = TrainedModel::from_conformer(&cfg, 1);
+    let opts = TrainOptions {
+        epochs: 5,
+        max_batches: 40,
+        ..quick_opts(1)
+    };
+    train(&mut model, &train_set, Some(&val), &opts);
+    let m = evaluate(&model, &test, 32);
+    let naive = persistence_mse(&test);
+    assert!(
+        m.mse < naive,
+        "Conformer MSE {} did not beat persistence {naive}",
+        m.mse
+    );
+}
+
+#[test]
+fn training_improves_every_model_family() {
+    let series = Dataset::Etth1.generate(SynthSpec {
+        len: 700,
+        dims: Some(3),
+        seed: 20,
+    });
+    let (train_set, val, test) = splits(&series, 32, 12);
+    for kind in [
+        ModelKind::Conformer,
+        ModelKind::Informer,
+        ModelKind::Gru,
+        ModelKind::NBeats,
+    ] {
+        let mut model = TrainedModel::build(kind, 3, 32, 12, 8, 2, 2);
+        let before = evaluate(&model, &test, 32);
+        train(&mut model, &train_set, Some(&val), &quick_opts(2));
+        let after = evaluate(&model, &test, 32);
+        assert!(
+            after.mse < before.mse,
+            "{kind:?}: training hurt ({} → {})",
+            before.mse,
+            after.mse
+        );
+    }
+}
+
+#[test]
+fn flow_ablation_changes_results() {
+    let series = Dataset::Wind.generate(SynthSpec {
+        len: 600,
+        dims: Some(3),
+        seed: 30,
+    });
+    let (train_set, val, test) = splits(&series, 32, 12);
+    let mut results = Vec::new();
+    for mode in [FlowMode::Full, FlowMode::None] {
+        let mut cfg = ConformerConfig::new(3, 32, 12);
+        cfg.d_model = 8;
+        cfg.n_heads = 2;
+        cfg.flow_mode = mode;
+        cfg.multiscale_strides = vec![1, 8];
+        let mut model = TrainedModel::from_conformer(&cfg, 3);
+        train(&mut model, &train_set, Some(&val), &quick_opts(3));
+        results.push(evaluate(&model, &test, 32).mse);
+    }
+    assert_ne!(results[0], results[1], "flow mode had no effect at all");
+}
+
+#[test]
+fn univariate_pipeline_works() {
+    let series = Dataset::Exchange
+        .generate(SynthSpec {
+            len: 600,
+            dims: Some(8),
+            seed: 40,
+        })
+        .to_univariate();
+    assert_eq!(series.dims(), 1);
+    let (train_set, val, test) = splits(&series, 32, 12);
+    let mut model = TrainedModel::build(ModelKind::Ts2Vec, 1, 32, 12, 8, 2, 4);
+    train(&mut model, &train_set, Some(&val), &quick_opts(4));
+    let m = evaluate(&model, &test, 32);
+    assert!(m.mse.is_finite() && m.mse > 0.0);
+}
+
+#[test]
+fn predictions_have_no_nans_after_training() {
+    let series = Dataset::AirDelay.generate(SynthSpec {
+        len: 600,
+        dims: Some(4),
+        seed: 50,
+    });
+    let (train_set, val, test) = splits(&series, 32, 12);
+    for kind in ModelKind::TABLE2 {
+        let mut model = TrainedModel::build(kind, 4, 32, 12, 8, 2, 5);
+        train(&mut model, &train_set, Some(&val), &quick_opts(5));
+        let b = test.batch(&[0, 1]);
+        let p = model.predict_batch(&b);
+        assert!(!p.has_non_finite(), "{kind:?} produced NaN/inf");
+    }
+}
+
+#[test]
+fn scaled_metrics_are_scale_invariant() {
+    // Multiplying the raw series by a constant must not change scaled-space
+    // metrics (the scaler absorbs it).
+    let base = Dataset::Etth1.generate(SynthSpec {
+        len: 600,
+        dims: Some(2),
+        seed: 60,
+    });
+    let mut scaled = base.clone();
+    scaled.values = scaled.values.mul_scalar(100.0);
+
+    let run = |series: &lttf::data::TimeSeries| {
+        let (train_set, val, test) = splits(series, 32, 12);
+        let mut model = TrainedModel::build(ModelKind::Gru, 2, 32, 12, 8, 2, 6);
+        train(&mut model, &train_set, Some(&val), &quick_opts(6));
+        evaluate(&model, &test, 32).mse
+    };
+    let a = run(&base);
+    let b = run(&scaled);
+    assert!(
+        (a - b).abs() < 0.05 * a.max(b),
+        "scaled-space MSE changed with raw units: {a} vs {b}"
+    );
+}
+
+#[test]
+fn uncertainty_bands_cover_reasonably_on_gaussian_noise() {
+    // On a pure-noise target, a 90% interval from the flow should cover a
+    // nontrivial fraction of the truth after training (calibration is not
+    // exact — this guards against degenerate zero-width bands).
+    let series = Dataset::Wind.generate(SynthSpec {
+        len: 600,
+        dims: Some(2),
+        seed: 70,
+    });
+    let (train_set, val, test) = splits(&series, 32, 12);
+    let mut cfg = ConformerConfig::new(2, 32, 12);
+    cfg.d_model = 8;
+    cfg.n_heads = 2;
+    cfg.multiscale_strides = vec![1, 8];
+    let mut model = TrainedModel::from_conformer(&cfg, 7);
+    train(&mut model, &train_set, Some(&val), &quick_opts(7));
+    let lttf::eval::ModelImpl::Conformer(conformer) = model.inner() else {
+        unreachable!()
+    };
+    let b = test.batch(&[0]);
+    let (_, lo, hi) = conformer.predict_with_uncertainty(
+        model.params(),
+        &b.x,
+        &b.x_mark,
+        &b.dec,
+        &b.dec_mark,
+        40,
+        0.9,
+        99,
+    );
+    let width = hi.sub(&lo).mean();
+    assert!(width > 1e-4, "degenerate zero-width interval");
+    assert!(!lo.has_non_finite() && !hi.has_non_finite());
+}
+
+#[test]
+fn csv_round_trip_through_training() {
+    // Export a synthetic series to CSV, re-import, and verify the window
+    // pipeline produces identical batches.
+    let series = Dataset::Weather.generate(SynthSpec {
+        len: 300,
+        dims: Some(3),
+        seed: 80,
+    });
+    let path = std::env::temp_dir().join("lttf_e2e_weather.csv");
+    lttf::data::write_csv(&series, &path).unwrap();
+    let restored = lttf::data::read_csv(&path, &series.names[series.target], series.freq).unwrap();
+    let a = WindowDataset::new(&series, Split::Train, (0.7, 0.1), 24, 8, 12).batch(&[0]);
+    let b = WindowDataset::new(&restored, Split::Train, (0.7, 0.1), 24, 8, 12).batch(&[0]);
+    a.x.assert_close(&b.x, 1e-4);
+    a.y.assert_close(&b.y, 1e-4);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn longer_horizons_are_harder() {
+    // Error should grow with the prediction length (the paper's qualitative
+    // expectation across every table).
+    let series = Dataset::Ettm1.generate(SynthSpec {
+        len: 900,
+        dims: Some(3),
+        seed: 90,
+    });
+    let mut errs = Vec::new();
+    for ly in [8usize, 48] {
+        let (train_set, val, test) = splits(&series, 48, ly);
+        let mut model = TrainedModel::build(ModelKind::Conformer, 3, 48, ly, 8, 2, 8);
+        train(&mut model, &train_set, Some(&val), &quick_opts(8));
+        errs.push(evaluate(&model, &test, 32).mse);
+    }
+    assert!(
+        errs[1] > errs[0] * 0.8,
+        "48-step horizon implausibly easier than 8-step: {errs:?}"
+    );
+}
+
+#[test]
+fn tensor_pipeline_sanity() {
+    // A tiny end-to-end numeric check across crates: FFT-based
+    // autocorrelation of a generated periodic series detects its period.
+    let series = Dataset::Ecl.generate(SynthSpec {
+        len: 24 * 30,
+        dims: Some(2),
+        seed: 100,
+    });
+    let target: Vec<f32> = series.target_series().into_vec();
+    let periods = lttf::fft::top_k_periods(&target, 5);
+    assert!(
+        periods
+            .iter()
+            .any(|&p| (22..=26).contains(&p) || (166..=170).contains(&p)),
+        "no daily/weekly period found in ECL: {periods:?}"
+    );
+    let _ = Tensor::zeros(&[1]);
+}
