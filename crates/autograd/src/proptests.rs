@@ -3,15 +3,15 @@
 
 use crate::Graph;
 use lttf_tensor::Tensor;
-use proptest::prelude::*;
+use lttf_testkit::prop::{self, Gen};
+use lttf_testkit::{prop_assert, properties};
 
-fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-3.0f32..3.0, n)
+fn arb_vec(n: usize) -> Gen<Vec<f32>> {
+    prop::vec_exact(prop::f32s(-3.0..3.0), n)
 }
 
-proptest! {
+properties! {
     // d/dx Σ (a·x) = a for any constant a (linearity).
-    #[test]
     fn linear_gradient_is_coefficient(xs in arb_vec(6), a in -5.0f32..5.0) {
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(xs, &[6]));
@@ -23,7 +23,6 @@ proptest! {
     }
 
     // Gradient of sum(x²) is 2x exactly.
-    #[test]
     fn quadratic_gradient(xs in arb_vec(8)) {
         let g = Graph::new();
         let t = Tensor::from_vec(xs, &[8]);
@@ -34,7 +33,6 @@ proptest! {
     }
 
     // Product rule: d/dx Σ(x ⊙ c) = c.
-    #[test]
     fn product_rule_with_constant(xs in arb_vec(5), cs in arb_vec(5)) {
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(xs, &[5]));
@@ -45,7 +43,6 @@ proptest! {
     }
 
     // Chain rule through composition: d/dx Σ tanh(x)² = 2 tanh(x)(1 − tanh²(x)).
-    #[test]
     fn chain_rule_composition(xs in arb_vec(5)) {
         let g = Graph::new();
         let t = Tensor::from_vec(xs, &[5]);
@@ -58,7 +55,6 @@ proptest! {
     }
 
     // Gradient is additive over fan-out: f = Σx + Σx ⇒ grad = 2.
-    #[test]
     fn fan_out_accumulation(xs in arb_vec(4)) {
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(xs, &[4]));
@@ -70,7 +66,6 @@ proptest! {
     }
 
     // Shape ops are gradient-orthogonal: reshape/swap do not change Σx².
-    #[test]
     fn shape_ops_preserve_gradients(xs in arb_vec(12)) {
         let t = Tensor::from_vec(xs, &[3, 4]);
         let g1 = Graph::new();
@@ -87,7 +82,6 @@ proptest! {
     }
 
     // Softmax gradient lanes sum to zero (softmax is shift-invariant).
-    #[test]
     fn softmax_gradient_rows_sum_to_zero(xs in arb_vec(10)) {
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(xs, &[2, 5]));

@@ -7,7 +7,7 @@ use crate::{
 };
 use lttf_nn::ParamSet;
 use lttf_tensor::{Rng, Tensor};
-use proptest::prelude::*;
+use lttf_testkit::{prop_assert, prop_assert_eq, properties};
 
 fn cfg_for(c_in: usize, lx: usize, ly: usize) -> BaselineConfig {
     let mut c = BaselineConfig::tiny(c_in, lx, ly);
@@ -25,10 +25,9 @@ fn inputs(cfg: &BaselineConfig, seed: u64) -> (Tensor, Tensor, Tensor, Tensor) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+properties! {
+    cases = 8;
 
-    #[test]
     fn transformer_flavors_forward_contract(
         c_in in 1usize..4,
         lx in 8usize..20,
@@ -52,7 +51,6 @@ proptest! {
         prop_assert!(!y.has_non_finite(), "{:?}", flavor);
     }
 
-    #[test]
     fn autoformer_forward_contract(
         c_in in 1usize..4,
         lx in 8usize..20,
@@ -68,7 +66,6 @@ proptest! {
         prop_assert!(!y.has_non_finite());
     }
 
-    #[test]
     fn simple_models_forward_contract(
         c_in in 1usize..4,
         lx in 8usize..20,

@@ -1,13 +1,17 @@
-//! Criterion bench behind Fig. 5: forward-pass time of each attention
-//! mechanism across sequence lengths. The sliding-window mechanism should
-//! show linear growth; full/log-sparse quadratic.
+//! Bench behind Fig. 5: forward-pass time of each attention mechanism
+//! across sequence lengths. The sliding-window mechanism should show
+//! linear growth; full/log-sparse quadratic.
+//!
+//! Run with `cargo bench --bench attention_complexity`; emits JSON-lines
+//! records to stdout and `results/BENCH_attention_complexity.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lttf_autograd::Graph;
 use lttf_nn::{attention::attend_folded, AttentionKind, Fwd, ParamSet};
 use lttf_tensor::{Rng, Tensor};
+use lttf_testkit::bench::Suite;
+use std::hint::black_box;
 
-fn bench_attention(c: &mut Criterion) {
+fn main() {
     let kinds = [
         AttentionKind::SlidingWindow { w: 2 },
         AttentionKind::Full,
@@ -18,35 +22,26 @@ fn bench_attention(c: &mut Criterion) {
     ];
     let (bh, dh) = (4usize, 16usize);
     let ps = ParamSet::new();
-    let mut group = c.benchmark_group("attention_forward");
+    let mut suite = Suite::new("attention_complexity").samples(10);
     for l in [96usize, 192, 384] {
         let mut rng = Rng::seed(1);
         let q = Tensor::randn(&[bh, l, dh], &mut rng);
         let k = Tensor::randn(&[bh, l, dh], &mut rng);
         let v = Tensor::randn(&[bh, l, dh], &mut rng);
         for kind in kinds {
-            group.bench_with_input(BenchmarkId::new(kind.label(), l), &l, |bench, _| {
-                bench.iter(|| {
-                    let g = Graph::new();
-                    let cx = Fwd::new(&g, &ps, false, 0);
-                    let out = attend_folded(
-                        kind,
-                        &cx,
-                        g.leaf(q.clone()),
-                        g.leaf(k.clone()),
-                        g.leaf(v.clone()),
-                    );
-                    std::hint::black_box(out.value())
-                })
+            suite.bench(&format!("attention_forward/{}/{l}", kind.label()), || {
+                let g = Graph::new();
+                let cx = Fwd::new(&g, &ps, false, 0);
+                let out = attend_folded(
+                    kind,
+                    &cx,
+                    g.leaf(q.clone()),
+                    g.leaf(k.clone()),
+                    g.leaf(v.clone()),
+                );
+                black_box(out.value())
             });
         }
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_attention
-}
-criterion_main!(benches);

@@ -1,89 +1,79 @@
-//! Criterion benches for the substrate kernels: matmul, conv1d, moving
-//! average, FFT autocorrelation, GRU step, and dataset generation.
+//! Benches for the substrate kernels: matmul, conv1d, moving average,
+//! FFT autocorrelation, GRU step, and dataset generation.
+//!
+//! Run with `cargo bench --bench kernels`; emits JSON-lines records to
+//! stdout and `results/BENCH_kernels.json` (see `lttf_testkit::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lttf_autograd::Graph;
 use lttf_data::synth::{Dataset, SynthSpec};
 use lttf_fft::autocorrelation;
 use lttf_nn::{Fwd, Gru, ParamSet};
 use lttf_tensor::{Rng, Tensor};
+use lttf_testkit::bench::Suite;
+use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(s: &mut Suite) {
     for n in [32usize, 64, 128] {
         let mut rng = Rng::seed(1);
         let a = Tensor::randn(&[n, n], &mut rng);
         let b = Tensor::randn(&[n, n], &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b)))
-        });
+        s.bench(&format!("matmul/{n}"), || black_box(a.matmul(&b)));
     }
-    group.finish();
 }
 
-fn bench_conv1d(c: &mut Criterion) {
+fn bench_conv1d(s: &mut Suite) {
     let mut rng = Rng::seed(2);
     let x = Tensor::randn(&[8, 16, 96], &mut rng);
     let w = Tensor::randn(&[16, 16, 3], &mut rng);
-    c.bench_function("conv1d_8x16x96_k3", |b| {
-        b.iter(|| std::hint::black_box(x.conv1d(&w, None, 1, 1)))
-    });
+    s.bench("conv1d_8x16x96_k3", || black_box(x.conv1d(&w, None, 1, 1)));
 }
 
-fn bench_moving_avg(c: &mut Criterion) {
+fn bench_moving_avg(s: &mut Suite) {
     let mut rng = Rng::seed(3);
     let x = Tensor::randn(&[8, 96, 16], &mut rng);
-    c.bench_function("moving_avg_96_k13", |b| {
-        b.iter(|| std::hint::black_box(x.moving_avg(1, 13)))
-    });
+    s.bench("moving_avg_96_k13", || black_box(x.moving_avg(1, 13)));
 }
 
-fn bench_autocorrelation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_autocorrelation");
+fn bench_autocorrelation(s: &mut Suite) {
     for n in [96usize, 768] {
         let sig: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(autocorrelation(&sig)))
+        s.bench(&format!("fft_autocorrelation/{n}"), || {
+            black_box(autocorrelation(&sig))
         });
     }
-    group.finish();
 }
 
-fn bench_gru_forward(c: &mut Criterion) {
+fn bench_gru_forward(s: &mut Suite) {
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed(4);
     let gru = Gru::new(&mut ps, "g", 16, 16, 1, 0.0, &mut rng);
     let x = Tensor::randn(&[8, 96, 16], &mut rng);
-    c.bench_function("gru_forward_8x96x16", |b| {
-        b.iter(|| {
-            let g = Graph::new();
-            let cx = Fwd::new(&g, &ps, false, 0);
-            std::hint::black_box(gru.forward(&cx, g.leaf(x.clone())).outputs.value())
-        })
+    s.bench("gru_forward_8x96x16", || {
+        let g = Graph::new();
+        let cx = Fwd::new(&g, &ps, false, 0);
+        black_box(gru.forward(&cx, g.leaf(x.clone())).outputs.value())
     });
 }
 
-fn bench_dataset_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataset_generation");
-    group.sample_size(10);
+fn bench_dataset_generation(s: &mut Suite) {
     for ds in [Dataset::Ecl, Dataset::Wind, Dataset::AirDelay] {
-        group.bench_function(ds.name(), |b| {
-            b.iter(|| {
-                std::hint::black_box(ds.generate(SynthSpec {
-                    len: 2_000,
-                    dims: Some(8.min(ds.default_dims())),
-                    seed: 5,
-                }))
-            })
+        s.bench(&format!("dataset_generation/{}", ds.name()), || {
+            black_box(ds.generate(SynthSpec {
+                len: 2_000,
+                dims: Some(8.min(ds.default_dims())),
+                seed: 5,
+            }))
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv1d, bench_moving_avg,
-              bench_autocorrelation, bench_gru_forward, bench_dataset_generation
+fn main() {
+    let mut suite = Suite::new("kernels");
+    bench_matmul(&mut suite);
+    bench_conv1d(&mut suite);
+    bench_moving_avg(&mut suite);
+    bench_autocorrelation(&mut suite);
+    bench_gru_forward(&mut suite);
+    bench_dataset_generation(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

@@ -1,12 +1,16 @@
-//! Criterion benches for end-to-end model cost: Conformer forward,
+//! Benches for end-to-end model cost: Conformer forward,
 //! forward+backward, and the baselines' forward passes.
+//!
+//! Run with `cargo bench --bench model_forward`; emits JSON-lines records
+//! to stdout and `results/BENCH_model_forward.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lttf_autograd::Graph;
 use lttf_bench::{series_for, splits};
 use lttf_data::synth::Dataset;
 use lttf_eval::{ModelKind, Scale, TrainedModel};
 use lttf_nn::Fwd;
+use lttf_testkit::bench::Suite;
+use std::hint::black_box;
 
 fn setup() -> (TrainedModel, lttf_data::Batch) {
     let series = series_for(Dataset::Etth1, Scale::Smoke, 1);
@@ -16,31 +20,25 @@ fn setup() -> (TrainedModel, lttf_data::Batch) {
     (model, batch)
 }
 
-fn bench_conformer_forward(c: &mut Criterion) {
-    let (model, batch) = setup();
-    c.bench_function("conformer_predict_b4_lx48_ly24", |b| {
-        b.iter(|| std::hint::black_box(model.predict_batch(&batch)))
-    });
-}
+fn main() {
+    let mut suite = Suite::new("model_forward").samples(10);
 
-fn bench_conformer_train_step(c: &mut Criterion) {
     let (model, batch) = setup();
-    c.bench_function("conformer_fwd_bwd_b4_lx48_ly24", |b| {
-        b.iter(|| {
-            let g = Graph::new();
-            let cx = Fwd::new(&g, model.params(), true, 0);
-            let loss = model.batch_loss(&cx, &batch);
-            let grads = g.backward(loss);
-            std::hint::black_box(cx.collect_grads(&grads))
-        })
+    suite.bench("conformer_predict_b4_lx48_ly24", || {
+        black_box(model.predict_batch(&batch))
     });
-}
 
-fn bench_baseline_forwards(c: &mut Criterion) {
+    suite.bench("conformer_fwd_bwd_b4_lx48_ly24", || {
+        let g = Graph::new();
+        let cx = Fwd::new(&g, model.params(), true, 0);
+        let loss = model.batch_loss(&cx, &batch);
+        let grads = g.backward(loss);
+        black_box(cx.collect_grads(&grads))
+    });
+
     let series = series_for(Dataset::Etth1, Scale::Smoke, 1);
     let (train_set, _, _) = splits(&series, 48, 24, 24);
     let batch = train_set.batch(&[0, 1, 2, 3]);
-    let mut group = c.benchmark_group("baseline_predict");
     for kind in [
         ModelKind::Informer,
         ModelKind::Autoformer,
@@ -48,16 +46,10 @@ fn bench_baseline_forwards(c: &mut Criterion) {
         ModelKind::NBeats,
     ] {
         let model = TrainedModel::build(kind, series.dims(), 48, 24, 8, 2, 1);
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| std::hint::black_box(model.predict_batch(&batch)))
+        suite.bench(&format!("baseline_predict/{}", kind.name()), || {
+            black_box(model.predict_batch(&batch))
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_conformer_forward, bench_conformer_train_step, bench_baseline_forwards
+    suite.finish();
 }
-criterion_main!(benches);

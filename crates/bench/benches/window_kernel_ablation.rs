@@ -2,10 +2,14 @@
 //! sliding-window kernel vs the naive alternative (dense attention with a
 //! −∞ band mask). Both compute the same function — the bench shows why
 //! the custom kernel (O(L·w)) is worth its hand-written backward.
+//!
+//! Run with `cargo bench --bench window_kernel_ablation`; emits JSON-lines
+//! records to stdout and `results/BENCH_window_kernel_ablation.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lttf_nn::attention::window_forward;
 use lttf_tensor::{Rng, Tensor};
+use lttf_testkit::bench::Suite;
+use std::hint::black_box;
 
 /// Reference implementation: full scores + band mask + softmax.
 fn masked_full_forward(q: &Tensor, k: &Tensor, v: &Tensor, w: usize) -> Tensor {
@@ -26,9 +30,9 @@ fn masked_full_forward(q: &Tensor, k: &Tensor, v: &Tensor, w: usize) -> Tensor {
     scores.softmax(-1).matmul(v)
 }
 
-fn bench_kernel_vs_masked(c: &mut Criterion) {
+fn main() {
     let (bh, dh, w) = (4usize, 16usize, 2usize);
-    let mut group = c.benchmark_group("window_kernel_ablation");
+    let mut suite = Suite::new("window_kernel_ablation").samples(10);
     for l in [96usize, 384] {
         let mut rng = Rng::seed(1);
         let q = Tensor::randn(&[bh, l, dh], &mut rng);
@@ -36,19 +40,12 @@ fn bench_kernel_vs_masked(c: &mut Criterion) {
         let v = Tensor::randn(&[bh, l, dh], &mut rng);
         // sanity: the two implementations agree
         window_forward(&q, &k, &v, w).assert_close(&masked_full_forward(&q, &k, &v, w), 1e-4);
-        group.bench_with_input(BenchmarkId::new("fused_banded", l), &l, |b, _| {
-            b.iter(|| std::hint::black_box(window_forward(&q, &k, &v, w)))
+        suite.bench(&format!("fused_banded/{l}"), || {
+            black_box(window_forward(&q, &k, &v, w))
         });
-        group.bench_with_input(BenchmarkId::new("masked_full", l), &l, |b, _| {
-            b.iter(|| std::hint::black_box(masked_full_forward(&q, &k, &v, w)))
+        suite.bench(&format!("masked_full/{l}"), || {
+            black_box(masked_full_forward(&q, &k, &v, w))
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernel_vs_masked
-}
-criterion_main!(benches);

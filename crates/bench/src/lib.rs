@@ -1,7 +1,7 @@
 //! # lttf-bench
 //!
 //! Shared harness utilities for the table/figure reproduction binaries
-//! (`src/bin/table*.rs`, `src/bin/fig*.rs`) and the Criterion benches.
+//! (`src/bin/table*.rs`, `src/bin/fig*.rs`) and the `benches/*` timing suites.
 //!
 //! Every binary accepts `--scale smoke|small|full` (default `small`) and
 //! `--seed N`, prints the paper-shaped table to stdout, and writes

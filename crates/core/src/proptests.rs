@@ -4,10 +4,11 @@
 use crate::{Conformer, ConformerConfig, FlowMode, HiddenFeed, InputReprMode};
 use lttf_nn::ParamSet;
 use lttf_tensor::{Rng, Tensor};
-use proptest::prelude::*;
+use lttf_testkit::prop::{self, Gen};
+use lttf_testkit::{prop_assert, prop_assert_eq, properties};
 
-fn arb_repr() -> impl Strategy<Value = InputReprMode> {
-    prop::sample::select(vec![
+fn arb_repr() -> Gen<InputReprMode> {
+    prop::select(vec![
         InputReprMode::Full,
         InputReprMode::NoMultiscale,
         InputReprMode::NoCorrelation,
@@ -21,8 +22,8 @@ fn arb_repr() -> impl Strategy<Value = InputReprMode> {
     ])
 }
 
-fn arb_flow() -> impl Strategy<Value = FlowMode> {
-    prop::sample::select(vec![
+fn arb_flow() -> Gen<FlowMode> {
+    prop::select(vec![
         FlowMode::Full,
         FlowMode::ZeOnly,
         FlowMode::ZdOnly,
@@ -31,8 +32,8 @@ fn arb_flow() -> impl Strategy<Value = FlowMode> {
     ])
 }
 
-fn arb_feed() -> impl Strategy<Value = HiddenFeed> {
-    prop::sample::select(vec![
+fn arb_feed() -> Gen<HiddenFeed> {
+    prop::select(vec![
         HiddenFeed::LastEncLastDec,
         HiddenFeed::FirstEncLastDec,
         HiddenFeed::FirstEncFirstDec,
@@ -40,12 +41,11 @@ fn arb_feed() -> impl Strategy<Value = HiddenFeed> {
     ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+properties! {
+    cases = 12;
 
     // Every combination of shape and ablation switch produces a finite
     // prediction of the right shape.
-    #[test]
     fn forward_contract_holds(
         c_in in 1usize..4,
         lx in 8usize..16,
@@ -75,7 +75,6 @@ proptest! {
 
     // Prediction is a pure function of (weights, inputs): repeated calls
     // agree bit-for-bit regardless of configuration.
-    #[test]
     fn prediction_is_deterministic(seed in 0u64..50, flow in arb_flow()) {
         let mut cfg = ConformerConfig::tiny(2, 10, 4);
         cfg.flow_mode = flow;
@@ -92,7 +91,6 @@ proptest! {
     }
 
     // Uncertainty bands are ordered (lo ≤ hi) for any seed and coverage.
-    #[test]
     fn bands_are_ordered(seed in 0u64..20, cov_pct in 50u32..99) {
         let cfg = ConformerConfig::tiny(2, 10, 4);
         let mut ps = ParamSet::new();

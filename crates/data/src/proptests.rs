@@ -3,13 +3,12 @@
 use crate::synth::{Dataset, SynthSpec};
 use crate::{Split, StandardScaler, WindowDataset};
 use lttf_tensor::{Rng, Tensor};
-use proptest::prelude::*;
+use lttf_testkit::{prop_assert, prop_assert_eq, properties};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+properties! {
+    cases = 32;
 
     // The scaler inverse is an exact inverse on arbitrary data.
-    #[test]
     fn scaler_round_trip(seed in 0u64..1000, len in 10usize..100, dims in 1usize..6) {
         let x = Tensor::randn(&[len, dims], &mut Rng::seed(seed))
             .mul_scalar(13.0)
@@ -20,7 +19,6 @@ proptest! {
 
     // Window counts: every split can produce its windows without panicking
     // and batches have consistent shapes.
-    #[test]
     fn windows_are_well_formed(seed in 0u64..100, lx in 4usize..16, ly in 2usize..8) {
         let series = Dataset::Etth1.generate(SynthSpec { len: 400, dims: Some(3), seed });
         for split in [Split::Train, Split::Val, Split::Test] {
@@ -36,7 +34,6 @@ proptest! {
 
     // The last label_len rows of the encoder input equal the decoder warm
     // start (they are the same time steps).
-    #[test]
     fn decoder_warm_start_matches_input_tail(seed in 0u64..50) {
         let series = Dataset::Wind.generate(SynthSpec { len: 300, dims: Some(2), seed });
         let ds = WindowDataset::new(&series, Split::Train, (0.7, 0.1), 12, 6, 6);
@@ -47,7 +44,6 @@ proptest! {
     }
 
     // All generators stay finite at any length.
-    #[test]
     fn generators_finite(seed in 0u64..30, len in 32usize..256) {
         for ds in Dataset::ALL {
             let s = ds.generate(SynthSpec { len, dims: Some(3), seed });

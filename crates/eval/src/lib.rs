@@ -14,6 +14,8 @@ mod backtest;
 mod metrics;
 mod model;
 mod multirun;
+#[cfg(test)]
+mod proptests;
 mod scale;
 mod table;
 mod trainer;

@@ -1,0 +1,68 @@
+//! Property-based tests: metric identities that must hold for arbitrary
+//! prediction/truth pairs.
+
+use crate::{corr, mae, mse, pinball, rse, Metrics};
+use lttf_tensor::{Rng, Tensor};
+use lttf_testkit::{prop_assert, properties};
+
+fn pair(seed: u64, n: usize) -> (Tensor, Tensor) {
+    let mut rng = Rng::seed(seed);
+    (
+        Tensor::randn(&[n], &mut rng).mul_scalar(3.0),
+        Tensor::randn(&[n], &mut rng).mul_scalar(3.0),
+    )
+}
+
+properties! {
+    cases = 32;
+
+    // Both paper metrics are non-negative, zero exactly on identical inputs.
+    fn metrics_are_nonnegative_and_zero_on_self(seed in 0u64..1000, n in 1usize..200) {
+        let (p, t) = pair(seed, n);
+        prop_assert!(mse(&p, &t) >= 0.0);
+        prop_assert!(mae(&p, &t) >= 0.0);
+        let m = Metrics::of(&p, &p);
+        prop_assert!(m.mse == 0.0 && m.mae == 0.0, "self-distance {m}");
+    }
+
+    // MSE and MAE are symmetric in their arguments.
+    fn metrics_are_symmetric(seed in 0u64..1000, n in 1usize..200) {
+        let (p, t) = pair(seed, n);
+        prop_assert!((mse(&p, &t) - mse(&t, &p)).abs() < 1e-6);
+        prop_assert!((mae(&p, &t) - mae(&t, &p)).abs() < 1e-6);
+    }
+
+    // RMS-AM inequality: mae² ≤ mse for any inputs.
+    fn mae_squared_bounded_by_mse(seed in 0u64..1000, n in 1usize..200) {
+        let (p, t) = pair(seed, n);
+        let (s, a) = (mse(&p, &t), mae(&p, &t));
+        prop_assert!(a * a <= s + 1e-5, "mae²={} > mse={}", a * a, s);
+    }
+
+    // The pinball loss at the median is half the MAE.
+    fn pinball_at_median_is_half_mae(seed in 0u64..1000, n in 1usize..200) {
+        let (p, t) = pair(seed, n);
+        let pb = pinball(&p, &t, 0.5);
+        let half = mae(&p, &t) / 2.0;
+        prop_assert!((pb - half).abs() < 1e-5 * (1.0 + half), "{pb} vs {half}");
+    }
+
+    // Correlation is bounded and exactly 1 against a positive scaling.
+    fn corr_bounded_and_scale_invariant(seed in 0u64..1000, n in 3usize..200) {
+        let (p, t) = pair(seed, n);
+        let c = corr(&p, &t);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c), "corr {c}");
+        let c_self = corr(&p, &p.mul_scalar(2.5));
+        prop_assert!((c_self - 1.0).abs() < 1e-3, "corr to scaled self {c_self}");
+    }
+
+    // RSE of the truth against itself is zero; weighted_mean of a single
+    // part is that part.
+    fn rse_zero_on_self_and_weighted_mean_identity(seed in 0u64..1000, n in 2usize..200) {
+        let (p, t) = pair(seed, n);
+        prop_assert!(rse(&t, &t).abs() < 1e-6);
+        let m = Metrics::of(&p, &t);
+        let w = Metrics::weighted_mean(&[(m, p.numel())]);
+        prop_assert!((w.mse - m.mse).abs() < 1e-6 && (w.mae - m.mae).abs() < 1e-6);
+    }
+}

@@ -1,14 +1,18 @@
 //! Property-based tests of FFT invariants.
 
 use crate::{autocorrelation, fft, ifft, Complex};
-use proptest::prelude::*;
+use lttf_testkit::prop::{self, Gen};
+use lttf_testkit::{prop_assert, properties};
 
-fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-100.0f64..100.0, 1..=64)
+fn arb_signal() -> Gen<Vec<f64>> {
+    prop::vecs(prop::f64s(-100.0..100.0), 1..65)
 }
 
-proptest! {
-    #[test]
+fn arb_signal32() -> Gen<Vec<f32>> {
+    prop::vecs(prop::f32s(-10.0..10.0), 4..49)
+}
+
+properties! {
     fn ifft_fft_round_trip(sig in arb_signal()) {
         let x: Vec<Complex> = sig.iter().map(|&v| Complex::from_re(v)).collect();
         let back = ifft(&fft(&x));
@@ -18,7 +22,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn fft_is_linear(sig in arb_signal(), scale in -5.0f64..5.0) {
         let x: Vec<Complex> = sig.iter().map(|&v| Complex::from_re(v)).collect();
         let sx: Vec<Complex> = x.iter().map(|c| c.scale(scale)).collect();
@@ -29,7 +32,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn parseval_holds(sig in arb_signal()) {
         let x: Vec<Complex> = sig.iter().map(|&v| Complex::from_re(v)).collect();
         let n = x.len() as f64;
@@ -39,7 +41,6 @@ proptest! {
         prop_assert!((te - fe).abs() < 1e-5 * (1.0 + te));
     }
 
-    #[test]
     fn dc_bin_is_sum(sig in arb_signal()) {
         let x: Vec<Complex> = sig.iter().map(|&v| Complex::from_re(v)).collect();
         let spec = fft(&x);
@@ -48,7 +49,6 @@ proptest! {
         prop_assert!(spec[0].im.abs() < 1e-6);
     }
 
-    #[test]
     fn real_signal_spectrum_is_hermitian(sig in arb_signal()) {
         let x: Vec<Complex> = sig.iter().map(|&v| Complex::from_re(v)).collect();
         let spec = fft(&x);
@@ -60,16 +60,14 @@ proptest! {
         }
     }
 
-    #[test]
-    fn autocorr_lag0_dominates(sig in prop::collection::vec(-10.0f32..10.0, 4..=48)) {
+    fn autocorr_lag0_dominates(sig in arb_signal32()) {
         let r = autocorrelation(&sig);
         for &v in &r[1..] {
             prop_assert!(v <= r[0] + 1e-3);
         }
     }
 
-    #[test]
-    fn autocorr_lag0_is_variance(sig in prop::collection::vec(-10.0f32..10.0, 4..=48)) {
+    fn autocorr_lag0_is_variance(sig in arb_signal32()) {
         let n = sig.len() as f32;
         let mean = sig.iter().sum::<f32>() / n;
         let var = sig.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;

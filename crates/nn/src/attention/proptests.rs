@@ -6,7 +6,7 @@
 use crate::attention::{full_attention, sliding_window_global_attention, window_global_forward};
 use lttf_autograd::Graph;
 use lttf_tensor::{Rng, Tensor};
-use proptest::prelude::*;
+use lttf_testkit::{prop_assert, properties};
 
 /// Dense reference for the banded+global pattern: full scores with a
 /// −1e9 mask wherever the fused kernel would not look.
@@ -38,10 +38,9 @@ fn masked_reference(q: &Tensor, k: &Tensor, v: &Tensor, w: usize, n_global: usiz
     .value()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+properties! {
+    cases = 24;
 
-    #[test]
     fn fused_kernel_matches_masked_reference(
         l in 3usize..12,
         w_half in 0usize..4,
@@ -59,7 +58,6 @@ proptest! {
         fused.assert_close(&reference, 1e-3);
     }
 
-    #[test]
     fn window_output_bounded_by_value_range(
         l in 2usize..16,
         w in 1usize..6,
@@ -75,7 +73,6 @@ proptest! {
         prop_assert!(out.min() >= v.min() - 1e-4);
     }
 
-    #[test]
     fn window_gradients_are_finite(
         l in 3usize..10,
         w in 1usize..4,

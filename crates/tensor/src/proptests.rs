@@ -1,25 +1,30 @@
 //! Property-based tests of algebraic tensor identities.
 
 use crate::{broadcast_shapes, Rng, Tensor};
-use proptest::prelude::*;
+use lttf_testkit::prop::{self, Gen};
+use lttf_testkit::{prop_assert, prop_assert_eq, properties};
 
-/// Strategy: a small random shape with 1–3 dims of extent 1–5.
-fn small_shape() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..=5, 1..=3)
+/// Generator: a small random shape with 1–3 dims of extent 1–5.
+fn small_shape() -> Gen<Vec<usize>> {
+    prop::vecs(prop::usizes(1..6), 1..4)
 }
 
-/// Strategy: a tensor of the given shape with values in a tame range.
-fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
-    let n: usize = shape.iter().product();
-    prop::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &shape))
+/// Generator: a tensor with a random small shape and tame values.
+fn arb_tensor() -> Gen<Tensor> {
+    small_shape().flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        let shape = shape.clone();
+        prop::vec_exact(prop::f32s(-10.0..10.0), n)
+            .map(move |data| Tensor::from_vec(data, &shape))
+    })
 }
 
-fn arb_tensor() -> impl Strategy<Value = Tensor> {
-    small_shape().prop_flat_map(tensor_of)
+/// Generator: a flat buffer of `n` tame values.
+fn vec_f32(lo: f32, hi: f32, n: usize) -> Gen<Vec<f32>> {
+    prop::vec_exact(prop::f32s(lo..hi), n)
 }
 
-proptest! {
-    #[test]
+properties! {
     fn add_commutes(t in arb_tensor()) {
         let shape = t.shape().to_vec();
         let mut rng = Rng::seed(1);
@@ -27,33 +32,27 @@ proptest! {
         t.add(&u).assert_close(&u.add(&t), 1e-5);
     }
 
-    #[test]
     fn add_zero_is_identity(t in arb_tensor()) {
         t.add(&t.zeros_like()).assert_close(&t, 0.0);
     }
 
-    #[test]
     fn mul_one_is_identity(t in arb_tensor()) {
         t.mul(&t.ones_like()).assert_close(&t, 0.0);
     }
 
-    #[test]
     fn sub_self_is_zero(t in arb_tensor()) {
         t.sub(&t).assert_close(&t.zeros_like(), 0.0);
     }
 
-    #[test]
     fn double_neg_is_identity(t in arb_tensor()) {
         t.neg().neg().assert_close(&t, 0.0);
     }
 
-    #[test]
     fn exp_ln_round_trip(t in arb_tensor()) {
         // exp then ln recovers the input (values are in a safe range).
         t.exp().ln().assert_close(&t, 1e-3);
     }
 
-    #[test]
     fn sum_matches_sum_axis_chain(t in arb_tensor()) {
         let mut r = t.clone();
         while r.ndim() > 0 {
@@ -62,7 +61,6 @@ proptest! {
         prop_assert!((r.item() - t.sum()).abs() < 1e-2 * (1.0 + t.sum().abs()));
     }
 
-    #[test]
     fn softmax_rows_are_distributions(t in arb_tensor()) {
         let s = t.softmax(-1);
         prop_assert!(s.data().iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
@@ -70,36 +68,28 @@ proptest! {
         sums.assert_close(&sums.ones_like(), 1e-4);
     }
 
-    #[test]
     fn broadcast_is_idempotent_on_same_shape(t in arb_tensor()) {
         let b = t.broadcast_to(t.shape());
         prop_assert_eq!(b.data(), t.data());
     }
 
-    #[test]
     fn broadcast_shapes_commutative(a in small_shape(), b in small_shape()) {
         // Filter to compatible shape pairs by construction: make b a prefix-1 version.
         let b2: Vec<usize> = b.iter().map(|_| 1).collect();
         prop_assert_eq!(broadcast_shapes(&a, &b2), broadcast_shapes(&b2, &a));
     }
 
-    #[test]
-    fn transpose_involution(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+    fn transpose_involution(data in vec_f32(-5.0, 5.0, 12)) {
         let t = Tensor::from_vec(data, &[3, 4]);
         t.t().t().assert_close(&t, 0.0);
     }
 
-    #[test]
-    fn matmul_identity_right(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+    fn matmul_identity_right(data in vec_f32(-5.0, 5.0, 12)) {
         let t = Tensor::from_vec(data, &[3, 4]);
         t.matmul(&Tensor::eye(4)).assert_close(&t, 1e-5);
     }
 
-    #[test]
-    fn matmul_transpose_identity(
-        a in prop::collection::vec(-3.0f32..3.0, 6),
-        b in prop::collection::vec(-3.0f32..3.0, 6),
-    ) {
+    fn matmul_transpose_identity(a in vec_f32(-3.0, 3.0, 6), b in vec_f32(-3.0, 3.0, 6)) {
         // (A B)^T = B^T A^T
         let a = Tensor::from_vec(a, &[2, 3]);
         let b = Tensor::from_vec(b, &[3, 2]);
@@ -108,7 +98,6 @@ proptest! {
         left.assert_close(&right, 1e-4);
     }
 
-    #[test]
     fn concat_narrow_round_trip(t in arb_tensor()) {
         let parts = t.split(0, 1);
         let refs: Vec<&Tensor> = parts.iter().collect();
@@ -116,21 +105,18 @@ proptest! {
         back.assert_close(&t, 0.0);
     }
 
-    #[test]
     fn flip_involution(t in arb_tensor()) {
         t.flip(0).flip(0).assert_close(&t, 0.0);
     }
 
-    #[test]
-    fn moving_avg_bounded_by_extrema(data in prop::collection::vec(-5.0f32..5.0, 10)) {
+    fn moving_avg_bounded_by_extrema(data in vec_f32(-5.0, 5.0, 10)) {
         let t = Tensor::from_vec(data, &[10]);
         let m = t.moving_avg(0, 3);
         prop_assert!(m.max() <= t.max() + 1e-5);
         prop_assert!(m.min() >= t.min() - 1e-5);
     }
 
-    #[test]
-    fn cumsum_last_equals_sum(data in prop::collection::vec(-5.0f32..5.0, 8)) {
+    fn cumsum_last_equals_sum(data in vec_f32(-5.0, 5.0, 8)) {
         let t = Tensor::from_vec(data, &[8]);
         let c = t.cumsum(0);
         prop_assert!((c.data()[7] - t.sum()).abs() < 1e-3);

@@ -1,0 +1,27 @@
+//! # lttf-testkit
+//!
+//! The workspace's self-contained test and measurement substrate. It
+//! replaces three crates.io dependencies so the whole workspace builds,
+//! tests, and benches with zero network access (DESIGN.md: "Zero external
+//! dependencies"):
+//!
+//! | external crate | in-repo replacement                        |
+//! |----------------|--------------------------------------------|
+//! | `rand`         | [`rng`] — SplitMix64 + xoshiro256++        |
+//! | `proptest`     | [`prop`] — generators, shrinking, replay   |
+//! | `criterion`    | [`bench`] — warmup + median/p95, JSON lines|
+//!
+//! The crate depends only on `std`. Everything is seeded and
+//! deterministic: a property failure prints a `TESTKIT_SEED` that replays
+//! the exact failing case, and two runs of any generator from the same
+//! seed produce bit-identical streams on every platform (the PRNG uses
+//! only wrapping integer arithmetic).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use prop::Gen;
+pub use rng::{SplitMix64, Xoshiro256PlusPlus};

@@ -1,0 +1,658 @@
+//! A minimal property-testing harness: composable generators, failure
+//! shrinking by halving, and seed-based replay.
+//!
+//! ## Model
+//!
+//! A [`Gen<T>`] pairs a generator function (PRNG → value) with a shrinker
+//! (failing value → simpler candidates). [`check`] runs a property over
+//! `cases` generated inputs; on failure it shrinks the input by repeatedly
+//! halving toward the generator's simplest value, then panics with a
+//! report that includes a per-case seed.
+//!
+//! ## Replay
+//!
+//! Every failure prints a line like
+//!
+//! ```text
+//! replay: TESTKIT_SEED=12345 cargo test my_property
+//! ```
+//!
+//! Setting `TESTKIT_SEED` makes [`check`] run exactly that one case, so a
+//! CI failure reproduces locally in one command. `TESTKIT_CASES` overrides
+//! the per-property case count globally.
+//!
+//! ## Writing properties
+//!
+//! The [`properties!`] macro mirrors the shape of a `proptest!` block:
+//!
+//! ```
+//! use lttf_testkit::{properties, prop_assert, prop_assert_eq, prop};
+//!
+//! properties! {
+//!     cases = 32;
+//!
+//!     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+//!
+//! Property bodies may use `prop_assert!`/`prop_assert_eq!` (non-panicking,
+//! reported with the failing input) or any panicking assertion — panics are
+//! caught and treated as failures, so tensor helpers like `assert_close`
+//! work unchanged.
+
+use crate::rng::{SplitMix64, Xoshiro256PlusPlus};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// The default number of cases per property when neither the property nor
+/// the `TESTKIT_CASES` environment variable says otherwise.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// The per-property case count: `TESTKIT_CASES` if set, else the given
+/// fallback.
+pub fn cases_or(fallback: u32) -> u32 {
+    std::env::var("TESTKIT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
+}
+
+/// A composable random-value generator with an attached shrinker.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Xoshiro256PlusPlus) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: self.generate.clone(),
+            shrink: self.shrink.clone(),
+        }
+    }
+}
+
+impl<T> Gen<T> {
+    /// Sample one value.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Shrink candidates for a failing value, simplest first.
+    pub fn shrink(&self, v: &T) -> Vec<T> {
+        (self.shrink)(v)
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a raw sampling function, with no shrinking.
+    pub fn new(f: impl Fn(&mut Xoshiro256PlusPlus) -> T + 'static) -> Gen<T> {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Attach a shrinker: given a failing value, propose simpler values
+    /// (simplest first).
+    pub fn with_shrink(self, s: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
+        Gen {
+            generate: self.generate,
+            shrink: Rc::new(s),
+        }
+    }
+
+    /// Transform generated values. The mapping is one-way, so shrinking
+    /// information is lost (shrink upstream where possible).
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.generate;
+        Gen::new(move |rng| f(g(rng)))
+    }
+
+    /// Generate a value, then generate from a value-dependent generator
+    /// (e.g. a shape, then a tensor of that shape). No shrinking.
+    pub fn flat_map<U: 'static>(self, f: impl Fn(&T) -> Gen<U> + 'static) -> Gen<U> {
+        let g = self.generate;
+        Gen::new(move |rng| f(&g(rng)).sample(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive generators (all shrink by halving toward the simplest value)
+// ---------------------------------------------------------------------
+
+macro_rules! int_gen {
+    ($name:ident, $ty:ty, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Shrinks by halving toward the simplest in-range value (zero if
+        /// the range contains it, else the lower bound), finishing with
+        /// single decrements so the reported minimum is exact.
+        pub fn $name(r: std::ops::Range<$ty>) -> Gen<$ty> {
+            assert!(r.start < r.end, "empty range");
+            let (lo, hi) = (r.start, r.end);
+            let target: $ty = if lo <= 0 && 0 < hi { 0 } else { lo };
+            Gen::new(move |rng| {
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span) as i128) as $ty
+            })
+            .with_shrink(move |&v| {
+                let mut out = Vec::new();
+                if v != target {
+                    out.push(target);
+                    let mid = (v as i128 + target as i128) / 2;
+                    let mid = mid as $ty;
+                    if mid != v && mid != target {
+                        out.push(mid);
+                    }
+                    let step = if v > target { v - 1 } else { v + 1 };
+                    if step != target && !out.contains(&step) {
+                        out.push(step);
+                    }
+                }
+                out
+            })
+        }
+    };
+}
+
+int_gen!(usizes, usize, "A uniform `usize` in `[lo, hi)`.");
+int_gen!(u64s, u64, "A uniform `u64` in `[lo, hi)`.");
+int_gen!(u32s, u32, "A uniform `u32` in `[lo, hi)`.");
+int_gen!(i64s, i64, "A uniform `i64` in `[lo, hi)`.");
+
+macro_rules! float_gen {
+    ($name:ident, $ty:ty, $next:ident, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Shrinks by halving toward the simplest in-range value (zero if
+        /// the range contains it, else the lower bound).
+        pub fn $name(r: std::ops::Range<$ty>) -> Gen<$ty> {
+            assert!(r.start < r.end, "empty range");
+            let (lo, hi) = (r.start, r.end);
+            let target: $ty = if lo <= 0.0 && 0.0 < hi { 0.0 } else { lo };
+            Gen::new(move |rng| lo + rng.$next() as $ty * (hi - lo))
+                .with_shrink(move |&v| {
+                    let mut out = Vec::new();
+                    if v != target {
+                        out.push(target);
+                        let mid = (v + target) / 2.0;
+                        if mid != v && mid != target {
+                            out.push(mid);
+                        }
+                    }
+                    out
+                })
+        }
+    };
+}
+
+float_gen!(f32s, f32, next_f32, "A uniform `f32` in `[lo, hi)`.");
+float_gen!(f64s, f64, next_f64, "A uniform `f64` in `[lo, hi)`.");
+
+/// A uniform choice from a fixed list (e.g. enum variants). No shrinking:
+/// variants have no natural "simpler" ordering.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "select from empty list");
+    Gen::new(move |rng| items[rng.usize_in(0, items.len())].clone())
+}
+
+/// A vector of `n` elements from `elem`, with element-wise shrinking.
+pub fn vec_exact<T: Clone + 'static>(elem: Gen<T>, n: usize) -> Gen<Vec<T>> {
+    let e = elem.clone();
+    Gen::new(move |rng| (0..n).map(|_| e.sample(rng)).collect::<Vec<T>>()).with_shrink(move |v| {
+        let mut out = Vec::new();
+        // Shrink the first shrinkable element (one at a time keeps the
+        // candidate list small).
+        for (i, x) in v.iter().enumerate() {
+            if let Some(sx) = elem.shrink(x).into_iter().next() {
+                let mut c = v.clone();
+                c[i] = sx;
+                out.push(c);
+                break;
+            }
+        }
+        out
+    })
+}
+
+/// A vector with a random length in `[len_range)` of elements from `elem`.
+///
+/// Shrinks by halving the length toward the minimum (keeping a prefix),
+/// then by single-element drops, then element-wise.
+pub fn vecs<T: Clone + 'static>(elem: Gen<T>, len_range: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    assert!(len_range.start < len_range.end, "empty length range");
+    let (min_len, max_len) = (len_range.start, len_range.end);
+    let e = elem.clone();
+    Gen::new(move |rng| {
+        let n = rng.usize_in(min_len, max_len);
+        (0..n).map(|_| e.sample(rng)).collect::<Vec<T>>()
+    })
+    .with_shrink(move |v| {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        if v.len() > min_len {
+            // Halve toward the minimum length, then decrement to polish.
+            out.push(v[..min_len].to_vec());
+            let half = min_len + (v.len() - min_len) / 2;
+            if half != v.len() && half != min_len {
+                out.push(v[..half].to_vec());
+            }
+            if v.len() - 1 != min_len && v.len() - 1 != half {
+                out.push(v[..v.len() - 1].to_vec());
+            }
+        }
+        for (i, x) in v.iter().enumerate() {
+            if let Some(sx) = elem.shrink(x).into_iter().next() {
+                let mut c = v.clone();
+                c[i] = sx;
+                out.push(c);
+                break;
+            }
+        }
+        out
+    })
+}
+
+/// Pair two generators. Shrinks each side independently, so tuples built
+/// by nesting `zip` shrink component-wise.
+pub fn zip<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(move |rng| (ga.sample(rng), gb.sample(rng))).with_shrink(move |(va, vb)| {
+        let mut out: Vec<(A, B)> = a.shrink(va).into_iter().map(|x| (x, vb.clone())).collect();
+        out.extend(b.shrink(vb).into_iter().map(|y| (va.clone(), y)));
+        out
+    })
+}
+
+/// Conversion of range literals (and generators themselves) into [`Gen`],
+/// so `properties!` arguments can be written as `x in 0usize..10`.
+pub trait IntoGen {
+    /// The generated value type.
+    type Value;
+    /// Convert into a generator.
+    fn into_gen(self) -> Gen<Self::Value>;
+}
+
+impl<T> IntoGen for Gen<T> {
+    type Value = T;
+    fn into_gen(self) -> Gen<T> {
+        self
+    }
+}
+
+macro_rules! into_gen_range {
+    ($ty:ty, $ctor:ident) => {
+        impl IntoGen for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn into_gen(self) -> Gen<$ty> {
+                $ctor(self)
+            }
+        }
+    };
+}
+
+into_gen_range!(usize, usizes);
+into_gen_range!(u64, u64s);
+into_gen_range!(u32, u32s);
+into_gen_range!(i64, i64s);
+into_gen_range!(f32, f32s);
+into_gen_range!(f64, f64s);
+
+// ---------------------------------------------------------------------
+// The check loop
+// ---------------------------------------------------------------------
+
+/// Everything known about one property failure, for reporting and for
+/// the harness's own self-tests.
+#[derive(Debug)]
+pub struct Failure {
+    /// The per-case seed that reproduces the failure.
+    pub seed: u64,
+    /// `Debug` rendering of the originally generated failing input.
+    pub original: String,
+    /// `Debug` rendering of the input after shrinking.
+    pub minimal: String,
+    /// The failure message (assertion text or panic payload).
+    pub message: String,
+    /// How many shrink candidates were tried.
+    pub shrink_iters: u32,
+    /// The one-line replay command.
+    pub replay: String,
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `prop` on the value generated from `seed`; `None` means pass.
+fn run_case<T: Debug>(
+    gen: &Gen<T>,
+    seed: u64,
+    prop: &impl Fn(&T) -> Result<(), String>,
+) -> Option<(T, String)> {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let value = gen.sample(&mut rng);
+    match catch_unwind(AssertUnwindSafe(|| prop(&value))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some((value, msg)),
+        Err(e) => Some((value, panic_message(e))),
+    }
+}
+
+/// Does `prop` still fail on `v`? (Used during shrinking.)
+fn still_fails<T: Debug>(v: &T, prop: &impl Fn(&T) -> Result<(), String>) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(v))) {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(msg),
+        Err(e) => Some(panic_message(e)),
+    }
+}
+
+/// [`check`] without the final panic: returns the failure (if any) so the
+/// harness can test itself.
+pub fn run_check<T: Debug>(
+    name: &str,
+    cases: u32,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) -> Result<(), Failure> {
+    const MAX_SHRINK_ITERS: u32 = 512;
+
+    // Replay mode: one exact case.
+    let replay_seed = std::env::var("TESTKIT_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok());
+    let case_seeds: Vec<u64> = match replay_seed {
+        Some(s) => vec![s],
+        None => {
+            // Derive per-case seeds from the property name so distinct
+            // properties explore distinct streams, deterministically.
+            let mut h: u64 = 0xC0FF_EE00_7E57_0001;
+            for b in name.bytes() {
+                h = SplitMix64::new(h ^ b as u64).next_u64();
+            }
+            let mut sm = SplitMix64::new(h);
+            (0..cases).map(|_| sm.next_u64()).collect()
+        }
+    };
+
+    for seed in case_seeds {
+        let Some((original, first_msg)) = run_case(gen, seed, &prop) else {
+            continue;
+        };
+        // Shrink: walk toward the simplest value that still fails.
+        let original_dbg = format!("{original:?}");
+        let mut current = original;
+        let mut message = first_msg;
+        let mut iters = 0u32;
+        'shrinking: while iters < MAX_SHRINK_ITERS {
+            for cand in gen.shrink(&current) {
+                iters += 1;
+                if let Some(msg) = still_fails(&cand, &prop) {
+                    current = cand;
+                    message = msg;
+                    continue 'shrinking;
+                }
+                if iters >= MAX_SHRINK_ITERS {
+                    break 'shrinking;
+                }
+            }
+            break;
+        }
+        let test_name = name.rsplit("::").next().unwrap_or(name);
+        return Err(Failure {
+            seed,
+            original: original_dbg,
+            minimal: format!("{current:?}"),
+            message,
+            shrink_iters: iters,
+            replay: format!("TESTKIT_SEED={seed} cargo test {test_name}"),
+        });
+    }
+    Ok(())
+}
+
+/// Run a property over `cases` generated inputs; panic with a replayable
+/// report on the first (shrunk) failure.
+pub fn check<T: Debug>(
+    name: &str,
+    cases: u32,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    if let Err(f) = run_check(name, cases, gen, prop) {
+        panic!(
+            "property `{name}` failed\n\
+             \x20 input (original): {}\n\
+             \x20 input (shrunk, {} candidate(s) tried): {}\n\
+             \x20 failure: {}\n\
+             \x20 replay:  {}\n",
+            f.original, f.shrink_iters, f.minimal, f.message, f.replay
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Non-panicking property assertion: fails the case with the stringified
+/// condition (or a custom message) attached to the shrunk input report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Non-panicking equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __nest_gens {
+    ($g:expr) => { $crate::prop::IntoGen::into_gen($g) };
+    ($g:expr, $($rest:expr),+) => {
+        $crate::prop::zip(
+            $crate::prop::IntoGen::into_gen($g),
+            $crate::__nest_gens!($($rest),+),
+        )
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_args {
+    ($v:expr; $a:ident) => { let $a = $v; };
+    ($v:expr; $a:ident, $($rest:ident),+) => {
+        let ($a, __tail) = $v;
+        $crate::__bind_args!(__tail; $($rest),+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __properties_inner {
+    (($cases:expr);) => {};
+    (($cases:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $gen:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __gen = $crate::__nest_gens!($($gen),+);
+            $crate::prop::check(
+                concat!(module_path!(), "::", stringify!($name)),
+                $crate::prop::cases_or($cases),
+                &__gen,
+                |__val| {
+                    let __v = ::std::clone::Clone::clone(__val);
+                    $crate::__bind_args!(__v; $($arg),+);
+                    { $body }
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__properties_inner! { (($cases)); $($rest)* }
+    };
+}
+
+/// Declare a block of property tests (a lightweight `proptest!` analog).
+///
+/// Each `fn name(arg in gen, ...) { body }` becomes a `#[test]` that runs
+/// the body over generated inputs. An optional leading `cases = N;` sets
+/// the per-property case count for the whole block.
+#[macro_export]
+macro_rules! properties {
+    (cases = $cases:expr; $($rest:tt)*) => {
+        $crate::__properties_inner! { ($cases); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__properties_inner! { ($crate::prop::DEFAULT_CASES); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        let gen = usizes(0..100);
+        run_check("passes", 64, &gen, |&v| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err("impossible".into())
+            }
+        })
+        .expect("trivially true property failed");
+    }
+
+    // Satellite: a deliberately failing property shrinks to the minimal
+    // case and prints a replayable seed.
+    #[test]
+    fn failing_property_shrinks_to_minimal_scalar() {
+        let gen = usizes(0..1000);
+        let f = run_check("shrinks", 64, &gen, |&v| {
+            prop_assert!(v < 10, "{v} is too big");
+            Ok(())
+        })
+        .expect_err("property with ~99% failure rate never failed");
+        assert_eq!(f.minimal, "10", "halving+decrement should find exactly 10");
+        assert!(f.replay.contains("TESTKIT_SEED="), "replay: {}", f.replay);
+        assert!(f.replay.contains("cargo test shrinks"), "{}", f.replay);
+        assert!(f.shrink_iters > 0);
+    }
+
+    #[test]
+    fn failing_property_shrinks_vec_length() {
+        let gen = vecs(f32s(-5.0..5.0), 0..64);
+        let f = run_check("vec_shrinks", 64, &gen, |v| {
+            prop_assert!(v.len() < 7, "len {}", v.len());
+            Ok(())
+        })
+        .expect_err("length property never failed");
+        let minimal: Vec<f32> = {
+            // The minimal vec must have exactly 7 elements, all shrunk to 0.
+            assert!(f.minimal.starts_with('['), "{}", f.minimal);
+            f.minimal
+                .trim_matches(['[', ']'])
+                .split(", ")
+                .map(|s| s.parse().unwrap())
+                .collect()
+        };
+        assert_eq!(minimal.len(), 7, "minimal failing vec: {:?}", minimal);
+        assert!(minimal.iter().all(|&x| x == 0.0), "{:?}", minimal);
+    }
+
+    #[test]
+    fn panics_are_caught_and_reported() {
+        let gen = usizes(0..10);
+        let f = run_check("panics", 32, &gen, |&v| {
+            assert!(v > 100, "plain assert fires");
+            Ok(())
+        })
+        .expect_err("always-panicking property passed");
+        assert!(f.message.contains("plain assert fires"), "{}", f.message);
+        assert_eq!(f.minimal, "0");
+    }
+
+    #[test]
+    fn tuple_shrinking_is_component_wise() {
+        let gen = zip(usizes(0..100), usizes(0..100));
+        let f = run_check("tuple", 64, &gen, |&(a, b)| {
+            prop_assert!(a < 5 || b < 5);
+            Ok(())
+        })
+        .expect_err("should fail when both >= 5");
+        assert_eq!(f.minimal, "(5, 5)", "{}", f.minimal);
+    }
+
+    #[test]
+    fn replay_seed_reproduces_exact_case() {
+        let gen = u64s(0..u64::MAX);
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(777);
+            seen.push(gen.sample(&mut rng));
+        }
+        assert_eq!(seen[0], seen[1]);
+    }
+
+    #[test]
+    fn select_yields_only_listed_items() {
+        let gen = select(vec!["a", "b", "c"]);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = gen.sample(&mut rng);
+            assert!(["a", "b", "c"].contains(&v));
+        }
+    }
+
+    properties! {
+        cases = 16;
+
+        fn macro_smoke(a in 0usize..10, b in -2.0f32..2.0, xs in vecs(f32s(0.0..1.0), 0..8)) {
+            prop_assert!(a < 10);
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+}

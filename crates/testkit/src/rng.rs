@@ -1,0 +1,219 @@
+//! Seeded pseudo-random number generation: SplitMix64 for seeding and
+//! stream-splitting, xoshiro256++ as the workhorse generator.
+//!
+//! Both algorithms are public-domain (Blackman & Vigna). They use only
+//! wrapping `u64` arithmetic, so a fixed seed produces bit-identical
+//! output on every platform and toolchain — the foundation of the
+//! workspace's reproducibility guarantee.
+
+/// SplitMix64: a tiny, fast generator used to expand one `u64` seed into
+/// the larger state of [`Xoshiro256PlusPlus`] (and usable on its own for
+/// cheap stream splitting).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a `u64` seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0: the workspace's general-purpose generator.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush. Seeded from a
+/// single `u64` through [`SplitMix64`] as the algorithm's authors
+/// recommend (it guarantees a non-zero state for every seed).
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Create a generator from a `u64` seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256PlusPlus {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f32` in `[0, 1)`, built from the top 24 bits (the full
+    /// mantissa width), so `1.0` is unreachable by construction.
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// A uniform `f32` in `(0, 1]`: the open-at-zero variant needed when
+    /// the value feeds a logarithm (`ln(0)` must be impossible).
+    pub fn next_f32_open0(&mut self) -> f32 {
+        (((self.next_u64() >> 40) + 1) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// A uniform `f64` in `[0, 1)`, built from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)`, unbiased via rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Reject the top partial block so every residue is equally likely.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % n;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published reference value: the first SplitMix64 output for seed 0
+    // is 0xE220A8397B1DCDAF (Vigna's splitmix64.c test vector).
+    #[test]
+    fn splitmix64_matches_reference_seed0() {
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn splitmix64_golden_seed42() {
+        // Regression pin: these values must never change, on any platform.
+        let mut sm = SplitMix64::new(42);
+        let got: Vec<u64> = (0..4).map(|_| sm.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xBDD7_3226_2FEB_6E95,
+                0x28EF_E333_B266_F103,
+                0x4752_6757_130F_9F52,
+                0x581C_E1FF_0E4A_E394,
+            ],
+            "SplitMix64(42) stream drifted: {got:#X?}"
+        );
+    }
+
+    #[test]
+    fn xoshiro_golden_seed42() {
+        let mut x = Xoshiro256PlusPlus::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| x.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0xD076_4D4F_4476_689F,
+                0x519E_4174_576F_3791,
+                0xFBE0_7CFB_0C24_ED8C,
+                0xB37D_9F60_0CD8_35B8,
+            ],
+            "xoshiro256++(42) stream drifted: {got:#X?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_bit_identical_streams() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_bounds() {
+        let mut x = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = x.next_f32();
+            assert!((0.0..1.0).contains(&f), "next_f32 out of [0,1): {f}");
+            let g = x.next_f32_open0();
+            assert!(g > 0.0 && g <= 1.0, "next_f32_open0 out of (0,1]: {g}");
+            assert!(g.ln().is_finite(), "ln of open-zero sample not finite");
+            let d = x.next_f64();
+            assert!((0.0..1.0).contains(&d), "next_f64 out of [0,1): {d}");
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough_and_in_range() {
+        let mut x = Xoshiro256PlusPlus::seed_from_u64(11);
+        let n = 7u64;
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            let v = x.below(n);
+            assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            // 10k expected per bucket; 3% tolerance.
+            assert!((c as i64 - 10_000).abs() < 300, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut x = Xoshiro256PlusPlus::seed_from_u64(13);
+        let p = x.permutation(50);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(p, (0..50).collect::<Vec<_>>(), "identity permutation");
+    }
+}

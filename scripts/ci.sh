@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: build, test, and bench-compile with
+# no registry access. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# The workspace has zero external dependencies (see DESIGN.md "Zero
+# external dependencies"), so a cold cargo home with no network must
+# pass. `--locked` additionally pins the committed Cargo.lock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --locked"
+cargo build --release --offline --locked
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo bench --no-run --offline  (compile-only check of crates/bench)"
+cargo bench --no-run --offline
+
+echo "==> OK: build, tests, and bench compilation all passed offline"
