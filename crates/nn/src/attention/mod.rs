@@ -43,7 +43,7 @@ pub use logsparse::{log_sparse_attention, log_sparse_mask};
 pub use lsh::lsh_forward;
 pub use window::{
     sliding_window_attention, sliding_window_global_attention, window_forward,
-    window_global_forward,
+    window_global_backward, window_global_forward,
 };
 
 use crate::linear::Linear;

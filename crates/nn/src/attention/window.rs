@@ -7,7 +7,12 @@
 //! O(L log L) alternatives.
 
 use lttf_autograd::Var;
+use lttf_parallel::{par_chunks_mut, par_chunks_mut_zip3};
 use lttf_tensor::Tensor;
+
+/// Minimum per-call score-evaluation count before the batched-head loops
+/// are dispatched to the worker pool.
+const PAR_MIN_WORK: usize = 32 * 1024;
 
 /// Window bounds for query `i`: `[lo, hi)` over key positions.
 ///
@@ -100,9 +105,11 @@ pub fn window_global_forward(
     let scale = 1.0 / (dh as f32).sqrt();
     let (qd, kd, vd) = (q.data(), k.data(), v.data());
     let mut out = vec![0.0f32; bh * lq * dv];
-    let mut scores: Vec<f32> = Vec::new();
-    let mut positions: Vec<usize> = Vec::new();
-    for b in 0..bh {
+    // Each batch-head writes its own output plane, so the heads distribute
+    // over the worker pool with bit-identical results at any thread count.
+    let plane = |b: usize, oplane: &mut [f32]| {
+        let mut scores: Vec<f32> = Vec::new();
+        let mut positions: Vec<usize> = Vec::new();
         for i in 0..lq {
             key_positions(i, lq, lk, w, n_global, &mut positions);
             let n = positions.len();
@@ -124,7 +131,7 @@ pub fn window_global_forward(
             }
             let inv_z = 1.0 / z;
             // weighted sum of values
-            let orow = &mut out[(b * lq + i) * dv..(b * lq + i + 1) * dv];
+            let orow = &mut oplane[i * dv..(i + 1) * dv];
             for (s, &j) in positions.iter().enumerate() {
                 let a = scores[s] * inv_z;
                 let vrow = &vd[(b * lk + j) * dv..(b * lk + j + 1) * dv];
@@ -133,13 +140,23 @@ pub fn window_global_forward(
                 }
             }
         }
+    };
+    let work = bh * lq * (w + n_global + 1) * dh;
+    if bh >= 2 && work >= PAR_MIN_WORK && lttf_parallel::num_threads() > 1 && lq * dv > 0 {
+        par_chunks_mut(&mut out, lq * dv, &plane);
+    } else {
+        for (b, oplane) in out.chunks_mut((lq * dv).max(1)).enumerate() {
+            plane(b, oplane);
+        }
     }
     Tensor::from_vec(out, &[bh, lq, dv])
 }
 
 /// Hand-written backward: recomputes the banded softmax and applies the
-/// standard attention gradients within each query's key set.
-fn window_global_backward(
+/// standard attention gradients within each query's key set. Returns
+/// `[dQ, dK, dV]`. Exposed (like [`window_global_forward`]) for benches
+/// and the determinism suite.
+pub fn window_global_backward(
     q: &Tensor,
     k: &Tensor,
     v: &Tensor,
@@ -155,10 +172,12 @@ fn window_global_backward(
     let mut gq = vec![0.0f32; bh * lq * dh];
     let mut gk = vec![0.0f32; bh * lk * dh];
     let mut gv = vec![0.0f32; bh * lk * dv];
-    let mut attn: Vec<f32> = Vec::new();
-    let mut dattn: Vec<f32> = Vec::new();
-    let mut positions: Vec<usize> = Vec::new();
-    for b in 0..bh {
+    // Each batch-head scatters only into its own gq/gk/gv planes, so the
+    // three gradient buffers are sliced in lockstep across the pool.
+    let plane = |b: usize, gq_p: &mut [f32], gk_p: &mut [f32], gv_p: &mut [f32]| {
+        let mut attn: Vec<f32> = Vec::new();
+        let mut dattn: Vec<f32> = Vec::new();
+        let mut positions: Vec<usize> = Vec::new();
         for i in 0..lq {
             key_positions(i, lq, lk, w, n_global, &mut positions);
             let n = positions.len();
@@ -189,25 +208,52 @@ fn window_global_backward(
                 let da: f32 = grow.iter().zip(vrow).map(|(a, c)| a * c).sum();
                 dattn[s] = da;
                 dot_sum += attn[s] * da;
-                let gvrow = &mut gv[(b * lk + j) * dv..(b * lk + j + 1) * dv];
+                let gvrow = &mut gv_p[j * dv..(j + 1) * dv];
                 for (gvx, &gx) in gvrow.iter_mut().zip(grow) {
                     *gvx += attn[s] * gx;
                 }
             }
             // softmax backward → dscores, then dQ/dK
-            let gqrow_base = (b * lq + i) * dh;
+            let gqrow = &mut gq_p[i * dh..(i + 1) * dh];
             for (s, &j) in positions.iter().enumerate() {
                 let ds = attn[s] * (dattn[s] - dot_sum) * scale;
                 if ds == 0.0 {
                     continue;
                 }
                 let krow = &kd[(b * lk + j) * dh..(b * lk + j + 1) * dh];
-                let gkrow = &mut gk[(b * lk + j) * dh..(b * lk + j + 1) * dh];
+                let gkrow = &mut gk_p[j * dh..(j + 1) * dh];
                 for t in 0..dh {
-                    gq[gqrow_base + t] += ds * krow[t];
+                    gqrow[t] += ds * krow[t];
                     gkrow[t] += ds * qrow[t];
                 }
             }
+        }
+    };
+    let work = bh * lq * (w + n_global + 1) * dh;
+    if bh >= 2
+        && work >= PAR_MIN_WORK
+        && lttf_parallel::num_threads() > 1
+        && lq * dh > 0
+        && lk * dh > 0
+        && lk * dv > 0
+    {
+        par_chunks_mut_zip3(
+            &mut gq,
+            lq * dh,
+            &mut gk,
+            lk * dh,
+            &mut gv,
+            lk * dv,
+            &plane,
+        );
+    } else {
+        for b in 0..bh {
+            plane(
+                b,
+                &mut gq[b * lq * dh..(b + 1) * lq * dh],
+                &mut gk[b * lk * dh..(b + 1) * lk * dh],
+                &mut gv[b * lk * dv..(b + 1) * lk * dv],
+            );
         }
     }
     vec![

@@ -1,0 +1,229 @@
+//! The process-wide worker pool behind `par_chunks_mut`.
+//!
+//! Workers are spawned lazily (at most one fewer than the largest engaged
+//! thread count seen so far) and live for the rest of the process, parked
+//! on a condvar between fork-join regions. Each region publishes a
+//! heap-allocated [`RunCtx`] holding the task function and claim/completion
+//! counters; workers share it by `Arc`, so a worker that wakes late simply
+//! finds the claim counter exhausted and goes back to sleep — it can never
+//! touch a stale task function, because the function pointer is only
+//! dereferenced after a successful claim and the dispatching thread does
+//! not return until every claim has completed.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on engaged threads and spawned workers; far above any sane
+/// `LTTF_THREADS`, it only bounds damage from a typo like `LTTF_THREADS=1e9`.
+const MAX_THREADS: usize = 256;
+
+/// Session-scoped thread-count override (0 = unset). Takes precedence over
+/// `LTTF_THREADS`; used by benches and determinism tests to sweep thread
+/// counts inside one process without touching the (cached) environment.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or clear) the thread-count override. `Some(1)` forces the serial
+/// path exactly like `LTTF_THREADS=1`.
+pub fn set_threads_override(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0).min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// The thread count parallel regions will engage: the override if set,
+/// else `LTTF_THREADS` (parsed once per process), else
+/// [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    if let Some(n) = *ENV.get_or_init(|| {
+        std::env::var("LTTF_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    }) {
+        return n.min(MAX_THREADS);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Type-erased `&(dyn Fn(usize) + Sync)` with the lifetime transmuted
+/// away. Only dereferenced between a successful task claim and the end of
+/// the owning `run_tasks` call, which outlives every claim.
+#[derive(Clone, Copy)]
+struct TaskFn(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for TaskFn {}
+unsafe impl Sync for TaskFn {}
+
+/// One fork-join region: the task function plus claim/completion state.
+struct RunCtx {
+    f: TaskFn,
+    n_tasks: usize,
+    /// Next unclaimed task index; `fetch_add` claims are how work is
+    /// distributed (assignment order does not affect results — chunks are
+    /// disjoint, so any schedule yields identical bytes).
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    /// First panic payload from a task, re-thrown by the dispatcher.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+struct State {
+    /// Bumped once per published region so sleeping workers can tell a
+    /// fresh job from one they already saw.
+    generation: u64,
+    job: Option<Arc<RunCtx>>,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    start: Condvar,
+    /// Serializes dispatchers: one fork-join region at a time. Contending
+    /// regions (and regions entered from inside a worker) run serially.
+    dispatch: Mutex<()>,
+    spawned: Mutex<usize>,
+}
+
+fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            generation: 0,
+            job: None,
+        }),
+        start: Condvar::new(),
+        dispatch: Mutex::new(()),
+        spawned: Mutex::new(0),
+    })
+}
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Claim-and-execute loop shared by workers and the dispatching thread.
+fn execute(ctx: &RunCtx) {
+    // SAFETY: `f` outlives the region; see `TaskFn`.
+    let f = unsafe { &*ctx.f.0 };
+    loop {
+        let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.n_tasks {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+            let mut slot = ctx.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        if ctx.completed.fetch_add(1, Ordering::Release) + 1 == ctx.n_tasks {
+            let _g = ctx.done.lock().unwrap();
+            ctx.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop() {
+    IS_WORKER.with(|w| w.set(true));
+    let pool = global();
+    let mut seen = 0u64;
+    loop {
+        let ctx = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                if st.generation != seen {
+                    seen = st.generation;
+                    if let Some(c) = st.job.clone() {
+                        break c;
+                    }
+                }
+                st = pool.start.wait(st).unwrap();
+            }
+        };
+        execute(&ctx);
+    }
+}
+
+impl Pool {
+    /// Spawn detached workers until `want` exist (best effort: a failed
+    /// spawn just leaves the pool smaller).
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_THREADS);
+        let mut n = self.spawned.lock().unwrap();
+        while *n < want {
+            let builder = std::thread::Builder::new().name(format!("lttf-par-{}", *n));
+            if builder.spawn(worker_loop).is_err() {
+                break;
+            }
+            *n += 1;
+        }
+    }
+}
+
+/// Run `f(0..n_tasks)` to completion using up to `threads` threads
+/// (including the calling thread). Falls back to a plain serial loop when
+/// parallelism is unavailable or pointless; either way, every task runs
+/// exactly once and this function returns only after all have finished.
+pub(crate) fn run_tasks(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let serial = threads <= 1 || n_tasks <= 1 || IS_WORKER.with(|w| w.get());
+    if serial {
+        for i in 0..n_tasks {
+            f(i);
+        }
+        return;
+    }
+    let pool = global();
+    let Ok(_dispatch) = pool.dispatch.try_lock() else {
+        // Another thread is mid-region; don't queue behind it.
+        for i in 0..n_tasks {
+            f(i);
+        }
+        return;
+    };
+    pool.ensure_workers(threads.min(n_tasks) - 1);
+    // SAFETY: the borrow is erased to 'static but the context is only used
+    // while this frame is alive — `run_tasks` blocks until `completed ==
+    // n_tasks`, and no new claim can succeed after that.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let ctx = Arc::new(RunCtx {
+        f: TaskFn(f_static as *const _),
+        n_tasks,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut st = pool.state.lock().unwrap();
+        st.generation = st.generation.wrapping_add(1);
+        st.job = Some(ctx.clone());
+    }
+    pool.start.notify_all();
+    // The dispatcher participates; panics are captured into `ctx` so the
+    // frame stays alive until every worker is done with it.
+    execute(&ctx);
+    {
+        let mut g = ctx.done.lock().unwrap();
+        while ctx.completed.load(Ordering::Acquire) < ctx.n_tasks {
+            g = ctx.done_cv.wait(g).unwrap();
+        }
+    }
+    {
+        let mut st = pool.state.lock().unwrap();
+        st.job = None;
+    }
+    let payload = ctx.panic.lock().unwrap().take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}

@@ -91,29 +91,47 @@ impl Tensor {
     }
 
     /// Apply a binary op element-wise with broadcasting, returning the result.
-    pub(crate) fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    ///
+    /// After broadcasting, the element-wise zip of large operands runs in
+    /// fixed-size chunks on the worker pool (bit-identical at any count).
+    pub(crate) fn broadcast_zip(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Tensor {
         if self.shape() == other.shape() {
             // Fast path: identical shapes.
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
             return Tensor {
-                data,
+                data: zip_slices(&self.data, &other.data, &f),
                 shape: self.shape.clone(),
             };
         }
         let target = broadcast_shapes(self.shape(), other.shape());
         let a = self.broadcast_to(&target);
         let b = other.broadcast_to(&target);
-        let data = a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect();
         Tensor {
-            data,
+            data: zip_slices(&a.data, &b.data, &f),
             shape: Shape::new(&target),
         }
     }
+}
+
+/// Element-wise `f(a[i], b[i])` into a fresh vector, chunk-parallel when
+/// the operands are large.
+fn zip_slices(a: &[f32], b: &[f32], f: &(impl Fn(f32, f32) -> f32 + Sync)) -> Vec<f32> {
+    use crate::elementwise::{PAR_MAP_CHUNK, PAR_MAP_MIN};
+    let n = a.len();
+    if n < PAR_MAP_MIN || lttf_parallel::num_threads() <= 1 {
+        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
+    }
+    let mut out = vec![0.0f32; n];
+    lttf_parallel::par_chunks_mut(&mut out, PAR_MAP_CHUNK, |ci, chunk| {
+        let (s, _) = lttf_parallel::chunk_bounds(n, PAR_MAP_CHUNK, ci);
+        for ((o, &x), &y) in chunk.iter_mut().zip(&a[s..]).zip(&b[s..]) {
+            *o = f(x, y);
+        }
+    });
+    out
 }
 
 #[cfg(test)]

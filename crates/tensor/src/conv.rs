@@ -1,6 +1,75 @@
 //! 1-D convolution, the workhorse of the models' embedding layers.
+//!
+//! The forward kernel is written in axpy form — for each `(in_ch, tap)`
+//! pair the valid output range is computed once and updated with a
+//! branch-free fused loop — instead of testing the padding bounds on every
+//! multiply. The accumulation order per output element (bias, then
+//! ascending `(in_ch, tap)`) is exactly that of the textbook loop, so the
+//! restructure is bit-for-bit identical, and batches/out-channels are
+//! distributed over the worker pool without changing any result bytes.
 
 use crate::tensor::Tensor;
+use lttf_parallel::par_chunks_mut;
+
+/// Approximate multiply-add count per parallel task for conv kernels.
+const PAR_GRAIN: usize = 64 * 1024;
+
+/// Forward kernel for one `(batch, out_ch)` pair: writes `out_len` results
+/// given the batch's input plane `x` (`[cin, len]`) and the out-channel's
+/// weight plane `w` (`[cin, k]`).
+#[allow(clippy::too_many_arguments)]
+fn conv1d_one(
+    x: &[f32],
+    w: &[f32],
+    bias_v: f32,
+    out: &mut [f32],
+    cin: usize,
+    len: usize,
+    k: usize,
+    padding: usize,
+    stride: usize,
+) {
+    let out_len = out.len();
+    out.fill(bias_v);
+    if len == 0 {
+        return;
+    }
+    for ic in 0..cin {
+        let xrow = &x[ic * len..(ic + 1) * len];
+        let wrow = &w[ic * k..(ic + 1) * k];
+        for (kk, &wv) in wrow.iter().enumerate() {
+            // Valid outputs satisfy padding <= ot*stride + kk < padding + len.
+            let ot_min = if padding > kk {
+                (padding - kk).div_ceil(stride)
+            } else {
+                0
+            };
+            let hi = padding + len - 1;
+            if hi < kk {
+                continue;
+            }
+            let ot_max = ((hi - kk) / stride).min(out_len.wrapping_sub(1));
+            if out_len == 0 || ot_min > ot_max {
+                continue;
+            }
+            if stride == 1 {
+                // Contiguous input span: a straight axpy the compiler
+                // vectorizes.
+                let x0 = ot_min + kk - padding;
+                let span = ot_max - ot_min + 1;
+                let xs = &xrow[x0..x0 + span];
+                let os = &mut out[ot_min..ot_min + span];
+                for (o, &xv) in os.iter_mut().zip(xs) {
+                    *o += xv * wv;
+                }
+            } else {
+                for ot in ot_min..=ot_max {
+                    out[ot] += xrow[ot * stride + kk - padding] * wv;
+                }
+            }
+        }
+    }
+}
 
 impl Tensor {
     /// 1-D cross-correlation (the deep-learning "convolution").
@@ -57,26 +126,30 @@ impl Tensor {
         );
         let out_len = (padded_len - k) / stride + 1;
         let mut out = vec![0.0f32; b * cout * out_len];
-        for bi in 0..b {
-            for oc in 0..cout {
-                let bias_v = bias.map_or(0.0, |bv| bv.data[oc]);
-                for ot in 0..out_len {
-                    let start = ot * stride; // position in padded input
-                    let mut acc = bias_v;
-                    for ic in 0..cin {
-                        let in_base = (bi * cin + ic) * len;
-                        let w_base = (oc * cin + ic) * k;
-                        for kk in 0..k {
-                            let pos = start + kk;
-                            if pos < padding || pos >= padding + len {
-                                continue; // zero padding
-                            }
-                            acc += self.data[in_base + pos - padding] * weight.data[w_base + kk];
-                        }
-                    }
-                    out[(bi * cout + oc) * out_len + ot] = acc;
+        if out_len > 0 {
+            // One work item per (batch, out_ch) pair; group enough pairs per
+            // task to amortize dispatch.
+            let per = (PAR_GRAIN / (cin * k * out_len).max(1)).max(1);
+            let x = &self.data;
+            let w = &weight.data;
+            par_chunks_mut(&mut out, per * out_len, |ci, chunk| {
+                for (j, o) in chunk.chunks_mut(out_len).enumerate() {
+                    let flat = ci * per + j;
+                    let (bi, oc) = (flat / cout, flat % cout);
+                    let bias_v = bias.map_or(0.0, |bv| bv.data[oc]);
+                    conv1d_one(
+                        &x[bi * cin * len..(bi + 1) * cin * len],
+                        &w[oc * cin * k..(oc + 1) * cin * k],
+                        bias_v,
+                        o,
+                        cin,
+                        len,
+                        k,
+                        padding,
+                        stride,
+                    );
                 }
-            }
+            });
         }
         Tensor::from_vec(out, &[b, cout, out_len])
     }
@@ -96,27 +169,33 @@ impl Tensor {
         let (cout, _, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
         let out_len = grad_out.shape()[2];
         let mut gin = vec![0.0f32; b * cin * len];
-        for bi in 0..b {
-            for oc in 0..cout {
-                for ot in 0..out_len {
-                    let go = grad_out.data[(bi * cout + oc) * out_len + ot];
-                    if go == 0.0 {
-                        continue;
-                    }
-                    let start = ot * stride;
-                    for ic in 0..cin {
-                        let w_base = (oc * cin + ic) * k;
-                        let g_base = (bi * cin + ic) * len;
-                        for kk in 0..k {
-                            let pos = start + kk;
-                            if pos < padding || pos >= padding + len {
-                                continue;
+        if cin * len > 0 {
+            // Each batch owns a disjoint gradient plane; the per-batch scatter
+            // order is untouched, so results match the serial loop bit-for-bit.
+            let go_all = &grad_out.data;
+            let w = &weight.data;
+            par_chunks_mut(&mut gin, cin * len, |bi, plane| {
+                for oc in 0..cout {
+                    for ot in 0..out_len {
+                        let go = go_all[(bi * cout + oc) * out_len + ot];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        let start = ot * stride;
+                        for ic in 0..cin {
+                            let w_base = (oc * cin + ic) * k;
+                            let g_base = ic * len;
+                            for kk in 0..k {
+                                let pos = start + kk;
+                                if pos < padding || pos >= padding + len {
+                                    continue;
+                                }
+                                plane[g_base + pos - padding] += go * w[w_base + kk];
                             }
-                            gin[g_base + pos - padding] += go * weight.data[w_base + kk];
                         }
                     }
                 }
-            }
+            });
         }
         Tensor::from_vec(gin, input_shape)
     }
@@ -277,6 +356,56 @@ mod tests {
                 "weight grad mismatch at {i}: numeric {num} vs analytic {}",
                 gw.data()[i]
             );
+        }
+    }
+
+    /// The axpy-form kernel must be bit-for-bit identical to the textbook
+    /// per-output accumulation loop it replaced, across strides and padding.
+    #[test]
+    fn conv1d_matches_reference_bit_for_bit() {
+        let (b, cin, len, cout, k) = (3, 4, 29, 5, 3);
+        let x = Tensor::from_vec(
+            (0..b * cin * len)
+                .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.013)
+                .collect(),
+            &[b, cin, len],
+        );
+        let w = Tensor::from_vec(
+            (0..cout * cin * k)
+                .map(|i| ((i * 53 % 67) as f32 - 33.0) * 0.021)
+                .collect(),
+            &[cout, cin, k],
+        );
+        let bias = Tensor::from_vec((0..cout).map(|i| i as f32 * 0.1).collect(), &[cout]);
+        for &(padding, stride) in &[(0usize, 1usize), (2, 1), (1, 2), (3, 3)] {
+            let got = x.conv1d(&w, Some(&bias), padding, stride);
+            let out_len = (len + 2 * padding - k) / stride + 1;
+            let mut want = vec![0.0f32; b * cout * out_len];
+            for bi in 0..b {
+                for oc in 0..cout {
+                    for ot in 0..out_len {
+                        let mut acc = bias.data()[oc];
+                        for ic in 0..cin {
+                            for kk in 0..k {
+                                let pos = ot * stride + kk;
+                                if pos < padding || pos >= padding + len {
+                                    continue;
+                                }
+                                acc += x.data()[(bi * cin + ic) * len + pos - padding]
+                                    * w.data()[(oc * cin + ic) * k + kk];
+                            }
+                        }
+                        want[(bi * cout + oc) * out_len + ot] = acc;
+                    }
+                }
+            }
+            for (i, (&g, &e)) in got.data().iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    e.to_bits(),
+                    "pad={padding} stride={stride}: mismatch at {i}: {g} vs {e}"
+                );
+            }
         }
     }
 

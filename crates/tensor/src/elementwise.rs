@@ -1,6 +1,16 @@
 //! Element-wise arithmetic and transcendental operations.
+//!
+//! Maps over large tensors run chunked on the worker pool; each chunk is a
+//! pure element-wise image of the corresponding input range, so the output
+//! bytes do not depend on the thread count.
 
 use crate::tensor::Tensor;
+use lttf_parallel::{chunk_bounds, par_chunks_mut};
+
+/// Elements below which an element-wise map is not worth dispatching.
+pub(crate) const PAR_MAP_MIN: usize = 64 * 1024;
+/// Chunk length for parallel element-wise work.
+pub(crate) const PAR_MAP_CHUNK: usize = 16 * 1024;
 
 impl Tensor {
     /// Element-wise addition with broadcasting.
@@ -127,9 +137,26 @@ impl Tensor {
     }
 
     /// Apply an arbitrary function to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    ///
+    /// Large tensors are processed in fixed-size chunks on the worker pool.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let n = self.data.len();
+        if n < PAR_MAP_MIN || lttf_parallel::num_threads() <= 1 {
+            return Tensor {
+                data: self.data.iter().map(|&v| f(v)).collect(),
+                shape: self.shape.clone(),
+            };
+        }
+        let mut out = vec![0.0f32; n];
+        let src = &self.data;
+        par_chunks_mut(&mut out, PAR_MAP_CHUNK, |ci, chunk| {
+            let (s, _) = chunk_bounds(n, PAR_MAP_CHUNK, ci);
+            for (o, &v) in chunk.iter_mut().zip(&src[s..]) {
+                *o = f(v);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data: out,
             shape: self.shape.clone(),
         }
     }

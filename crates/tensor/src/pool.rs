@@ -1,6 +1,7 @@
 //! 1-D pooling and the moving average used by series decomposition (Eq. 9).
 
 use crate::tensor::Tensor;
+use lttf_parallel::par_chunks_mut;
 
 impl Tensor {
     /// Average pooling over the last axis of a `[batch, ch, len]` tensor.
@@ -74,7 +75,9 @@ impl Tensor {
         let before = (k - 1) / 2;
         let after = k / 2;
         let padded = self.pad_axis_replicate(ax as isize, before, after);
-        // Reduce along the axis with a sliding window.
+        // Slide a running row-sum along the axis: O(n) total instead of
+        // O(n·k) — each step adds the entering row and subtracts the
+        // leaving one.
         let dims = padded.shape();
         let extent = dims[ax];
         let out_extent = extent - k + 1;
@@ -82,15 +85,48 @@ impl Tensor {
         let inner: usize = dims[ax + 1..].iter().product();
         let mut out = vec![0.0f32; outer * out_extent * inner];
         let inv = 1.0 / k as f32;
-        for o in 0..outer {
-            for t in 0..out_extent {
-                for i in 0..inner {
-                    let mut s = 0.0;
-                    for kk in 0..k {
-                        s += padded.data[(o * extent + t + kk) * inner + i];
-                    }
-                    out[(o * out_extent + t) * inner + i] = s * inv;
+        let src = &padded.data;
+        let slide_outer = |o: usize, block: &mut [f32]| {
+            let base = o * extent * inner;
+            let mut acc = vec![0.0f32; inner];
+            for kk in 0..k {
+                let row = &src[base + kk * inner..base + (kk + 1) * inner];
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
                 }
+            }
+            for (slot, &a) in block[..inner].iter_mut().zip(&acc) {
+                *slot = a * inv;
+            }
+            for t in 1..out_extent {
+                let leave = &src[base + (t - 1) * inner..base + t * inner];
+                let enter = &src[base + (t + k - 1) * inner..base + (t + k) * inner];
+                for ((a, &l), &e) in acc.iter_mut().zip(leave).zip(enter) {
+                    *a += e - l;
+                }
+                let orow = &mut block[t * inner..(t + 1) * inner];
+                for (slot, &a) in orow.iter_mut().zip(&acc) {
+                    *slot = a * inv;
+                }
+            }
+        };
+        const PAR_MIN_WORK: usize = 1 << 15;
+        let block_len = out_extent * inner;
+        if out.is_empty() || inner == 0 {
+            // nothing to do for degenerate shapes
+        } else if outer >= 2
+            && outer * extent * inner >= PAR_MIN_WORK
+            && lttf_parallel::num_threads() > 1
+        {
+            let per = (PAR_MIN_WORK / (extent * inner).max(1)).max(1);
+            par_chunks_mut(&mut out, per * block_len, |ci, chunk| {
+                for (j, block) in chunk.chunks_mut(block_len).enumerate() {
+                    slide_outer(ci * per + j, block);
+                }
+            });
+        } else {
+            for (o, block) in out.chunks_mut(block_len).enumerate() {
+                slide_outer(o, block);
             }
         }
         let mut new_dims = self.shape.dims().to_vec();

@@ -1,13 +1,77 @@
 //! Reductions (sum, mean, variance, extrema) over whole tensors or axes,
 //! plus softmax.
+//!
+//! Full-tensor sums use **chunked pairwise summation**: the input is cut
+//! into fixed-size blocks, each block is reduced by recursive halving, and
+//! the per-block partials are pairwise-reduced in turn. Rounding error
+//! grows O(log n) instead of the O(n) of a left fold, and because block
+//! boundaries are fixed the result is bit-identical whether the blocks are
+//! reduced serially or in parallel.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use lttf_parallel::{chunk_count, par_chunks_mut};
+
+/// Below this length a plain sequential fold is both fastest and accurate
+/// enough; it is the recursion base of [`pairwise_sum`].
+const PAIRWISE_BASE: usize = 32;
+
+/// Fixed block length for the top level of chunked pairwise summation.
+/// Must not depend on thread count: block boundaries define the reduction
+/// tree, and the tree defines the bits of the answer.
+const SUM_BLOCK: usize = 8192;
+
+/// Elements below which `sum` does not bother with the parallel path.
+const PAR_SUM_MIN: usize = 4 * SUM_BLOCK;
+
+/// Pairwise (cascade) summation by recursive halving.
+pub(crate) fn pairwise_sum(x: &[f32]) -> f32 {
+    if x.len() <= PAIRWISE_BASE {
+        return x.iter().sum();
+    }
+    let mid = x.len() / 2;
+    pairwise_sum(&x[..mid]) + pairwise_sum(&x[mid..])
+}
+
+/// Pairwise summation of the element-wise product `a[i] * b[i]`.
+pub(crate) fn pairwise_dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() <= PAIRWISE_BASE {
+        return a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    }
+    let mid = a.len() / 2;
+    pairwise_dot(&a[..mid], &b[..mid]) + pairwise_dot(&a[mid..], &b[mid..])
+}
 
 impl Tensor {
-    /// Sum of all elements.
+    /// Sum of all elements, via chunked pairwise summation.
+    ///
+    /// The reduction tree — `SUM_BLOCK`-sized leaf blocks combined
+    /// pairwise — is a pure function of the length, so the serial and
+    /// pool-parallel paths produce the same bits; the thread count only
+    /// decides who reduces which block.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        let n = self.data.len();
+        if n <= SUM_BLOCK {
+            return pairwise_sum(&self.data);
+        }
+        let blocks = chunk_count(n, SUM_BLOCK);
+        let mut partials = vec![0.0f32; blocks];
+        let src = &self.data;
+        let block_sum = |bi: usize| {
+            let s = bi * SUM_BLOCK;
+            pairwise_sum(&src[s..(s + SUM_BLOCK).min(n)])
+        };
+        if n >= PAR_SUM_MIN && lttf_parallel::num_threads() > 1 {
+            par_chunks_mut(&mut partials, 1, |bi, slot| {
+                slot[0] = block_sum(bi);
+            });
+        } else {
+            for (bi, slot) in partials.iter_mut().enumerate() {
+                *slot = block_sum(bi);
+            }
+        }
+        pairwise_sum(&partials)
     }
 
     /// Mean of all elements.
@@ -69,12 +133,15 @@ impl Tensor {
 
     /// Generic axis reduction: folds each lane along `axis` with `f` starting
     /// from `init`, then post-processes the lane result with `fin`.
+    ///
+    /// Each outer index owns a disjoint `inner`-sized slice of the output,
+    /// so large reductions run outer-parallel with bit-identical results.
     fn reduce_axis(
         &self,
         axis: isize,
         init: f32,
-        f: impl Fn(f32, f32) -> f32,
-        fin: impl Fn(f32, usize) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+        fin: impl Fn(f32, usize) -> f32 + Sync,
         keepdim: bool,
     ) -> Tensor {
         let ax = self.shape.normalize_axis(axis);
@@ -83,17 +150,37 @@ impl Tensor {
         let outer: usize = dims[..ax].iter().product();
         let inner: usize = dims[ax + 1..].iter().product();
         let mut out = vec![init; outer * inner];
-        for o in 0..outer {
+        let src = &self.data;
+        // Fold every lane of outer index `o` into its output slice; the
+        // element-visit order is identical on the serial and parallel paths.
+        let fold_outer = |o: usize, lane: &mut [f32]| {
             for e in 0..extent {
                 let base = (o * extent + e) * inner;
-                let obase = o * inner;
-                for i in 0..inner {
-                    out[obase + i] = f(out[obase + i], self.data[base + i]);
+                for (i, slot) in lane.iter_mut().enumerate() {
+                    *slot = f(*slot, src[base + i]);
                 }
             }
-        }
-        for v in out.iter_mut() {
-            *v = fin(*v, extent);
+            for v in lane.iter_mut() {
+                *v = fin(*v, extent);
+            }
+        };
+        const PAR_MIN_WORK: usize = 1 << 15;
+        if out.is_empty() {
+            // zero-extent axis elsewhere in the shape: nothing to fold
+        } else if outer >= 2
+            && outer * extent * inner >= PAR_MIN_WORK
+            && lttf_parallel::num_threads() > 1
+        {
+            let per = (PAR_MIN_WORK / (extent * inner).max(1)).max(1);
+            par_chunks_mut(&mut out, per * inner, |ci, chunk| {
+                for (j, lane) in chunk.chunks_mut(inner).enumerate() {
+                    fold_outer(ci * per + j, lane);
+                }
+            });
+        } else {
+            for (o, lane) in out.chunks_mut(inner).enumerate() {
+                fold_outer(o, lane);
+            }
         }
         let mut new_dims: Vec<usize> = dims.to_vec();
         if keepdim {
@@ -275,6 +362,72 @@ mod tests {
         let t = m23();
         assert_eq!(t.cumsum(1).data(), &[1., 3., 6., 4., 9., 15.]);
         assert_eq!(t.cumsum(0).data(), &[1., 2., 3., 5., 7., 9.]);
+    }
+
+    /// Chunked pairwise summation must land far closer to the f64 reference
+    /// than a naive left fold on a long series of same-sign values (where a
+    /// left fold's accumulator swallows low bits of every addend).
+    #[test]
+    fn pairwise_sum_tracks_f64_reference() {
+        let n = 200_000;
+        let data: Vec<f32> = (0..n).map(|i| 1.0 + (i % 7) as f32 * 0.01).collect();
+        let exact: f64 = data.iter().map(|&v| v as f64).sum();
+        let naive: f32 = data.iter().sum();
+        let pw = Tensor::from_vec(data, &[n]).sum();
+        let err_pw = (pw as f64 - exact).abs();
+        let err_naive = (naive as f64 - exact).abs();
+        // Pairwise error stays within a few ulps of the result...
+        assert!(
+            err_pw <= exact.abs() * 1e-6,
+            "pairwise sum drifted: {pw} vs f64 {exact} (err {err_pw:e})"
+        );
+        // ...while the naive fold it replaced drifts visibly.
+        assert!(
+            err_pw < err_naive,
+            "pairwise err {err_pw:e} not below naive err {err_naive:e}"
+        );
+    }
+
+    #[test]
+    fn pairwise_dot_tracks_f64_reference() {
+        let n = 120_000;
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.311).cos() * 50.0).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.057).sin() * 50.0 + 0.5).collect();
+        let exact: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum();
+        // The products cancel heavily, so measure error against the total
+        // magnitude that passed through the accumulator, not the tiny net.
+        let magnitude: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x as f64 * y as f64).abs())
+            .sum();
+        let got = Tensor::from_vec(a, &[n]).dot(&Tensor::from_vec(b, &[n]));
+        let err = (got as f64 - exact).abs();
+        assert!(
+            err <= magnitude * 1e-6,
+            "pairwise dot drifted: {got} vs f64 {exact} (err {err:e}, magnitude {magnitude:e})"
+        );
+    }
+
+    /// `sum` takes the block-parallel path for large tensors; the answer
+    /// must be bit-identical to the serial chunked reduction.
+    #[test]
+    fn parallel_sum_is_bit_identical() {
+        let n = 100_000;
+        let t = Tensor::from_vec(
+            (0..n).map(|i| (i as f32 * 0.41).sin() * 3.0).collect(),
+            &[n],
+        );
+        lttf_parallel::set_threads_override(Some(1));
+        let serial = t.sum();
+        lttf_parallel::set_threads_override(Some(4));
+        let parallel = t.sum();
+        lttf_parallel::set_threads_override(None);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
     }
 
     #[test]

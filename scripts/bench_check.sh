@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Kernel performance regression gate.
+#
+# Re-runs the `kernels` bench suite into a scratch directory and compares
+# each benchmark's fresh median against the committed baseline in
+# results/BENCH_kernels.json. Fails if any kernel got more than 2x slower
+# than its committed median. The committed file is never overwritten —
+# refresh it deliberately (BENCH_OUT=results cargo bench -p lttf-bench --bench kernels)
+# when a speedup lands.
+#
+#   scripts/bench_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=results/BENCH_kernels.json
+if [[ ! -f "$BASELINE" ]]; then
+    echo "no committed baseline at $BASELINE; nothing to check" >&2
+    exit 0
+fi
+
+FRESH_DIR=$(mktemp -d)
+trap 'rm -rf "$FRESH_DIR"' EXIT
+
+echo "==> cargo bench --bench kernels  (fresh run into $FRESH_DIR)"
+BENCH_OUT="$FRESH_DIR" cargo bench --offline -p lttf-bench --bench kernels >/dev/null
+FRESH="$FRESH_DIR/BENCH_kernels.json"
+if [[ ! -f "$FRESH" ]]; then
+    echo "FAIL: bench run produced no $FRESH" >&2
+    exit 1
+fi
+
+# Extract "bench name -> median_ns" pairs from a JSON-lines bench file.
+medians() {
+    sed -n 's/.*"bench":"\([^"]*\)".*"median_ns":\([0-9]*\).*/\1 \2/p' "$1"
+}
+
+fail=0
+while read -r name base_med; do
+    fresh_med=$(medians "$FRESH" | awk -v n="$name" '$1 == n {print $2}')
+    if [[ -z "$fresh_med" ]]; then
+        echo "WARN  $name: present in baseline but missing from fresh run"
+        continue
+    fi
+    # Regression when fresh > 2x committed median.
+    if (( fresh_med > 2 * base_med )); then
+        echo "FAIL  $name: fresh median ${fresh_med}ns > 2x baseline ${base_med}ns"
+        fail=1
+    else
+        printf 'ok    %-28s baseline %10dns  fresh %10dns\n' "$name" "$base_med" "$fresh_med"
+    fi
+done < <(medians "$BASELINE")
+
+if (( fail )); then
+    echo "==> bench_check: kernel regression detected (>2x committed median)" >&2
+    exit 1
+fi
+echo "==> bench_check: all kernels within 2x of committed medians"

@@ -13,8 +13,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline --locked"
 cargo build --release --offline --locked
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline  (LTTF_THREADS=1, fully serial)"
+LTTF_THREADS=1 cargo test -q --offline
+
+echo "==> cargo test -q --offline  (LTTF_THREADS=4, pooled)"
+LTTF_THREADS=4 cargo test -q --offline
 
 echo "==> cargo bench --no-run --offline  (compile-only check of crates/bench)"
 cargo bench --no-run --offline

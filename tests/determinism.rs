@@ -1,0 +1,122 @@
+//! Thread-count determinism suite: every parallel kernel must produce
+//! bit-identical bytes whether it runs on 1, 4, 8, or the default number
+//! of threads.
+//!
+//! This is the load-bearing guarantee of `lttf-parallel`'s static-chunking
+//! design — reproducibility of training runs cannot depend on the machine's
+//! core count. Each case sweeps `set_threads_override` and compares raw
+//! f32 bit patterns, not approximate values.
+
+use lttf::nn::attention::{window_global_backward, window_global_forward};
+use lttf::tensor::{Rng, Tensor};
+use lttf_parallel::set_threads_override;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The override is process-global, so cases that sweep it must not
+/// interleave with each other.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Thread counts swept by every case: serial, oversubscribed, and default.
+const SWEEP: [Option<usize>; 3] = [Some(4), Some(8), None];
+
+/// Run `f` at 1 thread, then at each sweep point, asserting the output
+/// bytes never change.
+fn assert_bit_identical(label: &str, f: impl Fn() -> Vec<Tensor>) {
+    set_threads_override(Some(1));
+    let reference = f();
+    for &threads in &SWEEP {
+        set_threads_override(threads);
+        let got = f();
+        set_threads_override(None);
+        assert_eq!(reference.len(), got.len());
+        for (ti, (a, b)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(a.shape(), b.shape(), "{label}: shape drift at output {ti}");
+            for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{label}: bit mismatch at output {ti}, element {i} \
+                     ({x} vs {y}) with threads={threads:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_2d_is_thread_count_invariant() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(101);
+    let a = Tensor::randn(&[128, 128], &mut rng);
+    let b = Tensor::randn(&[128, 128], &mut rng);
+    assert_bit_identical("matmul_2d", || vec![a.matmul(&b)]);
+}
+
+#[test]
+fn batched_matmul_is_thread_count_invariant() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(102);
+    let a = Tensor::randn(&[16, 48, 32], &mut rng);
+    let b = Tensor::randn(&[16, 32, 48], &mut rng);
+    let shared = Tensor::randn(&[32, 48], &mut rng);
+    assert_bit_identical("matmul_3d", || vec![a.matmul(&b), a.matmul(&shared)]);
+}
+
+#[test]
+fn conv1d_is_thread_count_invariant() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(103);
+    let x = Tensor::randn(&[8, 16, 96], &mut rng);
+    let w = Tensor::randn(&[16, 16, 3], &mut rng);
+    let bias = Tensor::randn(&[16], &mut rng);
+    assert_bit_identical("conv1d", || vec![x.conv1d(&w, Some(&bias), 1, 1)]);
+    let go = Tensor::randn(&[8, 16, 96], &mut rng);
+    assert_bit_identical("conv1d_backward_input", || {
+        vec![Tensor::conv1d_backward_input(&go, &w, &[8, 16, 96], 1, 1)]
+    });
+}
+
+#[test]
+fn window_attention_is_thread_count_invariant() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(104);
+    let q = Tensor::randn(&[8, 64, 16], &mut rng);
+    let k = Tensor::randn(&[8, 64, 16], &mut rng);
+    let v = Tensor::randn(&[8, 64, 16], &mut rng);
+    assert_bit_identical("window_forward", || {
+        vec![window_global_forward(&q, &k, &v, 8, 2)]
+    });
+    let gout = Tensor::randn(&[8, 64, 16], &mut rng);
+    assert_bit_identical("window_backward", || {
+        window_global_backward(&q, &k, &v, &gout, 8, 2)
+    });
+}
+
+#[test]
+fn reductions_and_maps_are_thread_count_invariant() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(105);
+    let big = Tensor::randn(&[300_000], &mut rng);
+    let other = Tensor::randn(&[300_000], &mut rng);
+    assert_bit_identical("sum_dot_map_zip", || {
+        vec![
+            Tensor::from_vec(vec![big.sum()], &[1]),
+            Tensor::from_vec(vec![big.dot(&other)], &[1]),
+            big.exp(),
+            big.mul(&other),
+        ]
+    });
+    let wide = Tensor::randn(&[64, 128, 32], &mut rng);
+    assert_bit_identical("axis_reductions_moving_avg", || {
+        vec![
+            wide.sum_axis(1),
+            wide.mean_axis_keepdim(2),
+            wide.moving_avg(1, 13),
+        ]
+    });
+}
