@@ -23,6 +23,9 @@ pub struct Graph {
     pub(crate) values: RefCell<Vec<Tensor>>,
     pub(crate) parents: RefCell<Vec<Vec<usize>>>,
     pub(crate) backs: RefCell<Vec<Option<BackFn>>>,
+    /// Op name per node (`"leaf"` for leaves); names the per-op backward
+    /// telemetry spans (`bwd.<name>`).
+    pub(crate) names: RefCell<Vec<&'static str>>,
 }
 
 /// A handle to a node in a [`Graph`]. Cheap to copy.
@@ -62,6 +65,7 @@ impl Graph {
             values: RefCell::new(Vec::new()),
             parents: RefCell::new(Vec::new()),
             backs: RefCell::new(Vec::new()),
+            names: RefCell::new(Vec::new()),
         }
     }
 
@@ -78,7 +82,7 @@ impl Graph {
     /// Insert a leaf node (an input or parameter). Gradients flow *to*
     /// leaves but not through them.
     pub fn leaf(&self, value: Tensor) -> Var<'_> {
-        self.push(value, Vec::new(), None)
+        self.push("leaf", value, Vec::new(), None)
     }
 
     /// Alias for [`Graph::leaf`] that reads better for non-trainable data.
@@ -86,13 +90,21 @@ impl Graph {
         self.leaf(value)
     }
 
-    /// Push a computed node onto the tape.
-    pub(crate) fn push(&self, value: Tensor, parents: Vec<usize>, back: Option<BackFn>) -> Var<'_> {
+    /// Push a computed node onto the tape. `name` labels the node's
+    /// backward span in the telemetry registry.
+    pub(crate) fn push(
+        &self,
+        name: &'static str,
+        value: Tensor,
+        parents: Vec<usize>,
+        back: Option<BackFn>,
+    ) -> Var<'_> {
         let mut values = self.values.borrow_mut();
         let id = values.len();
         values.push(value);
         self.parents.borrow_mut().push(parents);
         self.backs.borrow_mut().push(back);
+        self.names.borrow_mut().push(name);
         Var { g: self, id }
     }
 
@@ -111,8 +123,21 @@ impl Graph {
         parents: &[Var<'_>],
         back: impl Fn(&Ctx<'_>) -> Vec<Tensor> + 'static,
     ) -> Var<'_> {
+        self.custom_named("custom", value, parents, back)
+    }
+
+    /// [`Graph::custom`] with an explicit op name, so the fused kernel's
+    /// backward time shows up as `bwd.<name>` in `lttf profile` instead of
+    /// the anonymous `bwd.custom`.
+    pub fn custom_named(
+        &self,
+        name: &'static str,
+        value: Tensor,
+        parents: &[Var<'_>],
+        back: impl Fn(&Ctx<'_>) -> Vec<Tensor> + 'static,
+    ) -> Var<'_> {
         let ids = parents.iter().map(|v| v.id).collect();
-        self.push(value, ids, Some(Box::new(back)))
+        self.push(name, value, ids, Some(Box::new(back)))
     }
 
     /// Run reverse-mode accumulation from `root`.
@@ -130,9 +155,11 @@ impl Graph {
     /// # Panics
     /// Panics if the seed shape does not match the root value's shape.
     pub fn backward_with_seed(&self, root: Var<'_>, seed: Tensor) -> Grads {
+        let _span = lttf_obs::span!("backward");
         let values = self.values.borrow();
         let parents = self.parents.borrow();
         let backs = self.backs.borrow();
+        let names = self.names.borrow();
         assert_eq!(
             seed.shape(),
             values[root.id].shape(),
@@ -150,7 +177,16 @@ impl Graph {
                     grad: &g,
                     inputs,
                 };
+                // Per-op backward timing. `scoped` pays a registry lookup
+                // per call, which is noise next to a backward closure; it
+                // nests under the "backward" span for self-time purposes.
+                let op_span = if cfg!(feature = "telemetry") {
+                    lttf_obs::scoped("bwd", names[id])
+                } else {
+                    lttf_obs::SpanGuard::inactive()
+                };
                 let pgrads = back(&ctx);
+                drop(op_span);
                 debug_assert_eq!(
                     pgrads.len(),
                     parents[id].len(),

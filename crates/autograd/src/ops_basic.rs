@@ -38,6 +38,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| other.with_value(|b| a.add(b)));
         let (sa, sb) = (self.shape(), other.shape());
         self.g.push(
+            "add",
             v,
             vec![self.id, other.id],
             Some(Box::new(move |ctx| {
@@ -54,6 +55,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| other.with_value(|b| a.sub(b)));
         let (sa, sb) = (self.shape(), other.shape());
         self.g.push(
+            "sub",
             v,
             vec![self.id, other.id],
             Some(Box::new(move |ctx| {
@@ -70,6 +72,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| other.with_value(|b| a.mul(b)));
         let (sa, sb) = (self.shape(), other.shape());
         self.g.push(
+            "mul",
             v,
             vec![self.id, other.id],
             Some(Box::new(move |ctx| {
@@ -87,6 +90,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| other.with_value(|b| a.div(b)));
         let (sa, sb) = (self.shape(), other.shape());
         self.g.push(
+            "div",
             v,
             vec![self.id, other.id],
             Some(Box::new(move |ctx| {
@@ -102,6 +106,7 @@ impl<'g> Var<'g> {
     pub fn add_scalar(self, s: f32) -> Var<'g> {
         let v = self.with_value(|a| a.add_scalar(s));
         self.g.push(
+            "add_scalar",
             v,
             vec![self.id],
             Some(Box::new(|ctx| vec![ctx.grad.clone()])),
@@ -112,6 +117,7 @@ impl<'g> Var<'g> {
     pub fn mul_scalar(self, s: f32) -> Var<'g> {
         let v = self.with_value(|a| a.mul_scalar(s));
         self.g.push(
+            "mul_scalar",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| vec![ctx.grad.mul_scalar(s)])),
@@ -127,6 +133,7 @@ impl<'g> Var<'g> {
     pub fn exp(self) -> Var<'g> {
         let v = self.with_value(|a| a.exp());
         self.g.push(
+            "exp",
             v,
             vec![self.id],
             Some(Box::new(|ctx| vec![ctx.grad.mul(ctx.out)])),
@@ -137,6 +144,7 @@ impl<'g> Var<'g> {
     pub fn ln(self) -> Var<'g> {
         let v = self.with_value(|a| a.ln());
         self.g.push(
+            "ln",
             v,
             vec![self.id],
             Some(Box::new(|ctx| vec![ctx.grad.div(ctx.inputs[0])])),
@@ -147,6 +155,7 @@ impl<'g> Var<'g> {
     pub fn sqrt(self) -> Var<'g> {
         let v = self.with_value(|a| a.sqrt());
         self.g.push(
+            "sqrt",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -160,6 +169,7 @@ impl<'g> Var<'g> {
     pub fn square(self) -> Var<'g> {
         let v = self.with_value(|a| a.square());
         self.g.push(
+            "square",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -172,6 +182,7 @@ impl<'g> Var<'g> {
     pub fn abs(self) -> Var<'g> {
         let v = self.with_value(|a| a.abs());
         self.g.push(
+            "abs",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -193,6 +204,7 @@ impl<'g> Var<'g> {
     pub fn tanh(self) -> Var<'g> {
         let v = self.with_value(|a| a.tanh());
         self.g.push(
+            "tanh",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -207,6 +219,7 @@ impl<'g> Var<'g> {
     pub fn sigmoid(self) -> Var<'g> {
         let v = self.with_value(|a| a.sigmoid());
         self.g.push(
+            "sigmoid",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -221,6 +234,7 @@ impl<'g> Var<'g> {
     pub fn relu(self) -> Var<'g> {
         let v = self.with_value(|a| a.relu());
         self.g.push(
+            "relu",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -235,6 +249,7 @@ impl<'g> Var<'g> {
     pub fn gelu(self) -> Var<'g> {
         let v = self.with_value(|a| a.gelu());
         self.g.push(
+            "gelu",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -254,6 +269,7 @@ impl<'g> Var<'g> {
     pub fn softplus(self) -> Var<'g> {
         let v = self.with_value(|a| a.softplus());
         self.g.push(
+            "softplus",
             v,
             vec![self.id],
             Some(Box::new(|ctx| vec![ctx.grad.mul(&ctx.inputs[0].sigmoid())])),
@@ -264,6 +280,7 @@ impl<'g> Var<'g> {
     pub fn elu(self) -> Var<'g> {
         let v = self.with_value(|a| a.elu());
         self.g.push(
+            "elu",
             v,
             vec![self.id],
             Some(Box::new(|ctx| {
@@ -285,6 +302,7 @@ impl<'g> Var<'g> {
         let m = mask.clone();
         let shape = self.shape();
         self.g.push(
+            "mul_mask",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {

@@ -12,6 +12,7 @@ impl<'g> Var<'g> {
         let in_shape = self.shape();
         let w_shape = weight.shape();
         self.g.push(
+            "conv1d",
             v,
             vec![self.id, weight.id],
             Some(Box::new(move |ctx| {
@@ -34,6 +35,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|t| t.moving_avg(axis, k));
         let shape = self.shape();
         self.g.push(
+            "moving_avg",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {

@@ -23,6 +23,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| other.with_value(|b| a.matmul(b)));
         let (ra, rb) = (self.shape().len(), other.shape().len());
         self.g.push(
+            "matmul",
             v,
             vec![self.id, other.id],
             Some(Box::new(move |ctx| {

@@ -10,6 +10,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| Tensor::scalar(a.sum()));
         let shape = self.shape();
         self.g.push(
+            "sum_all",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {
@@ -29,6 +30,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| a.sum_axis_keepdim(axis));
         let shape = self.shape();
         self.g.push(
+            "sum_axis_keepdim",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| vec![ctx.grad.broadcast_to(&shape)])),
@@ -46,6 +48,7 @@ impl<'g> Var<'g> {
     pub fn softmax(self, axis: isize) -> Var<'g> {
         let v = self.with_value(|a| a.softmax(axis));
         self.g.push(
+            "softmax",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {

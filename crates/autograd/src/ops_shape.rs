@@ -9,6 +9,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|a| a.reshape(shape));
         let old = self.shape();
         self.g.push(
+            "reshape",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| vec![ctx.grad.reshape(&old)])),
@@ -19,6 +20,7 @@ impl<'g> Var<'g> {
     pub fn swap_axes(self, a: isize, b: isize) -> Var<'g> {
         let v = self.with_value(|t| t.swap_axes(a, b));
         self.g.push(
+            "swap_axes",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| vec![ctx.grad.swap_axes(a, b)])),
@@ -33,6 +35,7 @@ impl<'g> Var<'g> {
             inverse[o] = i;
         }
         self.g.push(
+            "permute",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| vec![ctx.grad.permute(&inverse)])),
@@ -45,6 +48,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|t| t.narrow(axis, start, len));
         let shape = self.shape();
         self.g.push(
+            "narrow",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {
@@ -66,6 +70,7 @@ impl<'g> Var<'g> {
         let shape = self.shape();
         let idx = indices.to_vec();
         self.g.push(
+            "select",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {
@@ -100,6 +105,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|t| t.pad_axis(axis, before, after, 0.0));
         let len = self.with_value(|t| t.size(axis));
         self.g.push(
+            "pad_axis",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {
@@ -122,6 +128,7 @@ impl<'g> Var<'g> {
         let extents: Vec<usize> = values.iter().map(|t| t.size(axis)).collect();
         let parents: Vec<usize> = vars.iter().map(|v| v.id).collect();
         g.push(
+            "concat",
             out,
             parents,
             Some(Box::new(move |ctx| {
@@ -141,6 +148,7 @@ impl<'g> Var<'g> {
         let v = self.with_value(|t| t.broadcast_to(target));
         let shape = self.shape();
         self.g.push(
+            "broadcast_to",
             v,
             vec![self.id],
             Some(Box::new(move |ctx| {

@@ -64,6 +64,7 @@ fn main() {
         header.push(format!("t(L={l}) ms"));
         header.push(format!("mem(L={l}) KiB"));
     }
+    header.push("where the time goes".into());
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
         format!(
@@ -76,6 +77,10 @@ fn main() {
     let ps = ParamSet::new();
     for kind in kinds {
         let mut row = vec![kind.label().to_string()];
+        // Per-kind kernel breakdown from the span registry: reset before
+        // the sweep, snapshot after, so the column attributes self-time to
+        // this mechanism's own passes only.
+        lttf_obs::reset();
         for &l in &lengths {
             let mut rng = Rng::seed(args.seed);
             let q = Tensor::randn(&[bh, l, dh], &mut rng);
@@ -114,6 +119,7 @@ fn main() {
             ));
             eprintln!("[fig5] {} L={l}: {ms:.3} ms", kind.label());
         }
+        row.push(lttf_obs::report::breakdown_line(&lttf_obs::snapshot(), 3));
         table.row(&row);
     }
     args.emit("fig5_efficiency", &table);

@@ -171,7 +171,6 @@ pub fn fmt(v: f32) -> String {
 }
 
 #[cfg(test)]
-
 mod tests {
     use super::*;
 

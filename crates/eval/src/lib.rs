@@ -24,7 +24,9 @@ pub use anomaly::{detect_anomalies, Anomaly, AnomalyReport};
 pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use metrics::{corr, coverage, mae, mse, pinball, rse, Metrics};
 pub use model::{ModelImpl, ModelKind, TrainedModel};
-pub use multirun::{run_seeds, RunStats};
+pub use multirun::{run_seeds, run_seeds_with_reports, RunStats, TrainSummary};
 pub use scale::Scale;
 pub use table::Table;
-pub use trainer::{evaluate, evaluate_subset, train, TrainOptions, TrainReport};
+pub use trainer::{
+    evaluate, evaluate_subset, quiet, train, train_logged, StopReason, TrainOptions, TrainReport,
+};

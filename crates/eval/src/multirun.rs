@@ -2,6 +2,7 @@
 //! provides the seeded repetition and the mean/std aggregation.
 
 use crate::metrics::Metrics;
+use crate::trainer::{StopReason, TrainReport};
 
 /// Aggregate statistics over repeated runs.
 #[derive(Clone, Copy, Debug, Default)]
@@ -60,6 +61,60 @@ impl std::fmt::Display for RunStats {
     }
 }
 
+/// Aggregate training telemetry over repeated runs: how long epochs took
+/// and why each run stopped.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrainSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// How many runs stopped early (the rest exhausted their epoch budget).
+    pub early_stopped: usize,
+    /// Mean number of completed epochs per run.
+    pub mean_epochs: f32,
+    /// Mean wall-clock seconds per epoch, over all epochs of all runs.
+    pub mean_epoch_time_s: f32,
+    /// Total training wall-clock seconds across all runs.
+    pub total_time_s: f32,
+}
+
+impl TrainSummary {
+    /// Aggregate a list of per-run training reports.
+    ///
+    /// # Panics
+    /// Panics on an empty list.
+    pub fn aggregate(reports: &[TrainReport]) -> TrainSummary {
+        assert!(!reports.is_empty(), "no runs to aggregate");
+        let runs = reports.len();
+        let early_stopped = reports
+            .iter()
+            .filter(|r| r.stop_reason == StopReason::EarlyStopped)
+            .count();
+        let total_epochs: usize = reports.iter().map(|r| r.epoch_times.len()).sum();
+        let total_time_s: f32 = reports.iter().map(|r| r.epoch_times.iter().sum::<f32>()).sum();
+        TrainSummary {
+            runs,
+            early_stopped,
+            mean_epochs: total_epochs as f32 / runs as f32,
+            mean_epoch_time_s: if total_epochs == 0 {
+                0.0
+            } else {
+                total_time_s / total_epochs as f32
+            },
+            total_time_s,
+        }
+    }
+}
+
+impl std::fmt::Display for TrainSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs ({} early-stopped), {:.1} epochs/run, {:.2}s/epoch, {:.1}s total",
+            self.runs, self.early_stopped, self.mean_epochs, self.mean_epoch_time_s, self.total_time_s
+        )
+    }
+}
+
 /// Run `f(seed)` for `n_seeds` seeds derived from `base_seed` and
 /// aggregate the metrics — the paper's "averaged results in 5 runs".
 pub fn run_seeds(base_seed: u64, n_seeds: usize, mut f: impl FnMut(u64) -> Metrics) -> RunStats {
@@ -68,6 +123,24 @@ pub fn run_seeds(base_seed: u64, n_seeds: usize, mut f: impl FnMut(u64) -> Metri
         .map(|i| f(base_seed.wrapping_add(i as u64 * 1_000_003)))
         .collect();
     RunStats::aggregate(&results)
+}
+
+/// [`run_seeds`] for workloads that also produce a [`TrainReport`]:
+/// aggregates metrics and training telemetry side by side.
+pub fn run_seeds_with_reports(
+    base_seed: u64,
+    n_seeds: usize,
+    mut f: impl FnMut(u64) -> (Metrics, TrainReport),
+) -> (RunStats, TrainSummary) {
+    assert!(n_seeds >= 1, "need at least one seed");
+    let mut metrics = Vec::with_capacity(n_seeds);
+    let mut reports = Vec::with_capacity(n_seeds);
+    for i in 0..n_seeds {
+        let (m, r) = f(base_seed.wrapping_add(i as u64 * 1_000_003));
+        metrics.push(m);
+        reports.push(r);
+    }
+    (RunStats::aggregate(&metrics), TrainSummary::aggregate(&reports))
 }
 
 #[cfg(test)]
@@ -97,6 +170,45 @@ mod tests {
         assert_eq!(seen.len(), 3);
         let unique: std::collections::HashSet<u64> = seen.iter().cloned().collect();
         assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn train_summary_hand_computed() {
+        let mk = |times: &[f32], reason| TrainReport {
+            epoch_times: times.to_vec(),
+            stop_reason: reason,
+            ..TrainReport::default()
+        };
+        let reports = vec![
+            mk(&[1.0, 1.0], StopReason::EarlyStopped),
+            mk(&[2.0, 2.0, 2.0, 2.0], StopReason::MaxEpochs),
+        ];
+        let s = TrainSummary::aggregate(&reports);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.early_stopped, 1);
+        assert_eq!(s.mean_epochs, 3.0);
+        assert!((s.total_time_s - 10.0).abs() < 1e-6);
+        assert!((s.mean_epoch_time_s - 10.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_seeds_with_reports_aggregates_both() {
+        let (stats, summary) = run_seeds_with_reports(7, 2, |seed| {
+            (
+                Metrics {
+                    mse: seed as f32 % 10.0,
+                    mae: 1.0,
+                },
+                TrainReport {
+                    epoch_times: vec![0.5],
+                    ..TrainReport::default()
+                },
+            )
+        });
+        assert_eq!(stats.runs, 2);
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.early_stopped, 0);
+        assert_eq!(summary.mean_epochs, 1.0);
     }
 
     #[test]

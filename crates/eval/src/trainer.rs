@@ -7,7 +7,21 @@ use crate::model::TrainedModel;
 use lttf_autograd::Graph;
 use lttf_data::WindowDataset;
 use lttf_nn::{Adam, Fwd, GradClip, Optimizer};
+use lttf_obs::RunLog;
 use lttf_tensor::Rng;
+use std::time::Instant;
+
+/// True when `LTTF_QUIET` is set (to anything but `0`/empty): suppresses
+/// the per-epoch progress line on stderr so tests and benches stay clean.
+/// Read once per process.
+pub fn quiet() -> bool {
+    static QUIET: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUIET.get_or_init(|| {
+        std::env::var("LTTF_QUIET")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
 
 /// Trainer knobs.
 #[derive(Clone, Debug)]
@@ -66,6 +80,32 @@ impl TrainOptions {
     }
 }
 
+/// Why a training run ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// Ran the full epoch budget.
+    #[default]
+    MaxEpochs,
+    /// Validation loss failed to improve for `patience` epochs.
+    EarlyStopped,
+}
+
+impl StopReason {
+    /// Stable snake_case label used in run logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::MaxEpochs => "max_epochs",
+            StopReason::EarlyStopped => "early_stopped",
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What a training run did.
 #[derive(Clone, Debug, Default)]
 pub struct TrainReport {
@@ -75,6 +115,12 @@ pub struct TrainReport {
     pub val_losses: Vec<f32>,
     /// Epoch index training stopped at (== epochs when never stopped).
     pub stopped_at: usize,
+    /// Wall-clock seconds per epoch (same length as `train_losses`).
+    pub epoch_times: Vec<f32>,
+    /// Mean post-clip gradient global norm per epoch.
+    pub grad_norms: Vec<f32>,
+    /// Whether the run early-stopped or exhausted its epoch budget.
+    pub stop_reason: StopReason,
 }
 
 /// Train `model` in place. Returns the per-epoch report.
@@ -87,6 +133,22 @@ pub fn train(
     val_set: Option<&WindowDataset>,
     opts: &TrainOptions,
 ) -> TrainReport {
+    train_logged(model, train_set, val_set, opts, None)
+}
+
+/// [`train`], optionally emitting a structured JSONL run log (see
+/// `lttf_obs::runlog` for the schema). Unless [`quiet`], also prints a
+/// one-line progress summary per epoch to stderr.
+///
+/// # Panics
+/// Panics if the training set is empty.
+pub fn train_logged(
+    model: &mut TrainedModel,
+    train_set: &WindowDataset,
+    val_set: Option<&WindowDataset>,
+    opts: &TrainOptions,
+    mut log: Option<&mut RunLog>,
+) -> TrainReport {
     assert!(!train_set.is_empty(), "empty training set");
     let mut opt = Adam::new(opts.lr);
     let clip = (opts.clip > 0.0).then(|| GradClip::new(opts.clip));
@@ -94,7 +156,26 @@ pub fn train(
     let mut report = TrainReport::default();
     let mut best_val = f32::INFINITY;
     let mut bad_epochs = 0usize;
+    let run_start = Instant::now();
+    if let Some(l) = log.as_deref_mut() {
+        let name = l
+            .path()
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("run")
+            .to_string();
+        l.start(
+            &name,
+            model.kind().name(),
+            lttf_parallel::num_threads(),
+            opts.epochs,
+            opts.batch_size,
+            opts.lr,
+        )
+        .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
+    }
     for epoch in 0..opts.epochs {
+        let epoch_start = Instant::now();
         let mut batches = train_set.shuffled_batches(opts.batch_size, &mut rng);
         if batches.is_empty() {
             // fewer windows than one batch: train on everything at once
@@ -104,6 +185,7 @@ pub fn train(
             batches.truncate(opts.max_batches);
         }
         let mut epoch_loss = 0.0;
+        let mut grad_norm_sum = 0.0f32;
         for (bi, idx) in batches.iter().enumerate() {
             let batch = train_set.batch(idx);
             let g = Graph::new();
@@ -123,25 +205,74 @@ pub fn train(
             if let Some(c) = &clip {
                 c.apply(ps);
             }
+            grad_norm_sum += ps.grad_norm();
             opt.step(ps);
         }
-        report.train_losses.push(epoch_loss / batches.len() as f32);
+        let train_loss = epoch_loss / batches.len() as f32;
+        let grad_norm = grad_norm_sum / batches.len() as f32;
+        let epoch_time = epoch_start.elapsed().as_secs_f64();
+        report.train_losses.push(train_loss);
+        report.epoch_times.push(epoch_time as f32);
+        report.grad_norms.push(grad_norm);
         report.stopped_at = epoch + 1;
 
+        let mut val_mse = None;
+        let mut stop = false;
         if let Some(val) = val_set {
             let m = evaluate_subset(model, val, opts.batch_size.max(1), opts.val_max_windows);
             report.val_losses.push(m.mse);
+            val_mse = Some(m.mse);
             if m.mse < best_val - 1e-6 {
                 best_val = m.mse;
                 bad_epochs = 0;
             } else {
                 bad_epochs += 1;
                 if opts.patience > 0 && bad_epochs >= opts.patience {
-                    break;
+                    report.stop_reason = StopReason::EarlyStopped;
+                    stop = true;
                 }
             }
         }
+        if !quiet() {
+            let val_str = val_mse.map_or("-".to_string(), |v| format!("{v:.4}"));
+            eprintln!(
+                "[train] epoch {:>2}/{}  loss {:.4}  val {}  lr {:.2e}  grad {:.3}  {:.1}s",
+                epoch + 1,
+                opts.epochs,
+                train_loss,
+                val_str,
+                opt.lr(),
+                grad_norm,
+                epoch_time,
+            );
+        }
+        if let Some(l) = log.as_deref_mut() {
+            l.epoch(
+                epoch,
+                train_loss,
+                val_mse,
+                opt.lr(),
+                grad_norm,
+                batches.len(),
+                epoch_time,
+            )
+            .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
+        }
+        if stop {
+            break;
+        }
         opt.set_lr(opt.lr() * opts.lr_decay);
+    }
+    if let Some(l) = log {
+        let best = (best_val != f32::INFINITY).then_some(best_val);
+        l.end(
+            report.stop_reason.label(),
+            report.stopped_at,
+            best,
+            run_start.elapsed().as_secs_f64(),
+        )
+        .and_then(|_| l.spans())
+        .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
     }
     report
 }
@@ -216,6 +347,12 @@ mod tests {
         );
         // training loss decreased over epochs
         assert!(report.train_losses.last().unwrap() < &report.train_losses[0]);
+        // telemetry satellites: per-epoch metadata rides along
+        assert_eq!(report.epoch_times.len(), report.train_losses.len());
+        assert_eq!(report.grad_norms.len(), report.train_losses.len());
+        assert!(report.epoch_times.iter().all(|&t| t > 0.0));
+        assert!(report.grad_norms.iter().all(|&n| n.is_finite() && n >= 0.0));
+        assert_eq!(report.stop_reason, StopReason::MaxEpochs);
     }
 
     #[test]
@@ -235,6 +372,7 @@ mod tests {
         };
         let report = train(&mut model, &train_set, Some(&val), &opts);
         assert!(report.stopped_at < 50, "never early-stopped");
+        assert_eq!(report.stop_reason, StopReason::EarlyStopped);
     }
 
     #[test]

@@ -14,6 +14,12 @@ use lttf_tensor::Tensor;
 /// are dispatched to the worker pool.
 const PAR_MIN_WORK: usize = 32 * 1024;
 
+/// Minimum score-matrix work (`bh·lq·(w+n_global+1)·dh`) before the
+/// telemetry span is opened; lower than `lttf_tensor::OBS_MIN_WORK`
+/// because the attention kernel is called once per layer per batch, never
+/// in a tight loop.
+const OBS_MIN_ATTN: usize = 2048;
+
 /// Window bounds for query `i`: `[lo, hi)` over key positions.
 ///
 /// For self-attention (`lq == lk`) the centre is `i`; for cross-attention
@@ -77,7 +83,7 @@ pub fn sliding_window_global_attention<'g>(
     let (qv, kv, vv) = (q.value(), k.value(), v.value());
     let out = window_global_forward(&qv, &kv, &vv, w, n_global);
     let g = q.graph();
-    g.custom(out, &[q, k, v], move |ctx| {
+    g.custom_named("window_attn", out, &[q, k, v], move |ctx| {
         let (qv, kv, vv) = (ctx.inputs[0], ctx.inputs[1], ctx.inputs[2]);
         window_global_backward(qv, kv, vv, ctx.grad, w, n_global)
     })
@@ -102,6 +108,11 @@ pub fn window_global_forward(
     assert_eq!(v.shape()[1], lk, "k/v length mismatch");
     assert_eq!(k.shape()[2], dh, "q/k feature mismatch");
     let dv = v.shape()[2];
+    let span = lttf_obs::span!(
+        "window_attn_fwd",
+        bh * lq * (w + n_global + 1) * dh >= OBS_MIN_ATTN
+    );
+    span.bytes((q.numel() + k.numel() + v.numel() + bh * lq * dv) * 4);
     let scale = 1.0 / (dh as f32).sqrt();
     let (qd, kd, vd) = (q.data(), k.data(), v.data());
     let mut out = vec![0.0f32; bh * lq * dv];
@@ -167,6 +178,10 @@ pub fn window_global_backward(
     let (bh, lq, dh) = (q.shape()[0], q.shape()[1], q.shape()[2]);
     let lk = k.shape()[1];
     let dv = v.shape()[2];
+    let _span = lttf_obs::span!(
+        "window_attn_bwd",
+        bh * lq * (w + n_global + 1) * dh >= OBS_MIN_ATTN
+    );
     let scale = 1.0 / (dh as f32).sqrt();
     let (qd, kd, vd, gd) = (q.data(), k.data(), v.data(), gout.data());
     let mut gq = vec![0.0f32; bh * lq * dh];

@@ -1,0 +1,89 @@
+//! Std-only JSONL validator used by `scripts/ci.sh`.
+//!
+//! Usage: `jsonl_check <file.jsonl>...`
+//!
+//! Files whose name starts with `BENCH_` (or given via `--bench`) are
+//! checked as bench-record lines (every line a flat JSON object); all
+//! other files are validated against the training run-log schema in
+//! `lttf_obs::runlog`. Exits non-zero on the first invalid file.
+
+use std::process::ExitCode;
+
+use lttf_obs::jsonl::parse_object;
+use lttf_obs::runlog;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut force_bench = false;
+    let mut paths = Vec::new();
+    for a in &mut args {
+        if a == "--bench" {
+            force_bench = true;
+        } else {
+            paths.push(a);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: jsonl_check [--bench] <file.jsonl>...");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let is_bench = force_bench
+            || std::path::Path::new(path)
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_"));
+        let outcome = if is_bench {
+            check_bench(path)
+        } else {
+            check_runlog(path)
+        };
+        if let Err(e) = outcome {
+            eprintln!("FAIL {path}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn check_runlog(path: &str) -> Result<(), String> {
+    let summary = runlog::validate_file(path)?;
+    println!(
+        "ok {path}: run {:?}, {} epochs, stop_reason {}, {} span records",
+        summary.name, summary.epochs, summary.stop_reason, summary.spans
+    );
+    Ok(())
+}
+
+fn check_bench(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_object(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        for key in ["suite", "bench"] {
+            if !fields.iter().any(|(k, v)| k == key && v.as_str().is_some()) {
+                return Err(format!("line {}: missing string field {key:?}", i + 1));
+            }
+        }
+        for key in ["median_ns", "min_ns", "mean_ns"] {
+            if !fields.iter().any(|(k, v)| k == key && v.as_num().is_some()) {
+                return Err(format!("line {}: missing numeric field {key:?}", i + 1));
+            }
+        }
+        records += 1;
+    }
+    if records == 0 {
+        return Err("no records".into());
+    }
+    println!("ok {path}: {records} bench records");
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! `lttf-obs`: zero-dependency telemetry for the lttf workspace.
+//!
+//! Three pillars, all std-only:
+//!
+//! 1. **Spans and counters** ([`registry`], re-exported at the root): a
+//!    global registry of named scopes with RAII timing guards. The
+//!    [`span!`], [`counter!`], and [`gauge_ns!`] macros compile out when
+//!    the *calling* crate's `telemetry` cargo feature is disabled, so
+//!    `cargo build --no-default-features` carries zero instrumentation.
+//! 2. **JSON lines** ([`jsonl`]): a flat-object builder, buffered file
+//!    sink, and strict parser shared by the training run logs and the
+//!    testkit bench runner.
+//! 3. **Run logs and reports** ([`runlog`], [`report`]): the
+//!    `results/runs/<name>.jsonl` training-log schema with a validator
+//!    (see the `jsonl_check` binary), and the self-time table printed by
+//!    `lttf profile`.
+//!
+//! Overhead discipline: an active span costs two `Instant::now()` calls
+//! plus a few relaxed atomic adds (~50 ns); call sites gate on a work-size
+//! threshold so tiny kernels skip even that. The kernels bench suite is
+//! held within 3% of a `--no-default-features` build by
+//! `scripts/bench_check.sh`.
+
+#![warn(missing_docs)]
+
+pub mod jsonl;
+pub mod registry;
+pub mod report;
+pub mod runlog;
+
+pub use jsonl::{JsonObj, JsonValue, JsonlSink};
+pub use registry::{
+    calls, register, reset, scoped, snapshot, Kind, SpanGuard, SpanSnapshot, SpanStats,
+};
+pub use runlog::RunLog;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global; tests that reset or snapshot it
+    /// must not interleave.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn span_records_calls_and_time() {
+        let _g = exclusive();
+        reset();
+        for _ in 0..3 {
+            let span = span!("obs_test_span");
+            span.bytes(128);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = snapshot();
+        let s = snap
+            .iter()
+            .find(|s| s.name == "obs_test_span")
+            .expect("span registered");
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.bytes, 384);
+        assert!(s.total_ns >= 3_000_000, "slept 3ms total, got {}ns", s.total_ns);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.max_ns <= s.total_ns);
+    }
+
+    #[test]
+    fn conditional_span_skips_below_threshold() {
+        let _g = exclusive();
+        reset();
+        for work in [10usize, 5000] {
+            let _s = span!("obs_test_cond", work >= 4096);
+        }
+        let snap = snapshot();
+        let s = snap.iter().find(|s| s.name == "obs_test_cond").unwrap();
+        assert_eq!(s.calls, 1);
+    }
+
+    #[test]
+    fn nested_spans_split_self_time() {
+        let _g = exclusive();
+        reset();
+        {
+            let _outer = span!("obs_test_outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span!("obs_test_inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        let snap = snapshot();
+        let outer = snap.iter().find(|s| s.name == "obs_test_outer").unwrap();
+        let inner = snap.iter().find(|s| s.name == "obs_test_inner").unwrap();
+        // Outer total covers both sleeps; its self time excludes inner.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns + 1_000_000);
+        assert!(inner.self_ns >= 3_000_000, "inner slept 4ms");
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _g = exclusive();
+        reset();
+        counter!("obs_test_counter", 2);
+        counter!("obs_test_counter", 3);
+        gauge_ns!("obs_test_gauge", 1000);
+        gauge_ns!("obs_test_gauge", 500);
+        let snap = snapshot();
+        let c = snap.iter().find(|s| s.name == "obs_test_counter").unwrap();
+        assert_eq!((c.kind, c.calls), (Kind::Counter, 5));
+        let g = snap.iter().find(|s| s.name == "obs_test_gauge").unwrap();
+        assert_eq!((g.kind, g.total_ns), (Kind::GaugeNs, 1500));
+    }
+
+    #[test]
+    fn spans_merge_across_threads() {
+        let _g = exclusive();
+        reset();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = scoped("", "obs_test_mt");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(calls("", "obs_test_mt"), 4);
+    }
+
+    #[test]
+    fn json_escape_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — ünïcödé";
+        let line = JsonObj::new().str("k", nasty).finish();
+        let fields = jsonl::parse_object(&line).unwrap();
+        assert_eq!(jsonl::field(&fields, "k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn json_obj_renders_fixed_field_order() {
+        let line = JsonObj::new()
+            .str("a", "x")
+            .int("b", 7)
+            .num("c", 1.5)
+            .opt_num("d", None)
+            .finish();
+        assert_eq!(line, r#"{"a":"x","b":7,"c":1.5,"d":null}"#);
+    }
+
+    #[test]
+    fn json_non_finite_renders_null() {
+        let line = JsonObj::new().num("x", f64::NAN).num("y", f64::INFINITY).finish();
+        assert_eq!(line, r#"{"x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(jsonl::parse_object("{\"a\":1} trailing").is_err());
+        assert!(jsonl::parse_object("{\"a\":{}}").is_err());
+        assert!(jsonl::parse_object("{\"a\"}").is_err());
+        assert!(jsonl::parse_object("{\"a\":tru}").is_err());
+        assert!(jsonl::parse_object("not json").is_err());
+    }
+
+    #[test]
+    fn run_log_validates_round_trip() {
+        let _g = exclusive();
+        let dir = std::env::temp_dir().join("lttf_obs_test");
+        let path = dir.join("run.jsonl");
+        let mut log = RunLog::create(&path).unwrap();
+        log.start("unit", "gru", 4, 10, 32, 1e-3).unwrap();
+        log.epoch(0, 0.9, Some(1.1), 1e-3, 0.5, 12, 0.25).unwrap();
+        log.epoch(1, 0.7, Some(0.9), 9e-4, 0.4, 12, 0.24).unwrap();
+        log.end("early_stopped", 2, Some(0.9), 0.49).unwrap();
+        log.spans().unwrap();
+        let summary = runlog::validate_file(&path).unwrap();
+        assert_eq!(summary.name, "unit");
+        assert_eq!(summary.epochs, 2);
+        assert_eq!(summary.stop_reason, "early_stopped");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_log_validator_rejects_bad_logs() {
+        let good = concat!(
+            r#"{"event":"run_start","name":"r","model":"m","threads":1,"max_epochs":2,"batch_size":8,"lr":0.001}"#,
+            "\n",
+            r#"{"event":"epoch","epoch":0,"train_loss":1.0,"val_loss":null,"lr":0.001,"grad_norm":0.1,"batches":4,"time_s":0.1}"#,
+            "\n",
+            r#"{"event":"end","stop_reason":"max_epochs","epochs":1,"best_val":null,"total_time_s":0.1}"#,
+            "\n",
+        );
+        assert!(runlog::validate(good).is_ok());
+        // Epoch indices must be monotone from 0.
+        let skipped = good.replace(r#""epoch":0"#, r#""epoch":1"#);
+        assert!(runlog::validate(&skipped).is_err());
+        // The end record must exist.
+        let no_end: String = good.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(runlog::validate(&no_end).is_err());
+        // Epoch counts must match the end record.
+        let wrong_count = good.replace(r#""epochs":1"#, r#""epochs":3"#);
+        assert!(runlog::validate(&wrong_count).is_err());
+    }
+
+    #[test]
+    fn report_renders_sorted_self_time_table() {
+        let snap = vec![
+            SpanSnapshot {
+                name: "small".into(),
+                kind: Kind::Span,
+                calls: 10,
+                total_ns: 1_000_000,
+                self_ns: 1_000_000,
+                min_ns: 50_000,
+                max_ns: 200_000,
+                bytes: 0,
+            },
+            SpanSnapshot {
+                name: "big".into(),
+                kind: Kind::Span,
+                calls: 2,
+                total_ns: 9_000_000,
+                self_ns: 9_000_000,
+                min_ns: 4_000_000,
+                max_ns: 5_000_000,
+                bytes: 9_000_000,
+            },
+            SpanSnapshot {
+                name: "pool.busy_ns".into(),
+                kind: Kind::GaugeNs,
+                calls: 0,
+                total_ns: 6_000_000,
+                self_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                bytes: 0,
+            },
+            SpanSnapshot {
+                name: "pool.capacity_ns".into(),
+                kind: Kind::GaugeNs,
+                calls: 0,
+                total_ns: 8_000_000,
+                self_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                bytes: 0,
+            },
+        ];
+        let text = report::render(&snap);
+        let big_pos = text.find("big").unwrap();
+        let small_pos = text.find("small").unwrap();
+        assert!(big_pos < small_pos, "sorted by self time desc:\n{text}");
+        assert!(text.contains("pool utilization: 75.0%"), "{text}");
+        assert_eq!(report::breakdown_line(&snap, 1), "big 90%, other 10%");
+    }
+}

@@ -1,0 +1,304 @@
+//! Global span/counter registry.
+//!
+//! A [`SpanStats`] is a leaked, never-freed bundle of atomics keyed by a
+//! `(group, name)` pair of `&'static str`s. Call sites cache the pointer in
+//! a per-site `OnceLock`, so the steady-state cost of an active span is two
+//! `Instant::now()` reads plus a handful of relaxed atomic adds. The
+//! registry mutex is only touched on first use of each site and when
+//! snapshotting.
+//!
+//! Self-time is tracked with a thread-local span stack: when a guard drops,
+//! it subtracts the time attributed to spans it directly nested and credits
+//! its own elapsed time to its parent's child-accumulator. Spans opened on
+//! pool worker threads have no parent on that thread's stack, so their time
+//! is *not* subtracted from the dispatching span — utilization numbers come
+//! from the pool gauges instead.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a registry entry measures; controls how reports render it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A timed RAII scope: calls, total/self/min/max ns, bytes.
+    Span,
+    /// A monotonically increasing event count; only `calls` is meaningful.
+    Counter,
+    /// An accumulated nanosecond quantity (e.g. pool busy time); only
+    /// `total_ns` is meaningful.
+    GaugeNs,
+}
+
+impl Kind {
+    /// Stable lowercase label used in JSONL output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Span => "span",
+            Kind::Counter => "counter",
+            Kind::GaugeNs => "gauge_ns",
+        }
+    }
+}
+
+/// Live statistics for one named scope. All fields are relaxed atomics;
+/// cross-field consistency is only guaranteed while no spans are running.
+pub struct SpanStats {
+    group: &'static str,
+    name: &'static str,
+    kind: Kind,
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    self_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl SpanStats {
+    fn new(group: &'static str, name: &'static str, kind: Kind) -> Self {
+        SpanStats {
+            group,
+            name,
+            kind,
+            calls: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            self_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn clear(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.self_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Add `delta` to the event count (used by counters).
+    pub fn add_calls(&self, delta: u64) {
+        self.calls.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add `ns` to the accumulated time (used by gauges).
+    pub fn add_ns(&self, ns: u64) {
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+type RegistryMap = HashMap<(&'static str, &'static str), &'static SpanStats>;
+
+fn registry() -> &'static Mutex<RegistryMap> {
+    static REGISTRY: OnceLock<Mutex<RegistryMap>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Look up or create the stats slot for `(group, name)`. The returned
+/// reference is `'static` (the slot is leaked) and safe to cache.
+pub fn register(group: &'static str, name: &'static str, kind: Kind) -> &'static SpanStats {
+    let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    map.entry((group, name))
+        .or_insert_with(|| &*Box::leak(Box::new(SpanStats::new(group, name, kind))))
+}
+
+thread_local! {
+    /// Stack of (span, ns attributed to direct children so far).
+    static SPAN_STACK: RefCell<Vec<(*const SpanStats, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    site: &'static SpanStats,
+    start: Instant,
+}
+
+/// RAII timer for one span activation. Obtain via [`crate::span!`] or
+/// [`scoped`]; an [`SpanGuard::inactive`] guard costs nothing to drop.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// Start timing `site` on the current thread.
+    pub fn enter(site: &'static SpanStats) -> SpanGuard {
+        SPAN_STACK.with(|s| s.borrow_mut().push((site as *const SpanStats, 0)));
+        SpanGuard(Some(ActiveSpan {
+            site,
+            start: Instant::now(),
+        }))
+    }
+
+    /// A guard that records nothing; used when telemetry is compiled out
+    /// or a size threshold was not met.
+    pub const fn inactive() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Attribute `n` processed bytes to this span (no-op when inactive).
+    pub fn bytes(&self, n: usize) {
+        if let Some(a) = &self.0 {
+            a.site.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        let elapsed = a.start.elapsed().as_nanos() as u64;
+        let child_ns = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards are strictly scoped per thread, so the top entry is ours.
+            let child = stack.pop().map(|(_, c)| c).unwrap_or(0);
+            if let Some(top) = stack.last_mut() {
+                top.1 = top.1.saturating_add(elapsed);
+            }
+            child
+        });
+        let self_ns = elapsed.saturating_sub(child_ns);
+        a.site.calls.fetch_add(1, Ordering::Relaxed);
+        a.site.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        a.site.self_ns.fetch_add(self_ns, Ordering::Relaxed);
+        a.site.min_ns.fetch_min(elapsed, Ordering::Relaxed);
+        a.site.max_ns.fetch_max(elapsed, Ordering::Relaxed);
+    }
+}
+
+/// Start a span whose name is only known at runtime (still `&'static str`,
+/// e.g. an autograd op name). Pays one registry-mutex lookup per call, so
+/// reserve it for chunky scopes like per-op backward closures. An empty
+/// `name` returns an inactive guard.
+pub fn scoped(group: &'static str, name: &'static str) -> SpanGuard {
+    if name.is_empty() {
+        return SpanGuard::inactive();
+    }
+    SpanGuard::enter(register(group, name, Kind::Span))
+}
+
+/// Point-in-time copy of one registry entry.
+#[derive(Debug, Clone)]
+pub struct SpanSnapshot {
+    /// Display name: `group.name`, or just `name` when the group is empty.
+    pub name: String,
+    /// Entry kind (span / counter / gauge).
+    pub kind: Kind,
+    /// Completed activations (spans) or accumulated count (counters).
+    pub calls: u64,
+    /// Total wall nanoseconds across activations (spans) or accumulated
+    /// nanoseconds (gauges).
+    pub total_ns: u64,
+    /// Total minus time attributed to directly nested spans.
+    pub self_ns: u64,
+    /// Fastest single activation, ns (0 when never called).
+    pub min_ns: u64,
+    /// Slowest single activation, ns.
+    pub max_ns: u64,
+    /// Bytes attributed via [`SpanGuard::bytes`].
+    pub bytes: u64,
+}
+
+/// Copy every registry entry, sorted by display name. Entries with zero
+/// calls and zero time are skipped.
+pub fn snapshot() -> Vec<SpanSnapshot> {
+    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<SpanSnapshot> = map
+        .values()
+        .map(|s| {
+            let calls = s.calls.load(Ordering::Relaxed);
+            let min = s.min_ns.load(Ordering::Relaxed);
+            SpanSnapshot {
+                name: if s.group.is_empty() {
+                    s.name.to_string()
+                } else {
+                    format!("{}.{}", s.group, s.name)
+                },
+                kind: s.kind,
+                calls,
+                total_ns: s.total_ns.load(Ordering::Relaxed),
+                self_ns: s.self_ns.load(Ordering::Relaxed),
+                min_ns: if min == u64::MAX { 0 } else { min },
+                max_ns: s.max_ns.load(Ordering::Relaxed),
+                bytes: s.bytes.load(Ordering::Relaxed),
+            }
+        })
+        .filter(|s| s.calls > 0 || s.total_ns > 0)
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Zero every registered entry (entries stay registered, so cached call
+/// sites remain valid). Meaningful only while no spans are in flight.
+pub fn reset() {
+    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for s in map.values() {
+        s.clear();
+    }
+}
+
+/// Fetch the current `calls` value of a counter/span by display key,
+/// or 0 when it was never registered. Handy for tests.
+pub fn calls(group: &'static str, name: &'static str) -> u64 {
+    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    map.get(&(group, name))
+        .map(|s| s.calls.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Open a named span if `cond` holds; compiled out entirely when the
+/// *calling* crate's `telemetry` feature is off (the `cfg!` below is
+/// evaluated in the caller's feature context because this is a macro).
+///
+/// ```
+/// let work = 128 * 128 * 128;
+/// let _span = lttf_obs::span!("matmul", work >= 4096);
+/// _span.bytes(3 * 128 * 128 * 4);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span!($name, true)
+    };
+    ($name:expr, $cond:expr) => {{
+        if cfg!(feature = "telemetry") && $cond {
+            static SITE: ::std::sync::OnceLock<&'static $crate::SpanStats> =
+                ::std::sync::OnceLock::new();
+            $crate::SpanGuard::enter(
+                SITE.get_or_init(|| $crate::register("", $name, $crate::Kind::Span)),
+            )
+        } else {
+            $crate::SpanGuard::inactive()
+        }
+    }};
+}
+
+/// Bump a named counter by `delta`; compiled out with the caller's
+/// `telemetry` feature like [`span!`].
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {{
+        if cfg!(feature = "telemetry") {
+            static SITE: ::std::sync::OnceLock<&'static $crate::SpanStats> =
+                ::std::sync::OnceLock::new();
+            SITE.get_or_init(|| $crate::register("", $name, $crate::Kind::Counter))
+                .add_calls($delta as u64);
+        }
+    }};
+}
+
+/// Accumulate `ns` nanoseconds into a named gauge; compiled out with the
+/// caller's `telemetry` feature like [`span!`].
+#[macro_export]
+macro_rules! gauge_ns {
+    ($name:expr, $ns:expr) => {{
+        if cfg!(feature = "telemetry") {
+            static SITE: ::std::sync::OnceLock<&'static $crate::SpanStats> =
+                ::std::sync::OnceLock::new();
+            SITE.get_or_init(|| $crate::register("", $name, $crate::Kind::GaugeNs))
+                .add_ns($ns as u64);
+        }
+    }};
+}

@@ -1,0 +1,158 @@
+//! Human-readable rendering of a span-registry snapshot: the self-time
+//! table printed by `lttf profile` and the per-component breakdown reused
+//! by the fig5 efficiency bench.
+
+use crate::registry::{Kind, SpanSnapshot};
+
+/// Names of the pool gauges/counters emitted by `lttf-parallel`; the
+/// report folds these into a dedicated utilization section instead of the
+/// span table.
+const POOL_BUSY: &str = "pool.busy_ns";
+const POOL_CAPACITY: &str = "pool.capacity_ns";
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn fmt_mean_us(total_ns: u64, calls: u64) -> String {
+    if calls == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", total_ns as f64 / calls as f64 / 1e3)
+    }
+}
+
+fn fmt_gbps(bytes: u64, total_ns: u64) -> String {
+    if bytes == 0 || total_ns == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", bytes as f64 / total_ns as f64)
+    }
+}
+
+/// Pool utilization extracted from a snapshot: busy worker-nanoseconds over
+/// available worker-nanoseconds across all parallel regions.
+pub fn pool_utilization(snap: &[SpanSnapshot]) -> Option<f64> {
+    let busy = snap.iter().find(|s| s.name == POOL_BUSY)?.total_ns;
+    let capacity = snap.iter().find(|s| s.name == POOL_CAPACITY)?.total_ns;
+    if capacity == 0 {
+        return None;
+    }
+    Some(busy as f64 / capacity as f64)
+}
+
+/// Render the full profile report: spans sorted by self time (descending),
+/// then counters, then the pool utilization section.
+pub fn render(snap: &[SpanSnapshot]) -> String {
+    let mut out = String::new();
+
+    let mut spans: Vec<&SpanSnapshot> =
+        snap.iter().filter(|s| s.kind == Kind::Span).collect();
+    spans.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let total_self: u64 = spans.iter().map(|s| s.self_ns).sum();
+
+    if spans.is_empty() {
+        out.push_str("no spans recorded (telemetry feature off, or nothing ran)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<24} {:>9} {:>11} {:>11} {:>7} {:>11} {:>8}\n",
+            "span", "calls", "total_ms", "self_ms", "self%", "mean_us", "GB/s"
+        ));
+        for s in &spans {
+            let pct = if total_self == 0 {
+                0.0
+            } else {
+                100.0 * s.self_ns as f64 / total_self as f64
+            };
+            out.push_str(&format!(
+                "{:<24} {:>9} {:>11} {:>11} {:>6.1}% {:>11} {:>8}\n",
+                s.name,
+                s.calls,
+                fmt_ms(s.total_ns),
+                fmt_ms(s.self_ns),
+                pct,
+                fmt_mean_us(s.total_ns, s.calls),
+                fmt_gbps(s.bytes, s.total_ns),
+            ));
+        }
+    }
+
+    let counters: Vec<&SpanSnapshot> = snap
+        .iter()
+        .filter(|s| s.kind == Kind::Counter && s.calls > 0)
+        .collect();
+    if !counters.is_empty() {
+        out.push('\n');
+        out.push_str(&format!("{:<24} {:>12}\n", "counter", "count"));
+        for c in &counters {
+            out.push_str(&format!("{:<24} {:>12}\n", c.name, c.calls));
+        }
+    }
+
+    out.push('\n');
+    match pool_utilization(snap) {
+        Some(u) => {
+            let busy = snap.iter().find(|s| s.name == POOL_BUSY).map_or(0, |s| s.total_ns);
+            let cap = snap
+                .iter()
+                .find(|s| s.name == POOL_CAPACITY)
+                .map_or(0, |s| s.total_ns);
+            out.push_str(&format!(
+                "pool utilization: {:.1}% (busy {} ms / capacity {} ms)\n",
+                100.0 * u,
+                fmt_ms(busy),
+                fmt_ms(cap),
+            ));
+            let nested = count_of(snap, "pool.serial_nested");
+            let contended = count_of(snap, "pool.serial_contended");
+            if nested + contended > 0 {
+                out.push_str(&format!(
+                    "pool serial fallbacks: {nested} nested, {contended} contended \
+                     (regions that ran serially instead of forking)\n"
+                ));
+            }
+        }
+        None => out.push_str("pool utilization: n/a (no parallel regions ran)\n"),
+    }
+    out
+}
+
+fn count_of(snap: &[SpanSnapshot], name: &str) -> u64 {
+    snap.iter().find(|s| s.name == name).map_or(0, |s| s.calls)
+}
+
+/// The `k` spans with the largest self time, as `(name, fraction of total
+/// self time)`. Used by the fig5 bench for its per-component breakdown
+/// column.
+pub fn top_self(snap: &[SpanSnapshot], k: usize) -> Vec<(String, f64)> {
+    let mut spans: Vec<&SpanSnapshot> =
+        snap.iter().filter(|s| s.kind == Kind::Span).collect();
+    spans.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let total: u64 = spans.iter().map(|s| s.self_ns).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    spans
+        .iter()
+        .take(k)
+        .map(|s| (s.name.clone(), s.self_ns as f64 / total as f64))
+        .collect()
+}
+
+/// Compact one-line breakdown like `matmul 71%, softmax 18%, other 11%`,
+/// or `n/a` when no spans were recorded.
+pub fn breakdown_line(snap: &[SpanSnapshot], k: usize) -> String {
+    let top = top_self(snap, k);
+    if top.is_empty() {
+        return "n/a".to_string();
+    }
+    let mut parts: Vec<String> = top
+        .iter()
+        .map(|(name, frac)| format!("{name} {:.0}%", 100.0 * frac))
+        .collect();
+    let covered: f64 = top.iter().map(|(_, f)| f).sum();
+    if covered < 0.995 {
+        parts.push(format!("other {:.0}%", 100.0 * (1.0 - covered)));
+    }
+    parts.join(", ")
+}

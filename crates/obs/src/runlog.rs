@@ -1,0 +1,265 @@
+//! Structured training run logs.
+//!
+//! One JSONL file per run under `results/runs/<name>.jsonl`, with an
+//! `event` field discriminating four flat record types in a fixed order:
+//!
+//! ```text
+//! {"event":"run_start","name":...,"model":...,"threads":N,"max_epochs":N,
+//!  "batch_size":N,"lr":X}
+//! {"event":"epoch","epoch":0,"train_loss":X,"val_loss":X|null,"lr":X,
+//!  "grad_norm":X,"batches":N,"time_s":X}            // one per epoch, 0-based
+//! {"event":"end","stop_reason":...,"epochs":N,"best_val":X|null,
+//!  "total_time_s":X}
+//! {"event":"span","name":...,"kind":...,"calls":N,"total_ns":N,
+//!  "self_ns":N,"bytes":N}                            // final registry snapshot
+//! ```
+//!
+//! [`validate`] checks that discipline (used by the `jsonl_check` binary
+//! and the observability tests): every line parses, the first is
+//! `run_start`, epoch indices are `0..n` with no gaps, exactly one `end`
+//! follows the epochs, and span records only appear after it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::jsonl::{field, parse_object, JsonObj, JsonValue, JsonlSink};
+use crate::registry;
+
+/// Writer for one run log.
+pub struct RunLog {
+    sink: JsonlSink,
+    epochs_written: u64,
+}
+
+impl RunLog {
+    /// Create (truncate) a run log at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<RunLog> {
+        Ok(RunLog {
+            sink: JsonlSink::create(path)?,
+            epochs_written: 0,
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        self.sink.path()
+    }
+
+    /// Write the opening `run_start` record.
+    pub fn start(
+        &mut self,
+        name: &str,
+        model: &str,
+        threads: usize,
+        max_epochs: usize,
+        batch_size: usize,
+        lr: f32,
+    ) -> io::Result<()> {
+        self.sink.write_obj(
+            JsonObj::new()
+                .str("event", "run_start")
+                .str("name", name)
+                .str("model", model)
+                .int("threads", threads as u64)
+                .int("max_epochs", max_epochs as u64)
+                .int("batch_size", batch_size as u64)
+                .num("lr", lr as f64),
+        )
+    }
+
+    /// Write one `epoch` record (epoch indices must be emitted in order
+    /// starting at 0; the validator enforces this on read-back).
+    #[allow(clippy::too_many_arguments)]
+    pub fn epoch(
+        &mut self,
+        epoch: usize,
+        train_loss: f32,
+        val_loss: Option<f32>,
+        lr: f32,
+        grad_norm: f32,
+        batches: usize,
+        time_s: f64,
+    ) -> io::Result<()> {
+        self.epochs_written += 1;
+        self.sink.write_obj(
+            JsonObj::new()
+                .str("event", "epoch")
+                .int("epoch", epoch as u64)
+                .num("train_loss", train_loss as f64)
+                .opt_num("val_loss", val_loss.map(|v| v as f64))
+                .num("lr", lr as f64)
+                .num("grad_norm", grad_norm as f64)
+                .int("batches", batches as u64)
+                .num("time_s", time_s),
+        )
+    }
+
+    /// Write the `end` record and flush.
+    pub fn end(
+        &mut self,
+        stop_reason: &str,
+        epochs: usize,
+        best_val: Option<f32>,
+        total_time_s: f64,
+    ) -> io::Result<()> {
+        self.sink.write_obj(
+            JsonObj::new()
+                .str("event", "end")
+                .str("stop_reason", stop_reason)
+                .int("epochs", epochs as u64)
+                .opt_num("best_val", best_val.map(|v| v as f64))
+                .num("total_time_s", total_time_s),
+        )?;
+        self.sink.flush()
+    }
+
+    /// Append the current span-registry snapshot as `span` records and
+    /// flush. Call after [`RunLog::end`].
+    pub fn spans(&mut self) -> io::Result<()> {
+        for s in registry::snapshot() {
+            self.sink.write_obj(
+                JsonObj::new()
+                    .str("event", "span")
+                    .str("name", &s.name)
+                    .str("kind", s.kind.label())
+                    .int("calls", s.calls)
+                    .int("total_ns", s.total_ns)
+                    .int("self_ns", s.self_ns)
+                    .int("bytes", s.bytes),
+            )?;
+        }
+        self.sink.flush()
+    }
+}
+
+/// Summary extracted by [`validate`].
+#[derive(Debug, Clone)]
+pub struct RunLogSummary {
+    /// Run name from the `run_start` record.
+    pub name: String,
+    /// Number of `epoch` records.
+    pub epochs: usize,
+    /// Number of `span` records.
+    pub spans: usize,
+    /// `stop_reason` from the `end` record.
+    pub stop_reason: String,
+}
+
+/// Validate the full text of a run log against the schema described in the
+/// module docs. Returns a summary on success, a line-tagged error otherwise.
+pub fn validate(text: &str) -> Result<RunLogSummary, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+
+    let (i, first) = lines.next().ok_or("empty run log")?;
+    let fields = parse_object(first).map_err(|e| format!("line {}: {e}", i + 1))?;
+    require_event(&fields, "run_start", i)?;
+    let name = require_str(&fields, "name", i)?;
+    for key in ["threads", "max_epochs", "batch_size", "lr"] {
+        require_num(&fields, key, i)?;
+    }
+
+    let mut next_epoch = 0u64;
+    let mut stop_reason = None;
+    let mut spans = 0usize;
+    for (i, line) in lines {
+        let fields = parse_object(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let event = require_str(&fields, "event", i)?;
+        match event.as_str() {
+            "epoch" => {
+                if stop_reason.is_some() {
+                    return Err(format!("line {}: epoch record after end", i + 1));
+                }
+                let e = require_num(&fields, "epoch", i)? as u64;
+                if e != next_epoch {
+                    return Err(format!(
+                        "line {}: epoch index {e} out of order (expected {next_epoch})",
+                        i + 1
+                    ));
+                }
+                next_epoch += 1;
+                require_num(&fields, "train_loss", i)?;
+                require_num_or_null(&fields, "val_loss", i)?;
+                for key in ["lr", "grad_norm", "batches", "time_s"] {
+                    require_num(&fields, key, i)?;
+                }
+            }
+            "end" => {
+                if stop_reason.is_some() {
+                    return Err(format!("line {}: duplicate end record", i + 1));
+                }
+                stop_reason = Some(require_str(&fields, "stop_reason", i)?);
+                let epochs = require_num(&fields, "epochs", i)? as u64;
+                if epochs != next_epoch {
+                    return Err(format!(
+                        "line {}: end says {epochs} epochs but {next_epoch} were logged",
+                        i + 1
+                    ));
+                }
+                require_num_or_null(&fields, "best_val", i)?;
+                require_num(&fields, "total_time_s", i)?;
+            }
+            "span" => {
+                if stop_reason.is_none() {
+                    return Err(format!("line {}: span record before end", i + 1));
+                }
+                require_str(&fields, "name", i)?;
+                require_str(&fields, "kind", i)?;
+                for key in ["calls", "total_ns", "self_ns", "bytes"] {
+                    require_num(&fields, key, i)?;
+                }
+                spans += 1;
+            }
+            other => return Err(format!("line {}: unknown event {other:?}", i + 1)),
+        }
+    }
+
+    let stop_reason = stop_reason.ok_or("missing end record")?;
+    Ok(RunLogSummary {
+        name,
+        epochs: next_epoch as usize,
+        spans,
+        stop_reason,
+    })
+}
+
+fn require_event(fields: &[(String, JsonValue)], want: &str, line: usize) -> Result<(), String> {
+    let got = require_str(fields, "event", line)?;
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("line {}: expected event {want:?}, got {got:?}", line + 1))
+    }
+}
+
+fn require_str(fields: &[(String, JsonValue)], key: &str, line: usize) -> Result<String, String> {
+    field(fields, key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {}: missing string field {key:?}", line + 1))
+}
+
+fn require_num(fields: &[(String, JsonValue)], key: &str, line: usize) -> Result<f64, String> {
+    field(fields, key)
+        .and_then(|v| v.as_num())
+        .ok_or_else(|| format!("line {}: missing numeric field {key:?}", line + 1))
+}
+
+fn require_num_or_null(
+    fields: &[(String, JsonValue)],
+    key: &str,
+    line: usize,
+) -> Result<Option<f64>, String> {
+    match field(fields, key) {
+        Some(JsonValue::Num(n)) => Ok(Some(*n)),
+        Some(JsonValue::Null) => Ok(None),
+        _ => Err(format!("line {}: field {key:?} must be number or null", line + 1)),
+    }
+}
+
+/// Validate the run log at `path`, reading it from disk.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<RunLogSummary, String> {
+    let path: PathBuf = path.as_ref().to_path_buf();
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate(&text).map_err(|e| format!("{}: {e}", path.display()))
+}

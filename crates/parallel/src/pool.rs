@@ -129,6 +129,19 @@ fn execute(ctx: &RunCtx) {
     }
 }
 
+/// [`execute`], with the participant's time in the claim loop credited to
+/// the `pool.busy_ns` gauge (compiled down to a plain `execute` call when
+/// telemetry is off).
+fn execute_timed(ctx: &RunCtx) {
+    if cfg!(feature = "telemetry") {
+        let t0 = std::time::Instant::now();
+        execute(ctx);
+        lttf_obs::gauge_ns!("pool.busy_ns", t0.elapsed().as_nanos() as u64);
+    } else {
+        execute(ctx);
+    }
+}
+
 fn worker_loop() {
     IS_WORKER.with(|w| w.set(true));
     let pool = global();
@@ -146,7 +159,7 @@ fn worker_loop() {
                 st = pool.start.wait(st).unwrap();
             }
         };
-        execute(&ctx);
+        execute_timed(&ctx);
     }
 }
 
@@ -174,8 +187,18 @@ pub(crate) fn run_tasks(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Syn
     if n_tasks == 0 {
         return;
     }
-    let serial = threads <= 1 || n_tasks <= 1 || IS_WORKER.with(|w| w.get());
-    if serial {
+    if threads <= 1 || n_tasks <= 1 {
+        // Deliberately serial (one thread or one task) — not a fallback.
+        for i in 0..n_tasks {
+            f(i);
+        }
+        return;
+    }
+    if IS_WORKER.with(|w| w.get()) {
+        // Nested region entered from inside a worker: would deadlock on the
+        // pool, so it silently serializes. Count it — accidental nesting is
+        // a real perf bug that is otherwise invisible.
+        lttf_obs::counter!("pool.serial_nested", 1);
         for i in 0..n_tasks {
             f(i);
         }
@@ -184,6 +207,7 @@ pub(crate) fn run_tasks(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Syn
     let pool = global();
     let Ok(_dispatch) = pool.dispatch.try_lock() else {
         // Another thread is mid-region; don't queue behind it.
+        lttf_obs::counter!("pool.serial_contended", 1);
         for i in 0..n_tasks {
             f(i);
         }
@@ -203,6 +227,14 @@ pub(crate) fn run_tasks(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Syn
         done: Mutex::new(()),
         done_cv: Condvar::new(),
     });
+    let engaged = threads.min(n_tasks);
+    lttf_obs::counter!("pool.regions", 1);
+    lttf_obs::counter!("pool.tasks", n_tasks);
+    let region_start = if cfg!(feature = "telemetry") {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     {
         let mut st = pool.state.lock().unwrap();
         st.generation = st.generation.wrapping_add(1);
@@ -211,12 +243,19 @@ pub(crate) fn run_tasks(n_tasks: usize, threads: usize, f: &(dyn Fn(usize) + Syn
     pool.start.notify_all();
     // The dispatcher participates; panics are captured into `ctx` so the
     // frame stays alive until every worker is done with it.
-    execute(&ctx);
+    execute_timed(&ctx);
     {
         let mut g = ctx.done.lock().unwrap();
         while ctx.completed.load(Ordering::Acquire) < ctx.n_tasks {
             g = ctx.done_cv.wait(g).unwrap();
         }
+    }
+    if let Some(t0) = region_start {
+        // Capacity = region wall time × threads the region intended to
+        // engage; each participant's claim loop adds to `pool.busy_ns`, so
+        // busy/capacity is the pool utilization over all regions.
+        let wall = t0.elapsed().as_nanos() as u64;
+        lttf_obs::gauge_ns!("pool.capacity_ns", wall.saturating_mul(engaged as u64));
     }
     {
         let mut st = pool.state.lock().unwrap();

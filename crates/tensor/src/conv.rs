@@ -125,6 +125,11 @@ impl Tensor {
             "conv1d kernel of size {k} does not fit padded input of length {padded_len}"
         );
         let out_len = (padded_len - k) / stride + 1;
+        let span = lttf_obs::span!(
+            "conv1d",
+            b * cout * out_len * cin * k >= crate::OBS_MIN_WORK
+        );
+        span.bytes((self.numel() + weight.numel() + b * cout * out_len) * 4);
         let mut out = vec![0.0f32; b * cout * out_len];
         if out_len > 0 {
             // One work item per (batch, out_ch) pair; group enough pairs per
@@ -168,6 +173,10 @@ impl Tensor {
         let (b, cin, len) = (input_shape[0], input_shape[1], input_shape[2]);
         let (cout, _, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
         let out_len = grad_out.shape()[2];
+        let _span = lttf_obs::span!(
+            "conv1d_bwd_input",
+            b * cout * out_len * cin * k >= crate::OBS_MIN_WORK
+        );
         let mut gin = vec![0.0f32; b * cin * len];
         if cin * len > 0 {
             // Each batch owns a disjoint gradient plane; the per-batch scatter
@@ -211,6 +220,10 @@ impl Tensor {
         let (b, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let (cout, _, k) = (weight_shape[0], weight_shape[1], weight_shape[2]);
         let out_len = grad_out.shape()[2];
+        let _span = lttf_obs::span!(
+            "conv1d_bwd_weight",
+            b * cout * out_len * cin * k >= crate::OBS_MIN_WORK
+        );
         let mut gw = vec![0.0f32; cout * cin * k];
         for bi in 0..b {
             for oc in 0..cout {

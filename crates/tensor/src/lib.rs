@@ -53,5 +53,15 @@ pub use random::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
 
+/// Minimum kernel work size (madds / touched elements) before a telemetry
+/// span is opened. Keeps the ~50 ns guard cost off tiny ops (e.g. the
+/// per-step matmuls of a narrow GRU) so the `telemetry` feature stays
+/// within the <3% overhead budget enforced by `scripts/bench_check.sh`.
+pub const OBS_MIN_WORK: usize = 4096;
+
+/// Like [`OBS_MIN_WORK`] but for O(n) reductions, which do so little work
+/// per element that a span only pays for itself on large inputs.
+pub const OBS_MIN_REDUCE: usize = 32 * 1024;
+
 #[cfg(test)]
 mod proptests;

@@ -170,6 +170,10 @@ impl Tensor {
     /// # Panics
     /// Panics on unsupported ranks or mismatched inner/batch dimensions.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        // ~b*m*k*n madds for every supported rank combination.
+        let work = self.numel() * other.shape().last().copied().unwrap_or(0);
+        let span = lttf_obs::span!("matmul", work >= crate::OBS_MIN_WORK);
+        span.bytes((self.numel() + other.numel()) * 4);
         match (self.ndim(), other.ndim()) {
             (2, 2) => {
                 let (m, k) = (self.shape()[0], self.shape()[1]);
@@ -280,6 +284,7 @@ impl Tensor {
             self.shape,
             other.shape
         );
+        let _span = lttf_obs::span!("reduce_dot", self.numel() >= crate::OBS_MIN_REDUCE);
         pairwise_dot(&self.data, &other.data)
     }
 }

@@ -55,6 +55,8 @@ impl Tensor {
         if n <= SUM_BLOCK {
             return pairwise_sum(&self.data);
         }
+        let span = lttf_obs::span!("reduce_sum", n >= crate::OBS_MIN_REDUCE);
+        span.bytes(n * 4);
         let blocks = chunk_count(n, SUM_BLOCK);
         let mut partials = vec![0.0f32; blocks];
         let src = &self.data;

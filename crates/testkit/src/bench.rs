@@ -25,7 +25,7 @@
 //! }
 //! ```
 
-use std::io::Write as _;
+use lttf_obs::jsonl::{JsonObj, JsonlSink};
 use std::time::Instant;
 
 /// One benchmark's timing summary, in per-call nanoseconds.
@@ -48,32 +48,20 @@ pub struct Record {
 }
 
 impl Record {
-    /// The record as one JSON-lines object.
+    /// The record as one JSON-lines object. Field order is part of the
+    /// contract — `scripts/bench_check.sh` parses these lines with `sed`.
     pub fn to_json(&self, suite: &str) -> String {
-        format!(
-            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
-             \"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{}}}",
-            json_escape(suite),
-            json_escape(&self.name),
-            self.samples,
-            self.iters_per_sample,
-            self.min_ns,
-            self.mean_ns,
-            self.median_ns,
-            self.p95_ns,
-        )
+        JsonObj::new()
+            .str("suite", suite)
+            .str("bench", &self.name)
+            .int("samples", self.samples as u64)
+            .int("iters_per_sample", self.iters_per_sample)
+            .int("min_ns", self.min_ns)
+            .int("mean_ns", self.mean_ns)
+            .int("median_ns", self.median_ns)
+            .int("p95_ns", self.p95_ns)
+            .finish()
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 /// A named collection of benchmarks that shares configuration and an
@@ -155,13 +143,13 @@ impl Suite {
     /// overwriting) and print a human-readable summary table.
     pub fn finish(self) {
         let path = self.out_dir.join(format!("BENCH_{}.json", self.name));
-        if let Err(e) = std::fs::create_dir_all(&self.out_dir).and_then(|_| {
-            let mut fh = std::fs::File::create(&path)?;
+        if let Err(e) = (|| {
+            let mut sink = JsonlSink::create(&path)?;
             for r in &self.records {
-                writeln!(fh, "{}", r.to_json(&self.name))?;
+                sink.write_line(&r.to_json(&self.name))?;
             }
-            Ok(())
-        }) {
+            sink.flush()
+        })() {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {
             eprintln!("wrote {} records to {}", self.records.len(), path.display());
@@ -224,9 +212,25 @@ mod tests {
     }
 
     #[test]
-    fn json_escape_handles_specials() {
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    fn record_json_parses_with_obs_parser() {
+        let r = Record {
+            name: "matmul/\"64\"".into(),
+            samples: 20,
+            iters_per_sample: 8,
+            min_ns: 100,
+            mean_ns: 120,
+            median_ns: 110,
+            p95_ns: 150,
+        };
+        let fields = lttf_obs::jsonl::parse_object(&r.to_json("kernels")).unwrap();
+        assert_eq!(
+            lttf_obs::jsonl::field(&fields, "bench").unwrap().as_str(),
+            Some("matmul/\"64\"")
+        );
+        assert_eq!(
+            lttf_obs::jsonl::field(&fields, "median_ns").unwrap().as_num(),
+            Some(110.0)
+        );
     }
 
     #[test]

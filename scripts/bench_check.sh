@@ -55,3 +55,31 @@ if (( fail )); then
     exit 1
 fi
 echo "==> bench_check: all kernels within 2x of committed medians"
+
+# Telemetry overhead gate: the span instrumentation must cost < 3% on the
+# kernels suite. Re-run the same suite with telemetry compiled out
+# (--no-default-features) and compare the sums of medians — summing across
+# the suite damps per-bench timer noise.
+echo "==> cargo bench --bench kernels --no-default-features  (telemetry compiled out)"
+OFF_DIR=$(mktemp -d)
+trap 'rm -rf "$FRESH_DIR" "$OFF_DIR"' EXIT
+BENCH_OUT="$OFF_DIR" cargo bench --offline -p lttf-bench --bench kernels \
+    --no-default-features >/dev/null
+OFF="$OFF_DIR/BENCH_kernels.json"
+if [[ ! -f "$OFF" ]]; then
+    echo "FAIL: no-default-features bench run produced no $OFF" >&2
+    exit 1
+fi
+
+on_sum=$(medians "$FRESH" | awk '{s += $2} END {print s}')
+off_sum=$(medians "$OFF" | awk '{s += $2} END {print s}')
+echo "kernels suite sum of medians: telemetry on ${on_sum}ns, off ${off_sum}ns"
+awk -v on="$on_sum" -v off="$off_sum" 'BEGIN {
+    pct = (on / off - 1) * 100;
+    printf "telemetry overhead: %+.2f%%\n", pct;
+    exit (on > off * 1.03) ? 1 : 0;
+}' || {
+    echo "==> bench_check: telemetry overhead exceeds 3% on the kernels suite" >&2
+    exit 1
+}
+echo "==> bench_check: telemetry overhead within 3%"

@@ -10,16 +10,32 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo build --release --offline --locked --no-default-features  (telemetry compiled out)"
+cargo build --release --offline --locked --no-default-features
+
 echo "==> cargo build --release --offline --locked"
 cargo build --release --offline --locked
 
 echo "==> cargo test -q --offline  (LTTF_THREADS=1, fully serial)"
-LTTF_THREADS=1 cargo test -q --offline
+LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline
 
 echo "==> cargo test -q --offline  (LTTF_THREADS=4, pooled)"
-LTTF_THREADS=4 cargo test -q --offline
+LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline
 
 echo "==> cargo bench --no-run --offline  (compile-only check of crates/bench)"
 cargo bench --no-run --offline
 
-echo "==> OK: build, tests, and bench compilation all passed offline"
+echo "==> lttf profile --smoke  (telemetry end-to-end: span table + JSONL run log)"
+LTTF_QUIET=1 target/release/lttf profile --smoke --name ci_smoke | tee /tmp/lttf_profile_smoke.out
+for row in matmul conv1d window_attn backward "pool utilization"; do
+    grep -q "$row" /tmp/lttf_profile_smoke.out \
+        || { echo "FAIL: profile output missing '$row'" >&2; exit 1; }
+done
+
+echo "==> jsonl_check  (validate the smoke run log and committed bench files)"
+cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- results/runs/ci_smoke.jsonl
+for f in results/BENCH_*.json; do
+    [[ -f "$f" ]] && cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- "$f"
+done
+
+echo "==> OK: build, tests, bench compilation, and telemetry smoke all passed offline"

@@ -18,8 +18,9 @@
 use lttf::conformer::{Conformer, ConformerConfig};
 use lttf::data::synth::{Dataset, SynthSpec};
 use lttf::data::{read_csv, write_csv, Freq, Split, TimeSeries, WindowDataset, MARK_DIM};
-use lttf::eval::{evaluate, train, TrainOptions, TrainedModel};
-use lttf::nn::{load_params, save_params, ParamSet};
+use lttf::eval::{evaluate, train_logged, TrainOptions, TrainedModel};
+use lttf::nn::{load_params, save_params, Fwd, ParamSet};
+use lttf::obs::RunLog;
 use lttf::tensor::{Rng, Tensor};
 use std::collections::HashMap;
 use std::process::exit;
@@ -29,12 +30,17 @@ fn usage() -> ! {
         "usage:\n  lttf generate --dataset <ecl|weather|exchange|etth1|ettm1|wind|airdelay> \
          [--len N] [--dims N] [--seed N] --out FILE.csv\n  \
          lttf train --data FILE.csv --target COL [--lx N] [--ly N] [--d-model N] \
-         [--epochs N] [--seed N] --out MODEL\n  \
-         lttf forecast --data FILE.csv --model MODEL [--samples N] [--coverage P]"
+         [--epochs N] [--seed N] [--log NAME] --out MODEL\n  \
+         lttf forecast --data FILE.csv --model MODEL [--samples N] [--coverage P]\n  \
+         lttf profile [--smoke] [--mode train|fwd] [--epochs N] [--lx N] [--ly N] \
+         [--d-model N] [--batch N] [--len N] [--dims N] [--seed N] [--threads N] \
+         [--name NAME] [--out-dir DIR]"
     );
     exit(2);
 }
 
+/// `--key value` pairs, plus valueless boolean flags (`--smoke`): a flag
+/// followed by another `--flag` or by nothing parses as `"true"`.
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
     let mut i = 0;
@@ -43,14 +49,19 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument '{}'", args[i]);
             usage();
         };
-        if i + 1 >= args.len() {
-            eprintln!("flag --{key} needs a value");
-            usage();
+        if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            map.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
         }
-        map.insert(key.to_string(), args[i + 1].clone());
-        i += 2;
     }
     map
+}
+
+fn flag_set(flags: &HashMap<String, String>, key: &str) -> bool {
+    flags.get(key).is_some_and(|v| v != "false" && v != "0")
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
@@ -201,7 +212,15 @@ fn cmd_train(flags: HashMap<String, String>) {
         "training Conformer ({} params, {epochs} epochs)…",
         model.num_parameters()
     );
-    let report = train(
+    // Optional structured run log: `--log NAME` writes
+    // results/runs/NAME.jsonl (see lttf_obs::runlog for the schema).
+    let mut run_log = flags.get("log").map(|name| {
+        RunLog::create(format!("results/runs/{name}.jsonl")).unwrap_or_else(|e| {
+            eprintln!("cannot create run log: {e}");
+            exit(1);
+        })
+    });
+    let report = train_logged(
         &mut model,
         &train_set,
         Some(&val_set),
@@ -216,9 +235,17 @@ fn cmd_train(flags: HashMap<String, String>) {
             seed,
             val_max_windows: usize::MAX,
         },
+        run_log.as_mut(),
     );
     for (e, l) in report.train_losses.iter().enumerate() {
         println!("  epoch {e}: train loss {l:.4}");
+    }
+    println!(
+        "stopped after {} epoch(s): {}",
+        report.stopped_at, report.stop_reason
+    );
+    if let Some(log) = &run_log {
+        println!("run log: {}", log.path().display());
     }
     println!("test: {}", evaluate(&model, &test_set, 16));
 
@@ -319,6 +346,125 @@ fn cmd_forecast(flags: HashMap<String, String>) {
     }
 }
 
+/// `lttf profile`: run a short synthetic Conformer workload with the span
+/// registry reset at the start, then print the self-time table, pool
+/// utilization, and a loss summary, and write a JSONL run log under
+/// `results/runs/`. `--smoke` selects a seconds-scale configuration used
+/// by CI; `--mode fwd` profiles forward+backward passes without training.
+fn cmd_profile(flags: HashMap<String, String>) {
+    let smoke = flag_set(&flags, "smoke");
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("train");
+    let lx = get(&flags, "lx", 96usize);
+    let ly = get(&flags, "ly", 24usize);
+    let d_model = get(&flags, "d-model", 32usize);
+    let batch = get(&flags, "batch", 32usize);
+    let epochs = get(&flags, "epochs", if smoke { 2 } else { 3 });
+    let len = get(&flags, "len", if smoke { 1_200 } else { 2_400 });
+    let dims = get(&flags, "dims", 4usize);
+    let seed = get(&flags, "seed", 7u64);
+    // Default to at least two workers so the pool's parallel path (and
+    // its utilization gauges) are exercised even on one-core machines —
+    // results are bit-identical at any thread count.
+    let threads = get(&flags, "threads", lttf::parallel::num_threads().max(2));
+    let default_name = if smoke { "profile_smoke" } else { "profile" };
+    let name = flags
+        .get("name")
+        .map(String::as_str)
+        .unwrap_or(default_name)
+        .to_string();
+    let out_dir = flags
+        .get("out-dir")
+        .map(String::as_str)
+        .unwrap_or("results/runs");
+    lttf::parallel::set_threads_override(Some(threads.max(1)));
+
+    let series = Dataset::Ettm1.generate(SynthSpec {
+        len,
+        dims: Some(dims),
+        seed,
+    });
+    let mk = |split| WindowDataset::new(&series, split, (0.7, 0.15), lx, ly, lx / 2);
+    let (train_set, val_set) = (mk(Split::Train), mk(Split::Val));
+    let mut cfg = ConformerConfig::new(dims, lx, ly);
+    cfg.d_model = d_model;
+    cfg.n_heads = if d_model.is_multiple_of(4) { 4 } else { 2 };
+    cfg.multiscale_strides = vec![1, (lx / 4).max(2)];
+    let mut model = TrainedModel::from_conformer(&cfg, seed);
+    println!(
+        "profiling Conformer ({} params) on synthetic ettm1: mode {mode}, \
+         lx {lx}, ly {ly}, d_model {d_model}, batch {batch}, {} threads",
+        model.num_parameters(),
+        lttf::parallel::num_threads(),
+    );
+
+    // Profile only what runs below, not process warm-up.
+    lttf::obs::reset();
+    let mut log = RunLog::create(format!("{out_dir}/{name}.jsonl")).unwrap_or_else(|e| {
+        eprintln!("cannot create run log: {e}");
+        exit(1);
+    });
+    let opts = TrainOptions {
+        epochs,
+        batch_size: batch,
+        lr: 1e-3,
+        patience: 2,
+        lr_decay: 0.7,
+        max_batches: if smoke { 12 } else { 0 },
+        clip: 5.0,
+        seed,
+        val_max_windows: if smoke { 64 } else { usize::MAX },
+    };
+    match mode {
+        "train" => {
+            let report = train_logged(&mut model, &train_set, Some(&val_set), &opts, Some(&mut log));
+            println!();
+            println!(
+                "loss curve: {} epoch(s), train {:.4} -> {:.4}, best val {}, stop: {}",
+                report.stopped_at,
+                report.train_losses.first().copied().unwrap_or(f32::NAN),
+                report.train_losses.last().copied().unwrap_or(f32::NAN),
+                report
+                    .val_losses
+                    .iter()
+                    .copied()
+                    .fold(f32::INFINITY, f32::min),
+                report.stop_reason,
+            );
+        }
+        "fwd" => {
+            // Forward+backward passes over fixed batches, no optimizer.
+            let reps = epochs.max(1) * if smoke { 4 } else { 8 };
+            let idx: Vec<usize> = (0..train_set.len().min(batch)).collect();
+            let fwd_batch = train_set.batch(&idx);
+            log.start(&name, "Conformer", lttf::parallel::num_threads(), 0, batch, 0.0)
+                .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
+            let t0 = std::time::Instant::now();
+            let mut last_loss = f32::NAN;
+            for rep in 0..reps {
+                let g = lttf::autograd::Graph::new();
+                let cx = Fwd::new(&g, model.params(), true, seed.wrapping_add(rep as u64));
+                let loss = model.batch_loss(&cx, &fwd_batch);
+                last_loss = loss.value().item();
+                let _ = g.backward(loss);
+            }
+            log.end("max_epochs", 0, None, t0.elapsed().as_secs_f64())
+                .and_then(|_| log.spans())
+                .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
+            println!();
+            println!("{reps} forward+backward passes, final loss {last_loss:.4}");
+        }
+        other => {
+            eprintln!("unknown profile mode '{other}' (expected train|fwd)");
+            exit(2);
+        }
+    }
+
+    println!();
+    print!("{}", lttf::obs::report::render(&lttf::obs::snapshot()));
+    println!();
+    println!("run log: {}", log.path().display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -329,6 +475,7 @@ fn main() {
         "generate" => cmd_generate(flags),
         "train" => cmd_train(flags),
         "forecast" => cmd_forecast(flags),
+        "profile" => cmd_profile(flags),
         _ => usage(),
     }
 }

@@ -15,6 +15,8 @@
 //! * [`baselines`] — GRU, LSTNet, N-BEATS, Informer, Autoformer,
 //!   Reformer, Longformer, LogTrans, TS2Vec
 //! * [`eval`] — metrics, trainer, experiment utilities
+//! * [`obs`] — zero-dependency telemetry: spans, counters, JSONL run logs
+//! * [`parallel`] — the fork-join thread pool behind the kernels
 //!
 //! See `examples/quickstart.rs` for an end-to-end training run.
 
@@ -25,6 +27,8 @@ pub use lttf_data as data;
 pub use lttf_eval as eval;
 pub use lttf_fft as fft;
 pub use lttf_nn as nn;
+pub use lttf_obs as obs;
+pub use lttf_parallel as parallel;
 pub use lttf_tensor as tensor;
 
 /// Crate version, for binaries that report it.

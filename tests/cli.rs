@@ -108,6 +108,52 @@ fn generate_train_forecast_pipeline() {
 }
 
 #[test]
+fn profile_smoke_prints_span_table_and_run_log() {
+    let dir = workdir().join("profile");
+    // Tiny dimensions keep this seconds-scale in debug builds; the kernels
+    // still clear the instrumentation work thresholds, so the table rows
+    // required of `lttf profile` are all present.
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .args([
+            "profile", "--smoke", "--lx", "24", "--ly", "8", "--d-model", "8", "--epochs", "1",
+            "--batch", "8", "--len", "400", "--name", "cli_test", "--out-dir",
+        ])
+        .arg(&dir)
+        .env("LTTF_QUIET", "1")
+        .output()
+        .expect("profile");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for row in [
+        "matmul",
+        "conv1d",
+        "window_attn_fwd",
+        "window_attn_bwd",
+        "backward",
+        "pool utilization",
+        "loss curve",
+    ] {
+        assert!(stdout.contains(row), "missing '{row}' in:\n{stdout}");
+    }
+    let log = dir.join("cli_test.jsonl");
+    assert!(log.exists(), "run log not written");
+    // Every line of the run log is a flat JSON object with an "event" key.
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(text.lines().count() >= 3, "{text}");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"event\":\""),
+            "unexpected run-log line: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn unknown_subcommand_fails() {
     let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
         .arg("frobnicate")
