@@ -26,6 +26,9 @@ pub struct Graph {
     /// Op name per node (`"leaf"` for leaves); names the per-op backward
     /// telemetry spans (`bwd.<name>`).
     pub(crate) names: RefCell<Vec<&'static str>>,
+    /// False for inference graphs: backward closures are dropped at push
+    /// time and [`Graph::backward`] is unavailable.
+    pub(crate) record: bool,
 }
 
 /// A handle to a node in a [`Graph`]. Cheap to copy.
@@ -66,7 +69,29 @@ impl Graph {
             parents: RefCell::new(Vec::new()),
             backs: RefCell::new(Vec::new()),
             names: RefCell::new(Vec::new()),
+            record: true,
         }
+    }
+
+    /// An empty **inference** graph: forward values are tracked as usual,
+    /// but backward closures are discarded at push time, so no gradient
+    /// state (boxed closures, captured buffers) accumulates on the tape.
+    /// This is the no-grad mode used by every `predict` path and by the
+    /// serving batcher, where thousands of forward passes would otherwise
+    /// allocate tape machinery that is never used.
+    ///
+    /// Calling [`Graph::backward`] on an inference graph panics.
+    pub fn inference() -> Self {
+        Graph {
+            record: false,
+            ..Graph::new()
+        }
+    }
+
+    /// True when this graph records backward closures (i.e. was created
+    /// with [`Graph::new`], not [`Graph::inference`]).
+    pub fn records_gradients(&self) -> bool {
+        self.record
     }
 
     /// Number of nodes currently on the tape.
@@ -103,7 +128,9 @@ impl Graph {
         let id = values.len();
         values.push(value);
         self.parents.borrow_mut().push(parents);
-        self.backs.borrow_mut().push(back);
+        self.backs
+            .borrow_mut()
+            .push(if self.record { back } else { None });
         self.names.borrow_mut().push(name);
         Var { g: self, id }
     }
@@ -155,6 +182,10 @@ impl Graph {
     /// # Panics
     /// Panics if the seed shape does not match the root value's shape.
     pub fn backward_with_seed(&self, root: Var<'_>, seed: Tensor) -> Grads {
+        assert!(
+            self.record,
+            "backward on an inference graph (built with Graph::inference)"
+        );
         let _span = lttf_obs::span!("backward");
         let values = self.values.borrow();
         let parents = self.parents.borrow();
@@ -264,6 +295,27 @@ mod tests {
         assert_eq!(v.value().data(), t.data());
         assert_eq!(v.shape(), vec![2]);
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn inference_graph_stores_no_closures() {
+        let g = Graph::inference();
+        assert!(!g.records_gradients());
+        let a = g.leaf(Tensor::from_slice(&[1.0, 2.0]));
+        let b = g.leaf(Tensor::from_slice(&[3.0, 4.0]));
+        let c = a.add(b);
+        // Forward values match a recording graph exactly.
+        assert_eq!(c.value().data(), &[4.0, 6.0]);
+        // No backward closure was kept for any node.
+        assert!(g.backs.borrow().iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward on an inference graph")]
+    fn backward_on_inference_graph_panics() {
+        let g = Graph::inference();
+        let v = g.leaf(Tensor::from_slice(&[1.0]));
+        let _ = g.backward(v);
     }
 
     #[test]

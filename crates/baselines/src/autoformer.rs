@@ -211,7 +211,7 @@ impl Autoformer {
         dec: &Tensor,
         dec_mark: &Tensor,
     ) -> Tensor {
-        let g = Graph::new();
+        let g = Graph::inference();
         let cx = Fwd::new(&g, ps, false, 0);
         self.forward(
             &cx,

@@ -69,7 +69,7 @@ impl DeepAr {
     /// mean is fed back (or a sample when `sample_seed` is set). Returns
     /// `[b, ly, c]`.
     pub fn predict_with(&self, ps: &ParamSet, x: &Tensor, sample_seed: Option<u64>) -> Tensor {
-        let g = Graph::new();
+        let g = Graph::inference();
         let cx = Fwd::new(&g, ps, false, 0);
         let (b, lx, c) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let hs = self.cell.hidden_size();

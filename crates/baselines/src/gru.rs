@@ -41,7 +41,7 @@ impl GruForecaster {
 
     /// Deterministic prediction.
     pub fn predict(&self, ps: &ParamSet, x: &Tensor) -> Tensor {
-        let g = Graph::new();
+        let g = Graph::inference();
         let cx = Fwd::new(&g, ps, false, 0);
         self.forward(&cx, g.leaf(x.clone())).value()
     }

@@ -265,7 +265,7 @@ impl TransformerForecaster {
         dec: &Tensor,
         dec_mark: &Tensor,
     ) -> Tensor {
-        let g = Graph::new();
+        let g = Graph::inference();
         let cx = Fwd::new(&g, ps, false, 0);
         self.forward(
             &cx,

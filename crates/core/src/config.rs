@@ -163,6 +163,85 @@ impl ConformerConfig {
         self.label_len + self.ly
     }
 
+    /// Serialize to the sidecar `.config` text format: one `key value`
+    /// pair per line. `target` is the forecast variable's column name,
+    /// stored alongside the hyper-parameters so a checkpoint can be
+    /// reloaded without the original CLI invocation.
+    ///
+    /// Only the fields that affect checkpoint shape/semantics are stored;
+    /// ablation switches stay at their defaults on reload.
+    pub fn to_sidecar(&self, target: &str) -> String {
+        format!(
+            "c_in {}\nc_out {}\nlx {}\nly {}\nlabel_len {}\nd_model {}\nn_heads {}\n\
+             enc_layers {}\ndec_layers {}\nflow_steps {}\nlambda {}\ntarget {}\n\
+             strides {}\n",
+            self.c_in,
+            self.c_out,
+            self.lx,
+            self.ly,
+            self.label_len,
+            self.d_model,
+            self.n_heads,
+            self.enc_layers,
+            self.dec_layers,
+            self.flow_steps,
+            self.lambda,
+            target,
+            self.multiscale_strides
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// Parse the sidecar text produced by [`Self::to_sidecar`], returning
+    /// the config and the stored target column name. Unknown keys are
+    /// ignored; missing required keys are an `InvalidData` error naming
+    /// the field.
+    pub fn from_sidecar(text: &str) -> std::io::Result<(Self, String)> {
+        use std::collections::HashMap;
+        let mut kv = HashMap::new();
+        for line in text.lines() {
+            if let Some((k, v)) = line.split_once(' ') {
+                kv.insert(k.to_string(), v.to_string());
+            }
+        }
+        let geti = |k: &str| -> std::io::Result<usize> {
+            kv.get(k).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("config missing field '{k}'"),
+                )
+            })
+        };
+        let mut cfg = ConformerConfig::new(geti("c_in")?, geti("lx")?, geti("ly")?);
+        cfg.c_out = geti("c_out")?;
+        cfg.label_len = geti("label_len")?;
+        cfg.d_model = geti("d_model")?;
+        cfg.n_heads = geti("n_heads")?;
+        cfg.enc_layers = geti("enc_layers")?;
+        cfg.dec_layers = geti("dec_layers")?;
+        cfg.flow_steps = geti("flow_steps")?;
+        cfg.lambda = kv.get("lambda").and_then(|v| v.parse().ok()).unwrap_or(0.8);
+        cfg.multiscale_strides = kv
+            .get("strides")
+            .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+            .unwrap_or_else(|| vec![1]);
+        let target = kv.get("target").cloned().unwrap_or_default();
+        Ok((cfg, target))
+    }
+
+    /// Write the sidecar file next to a checkpoint (see [`Self::to_sidecar`]).
+    pub fn save_sidecar(&self, target: &str, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_sidecar(target))
+    }
+
+    /// Load a sidecar file written by [`Self::save_sidecar`].
+    pub fn load_sidecar(path: &str) -> std::io::Result<(Self, String)> {
+        Self::from_sidecar(&std::fs::read_to_string(path)?)
+    }
+
     /// Validate internal consistency.
     ///
     /// # Panics
@@ -222,6 +301,29 @@ mod tests {
     #[test]
     fn tiny_validates() {
         ConformerConfig::tiny(3, 12, 6).validate();
+    }
+
+    #[test]
+    fn sidecar_round_trips() {
+        let mut cfg = ConformerConfig::tiny(3, 12, 6);
+        cfg.lambda = 0.65;
+        cfg.multiscale_strides = vec![1, 4, 8];
+        let (back, target) = ConformerConfig::from_sidecar(&cfg.to_sidecar("OT")).unwrap();
+        assert_eq!(target, "OT");
+        assert_eq!(back.c_in, cfg.c_in);
+        assert_eq!(back.c_out, cfg.c_out);
+        assert_eq!(back.lx, cfg.lx);
+        assert_eq!(back.ly, cfg.ly);
+        assert_eq!(back.label_len, cfg.label_len);
+        assert_eq!(back.d_model, cfg.d_model);
+        assert_eq!(back.lambda, cfg.lambda);
+        assert_eq!(back.multiscale_strides, cfg.multiscale_strides);
+    }
+
+    #[test]
+    fn sidecar_missing_field_names_it() {
+        let err = ConformerConfig::from_sidecar("c_in 3\nlx 12\n").unwrap_err();
+        assert!(err.to_string().contains("'ly'"), "{err}");
     }
 
     #[test]

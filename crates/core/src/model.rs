@@ -170,7 +170,7 @@ impl Conformer {
         dec: &Tensor,
         dec_mark: &Tensor,
     ) -> Tensor {
-        let g = Graph::new();
+        let g = Graph::inference();
         let cx = Fwd::new(&g, ps, false, 0);
         let marks = (self.cfg.mark_dim > 0).then(|| g.leaf(x_mark.clone()));
         let dmarks = (self.cfg.mark_dim > 0).then(|| g.leaf(dec_mark.clone()));
@@ -245,7 +245,7 @@ impl Conformer {
             .flow
             .as_ref()
             .expect("uncertainty requires the normalizing flow (FlowMode != None)");
-        let g = Graph::new();
+        let g = Graph::inference();
         let cx = Fwd::new(&g, ps, false, 0);
         let marks = (self.cfg.mark_dim > 0).then(|| g.leaf(x_mark.clone()));
         let dmarks = (self.cfg.mark_dim > 0).then(|| g.leaf(dec_mark.clone()));

@@ -36,6 +36,19 @@ impl StandardScaler {
         StandardScaler { mean, std }
     }
 
+    /// Rebuild a scaler from stored statistics (checkpoint metadata).
+    /// `mean` and `std` must be the same non-zero length; every `std`
+    /// entry must be positive.
+    pub fn from_parts(mean: Vec<f32>, std: Vec<f32>) -> Self {
+        assert!(!mean.is_empty(), "scaler needs at least one column");
+        assert_eq!(mean.len(), std.len(), "mean/std length mismatch");
+        assert!(
+            std.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "scaler std entries must be positive and finite"
+        );
+        StandardScaler { mean, std }
+    }
+
     /// Number of columns the scaler was fitted on.
     pub fn dims(&self) -> usize {
         self.mean.len()
@@ -136,6 +149,15 @@ mod tests {
         assert_eq!(y.shape(), &[2, 2, 2]);
         // both batch rows transformed identically
         y.narrow(0, 0, 1).assert_close(&y.narrow(0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_parts_matches_fit() {
+        let x = Tensor::from_vec(vec![1.0, 10.0, 3.0, 30.0], &[2, 2]);
+        let fitted = StandardScaler::fit(&x);
+        let rebuilt =
+            StandardScaler::from_parts(fitted.mean().to_vec(), fitted.std().to_vec());
+        rebuilt.transform(&x).assert_close(&fitted.transform(&x), 0.0);
     }
 
     #[test]

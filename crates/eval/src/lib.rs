@@ -23,7 +23,7 @@ mod trainer;
 pub use anomaly::{detect_anomalies, Anomaly, AnomalyReport};
 pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use metrics::{corr, coverage, mae, mse, pinball, rse, Metrics};
-pub use model::{ModelImpl, ModelKind, TrainedModel};
+pub use model::{Forecaster, ModelImpl, ModelKind, TrainedModel};
 pub use multirun::{run_seeds, run_seeds_with_reports, RunStats, TrainSummary};
 pub use scale::Scale;
 pub use table::Table;

@@ -101,6 +101,32 @@ pub enum ModelImpl {
     Ts2Vec(Ts2Vec),
 }
 
+/// Anything that can turn a prepared window batch into a forecast.
+///
+/// This is the seam between model code and the serving subsystem: the
+/// batcher in `lttf-serve` is generic over `dyn Forecaster`, so any model
+/// the eval harness can build — Conformer or baseline — can be served
+/// without the server knowing its architecture.
+///
+/// Implementations must be deterministic (same batch → same tensor) and
+/// `Send`, because the server moves the model onto its batcher thread.
+pub trait Forecaster: Send {
+    /// Forecast `[b, ly, c_out]` in scaled space for a prepared batch.
+    fn forecast(&self, batch: &Batch) -> Tensor;
+    /// Human-readable model name for logs and the serving registry.
+    fn model_name(&self) -> String;
+}
+
+impl Forecaster for TrainedModel {
+    fn forecast(&self, batch: &Batch) -> Tensor {
+        self.predict_batch(batch)
+    }
+
+    fn model_name(&self) -> String {
+        self.kind.name().to_string()
+    }
+}
+
 /// A model plus its parameters: the unit the trainer and the harnesses
 /// operate on.
 pub struct TrainedModel {

@@ -1,8 +1,9 @@
 //! Minimal JSON-lines support: a builder for flat objects, a buffered file
 //! sink, and a parser for the flat objects we emit. Std-only by design —
 //! the whole workspace is offline — so this handles exactly the subset the
-//! run logs and bench records use: one object per line, string / number /
-//! bool / null values, no nesting.
+//! run logs, bench records, and the serving wire protocol use: one object
+//! per line, string / number / bool / null values, plus flat arrays of
+//! numbers (for forecast payloads). No nested objects, no nested arrays.
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
@@ -82,10 +83,47 @@ impl JsonObj {
         }
     }
 
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
     /// Add an explicit `null` field.
     pub fn null(mut self, k: &str) -> JsonObj {
         self.key(k);
         self.buf.push_str("null");
+        self
+    }
+
+    /// Add a flat array of numbers (the only nesting the format allows).
+    ///
+    /// Entries use Rust's shortest round-trip float formatting, so an `f32`
+    /// widened to `f64` survives serialize → parse → narrow bit-for-bit —
+    /// the serving wire protocol depends on this. Non-finite values render
+    /// as `null` entries, like [`JsonObj::num`].
+    pub fn nums<I>(mut self, k: &str, vals: I) -> JsonObj
+    where
+        I: IntoIterator,
+        I::Item: Into<f64>,
+    {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vals.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let v: f64 = v.into();
+            if v.is_finite() {
+                // `{}` on f64 is the shortest string that parses back to
+                // the same bits — exact, unlike the trimmed log format.
+                self.buf.push_str(&format!("{v}"));
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+        self.buf.push(']');
         self
     }
 
@@ -171,6 +209,8 @@ pub enum JsonValue {
     Bool(bool),
     /// `null`.
     Null,
+    /// A flat array of numbers (`null` entries parse as NaN).
+    Arr(Vec<f64>),
 }
 
 impl JsonValue {
@@ -186,6 +226,22 @@ impl JsonValue {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number array, if this value is one.
+    pub fn as_arr(&self) -> Option<&[f64]> {
+        match self {
+            JsonValue::Arr(v) => Some(v.as_slice()),
             _ => None,
         }
     }
@@ -315,9 +371,44 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(b'{' | b'[') => Err("nested values are not supported".into()),
+            Some(b'[') => self.array(),
+            Some(b'{') => Err("nested objects are not supported".into()),
             Some(_) => self.number(),
             None => Err("unexpected end of input".into()),
+        }
+    }
+
+    /// A flat `[n, n, ...]` array of numbers; `null` entries become NaN.
+    /// Anything else inside the brackets (strings, nesting) is an error.
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'n') => {
+                    self.literal("null", JsonValue::Null)?;
+                    out.push(f64::NAN);
+                }
+                Some(b'[' | b'{' | b'"' | b't' | b'f') => {
+                    return Err("arrays may only contain numbers".into());
+                }
+                _ => match self.number()? {
+                    JsonValue::Num(n) => out.push(n),
+                    _ => unreachable!("number() only returns Num"),
+                },
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Arr(out)),
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
         }
     }
 

@@ -20,8 +20,29 @@
 //! threshold so tiny kernels skip even that. The kernels bench suite is
 //! held within 3% of a `--no-default-features` build by
 //! `scripts/bench_check.sh`.
+//!
+//! # Example
+//!
+//! Time a scope, count an event, sample a gauge, then inspect the
+//! snapshot:
+//!
+//! ```
+//! use lttf_obs::{span, counter, gauge, snapshot};
+//!
+//! {
+//!     let _timed = span!("doc_example_work");
+//!     counter!("doc_example_events", 2);
+//!     gauge!("doc_example_depth", 5);
+//! } // span records on drop
+//!
+//! let snap = snapshot();
+//! let work = snap.iter().find(|s| s.name == "doc_example_work").unwrap();
+//! assert_eq!(work.calls, 1);
+//! let depth = snap.iter().find(|s| s.name == "doc_example_depth").unwrap();
+//! assert_eq!((depth.calls, depth.max_ns), (1, 5));
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod jsonl;
 pub mod registry;
@@ -166,6 +187,47 @@ mod tests {
         assert!(jsonl::parse_object("{\"a\"}").is_err());
         assert!(jsonl::parse_object("{\"a\":tru}").is_err());
         assert!(jsonl::parse_object("not json").is_err());
+        // Arrays are numbers-only and flat.
+        assert!(jsonl::parse_object("{\"a\":[1,[2]]}").is_err());
+        assert!(jsonl::parse_object("{\"a\":[\"x\"]}").is_err());
+        assert!(jsonl::parse_object("{\"a\":[1,]}").is_err());
+        assert!(jsonl::parse_object("{\"a\":[1").is_err());
+    }
+
+    #[test]
+    fn number_arrays_round_trip_f32_exactly() {
+        let vals: Vec<f32> = vec![0.1, -3.25e-5, 1.0, f32::MIN_POSITIVE, 12345.678];
+        let line = JsonObj::new()
+            .nums("forecast", vals.iter().map(|&v| v as f64))
+            .int("n", vals.len() as u64)
+            .finish();
+        let fields = jsonl::parse_object(&line).unwrap();
+        let arr = jsonl::field(&fields, "forecast").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), vals.len());
+        for (&parsed, &orig) in arr.iter().zip(&vals) {
+            assert_eq!(parsed as f32, orig, "lossy float round trip");
+        }
+        // Empty arrays and null (NaN) entries parse too.
+        let fields = jsonl::parse_object("{\"a\":[],\"b\":[1,null,2]}").unwrap();
+        assert_eq!(jsonl::field(&fields, "a").unwrap().as_arr().unwrap().len(), 0);
+        let b = jsonl::field(&fields, "b").unwrap().as_arr().unwrap();
+        assert!(b[1].is_nan() && b[2] == 2.0);
+    }
+
+    #[test]
+    fn value_gauges_track_mean_and_extremes() {
+        let _g = exclusive();
+        reset();
+        for depth in [3u64, 9, 6] {
+            gauge!("obs_test_value_gauge", depth);
+        }
+        let snap = snapshot();
+        let g = snap.iter().find(|s| s.name == "obs_test_value_gauge").unwrap();
+        assert_eq!((g.kind, g.calls), (Kind::Gauge, 3));
+        assert_eq!((g.total_ns, g.min_ns, g.max_ns), (18, 3, 9));
+        let text = report::render(&snap);
+        assert!(text.contains("obs_test_value_gauge"), "{text}");
+        assert!(text.contains("gauge"), "{text}");
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub enum Kind {
     /// An accumulated nanosecond quantity (e.g. pool busy time); only
     /// `total_ns` is meaningful.
     GaugeNs,
+    /// A sampled unitless value distribution (e.g. queue depth, batch
+    /// size): `calls` counts samples, `total_ns` holds their sum, and
+    /// `min_ns`/`max_ns` hold the observed extremes, so reports can show
+    /// count / mean / min / max.
+    Gauge,
 }
 
 impl Kind {
@@ -39,6 +44,7 @@ impl Kind {
             Kind::Span => "span",
             Kind::Counter => "counter",
             Kind::GaugeNs => "gauge_ns",
+            Kind::Gauge => "gauge",
         }
     }
 }
@@ -89,6 +95,16 @@ impl SpanStats {
     /// Add `ns` to the accumulated time (used by gauges).
     pub fn add_ns(&self, ns: u64) {
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one sample of a unitless value (used by [`Kind::Gauge`]
+    /// entries): bumps the sample count, accumulates the sum, and tracks
+    /// the min/max observed.
+    pub fn record_value(&self, v: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(v, Ordering::Relaxed);
+        self.min_ns.fetch_min(v, Ordering::Relaxed);
+        self.max_ns.fetch_max(v, Ordering::Relaxed);
     }
 }
 
@@ -299,6 +315,21 @@ macro_rules! gauge_ns {
                 ::std::sync::OnceLock::new();
             SITE.get_or_init(|| $crate::register("", $name, $crate::Kind::GaugeNs))
                 .add_ns($ns as u64);
+        }
+    }};
+}
+
+/// Record one sample of a unitless gauge (queue depth, batch size, …);
+/// compiled out with the caller's `telemetry` feature like [`span!`].
+/// Reports show the sample count, mean, and min/max.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {{
+        if cfg!(feature = "telemetry") {
+            static SITE: ::std::sync::OnceLock<&'static $crate::SpanStats> =
+                ::std::sync::OnceLock::new();
+            SITE.get_or_init(|| $crate::register("", $name, $crate::Kind::Gauge))
+                .record_value($value as u64);
         }
     }};
 }

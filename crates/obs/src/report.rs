@@ -89,6 +89,28 @@ pub fn render(snap: &[SpanSnapshot]) -> String {
         }
     }
 
+    let gauges: Vec<&SpanSnapshot> = snap
+        .iter()
+        .filter(|s| s.kind == Kind::Gauge && s.calls > 0)
+        .collect();
+    if !gauges.is_empty() {
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<24} {:>9} {:>9} {:>9} {:>9}\n",
+            "gauge", "samples", "mean", "min", "max"
+        ));
+        for g in &gauges {
+            out.push_str(&format!(
+                "{:<24} {:>9} {:>9.1} {:>9} {:>9}\n",
+                g.name,
+                g.calls,
+                g.total_ns as f64 / g.calls as f64,
+                g.min_ns,
+                g.max_ns,
+            ));
+        }
+    }
+
     out.push('\n');
     match pool_utilization(snap) {
         Some(u) => {

@@ -32,8 +32,22 @@
 //! A parallel region entered from inside a pool worker (or while another
 //! thread holds the dispatch lock) degrades to the serial path rather
 //! than deadlocking, so kernels can call other kernels freely.
+//!
+//! ```
+//! // Square 1000 numbers in parallel; the result is bit-identical at
+//! // any thread count because chunk boundaries ignore the pool size.
+//! let input: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+//! let mut out = vec![0.0f32; 1000];
+//! lttf_parallel::par_chunks_mut(&mut out, 128, |chunk_idx, chunk| {
+//!     let base = chunk_idx * 128;
+//!     for (i, o) in chunk.iter_mut().enumerate() {
+//!         *o = input[base + i] * input[base + i];
+//!     }
+//! });
+//! assert_eq!(out[31], 31.0 * 31.0);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod pool;
 

@@ -1,0 +1,138 @@
+//! Request latency accounting: exact percentiles over recorded samples.
+//!
+//! The sample count is bounded by the request count of one server run,
+//! so the summary keeps every sample and computes exact (nearest-rank)
+//! percentiles rather than an approximate sketch.
+
+/// Accumulates per-request latencies (nanoseconds).
+#[derive(Default)]
+pub struct LatencyStats {
+    samples_ns: Vec<u64>,
+}
+
+/// The percentile summary printed on shutdown and written by
+/// `lttf bench-serve`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of completed requests.
+    pub count: usize,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Fastest request, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest request, nanoseconds.
+    pub max_ns: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Record one request's latency.
+    pub fn record(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`); 0 with no samples.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        self.samples_ns.sort_unstable();
+        let n = self.samples_ns.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples_ns[rank.clamp(1, n) - 1]
+    }
+
+    /// The full summary (sorts the samples).
+    pub fn summary(&mut self) -> LatencySummary {
+        let count = self.samples_ns.len();
+        if count == 0 {
+            return LatencySummary {
+                count: 0,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                mean_ns: 0,
+            };
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&v| v as u128).sum();
+        LatencySummary {
+            count,
+            p50_ns: self.percentile(50.0),
+            p95_ns: self.percentile(95.0),
+            p99_ns: self.percentile(99.0),
+            min_ns: self.samples_ns[0],
+            max_ns: *self.samples_ns.last().unwrap(),
+            mean_ns: (sum / count as u128) as u64,
+        }
+    }
+}
+
+impl LatencySummary {
+    /// One-line human rendering with millisecond units.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        format!(
+            "{} requests: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            self.count,
+            ms(self.p50_ns),
+            ms(self.p95_ns),
+            ms(self.p99_ns),
+            ms(self.max_ns),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentiles() {
+        let mut st = LatencyStats::new();
+        for v in 1..=100u64 {
+            st.record(v * 1000);
+        }
+        assert_eq!(st.percentile(50.0), 50_000);
+        assert_eq!(st.percentile(95.0), 95_000);
+        assert_eq!(st.percentile(99.0), 99_000);
+        assert_eq!(st.percentile(100.0), 100_000);
+        let s = st.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min_ns, 1_000);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.mean_ns, 50_500);
+        assert!(s.render().contains("100 requests"));
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LatencyStats::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut st = LatencyStats::new();
+        st.record(7);
+        assert_eq!(st.percentile(1.0), 7);
+        assert_eq!(st.percentile(99.0), 7);
+    }
+}

@@ -1,0 +1,59 @@
+//! # lttf-serve
+//!
+//! Zero-dependency batched inference serving for the Conformer
+//! reproduction: a model [`Registry`] that round-trips checkpoints plus
+//! scaler state, a dynamic micro-batching [`Engine`] (bounded queue,
+//! flush on `max_batch` or `max_wait_ms`), and a std-only TCP front end
+//! speaking newline-delimited JSON (see [`protocol`]).
+//!
+//! Requests carry **raw** input windows; the server scales them with the
+//! training scaler stored in the checkpoint metadata, batches concurrent
+//! requests into one no-grad forward pass, and answers in raw units.
+//! Batching is invisible to correctness: every kernel on the forward
+//! path is row-independent, so a batched forecast is bit-identical to a
+//! single-request one.
+//!
+//! ```
+//! use lttf_serve::{serve, BatchConfig, LoadedModel, Registry};
+//! use lttf_conformer::ConformerConfig;
+//! use lttf_data::StandardScaler;
+//! use lttf_eval::TrainedModel;
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! // A tiny in-memory model (real servers load `lttf train` checkpoints
+//! // via `LoadedModel::load`).
+//! let cfg = ConformerConfig::tiny(1, 8, 4);
+//! let model = TrainedModel::from_conformer(&cfg, 0);
+//! let scaler = StandardScaler::from_parts(vec![0.0], vec![1.0]);
+//! let loaded = LoadedModel::from_parts(model, cfg, scaler, "y".into(), 0);
+//!
+//! let handle = serve(
+//!     Registry::single("demo", loaded),
+//!     "127.0.0.1:0", // ephemeral port
+//!     BatchConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! let mut w = stream.try_clone().unwrap();
+//! writeln!(w, r#"{{"id":1,"values":[0,1,2,3,4,5,6,7],"t0":0,"dt":3600}}"#).unwrap();
+//! let mut line = String::new();
+//! BufReader::new(stream).read_line(&mut line).unwrap();
+//! assert!(line.contains(r#""ok":true"#), "{line}");
+//!
+//! let summaries = handle.shutdown(); // drains in-flight work
+//! assert_eq!(summaries[0].1.count, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod engine;
+mod latency;
+pub mod protocol;
+mod registry;
+mod server;
+
+pub use engine::{BatchConfig, Engine, Reject, Reply, Submitter};
+pub use latency::{LatencyStats, LatencySummary};
+pub use registry::{scaler_from_meta, scaler_meta, LoadedModel, Registry, Window};
+pub use server::{serve, ServerHandle};

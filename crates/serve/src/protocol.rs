@@ -1,0 +1,155 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, both flat JSON objects
+//! (the [`lttf_obs::jsonl`] dialect: string/number scalars plus flat
+//! number arrays, no nesting).
+//!
+//! Request fields:
+//!
+//! * `id` — client-chosen correlation number, echoed in the response,
+//! * `values` — the raw (unscaled) input window, `lx * c_in` numbers in
+//!   row-major `[time][variable]` order,
+//! * `t0` — unix timestamp (seconds) of the first window step,
+//! * `dt` — seconds between steps,
+//! * `deadline_ms` — optional per-request deadline; a request that cannot
+//!   be answered within this many milliseconds of arrival is rejected
+//!   instead of served late,
+//! * `model` — optional registry name; defaults to the server's default
+//!   model.
+//!
+//! Responses are `{"id":…,"ok":true,"forecast":[…]}` with `ly` numbers
+//! (the raw-space forecast of the model's target variable), or
+//! `{"id":…,"ok":false,"error":"…"}`. Floats use shortest round-trip
+//! formatting, so an `f32` survives the wire bit-for-bit.
+
+use lttf_obs::jsonl::{field, parse_object, JsonObj};
+
+/// A parsed inference request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client correlation id, echoed back in the response.
+    pub id: u64,
+    /// Raw input window, `lx * c_in` values, row-major `[time][variable]`.
+    pub values: Vec<f32>,
+    /// Unix timestamp (seconds) of the first window step.
+    pub t0: i64,
+    /// Seconds between consecutive steps.
+    pub dt: i64,
+    /// Optional deadline in milliseconds from arrival.
+    pub deadline_ms: Option<u64>,
+    /// Optional registry model name (`None` = server default).
+    pub model: Option<String>,
+}
+
+/// Largest accepted `values` length; guards against a client line that
+/// would allocate without bound.
+pub const MAX_VALUES: usize = 1 << 22;
+
+/// Parse one request line. Errors are human-readable strings that go
+/// straight into the `error` field of the reject response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_object(line)?;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
+    let values = field(&fields, "values")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing array 'values'")?;
+    if values.len() > MAX_VALUES {
+        return Err(format!("'values' too long ({} > {MAX_VALUES})", values.len()));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err("'values' contains a non-finite entry".to_string());
+    }
+    Ok(Request {
+        id,
+        values: values.iter().map(|&v| v as f32).collect(),
+        t0: num("t0").ok_or("missing numeric 't0'")? as i64,
+        dt: num("dt").unwrap_or(3600.0) as i64,
+        deadline_ms: num("deadline_ms").map(|v| v as u64),
+        model: field(&fields, "model")
+            .and_then(|v| v.as_str())
+            .map(str::to_string),
+    })
+}
+
+/// Format a success response carrying the forecast values.
+pub fn format_ok(id: u64, forecast: &[f32]) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .nums("forecast", forecast.iter().copied())
+        .finish()
+}
+
+/// Format a reject/error response.
+pub fn format_err(id: u64, error: &str) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", false)
+        .str("error", error)
+        .finish()
+}
+
+/// Parse a response line back into `(id, Result<forecast, error>)` — the
+/// client half of the protocol, used by `lttf bench-serve` and the tests.
+pub fn parse_response(line: &str) -> Result<(u64, Result<Vec<f32>, String>), String> {
+    let fields = parse_object(line)?;
+    let id = field(&fields, "id")
+        .and_then(|v| v.as_num())
+        .ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if ok {
+        let forecast = field(&fields, "forecast")
+            .and_then(|v| v.as_arr())
+            .ok_or("ok response missing 'forecast'")?;
+        Ok((id, Ok(forecast.iter().map(|&v| v as f32).collect())))
+    } else {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        Ok((id, Err(error.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let line = JsonObj::new()
+            .int("id", 7)
+            .nums("values", [1.5f32, -2.25, 0.125])
+            .int("t0", 1_700_000_000)
+            .int("dt", 60)
+            .int("deadline_ms", 250)
+            .finish();
+        let r = parse_request(&line).unwrap();
+        assert_eq!(r.id, 7);
+        assert_eq!(r.values, vec![1.5, -2.25, 0.125]);
+        assert_eq!(r.t0, 1_700_000_000);
+        assert_eq!(r.dt, 60);
+        assert_eq!(r.deadline_ms, Some(250));
+        assert!(r.model.is_none());
+    }
+
+    #[test]
+    fn response_round_trip_is_bit_exact() {
+        let forecast = vec![0.1f32, -3.5e-5, 1.0e8, f32::MIN_POSITIVE];
+        let (id, res) = parse_response(&format_ok(42, &forecast)).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(res.unwrap(), forecast);
+
+        let (id, res) = parse_response(&format_err(9, "queue full")).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(res.unwrap_err(), "queue full");
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"values\":[1,2]}").is_err()); // no id
+        assert!(parse_request("{\"id\":1,\"t0\":0}").is_err()); // no values
+        // non-finite input must be caught before it reaches the model
+        let line = "{\"id\":1,\"t0\":0,\"values\":[1,null,2]}";
+        assert!(parse_request(line).unwrap_err().contains("non-finite"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The std-only TCP front end.
+//!
+//! Newline-delimited JSON over plain TCP: each connection writes one
+//! request per line and reads one response per line (see
+//! [`crate::protocol`]). A thread per connection parses and prepares
+//! windows, then hands them to the per-model batching [`Engine`]; actual
+//! forward passes happen on the batcher threads, so slow clients never
+//! stall inference.
+//!
+//! Shutdown is graceful by construction: stop accepting, join connection
+//! threads (each finishes the request it is waiting on), then drop the
+//! engines' senders so the batchers drain everything still queued before
+//! exiting.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::engine::{BatchConfig, Engine, Reject, Submitter};
+use crate::latency::LatencySummary;
+use crate::protocol::{format_err, format_ok, parse_request};
+use crate::registry::{LoadedModel, Registry};
+
+/// How often blocked connection reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+struct Shared {
+    /// Per-model submission handles, keyed by registry name.
+    models: HashMap<String, (Arc<LoadedModel>, Submitter)>,
+    default: String,
+    stop: AtomicBool,
+}
+
+/// A running server; dropping it without calling [`ServerHandle::shutdown`]
+/// detaches the threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    engines: Vec<(String, Engine)>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+/// every model in `registry`, each behind its own batching engine.
+pub fn serve(registry: Registry, addr: &str, cfg: BatchConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let mut engines = Vec::new();
+    let mut models = HashMap::new();
+    for name in registry.names() {
+        let model = Arc::clone(registry.get(Some(name)).unwrap());
+        let engine = Engine::start(Arc::clone(&model), cfg);
+        models.insert(name.to_string(), (model, engine.submitter()));
+        engines.push((name.to_string(), engine));
+    }
+    let shared = Arc::new(Shared {
+        models,
+        default: registry.default_name().to_string(),
+        stop: AtomicBool::new(false),
+    });
+    let shared2 = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("lttf-accept".to_string())
+        .spawn(move || accept_loop(listener, shared2))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept,
+        engines,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (port is concrete even when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight and queued work, and return each
+    /// model's latency summary.
+    pub fn shutdown(self) -> Vec<(String, LatencySummary)> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.accept.join().expect("accept thread panicked");
+        // Connection threads are joined; drop the submitters so the
+        // batchers see sender-count zero and drain out.
+        drop(self.shared);
+        self.engines
+            .into_iter()
+            .map(|(name, engine)| (name, engine.shutdown()))
+            .collect()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        lttf_obs::counter!("serve.connections", 1);
+        let shared = Arc::clone(&shared);
+        match thread::Builder::new()
+            .name("lttf-conn".to_string())
+            .spawn(move || handle_conn(stream, shared))
+        {
+            Ok(h) => conns.push(h),
+            Err(e) => eprintln!("serve: cannot spawn connection thread: {e}"),
+        }
+        // Reap finished connections so long-running servers don't
+        // accumulate join handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
+    // Finite read timeouts turn a blocking read loop into a poll loop on
+    // the shutdown flag.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    // Responses are single small lines; without TCP_NODELAY, Nagle +
+    // delayed ACKs add tens of milliseconds per round trip.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` keeps partially-read bytes in `line` across timeout
+        // errors, so resuming with the same buffer is lossless.
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let response = answer(line.trim_end(), &shared);
+                line.clear();
+                if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Process one request line into one response line.
+fn answer(line: &str, shared: &Shared) -> String {
+    let _span = lttf_obs::span!("serve.request");
+    lttf_obs::counter!("serve.requests", 1);
+    if line.is_empty() {
+        return format_err(0, "empty request line");
+    }
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return format_err(0, &format!("bad request: {e}")),
+    };
+    let name = req.model.as_deref().unwrap_or(&shared.default);
+    let Some((model, submitter)) = shared.models.get(name) else {
+        return format_err(req.id, &format!("unknown model '{name}'"));
+    };
+    let window = match model.make_window(&req.values, req.t0, req.dt) {
+        Ok(w) => w,
+        Err(e) => return format_err(req.id, &e),
+    };
+    let deadline = req
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let reply_rx = match submitter.submit(window, deadline) {
+        Ok(rx) => rx,
+        Err(r @ Reject::QueueFull) | Err(r @ Reject::Closed) => {
+            return format_err(req.id, &r.to_string())
+        }
+    };
+    // The batcher answers every accepted job, even during shutdown; a
+    // recv error means it died, which is a server bug worth surfacing.
+    match reply_rx.recv() {
+        Ok(Ok(forecast)) => format_ok(req.id, &forecast),
+        Ok(Err(e)) => format_err(req.id, &e),
+        Err(_) => format_err(req.id, "internal error: batcher gone"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_response;
+    use crate::registry::tiny_model;
+    use lttf_obs::jsonl::JsonObj;
+    use lttf_tensor::{Rng, Tensor};
+
+    fn request_line(id: u64, values: &[f32]) -> String {
+        JsonObj::new()
+            .int("id", id)
+            .nums("values", values.iter().copied())
+            .int("t0", 1_700_000_000)
+            .int("dt", 3600)
+            .finish()
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            out.push(resp.trim_end().to_string());
+        }
+        out
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown_summary() {
+        let model = tiny_model();
+        let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(11))
+            .data()
+            .to_vec();
+        let expect = model.forecast_one(&raw, 1_700_000_000, 3600).unwrap();
+        let reg = Registry::single("demo", model);
+        let handle = serve(reg, "127.0.0.1:0", BatchConfig::default()).unwrap();
+
+        let responses = roundtrip(handle.addr(), &[request_line(5, &raw)]);
+        let (id, res) = parse_response(&responses[0]).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(res.unwrap(), expect, "wire forecast != direct forward");
+
+        let bad = roundtrip(handle.addr(), &["{\"id\":9,\"t0\":0}".to_string()]);
+        let (_, res) = parse_response(&bad[0]).unwrap();
+        assert!(res.unwrap_err().contains("bad request"));
+
+        let summaries = handle.shutdown();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].0, "demo");
+        assert_eq!(summaries[0].1.count, 1);
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let model = tiny_model();
+        let raw = vec![0.5f32; model.window_len()];
+        let reg = Registry::single("demo", model);
+        let handle = serve(reg, "127.0.0.1:0", BatchConfig::default()).unwrap();
+        let line = JsonObj::new()
+            .int("id", 1)
+            .str("model", "nope")
+            .nums("values", raw.iter().copied())
+            .int("t0", 0)
+            .finish();
+        let responses = roundtrip(handle.addr(), &[line]);
+        let (_, res) = parse_response(&responses[0]).unwrap();
+        assert!(res.unwrap_err().contains("unknown model"));
+        handle.shutdown();
+    }
+}

@@ -22,6 +22,13 @@ LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline
 echo "==> cargo test -q --offline  (LTTF_THREADS=4, pooled)"
 LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline
 
+echo "==> serve e2e  (real TCP round trips, serial and pooled)"
+LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline --test serve_e2e
+LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline --test serve_e2e
+
+echo "==> cargo doc --no-deps --offline  (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
 echo "==> cargo bench --no-run --offline  (compile-only check of crates/bench)"
 cargo bench --no-run --offline
 

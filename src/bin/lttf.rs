@@ -19,7 +19,7 @@ use lttf::conformer::{Conformer, ConformerConfig};
 use lttf::data::synth::{Dataset, SynthSpec};
 use lttf::data::{read_csv, write_csv, Freq, Split, TimeSeries, WindowDataset, MARK_DIM};
 use lttf::eval::{evaluate, train_logged, TrainOptions, TrainedModel};
-use lttf::nn::{load_params, save_params, Fwd, ParamSet};
+use lttf::nn::{load_params, save_params_with_meta, Fwd, ParamSet};
 use lttf::obs::RunLog;
 use lttf::tensor::{Rng, Tensor};
 use std::collections::HashMap;
@@ -34,7 +34,11 @@ fn usage() -> ! {
          lttf forecast --data FILE.csv --model MODEL [--samples N] [--coverage P]\n  \
          lttf profile [--smoke] [--mode train|fwd] [--epochs N] [--lx N] [--ly N] \
          [--d-model N] [--batch N] [--len N] [--dims N] [--seed N] [--threads N] \
-         [--name NAME] [--out-dir DIR]"
+         [--name NAME] [--out-dir DIR]\n  \
+         lttf serve --model MODEL [--port N] [--max-batch N] [--max-wait-ms N] \
+         [--queue-cap N]\n  \
+         lttf bench-serve [--threads N] [--requests N] [--max-batch N] \
+         [--max-wait-ms N] [--lx N] [--d-model N] [--out-dir DIR]"
     );
     exit(2);
 }
@@ -119,67 +123,6 @@ fn cmd_generate(flags: HashMap<String, String>) {
     );
 }
 
-/// Sidecar config format: one `key value` pair per line.
-fn save_config(cfg: &ConformerConfig, target: &str, path: &str) -> std::io::Result<()> {
-    let text = format!(
-        "c_in {}\nc_out {}\nlx {}\nly {}\nlabel_len {}\nd_model {}\nn_heads {}\n\
-         enc_layers {}\ndec_layers {}\nflow_steps {}\nlambda {}\ntarget {}\n\
-         strides {}\n",
-        cfg.c_in,
-        cfg.c_out,
-        cfg.lx,
-        cfg.ly,
-        cfg.label_len,
-        cfg.d_model,
-        cfg.n_heads,
-        cfg.enc_layers,
-        cfg.dec_layers,
-        cfg.flow_steps,
-        cfg.lambda,
-        target,
-        cfg.multiscale_strides
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-    );
-    std::fs::write(path, text)
-}
-
-fn load_config(path: &str) -> (ConformerConfig, String) {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1);
-    });
-    let mut kv = HashMap::new();
-    for line in text.lines() {
-        if let Some((k, v)) = line.split_once(' ') {
-            kv.insert(k.to_string(), v.to_string());
-        }
-    }
-    let geti = |k: &str| -> usize {
-        kv.get(k).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-            eprintln!("config {path} missing field '{k}'");
-            exit(1);
-        })
-    };
-    let mut cfg = ConformerConfig::new(geti("c_in"), geti("lx"), geti("ly"));
-    cfg.c_out = geti("c_out");
-    cfg.label_len = geti("label_len");
-    cfg.d_model = geti("d_model");
-    cfg.n_heads = geti("n_heads");
-    cfg.enc_layers = geti("enc_layers");
-    cfg.dec_layers = geti("dec_layers");
-    cfg.flow_steps = geti("flow_steps");
-    cfg.lambda = kv.get("lambda").and_then(|v| v.parse().ok()).unwrap_or(0.8);
-    cfg.multiscale_strides = kv
-        .get("strides")
-        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
-        .unwrap_or_else(|| vec![1]);
-    let target = kv.get("target").cloned().unwrap_or_default();
-    (cfg, target)
-}
-
 fn cmd_train(flags: HashMap<String, String>) {
     let data = require(&flags, "data");
     let target = require(&flags, "target");
@@ -249,14 +192,18 @@ fn cmd_train(flags: HashMap<String, String>) {
     }
     println!("test: {}", evaluate(&model, &test_set, 16));
 
-    save_params(model.params(), format!("{out}.params")).unwrap_or_else(|e| {
+    // Checkpoint metadata carries the train-split scaler statistics so
+    // `lttf serve` can round-trip raw inputs without the training CSV.
+    let meta = lttf::serve::scaler_meta(train_set.scaler(), target, train_set.target());
+    save_params_with_meta(model.params(), &meta, format!("{out}.params")).unwrap_or_else(|e| {
         eprintln!("cannot save checkpoint: {e}");
         exit(1);
     });
-    save_config(&cfg, target, &format!("{out}.config")).unwrap_or_else(|e| {
-        eprintln!("cannot save config: {e}");
-        exit(1);
-    });
+    cfg.save_sidecar(target, &format!("{out}.config"))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot save config: {e}");
+            exit(1);
+        });
     println!("saved {out}.params / {out}.config");
 }
 
@@ -304,7 +251,11 @@ fn cmd_forecast(flags: HashMap<String, String>) {
     let samples = get(&flags, "samples", 50usize);
     let cov = get(&flags, "coverage", 0.9f32);
 
-    let (cfg, target) = load_config(&format!("{model_base}.config"));
+    let (cfg, target) =
+        ConformerConfig::load_sidecar(&format!("{model_base}.config")).unwrap_or_else(|e| {
+            eprintln!("cannot read {model_base}.config: {e}");
+            exit(1);
+        });
     let series = read_csv(data, &target, Freq::Irregular).unwrap_or_else(|e| {
         eprintln!("cannot read {data}: {e}");
         exit(1);
@@ -465,6 +416,229 @@ fn cmd_profile(flags: HashMap<String, String>) {
     println!("run log: {}", log.path().display());
 }
 
+/// `lttf serve`: load a checkpoint and answer forecast requests over TCP
+/// (newline-delimited JSON, see `lttf_serve::protocol`). Runs until stdin
+/// reaches EOF or a line saying `quit`, then drains in-flight work and
+/// prints the latency summary.
+fn cmd_serve(flags: HashMap<String, String>) {
+    let model_base = require(&flags, "model");
+    let port = get(&flags, "port", 7878u16);
+    let batch_cfg = lttf::serve::BatchConfig {
+        max_batch: get(&flags, "max-batch", 8usize),
+        max_wait_ms: get(&flags, "max-wait-ms", 5u64),
+        queue_cap: get(&flags, "queue-cap", 128usize),
+    };
+    let model = lttf::serve::LoadedModel::load(model_base).unwrap_or_else(|e| {
+        eprintln!("cannot load {model_base}: {e}");
+        exit(1);
+    });
+    let name = std::path::Path::new(model_base)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("default")
+        .to_string();
+    println!(
+        "serving '{}' (target '{}', lx {}, ly {}) as model '{name}'",
+        model_base,
+        model.target(),
+        model.cfg().lx,
+        model.cfg().ly,
+    );
+    let registry = lttf::serve::Registry::single(&name, model);
+    let handle = lttf::serve::serve(registry, &format!("127.0.0.1:{port}"), batch_cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind port {port}: {e}");
+            exit(1);
+        });
+    println!(
+        "listening on {} (max_batch {}, max_wait {} ms, queue {}); \
+         send requests with e.g. `nc 127.0.0.1 {port}`; \
+         type 'quit' or close stdin to stop",
+        handle.addr(),
+        batch_cfg.max_batch,
+        batch_cfg.max_wait_ms,
+        batch_cfg.queue_cap,
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    println!("shutting down (draining in-flight requests)…");
+    for (name, summary) in handle.shutdown() {
+        println!("{name}: {}", summary.render());
+    }
+}
+
+/// One closed-loop client run against a freshly started server: `threads`
+/// clients each send `per_thread` requests back-to-back over their own
+/// connection. Returns (elapsed, client-observed latencies).
+fn bench_serve_run(
+    addr: std::net::SocketAddr,
+    threads: usize,
+    per_thread: usize,
+    window: &[f32],
+) -> (std::time::Duration, lttf::serve::LatencyStats) {
+    use std::io::{BufRead, BufReader, Write};
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let window = window.to_vec();
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut lat = Vec::with_capacity(per_thread);
+                let mut resp = String::new();
+                for i in 0..per_thread {
+                    let line = lttf::obs::JsonObj::new()
+                        .int("id", (t * per_thread + i) as u64)
+                        .nums("values", window.iter().copied())
+                        .int("t0", 1_700_000_000)
+                        .int("dt", 3600)
+                        .finish();
+                    let sent = std::time::Instant::now();
+                    writeln!(writer, "{line}").expect("send");
+                    resp.clear();
+                    reader.read_line(&mut resp).expect("recv");
+                    lat.push(sent.elapsed().as_nanos() as u64);
+                    let (_, result) =
+                        lttf::serve::protocol::parse_response(resp.trim_end()).expect("parse");
+                    result.expect("request failed");
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut stats = lttf::serve::LatencyStats::new();
+    for h in handles {
+        for ns in h.join().expect("client thread") {
+            stats.record(ns);
+        }
+    }
+    (t0.elapsed(), stats)
+}
+
+/// `lttf bench-serve`: closed-loop serving benchmark. Builds a synthetic
+/// model in-process, serves it on an ephemeral port, and drives it with
+/// N client threads twice — once with batching disabled (`max_batch=1`)
+/// and once with the requested `max_batch` — writing both runs'
+/// throughput and latency percentiles to `results/BENCH_serve.json`.
+fn cmd_bench_serve(flags: HashMap<String, String>) {
+    use lttf::obs::JsonObj;
+    let threads = get(&flags, "threads", 8usize);
+    let requests = get(&flags, "requests", 40usize); // per thread
+    let max_batch = get(&flags, "max-batch", 8usize);
+    let max_wait_ms = get(&flags, "max-wait-ms", 2u64);
+    let lx = get(&flags, "lx", 48usize);
+    let d_model = get(&flags, "d-model", 16usize);
+    let out_dir = flags
+        .get("out-dir")
+        .map(String::as_str)
+        .unwrap_or("results");
+
+    // Deterministic in-memory model; dims=3 keeps the forward pass cheap
+    // enough that queueing (not compute) dominates at max_batch=1.
+    let mut cfg = ConformerConfig::new(3, lx, lx / 2);
+    cfg.d_model = d_model;
+    cfg.n_heads = if d_model.is_multiple_of(4) { 4 } else { 2 };
+    cfg.multiscale_strides = vec![1, (lx / 4).max(2)];
+    let window_len = cfg.lx * cfg.c_in;
+    let make_model = || {
+        let model = TrainedModel::from_conformer(&cfg, 7);
+        let fit_on = Tensor::randn(&[256, cfg.c_in], &mut Rng::seed(5))
+            .mul_scalar(2.0)
+            .add_scalar(1.0);
+        let scaler = lttf::data::StandardScaler::fit(&fit_on);
+        lttf::serve::LoadedModel::from_parts(model, cfg.clone(), scaler, "y".to_string(), 0)
+    };
+    let window = Tensor::randn(&[window_len], &mut Rng::seed(6)).data().to_vec();
+    println!(
+        "bench-serve: {threads} client threads x {requests} requests, lx {lx}, \
+         d_model {d_model}, max_batch 1 vs {max_batch}"
+    );
+
+    let mut lines = Vec::new();
+    let mut rps = Vec::new();
+    for batch in [1usize, max_batch] {
+        let registry = lttf::serve::Registry::single("bench", make_model());
+        let handle = lttf::serve::serve(
+            registry,
+            "127.0.0.1:0",
+            lttf::serve::BatchConfig {
+                max_batch: batch,
+                max_wait_ms,
+                queue_cap: (threads * 4).max(32),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start server: {e}");
+            exit(1);
+        });
+        let (elapsed, mut stats) = bench_serve_run(handle.addr(), threads, requests, &window);
+        handle.shutdown();
+        let total = threads * requests;
+        let throughput = total as f64 / elapsed.as_secs_f64();
+        let summary = stats.summary();
+        println!(
+            "max_batch {batch}: {throughput:.1} req/s, {}",
+            summary.render()
+        );
+        rps.push(throughput);
+        lines.push(
+            JsonObj::new()
+                .str("suite", "serve")
+                .str("bench", &format!("closed_loop/max_batch_{batch}"))
+                .int("threads", threads as u64)
+                .int("requests", total as u64)
+                .int("max_batch", batch as u64)
+                .num("rps", throughput)
+                .int("min_ns", summary.min_ns)
+                .int("mean_ns", summary.mean_ns)
+                .int("median_ns", summary.p50_ns)
+                .int("p95_ns", summary.p95_ns)
+                .int("p99_ns", summary.p99_ns)
+                .int("max_ns", summary.max_ns)
+                .finish(),
+        );
+    }
+    let speedup = rps[1] / rps[0].max(1e-9);
+    println!("batching speedup: {speedup:.2}x over max_batch=1");
+    lines.push(
+        JsonObj::new()
+            .str("suite", "serve")
+            .str("bench", "batching_speedup")
+            .int("threads", threads as u64)
+            .int("max_batch", max_batch as u64)
+            .num("speedup", speedup)
+            .int("min_ns", 0)
+            .int("mean_ns", 0)
+            .int("median_ns", 0)
+            .finish(),
+    );
+    let path = format!("{out_dir}/BENCH_serve.json");
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(out_dir)?;
+        let mut sink = lttf::obs::JsonlSink::create(&path)?;
+        for line in &lines {
+            sink.write_line(line)?;
+        }
+        sink.flush()
+    };
+    write().unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -476,6 +650,8 @@ fn main() {
         "train" => cmd_train(flags),
         "forecast" => cmd_forecast(flags),
         "profile" => cmd_profile(flags),
+        "serve" => cmd_serve(flags),
+        "bench-serve" => cmd_bench_serve(flags),
         _ => usage(),
     }
 }

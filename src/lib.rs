@@ -17,6 +17,7 @@
 //! * [`eval`] — metrics, trainer, experiment utilities
 //! * [`obs`] — zero-dependency telemetry: spans, counters, JSONL run logs
 //! * [`parallel`] — the fork-join thread pool behind the kernels
+//! * [`serve`] — batched inference serving over TCP (`lttf serve`)
 //!
 //! See `examples/quickstart.rs` for an end-to-end training run.
 
@@ -29,6 +30,7 @@ pub use lttf_fft as fft;
 pub use lttf_nn as nn;
 pub use lttf_obs as obs;
 pub use lttf_parallel as parallel;
+pub use lttf_serve as serve;
 pub use lttf_tensor as tensor;
 
 /// Crate version, for binaries that report it.

@@ -1,0 +1,159 @@
+//! End-to-end tests of the serving subsystem: a real TCP server on an
+//! ephemeral port, concurrent clients, bit-for-bit agreement with the
+//! direct forward pass, and deadline-based rejection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use lttf::conformer::ConformerConfig;
+use lttf::data::StandardScaler;
+use lttf::eval::TrainedModel;
+use lttf::obs::JsonObj;
+use lttf::serve::{protocol, serve, BatchConfig, LoadedModel, Registry};
+use lttf::tensor::{Rng, Tensor};
+
+fn test_model() -> LoadedModel {
+    let cfg = ConformerConfig::tiny(3, 12, 6);
+    let model = TrainedModel::from_conformer(&cfg, 42);
+    let fit_on = Tensor::randn(&[128, 3], &mut Rng::seed(1))
+        .mul_scalar(4.0)
+        .add_scalar(-2.0);
+    let scaler = StandardScaler::fit(&fit_on);
+    LoadedModel::from_parts(model, cfg, scaler, "OT".to_string(), 2)
+}
+
+fn raw_window(model: &LoadedModel, seed: u64) -> Vec<f32> {
+    Tensor::randn(&[model.window_len()], &mut Rng::seed(seed))
+        .mul_scalar(3.0)
+        .data()
+        .to_vec()
+}
+
+fn request_line(id: u64, values: &[f32], deadline_ms: Option<u64>) -> String {
+    let mut obj = JsonObj::new()
+        .int("id", id)
+        .nums("values", values.iter().copied())
+        .int("t0", 1_700_000_000)
+        .int("dt", 3600);
+    if let Some(ms) = deadline_ms {
+        obj = obj.int("deadline_ms", ms);
+    }
+    obj.finish()
+}
+
+/// Open a connection, send one line, read one line back.
+fn ask(addr: SocketAddr, line: &str) -> (u64, Result<Vec<f32>, String>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{line}").unwrap();
+    writer.flush().unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    protocol::parse_response(resp.trim_end()).expect("well-formed response")
+}
+
+#[test]
+fn concurrent_clients_match_direct_forward_bit_for_bit() {
+    let reference = test_model();
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        BatchConfig {
+            max_batch: 4,
+            max_wait_ms: 10,
+            queue_cap: 64,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Eight clients with distinct windows, concurrently, several rounds
+    // each — enough overlap that the batcher actually forms multi-row
+    // batches.
+    let reference = Arc::new(reference);
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for round in 0..3u64 {
+                    let seed = 100 + c * 10 + round;
+                    let raw = raw_window(&reference, seed);
+                    let (id, res) = ask(addr, &request_line(seed, &raw, None));
+                    assert_eq!(id, seed);
+                    let got = res.expect("server answered with an error");
+                    let want = reference
+                        .forecast_one(&raw, 1_700_000_000, 3600)
+                        .expect("direct forward");
+                    // Bit-for-bit: same floats regardless of how the
+                    // batcher grouped this request with others.
+                    assert_eq!(got, want, "client {c} round {round} diverged");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let summaries = handle.shutdown();
+    assert_eq!(summaries.len(), 1);
+    assert_eq!(summaries[0].1.count, 24, "all requests must be served");
+    assert!(summaries[0].1.p99_ns >= summaries[0].1.p50_ns);
+}
+
+#[test]
+fn past_deadline_request_is_rejected_not_served() {
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        BatchConfig::default(),
+    )
+    .expect("bind");
+    let raw = raw_window(&test_model(), 7);
+    // deadline_ms = 0: already expired when the batcher dequeues it.
+    let (id, res) = ask(handle.addr(), &request_line(9, &raw, Some(0)));
+    assert_eq!(id, 9);
+    let err = res.expect_err("an expired request must not be served");
+    assert!(err.contains("deadline"), "unexpected error: {err}");
+
+    // The server stays healthy for later requests on the same port.
+    let (_, res) = ask(handle.addr(), &request_line(10, &raw, None));
+    res.expect("follow-up request served");
+
+    let summaries = handle.shutdown();
+    // Only the served request counts toward latency.
+    assert_eq!(summaries[0].1.count, 1);
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_error_responses() {
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        BatchConfig::default(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    let (_, res) = ask(addr, "this is not json");
+    assert!(res.unwrap_err().contains("bad request"));
+
+    // Wrong window length: rejected with the expected size in the message.
+    let (_, res) = ask(addr, &request_line(1, &[1.0, 2.0], None));
+    assert!(res.unwrap_err().contains("expected 36 values"));
+
+    // Unknown model name.
+    let line = JsonObj::new()
+        .int("id", 2)
+        .str("model", "missing")
+        .nums("values", raw_window(&test_model(), 1).iter().copied())
+        .int("t0", 0)
+        .finish();
+    let (_, res) = ask(addr, &line);
+    assert!(res.unwrap_err().contains("unknown model"));
+
+    handle.shutdown();
+}
