@@ -167,6 +167,34 @@ impl Graph {
         self.push(name, value, ids, Some(Box::new(back)))
     }
 
+    /// Scan every computed node's forward value and aggregate one
+    /// [`lttf_obs::TensorHealth`] per op name (leaves are skipped — the
+    /// trainer inspects parameters and gradients separately). Names come
+    /// back in first-appearance tape order, so the health monitor's log
+    /// records follow the forward pass. One pass over the tape's values;
+    /// call it at a cadence, not per batch.
+    pub fn activation_health(&self) -> Vec<(&'static str, lttf_obs::TensorHealth)> {
+        let values = self.values.borrow();
+        let names = self.names.borrow();
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut agg: std::collections::HashMap<&'static str, lttf_obs::TensorHealth> =
+            std::collections::HashMap::new();
+        for (v, &name) in values.iter().zip(names.iter()) {
+            if name == "leaf" {
+                continue;
+            }
+            let h = lttf_obs::TensorHealth::from_slice(v.data());
+            match agg.get_mut(name) {
+                Some(existing) => *existing = existing.merge(&h),
+                None => {
+                    order.push(name);
+                    agg.insert(name, h);
+                }
+            }
+        }
+        order.into_iter().map(|n| (n, agg[n])).collect()
+    }
+
     /// Run reverse-mode accumulation from `root`.
     ///
     /// The root is seeded with a gradient of ones (so a scalar root yields
@@ -384,6 +412,21 @@ mod tests {
     fn from_raw_validates_id() {
         let g = Graph::new();
         Var::from_raw(&g, 3);
+    }
+
+    #[test]
+    fn activation_health_aggregates_by_op() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_slice(&[1.0, 2.0]));
+        let y = x.add(x); // [2, 4]
+        let _z = y.add(y); // [4, 8] — same op name, merged with y's stats
+        let scan = g.activation_health();
+        assert_eq!(scan.len(), 1, "leaves skipped, adds merged");
+        let (name, h) = &scan[0];
+        assert_eq!(*name, "add");
+        assert_eq!(h.count, 4);
+        assert!((h.mean - 4.5).abs() < 1e-9);
+        assert!(!h.non_finite());
     }
 
     #[test]

@@ -132,6 +132,7 @@ mod tests {
                 clip: 5.0,
                 seed: 1,
                 val_max_windows: 32,
+                ..Default::default()
             },
         );
         (model, test)

@@ -146,6 +146,7 @@ mod tests {
                 clip: 5.0,
                 seed: 3,
                 val_max_windows: 32,
+                ..Default::default()
             },
             eval_max_windows: 32,
         }

@@ -28,5 +28,6 @@ pub use multirun::{run_seeds, run_seeds_with_reports, RunStats, TrainSummary};
 pub use scale::Scale;
 pub use table::Table;
 pub use trainer::{
-    evaluate, evaluate_subset, quiet, train, train_logged, StopReason, TrainOptions, TrainReport,
+    evaluate, evaluate_subset, quiet, train, train_logged, HealthConfig, StopReason, TrainOptions,
+    TrainReport,
 };

@@ -7,20 +7,55 @@ use crate::model::TrainedModel;
 use lttf_autograd::Graph;
 use lttf_data::WindowDataset;
 use lttf_nn::{Adam, Fwd, GradClip, Optimizer};
-use lttf_obs::RunLog;
+use lttf_obs::{health, RunLog, Watchdog};
 use lttf_tensor::Rng;
 use std::time::Instant;
 
 /// True when `LTTF_QUIET` is set (to anything but `0`/empty): suppresses
 /// the per-epoch progress line on stderr so tests and benches stay clean.
-/// Read once per process.
+/// Delegates to `lttf_obs::env`, the one place the variable is parsed.
 pub fn quiet() -> bool {
-    static QUIET: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *QUIET.get_or_init(|| {
-        std::env::var("LTTF_QUIET")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
-    })
+    lttf_obs::env::quiet()
+}
+
+/// Training health monitor configuration (see `lttf_obs::health`).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Scan parameter gradients every `cadence` batches; 0 disables the
+    /// monitor entirely (the default — scans cost one pass over every
+    /// parameter tensor).
+    pub cadence: usize,
+    /// Also scan forward activations on the autograd tape, aggregated per
+    /// op name. Roughly doubles the scan cost.
+    pub activations: bool,
+    /// A single parameter gradient's L2 norm above this counts as
+    /// exploding. NaN/Inf always trip regardless.
+    pub max_grad_norm: f64,
+    /// Stop training when the watchdog trips (otherwise warn once per
+    /// trip and continue).
+    pub halt: bool,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            cadence: 0,
+            activations: false,
+            max_grad_norm: 1e4,
+            halt: true,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Monitor every `cadence` batches with default thresholds, halting
+    /// on divergence.
+    pub fn every(cadence: usize) -> Self {
+        HealthConfig {
+            cadence,
+            ..Default::default()
+        }
+    }
 }
 
 /// Trainer knobs.
@@ -45,6 +80,8 @@ pub struct TrainOptions {
     /// Cap on validation windows used for early stopping
     /// (`usize::MAX` = all).
     pub val_max_windows: usize,
+    /// Training health monitor (off by default; see [`HealthConfig`]).
+    pub health: HealthConfig,
 }
 
 impl Default for TrainOptions {
@@ -59,6 +96,7 @@ impl Default for TrainOptions {
             clip: 5.0,
             seed: 0,
             val_max_windows: usize::MAX,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -76,6 +114,7 @@ impl TrainOptions {
             clip: 5.0,
             seed,
             val_max_windows: scale.eval_max_windows() / 2,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -88,6 +127,9 @@ pub enum StopReason {
     MaxEpochs,
     /// Validation loss failed to improve for `patience` epochs.
     EarlyStopped,
+    /// The health watchdog flagged NaN/Inf or an exploding gradient and
+    /// the policy was to halt (see [`HealthConfig::halt`]).
+    Diverged,
 }
 
 impl StopReason {
@@ -96,6 +138,7 @@ impl StopReason {
         match self {
             StopReason::MaxEpochs => "max_epochs",
             StopReason::EarlyStopped => "early_stopped",
+            StopReason::Diverged => "diverged",
         }
     }
 }
@@ -121,6 +164,10 @@ pub struct TrainReport {
     pub grad_norms: Vec<f32>,
     /// Whether the run early-stopped or exhausted its epoch budget.
     pub stop_reason: StopReason,
+    /// Watchdog verdict, when the health monitor flagged the run
+    /// (rendered as `"divergence in <layer>: <reason>"`). Set even when
+    /// the policy was to warn rather than halt.
+    pub divergence: Option<String>,
 }
 
 /// Train `model` in place. Returns the per-epoch report.
@@ -156,6 +203,7 @@ pub fn train_logged(
     let mut report = TrainReport::default();
     let mut best_val = f32::INFINITY;
     let mut bad_epochs = 0usize;
+    let mut halted = false;
     let run_start = Instant::now();
     if let Some(l) = log.as_deref_mut() {
         let name = l
@@ -186,6 +234,8 @@ pub fn train_logged(
         }
         let mut epoch_loss = 0.0;
         let mut grad_norm_sum = 0.0f32;
+        let mut ran = 0usize;
+        let mut gn_batches = 0usize;
         for (bi, idx) in batches.iter().enumerate() {
             let batch = train_set.batch(idx);
             let g = Graph::new();
@@ -196,20 +246,75 @@ pub fn train_logged(
                 opts.seed.wrapping_add((epoch * 10_007 + bi) as u64),
             );
             let loss = model.batch_loss(&cx, &batch);
-            epoch_loss += loss.value().item();
+            let loss_val = loss.value().item();
+            epoch_loss += loss_val;
+            ran = bi + 1;
             let grads = g.backward(loss);
             let collected = cx.collect_grads(&grads);
+            let scan_now = opts.health.cadence > 0 && bi % opts.health.cadence == 0;
+            let acts = if scan_now && opts.health.activations {
+                g.activation_health()
+            } else {
+                Vec::new()
+            };
             let ps = model.params_mut();
             ps.zero_grad();
             ps.apply_grads(collected);
+            if scan_now {
+                let dog = Watchdog {
+                    max_grad_norm: opts.health.max_grad_norm,
+                };
+                // Precedence: raw (pre-clip) param gradients, then tape
+                // activations, then the loss scalar — first problem wins.
+                // Gradients come first so a NaN loss (which poisons every
+                // gradient too) is still reported with a layer name.
+                let mut found = None;
+                for (name, _value_h, grad_h) in ps.health_scan() {
+                    if let Some(l) = log.as_deref_mut() {
+                        l.health(epoch, bi, "grad", name, &grad_h)
+                            .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
+                    }
+                    if found.is_none() {
+                        found = dog.check(name, &grad_h);
+                    }
+                }
+                for (name, act_h) in &acts {
+                    if let Some(l) = log.as_deref_mut() {
+                        l.health(epoch, bi, "act", name, act_h)
+                            .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
+                    }
+                    if found.is_none() {
+                        found = dog.check(name, act_h);
+                    }
+                }
+                if found.is_none() {
+                    found = dog.check_scalar("loss", loss_val as f64);
+                }
+                if let Some(d) = found {
+                    health::set_global(Some(d.clone()));
+                    if report.divergence.is_none() {
+                        if !quiet() {
+                            eprintln!("[health] {d} (epoch {epoch} batch {bi})");
+                        }
+                        report.divergence = Some(d.to_string());
+                    }
+                    if opts.health.halt {
+                        // Don't step the optimizer with poisoned grads.
+                        report.stop_reason = StopReason::Diverged;
+                        halted = true;
+                        break;
+                    }
+                }
+            }
             if let Some(c) = &clip {
                 c.apply(ps);
             }
             grad_norm_sum += ps.grad_norm();
+            gn_batches += 1;
             opt.step(ps);
         }
-        let train_loss = epoch_loss / batches.len() as f32;
-        let grad_norm = grad_norm_sum / batches.len() as f32;
+        let train_loss = epoch_loss / ran.max(1) as f32;
+        let grad_norm = grad_norm_sum / gn_batches.max(1) as f32;
         let epoch_time = epoch_start.elapsed().as_secs_f64();
         report.train_losses.push(train_loss);
         report.epoch_times.push(epoch_time as f32);
@@ -218,7 +323,9 @@ pub fn train_logged(
 
         let mut val_mse = None;
         let mut stop = false;
-        if let Some(val) = val_set {
+        // A halted (diverged) epoch skips validation — the parameters are
+        // already poisoned, so the number would be noise.
+        if let Some(val) = val_set.filter(|_| !halted) {
             let m = evaluate_subset(model, val, opts.batch_size.max(1), opts.val_max_windows);
             report.val_losses.push(m.mse);
             val_mse = Some(m.mse);
@@ -253,12 +360,12 @@ pub fn train_logged(
                 val_mse,
                 opt.lr(),
                 grad_norm,
-                batches.len(),
+                ran,
                 epoch_time,
             )
             .unwrap_or_else(|e| eprintln!("warning: run log write failed: {e}"));
         }
-        if stop {
+        if stop || halted {
             break;
         }
         opt.set_lr(opt.lr() * opts.lr_decay);
@@ -337,6 +444,7 @@ mod tests {
             clip: 5.0,
             seed: 2,
             val_max_windows: usize::MAX,
+            health: HealthConfig::default(),
         };
         let report = train(&mut model, &train_set, Some(&val), &opts);
         let after = evaluate(&model, &test, 16);
@@ -369,6 +477,7 @@ mod tests {
             clip: 0.0,
             seed: 3,
             val_max_windows: usize::MAX,
+            health: HealthConfig::default(),
         };
         let report = train(&mut model, &train_set, Some(&val), &opts);
         assert!(report.stopped_at < 50, "never early-stopped");

@@ -104,6 +104,25 @@ impl ParamSet {
         (0..self.params.len()).map(ParamId)
     }
 
+    /// One-pass health statistics per parameter, in registration order:
+    /// `(name, value stats, gradient stats)`. The training health monitor
+    /// feeds these to its divergence watchdog and the run log.
+    pub fn health_scan(
+        &self,
+    ) -> Vec<(&str, lttf_obs::TensorHealth, lttf_obs::TensorHealth)> {
+        self.params
+            .iter()
+            .zip(&self.names)
+            .map(|(p, name)| {
+                (
+                    name.as_str(),
+                    lttf_obs::TensorHealth::from_slice(p.value.data()),
+                    lttf_obs::TensorHealth::from_slice(p.grad.data()),
+                )
+            })
+            .collect()
+    }
+
     /// A human-readable parameter-count breakdown, grouped by the first
     /// dot-separated component of each parameter name (i.e. per layer /
     /// block), largest first. Useful for model cards and debugging:
@@ -352,6 +371,22 @@ mod tests {
         let cx = Fwd::new(&g, &ps, true, 0);
         let x = g.leaf(Tensor::ones(&[4]));
         cx.dropout(x, 1.0);
+    }
+
+    #[test]
+    fn health_scan_reports_per_param_stats() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("enc.w", Tensor::from_slice(&[3.0, 4.0]));
+        ps.add("enc.b", Tensor::from_slice(&[0.0]));
+        ps.accumulate_grad(a, &Tensor::from_slice(&[f32::NAN, 1.0]));
+        let scan = ps.health_scan();
+        assert_eq!(scan.len(), 2);
+        let (name, value, grad) = &scan[0];
+        assert_eq!(*name, "enc.w");
+        assert!((value.norm - 5.0).abs() < 1e-9);
+        assert_eq!(grad.nan, 1);
+        assert!(grad.non_finite());
+        assert!(!scan[1].2.non_finite());
     }
 
     #[test]

@@ -1,30 +1,34 @@
-//! Std-only JSONL validator used by `scripts/ci.sh`.
+//! Std-only JSONL / trace validator used by `scripts/ci.sh`.
 //!
-//! Usage: `jsonl_check <file.jsonl>...`
+//! Usage: `jsonl_check [--bench|--trace] <file>...`
 //!
 //! Files whose name starts with `BENCH_` (or given via `--bench`) are
-//! checked as bench-record lines (every line a flat JSON object); all
-//! other files are validated against the training run-log schema in
-//! `lttf_obs::runlog`. Exits non-zero on the first invalid file.
+//! checked as bench-record lines (every line a flat JSON object);
+//! `--trace` files are checked as Chrome `trace_event` JSON produced by
+//! `lttf trace` (framing, per-line strict parse, B/E nesting); all other
+//! files are validated against the training run-log schema in
+//! `lttf_obs::runlog`. Every mode requires a trailing newline at EOF.
+//! Exits non-zero on the first invalid file.
 
 use std::process::ExitCode;
 
 use lttf_obs::jsonl::parse_object;
-use lttf_obs::runlog;
+use lttf_obs::{runlog, trace};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut force_bench = false;
+    let mut force_trace = false;
     let mut paths = Vec::new();
     for a in &mut args {
-        if a == "--bench" {
-            force_bench = true;
-        } else {
-            paths.push(a);
+        match a.as_str() {
+            "--bench" => force_bench = true,
+            "--trace" => force_trace = true,
+            _ => paths.push(a),
         }
     }
-    if paths.is_empty() {
-        eprintln!("usage: jsonl_check [--bench] <file.jsonl>...");
+    if paths.is_empty() || (force_bench && force_trace) {
+        eprintln!("usage: jsonl_check [--bench|--trace] <file>...");
         return ExitCode::from(2);
     }
 
@@ -35,7 +39,9 @@ fn main() -> ExitCode {
                 .file_name()
                 .and_then(|n| n.to_str())
                 .is_some_and(|n| n.starts_with("BENCH_"));
-        let outcome = if is_bench {
+        let outcome = if force_trace {
+            check_trace(path)
+        } else if is_bench {
             check_bench(path)
         } else {
             check_runlog(path)
@@ -52,17 +58,34 @@ fn main() -> ExitCode {
     }
 }
 
+fn read_with_newline(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("missing trailing newline at end of file".into());
+    }
+    Ok(text)
+}
+
 fn check_runlog(path: &str) -> Result<(), String> {
-    let summary = runlog::validate_file(path)?;
+    let summary = runlog::validate(&read_with_newline(path)?)?;
     println!(
-        "ok {path}: run {:?}, {} epochs, stop_reason {}, {} span records",
-        summary.name, summary.epochs, summary.stop_reason, summary.spans
+        "ok {path}: run {:?}, {} epochs, stop_reason {}, {} span records, {} health records",
+        summary.name, summary.epochs, summary.stop_reason, summary.spans, summary.health
+    );
+    Ok(())
+}
+
+fn check_trace(path: &str) -> Result<(), String> {
+    let summary = trace::validate_chrome(&read_with_newline(path)?)?;
+    println!(
+        "ok {path}: {} events on {} threads, {} slices, {} async",
+        summary.events, summary.threads, summary.slices, summary.async_slices
     );
     Ok(())
 }
 
 fn check_bench(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let text = read_with_newline(path)?;
     let mut records = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {

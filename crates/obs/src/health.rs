@@ -1,0 +1,269 @@
+//! Training health: per-tensor statistics, a divergence watchdog, and a
+//! process-global health flag the serve metrics endpoint can report.
+//!
+//! The trainer scans parameter gradients (and optionally activations on
+//! the autograd tape) at a configurable cadence, summarising each tensor
+//! with [`TensorHealth::from_slice`] — one pass, no allocation. The
+//! [`Watchdog`] turns those summaries into a verdict: NaN/Inf anywhere,
+//! or a gradient norm exploding past a threshold, yields a
+//! [`Divergence`] naming the offending layer. Policy (halt vs. warn) is
+//! the caller's call; the watchdog only detects.
+//!
+//! [`set_global`] / [`global`] publish the most recent divergence so a
+//! serving process doing online (test-time) training can expose
+//! watchdog state on its metrics endpoint without plumbing a handle
+//! through every layer.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One-pass summary statistics of a tensor's values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorHealth {
+    /// Number of elements scanned.
+    pub count: usize,
+    /// Elements that were NaN.
+    pub nan: usize,
+    /// Elements that were +/- infinity.
+    pub inf: usize,
+    /// L2 norm of the finite elements.
+    pub norm: f64,
+    /// Mean of the finite elements (0 when none).
+    pub mean: f64,
+    /// Population standard deviation of the finite elements.
+    pub std: f64,
+}
+
+impl TensorHealth {
+    /// Scan `data` once, accumulating in f64 so large tensors don't lose
+    /// the tail of the sums. Non-finite elements are counted but excluded
+    /// from the moments, so a single NaN doesn't poison the norm.
+    pub fn from_slice(data: &[f32]) -> TensorHealth {
+        let mut nan = 0usize;
+        let mut inf = 0usize;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut finite = 0usize;
+        for &v in data {
+            if v.is_nan() {
+                nan += 1;
+            } else if v.is_infinite() {
+                inf += 1;
+            } else {
+                let v = v as f64;
+                sum += v;
+                sum_sq += v * v;
+                finite += 1;
+            }
+        }
+        let mean = if finite > 0 { sum / finite as f64 } else { 0.0 };
+        let var = if finite > 0 {
+            (sum_sq / finite as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        TensorHealth {
+            count: data.len(),
+            nan,
+            inf,
+            norm: sum_sq.sqrt(),
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// True when any element was NaN or infinite.
+    pub fn non_finite(&self) -> bool {
+        self.nan > 0 || self.inf > 0
+    }
+
+    /// Combine two summaries as if their tensors were concatenated. Used
+    /// to aggregate per-node tape statistics by op name.
+    pub fn merge(&self, other: &TensorHealth) -> TensorHealth {
+        let f1 = (self.count - self.nan - self.inf) as f64;
+        let f2 = (other.count - other.nan - other.inf) as f64;
+        let finite = f1 + f2;
+        let sum = self.mean * f1 + other.mean * f2;
+        let sum_sq = self.norm * self.norm + other.norm * other.norm;
+        let mean = if finite > 0.0 { sum / finite } else { 0.0 };
+        let var = if finite > 0.0 {
+            (sum_sq / finite - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        TensorHealth {
+            count: self.count + other.count,
+            nan: self.nan + other.nan,
+            inf: self.inf + other.inf,
+            norm: sum_sq.sqrt(),
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Why a training run was flagged, with the layer that tripped it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Parameter or op name that tripped the watchdog (e.g. `enc.l0.w`).
+    pub layer: String,
+    /// Human-readable reason (`"grad has 3 NaN"`, `"grad norm 1.2e6
+    /// exceeds 1e4"`, …).
+    pub reason: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divergence in {}: {}", self.layer, self.reason)
+    }
+}
+
+/// Divergence detector. Stateless between checks except for the
+/// configured explosion threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    /// A single tensor's gradient norm above this is "exploding".
+    /// `f64::INFINITY` disables the norm check (NaN/Inf still trip).
+    pub max_grad_norm: f64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog { max_grad_norm: 1e4 }
+    }
+}
+
+impl Watchdog {
+    /// Check one named tensor's gradient (or activation) summary.
+    /// Returns the first problem found, or `None` when healthy.
+    pub fn check(&self, layer: &str, h: &TensorHealth) -> Option<Divergence> {
+        if h.nan > 0 {
+            return Some(Divergence {
+                layer: layer.to_string(),
+                reason: format!("{} NaN of {} values", h.nan, h.count),
+            });
+        }
+        if h.inf > 0 {
+            return Some(Divergence {
+                layer: layer.to_string(),
+                reason: format!("{} Inf of {} values", h.inf, h.count),
+            });
+        }
+        if h.norm > self.max_grad_norm {
+            return Some(Divergence {
+                layer: layer.to_string(),
+                reason: format!("norm {:.3e} exceeds {:.3e}", h.norm, self.max_grad_norm),
+            });
+        }
+        None
+    }
+
+    /// Check a non-finite scalar (e.g. the batch loss itself).
+    pub fn check_scalar(&self, what: &str, v: f64) -> Option<Divergence> {
+        if v.is_finite() {
+            None
+        } else {
+            Some(Divergence {
+                layer: what.to_string(),
+                reason: format!("value is {v}"),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global watchdog state (read by the serve metrics endpoint)
+// ---------------------------------------------------------------------------
+
+static DIVERGED: AtomicBool = AtomicBool::new(false);
+
+fn detail() -> &'static Mutex<Option<Divergence>> {
+    static DETAIL: OnceLock<Mutex<Option<Divergence>>> = OnceLock::new();
+    DETAIL.get_or_init(|| Mutex::new(None))
+}
+
+/// Publish (or clear, with `None`) the process-wide divergence state.
+/// The trainer calls this when its watchdog trips.
+pub fn set_global(d: Option<Divergence>) {
+    DIVERGED.store(d.is_some(), Ordering::Relaxed);
+    *detail().lock().unwrap_or_else(|e| e.into_inner()) = d;
+}
+
+/// Cheap flag: has any watchdog in this process flagged a divergence?
+pub fn is_diverged() -> bool {
+    DIVERGED.load(Ordering::Relaxed)
+}
+
+/// The most recently published divergence, if any.
+pub fn global() -> Option<Divergence> {
+    detail().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let h = TensorHealth::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(h.count, 4);
+        assert_eq!((h.nan, h.inf), (0, 0));
+        assert!((h.mean - 2.5).abs() < 1e-12);
+        assert!((h.norm - 30.0f64.sqrt()).abs() < 1e-12);
+        assert!((h.std - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!(!h.non_finite());
+    }
+
+    #[test]
+    fn merge_equals_concatenated_scan() {
+        let a = [1.0f32, 2.0, f32::NAN];
+        let b = [3.0f32, 4.0, f32::INFINITY];
+        let all: Vec<f32> = a.iter().chain(&b).copied().collect();
+        let merged = TensorHealth::from_slice(&a).merge(&TensorHealth::from_slice(&b));
+        let direct = TensorHealth::from_slice(&all);
+        assert_eq!((merged.count, merged.nan, merged.inf), (6, 1, 1));
+        assert!((merged.norm - direct.norm).abs() < 1e-9);
+        assert!((merged.mean - direct.mean).abs() < 1e-12);
+        assert!((merged.std - direct.std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_counted_not_poisoning() {
+        let h = TensorHealth::from_slice(&[1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+        assert_eq!((h.nan, h.inf), (1, 2));
+        assert!(h.norm.is_finite() && h.mean.is_finite());
+        assert!(h.non_finite());
+        let empty = TensorHealth::from_slice(&[]);
+        assert_eq!((empty.count, empty.mean, empty.norm), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn watchdog_names_the_layer() {
+        let dog = Watchdog { max_grad_norm: 10.0 };
+        let bad = TensorHealth::from_slice(&[f32::NAN]);
+        let d = dog.check("enc.l1.w", &bad).expect("trips on NaN");
+        assert_eq!(d.layer, "enc.l1.w");
+        assert!(d.to_string().contains("enc.l1.w"), "{d}");
+        let exploding = TensorHealth::from_slice(&[100.0]);
+        let d = dog.check("dec.l0.b", &exploding).expect("trips on norm");
+        assert!(d.reason.contains("exceeds"), "{}", d.reason);
+        let fine = TensorHealth::from_slice(&[0.5; 16]);
+        assert!(dog.check("ok", &fine).is_none());
+        assert!(dog.check_scalar("loss", 1.0).is_none());
+        assert!(dog.check_scalar("loss", f64::NAN).is_some());
+    }
+
+    #[test]
+    fn global_state_round_trips() {
+        set_global(Some(Divergence {
+            layer: "l".into(),
+            reason: "r".into(),
+        }));
+        assert!(is_diverged());
+        assert_eq!(global().unwrap().layer, "l");
+        set_global(None);
+        assert!(!is_diverged());
+        assert!(global().is_none());
+    }
+}

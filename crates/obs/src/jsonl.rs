@@ -265,6 +265,9 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
         loop {
             p.skip_ws();
             let key = p.string()?;
+            if fields.iter().any(|(k, _): &(String, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
             p.skip_ws();
             p.expect(b':')?;
             p.skip_ws();
@@ -431,8 +434,11 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
-        s.parse::<f64>()
-            .map(JsonValue::Num)
-            .map_err(|_| format!("bad number {s:?}"))
+        let n: f64 = s.parse().map_err(|_| format!("bad number {s:?}"))?;
+        // `1e999` parses as infinity; valid JSON numbers are finite.
+        if !n.is_finite() {
+            return Err(format!("non-finite number {s:?}"));
+        }
+        Ok(JsonValue::Num(n))
     }
 }

@@ -14,6 +14,12 @@
 //!    `results/runs/<name>.jsonl` training-log schema with a validator
 //!    (see the `jsonl_check` binary), and the self-time table printed by
 //!    `lttf profile`.
+//! 4. **Event-level observability** ([`trace`], [`health`], [`metrics`]):
+//!    per-thread ring buffers exported as Chrome `trace_event` JSON (see
+//!    `lttf trace`), per-layer training health statistics with a
+//!    divergence watchdog, and Prometheus-style text exposition for the
+//!    serve front end. [`env`] centralizes the `LTTF_*`/`OBS_*`
+//!    environment knobs all of this reads.
 //!
 //! Overhead discipline: an active span costs two `Instant::now()` calls
 //! plus a few relaxed atomic adds (~50 ns); call sites gate on a work-size
@@ -44,11 +50,16 @@
 
 #![deny(missing_docs)]
 
+pub mod env;
+pub mod health;
 pub mod jsonl;
+pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod runlog;
+pub mod trace;
 
+pub use health::{Divergence, TensorHealth, Watchdog};
 pub use jsonl::{JsonObj, JsonValue, JsonlSink};
 pub use registry::{
     calls, register, reset, scoped, snapshot, Kind, SpanGuard, SpanSnapshot, SpanStats,

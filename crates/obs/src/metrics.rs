@@ -1,0 +1,211 @@
+//! Prometheus-style text exposition, std-only.
+//!
+//! Renders `name{label="value"} 123` lines — the subset of the
+//! [Prometheus text format] that scrapers and humans both read — from a
+//! registry snapshot plus any caller-supplied series. The serve front end
+//! answers its `"metrics"` request type with this output; nothing here
+//! does IO or knows about HTTP.
+//!
+//! Conventions: every series is prefixed `lttf_`, dots in registry names
+//! become underscores, counters get a `_total` suffix, and nanosecond
+//! quantities are exposed in seconds (the Prometheus base unit).
+//!
+//! [Prometheus text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::registry::{Kind, SpanSnapshot};
+
+/// Rewrite an arbitrary registry name into a legal metric-name chunk:
+/// `[a-zA-Z0-9_]`, with `.` and every other byte mapped to `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Accumulates exposition lines; render with [`MetricsText::finish`].
+#[derive(Default)]
+pub struct MetricsText {
+    buf: String,
+}
+
+impl MetricsText {
+    /// Start an empty document.
+    pub fn new() -> MetricsText {
+        MetricsText::default()
+    }
+
+    /// Append one series sample. `name` is used verbatim (caller
+    /// sanitizes); labels render as `{k="v",...}`; non-finite values are
+    /// skipped (the format has no NaN).
+    pub fn line(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        if !value.is_finite() {
+            return self;
+        }
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                self.buf.push_str(k);
+                self.buf.push_str("=\"");
+                // Label values escape backslash, quote, and newline.
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.buf.push_str("\\\\"),
+                        '"' => self.buf.push_str("\\\""),
+                        '\n' => self.buf.push_str("\\n"),
+                        c => self.buf.push(c),
+                    }
+                }
+                self.buf.push('"');
+            }
+            self.buf.push('}');
+        }
+        self.buf.push(' ');
+        if value == value.trunc() && value.abs() < 9e15 {
+            self.buf.push_str(&format!("{}", value as i64));
+        } else {
+            self.buf.push_str(&format!("{value}"));
+        }
+        self.buf.push('\n');
+        self
+    }
+
+    /// Append every entry of a registry snapshot under the `lttf_`
+    /// prefix: spans as `lttf_span_calls_total` / `lttf_span_seconds_total`
+    /// (labelled by span name), counters as `lttf_<name>_total`,
+    /// nanosecond gauges as `lttf_<name>_seconds_total`, and value gauges
+    /// as `_count` / `_sum` / `_min` / `_max`.
+    pub fn registry(&mut self, snap: &[SpanSnapshot]) -> &mut Self {
+        for s in snap {
+            let name = sanitize(&s.name);
+            match s.kind {
+                Kind::Span => {
+                    self.line(
+                        "lttf_span_calls_total",
+                        &[("span", &s.name)],
+                        s.calls as f64,
+                    );
+                    self.line(
+                        "lttf_span_seconds_total",
+                        &[("span", &s.name)],
+                        s.total_ns as f64 / 1e9,
+                    );
+                }
+                Kind::Counter => {
+                    self.line(&format!("lttf_{name}_total"), &[], s.calls as f64);
+                }
+                Kind::GaugeNs => {
+                    self.line(
+                        &format!("lttf_{name}_seconds_total"),
+                        &[],
+                        s.total_ns as f64 / 1e9,
+                    );
+                }
+                Kind::Gauge => {
+                    self.line(&format!("lttf_{name}_count"), &[], s.calls as f64);
+                    self.line(&format!("lttf_{name}_sum"), &[], s.total_ns as f64);
+                    if s.calls > 0 {
+                        self.line(&format!("lttf_{name}_min"), &[], s.min_ns as f64);
+                        self.line(&format!("lttf_{name}_max"), &[], s.max_ns as f64);
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_to_legal_names() {
+        assert_eq!(sanitize("pool.busy_ns"), "pool_busy_ns");
+        assert_eq!(sanitize("serve.queue depth"), "serve_queue_depth");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn lines_render_prometheus_shape() {
+        let mut m = MetricsText::new();
+        m.line("lttf_up", &[], 1.0)
+            .line("lttf_latency_seconds", &[("p", "99"), ("model", "a\"b")], 0.25)
+            .line("lttf_skip", &[], f64::NAN);
+        let text = m.finish();
+        assert!(text.contains("lttf_up 1\n"), "{text}");
+        assert!(
+            text.contains("lttf_latency_seconds{p=\"99\",model=\"a\\\"b\"} 0.25\n"),
+            "{text}"
+        );
+        assert!(!text.contains("lttf_skip"), "NaN dropped: {text}");
+    }
+
+    #[test]
+    fn registry_snapshot_renders_all_kinds() {
+        let snap = vec![
+            SpanSnapshot {
+                name: "serve.batch".into(),
+                kind: Kind::Span,
+                calls: 3,
+                total_ns: 2_000_000_000,
+                self_ns: 2_000_000_000,
+                min_ns: 1,
+                max_ns: 2,
+                bytes: 0,
+            },
+            SpanSnapshot {
+                name: "pool.tasks".into(),
+                kind: Kind::Counter,
+                calls: 42,
+                total_ns: 0,
+                self_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                bytes: 0,
+            },
+            SpanSnapshot {
+                name: "pool.busy_ns".into(),
+                kind: Kind::GaugeNs,
+                calls: 0,
+                total_ns: 1_500_000_000,
+                self_ns: 0,
+                min_ns: 0,
+                max_ns: 0,
+                bytes: 0,
+            },
+            SpanSnapshot {
+                name: "serve.batch_size".into(),
+                kind: Kind::Gauge,
+                calls: 2,
+                total_ns: 10,
+                self_ns: 0,
+                min_ns: 4,
+                max_ns: 6,
+                bytes: 0,
+            },
+        ];
+        let mut m = MetricsText::new();
+        m.registry(&snap);
+        let text = m.finish();
+        assert!(text.contains("lttf_span_calls_total{span=\"serve.batch\"} 3\n"), "{text}");
+        assert!(text.contains("lttf_span_seconds_total{span=\"serve.batch\"} 2\n"), "{text}");
+        assert!(text.contains("lttf_pool_tasks_total 42\n"), "{text}");
+        assert!(text.contains("lttf_pool_busy_ns_seconds_total 1.5\n"), "{text}");
+        assert!(text.contains("lttf_serve_batch_size_count 2\n"), "{text}");
+        assert!(text.contains("lttf_serve_batch_size_max 6\n"), "{text}");
+    }
+}

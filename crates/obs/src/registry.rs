@@ -16,9 +16,11 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::trace;
 
 /// What a registry entry measures; controls how reports render it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,10 @@ pub struct SpanStats {
     min_ns: AtomicU64,
     max_ns: AtomicU64,
     bytes: AtomicU64,
+    /// Cached [`trace`] name index for this site's display name, interned
+    /// lazily the first time the site fires while tracing is enabled.
+    /// `u32::MAX` = not yet interned.
+    trace_idx: AtomicU32,
 }
 
 impl SpanStats {
@@ -75,7 +81,24 @@ impl SpanStats {
             min_ns: AtomicU64::new(u64::MAX),
             max_ns: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            trace_idx: AtomicU32::new(u32::MAX),
         }
+    }
+
+    /// Interned timeline-trace name for this site (`group.name` display
+    /// form), computed once and cached. Only called while tracing is on.
+    fn trace_idx(&self) -> u32 {
+        let cached = self.trace_idx.load(Ordering::Relaxed);
+        if cached != u32::MAX {
+            return cached;
+        }
+        let idx = if self.group.is_empty() {
+            trace::intern(self.name)
+        } else {
+            trace::intern(&format!("{}.{}", self.group, self.name))
+        };
+        self.trace_idx.store(idx, Ordering::Relaxed);
+        idx
     }
 
     fn clear(&self) {
@@ -141,6 +164,9 @@ impl SpanGuard {
     /// Start timing `site` on the current thread.
     pub fn enter(site: &'static SpanStats) -> SpanGuard {
         SPAN_STACK.with(|s| s.borrow_mut().push((site as *const SpanStats, 0)));
+        if trace::enabled() {
+            trace::begin(site.trace_idx());
+        }
         SpanGuard(Some(ActiveSpan {
             site,
             start: Instant::now(),
@@ -165,6 +191,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(a) = self.0.take() else { return };
         let elapsed = a.start.elapsed().as_nanos() as u64;
+        if trace::enabled() {
+            trace::end(a.site.trace_idx());
+        }
         let child_ns = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards are strictly scoped per thread, so the top entry is ours.

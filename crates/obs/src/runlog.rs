@@ -8,6 +8,9 @@
 //!  "batch_size":N,"lr":X}
 //! {"event":"epoch","epoch":0,"train_loss":X,"val_loss":X|null,"lr":X,
 //!  "grad_norm":X,"batches":N,"time_s":X}            // one per epoch, 0-based
+//! {"event":"health","epoch":N,"batch":N,"tensor":"grad"|"act","layer":...,
+//!  "count":N,"nan":N,"inf":N,"norm":X,"mean":X,"std":X}   // optional, any
+//!                                                          // time before end
 //! {"event":"end","stop_reason":...,"epochs":N,"best_val":X|null,
 //!  "total_time_s":X}
 //! {"event":"span","name":...,"kind":...,"calls":N,"total_ns":N,
@@ -22,6 +25,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::health::TensorHealth;
 use crate::jsonl::{field, parse_object, JsonObj, JsonValue, JsonlSink};
 use crate::registry;
 
@@ -94,6 +98,32 @@ impl RunLog {
         )
     }
 
+    /// Write one per-layer `health` record (from the training health
+    /// monitor). `tensor` says what was scanned: `"grad"` or `"act"`.
+    pub fn health(
+        &mut self,
+        epoch: usize,
+        batch: usize,
+        tensor: &str,
+        layer: &str,
+        h: &TensorHealth,
+    ) -> io::Result<()> {
+        self.sink.write_obj(
+            JsonObj::new()
+                .str("event", "health")
+                .int("epoch", epoch as u64)
+                .int("batch", batch as u64)
+                .str("tensor", tensor)
+                .str("layer", layer)
+                .int("count", h.count as u64)
+                .int("nan", h.nan as u64)
+                .int("inf", h.inf as u64)
+                .num("norm", h.norm)
+                .num("mean", h.mean)
+                .num("std", h.std),
+        )
+    }
+
     /// Write the `end` record and flush.
     pub fn end(
         &mut self,
@@ -141,6 +171,8 @@ pub struct RunLogSummary {
     pub epochs: usize,
     /// Number of `span` records.
     pub spans: usize,
+    /// Number of `health` records.
+    pub health: usize,
     /// `stop_reason` from the `end` record.
     pub stop_reason: String,
 }
@@ -148,6 +180,9 @@ pub struct RunLogSummary {
 /// Validate the full text of a run log against the schema described in the
 /// module docs. Returns a summary on success, a line-tagged error otherwise.
 pub fn validate(text: &str) -> Result<RunLogSummary, String> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("missing trailing newline at end of file".into());
+    }
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
 
     let (i, first) = lines.next().ok_or("empty run log")?;
@@ -161,6 +196,7 @@ pub fn validate(text: &str) -> Result<RunLogSummary, String> {
     let mut next_epoch = 0u64;
     let mut stop_reason = None;
     let mut spans = 0usize;
+    let mut health = 0usize;
     for (i, line) in lines {
         let fields = parse_object(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         let event = require_str(&fields, "event", i)?;
@@ -177,11 +213,25 @@ pub fn validate(text: &str) -> Result<RunLogSummary, String> {
                     ));
                 }
                 next_epoch += 1;
-                require_num(&fields, "train_loss", i)?;
+                // train_loss / grad_norm may be null: a diverged run
+                // logs its NaNs honestly (JSON has no NaN literal).
+                require_num_or_null(&fields, "train_loss", i)?;
                 require_num_or_null(&fields, "val_loss", i)?;
-                for key in ["lr", "grad_norm", "batches", "time_s"] {
+                require_num_or_null(&fields, "grad_norm", i)?;
+                for key in ["lr", "batches", "time_s"] {
                     require_num(&fields, key, i)?;
                 }
+            }
+            "health" => {
+                if stop_reason.is_some() {
+                    return Err(format!("line {}: health record after end", i + 1));
+                }
+                require_str(&fields, "tensor", i)?;
+                require_str(&fields, "layer", i)?;
+                for key in ["epoch", "batch", "count", "nan", "inf", "norm", "mean", "std"] {
+                    require_num(&fields, key, i)?;
+                }
+                health += 1;
             }
             "end" => {
                 if stop_reason.is_some() {
@@ -218,6 +268,7 @@ pub fn validate(text: &str) -> Result<RunLogSummary, String> {
         name,
         epochs: next_epoch as usize,
         spans,
+        health,
         stop_reason,
     })
 }

@@ -31,20 +31,14 @@ pub fn set_threads_override(n: Option<usize>) {
 }
 
 /// The thread count parallel regions will engage: the override if set,
-/// else `LTTF_THREADS` (parsed once per process), else
+/// else `LTTF_THREADS` (parsed once per process by `lttf_obs::env`), else
 /// [`std::thread::available_parallelism`].
 pub fn num_threads() -> usize {
     let o = OVERRIDE.load(Ordering::Relaxed);
     if o != 0 {
         return o;
     }
-    static ENV: OnceLock<Option<usize>> = OnceLock::new();
-    if let Some(n) = *ENV.get_or_init(|| {
-        std::env::var("LTTF_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-    }) {
+    if let Some(n) = lttf_obs::env::threads() {
         return n.min(MAX_THREADS);
     }
     std::thread::available_parallelism()
@@ -131,15 +125,30 @@ fn execute(ctx: &RunCtx) {
 
 /// [`execute`], with the participant's time in the claim loop credited to
 /// the `pool.busy_ns` gauge (compiled down to a plain `execute` call when
-/// telemetry is off).
+/// telemetry is off). When timeline tracing is on, the claim loop also
+/// shows up as a `pool.execute` slice on the participating thread, so a
+/// fork-join region renders as one slice per engaged worker.
 fn execute_timed(ctx: &RunCtx) {
     if cfg!(feature = "telemetry") {
+        let traced = lttf_obs::trace::enabled();
+        if traced {
+            lttf_obs::trace::begin(pool_execute_idx());
+        }
         let t0 = std::time::Instant::now();
         execute(ctx);
         lttf_obs::gauge_ns!("pool.busy_ns", t0.elapsed().as_nanos() as u64);
+        if traced {
+            lttf_obs::trace::end(pool_execute_idx());
+        }
     } else {
         execute(ctx);
     }
+}
+
+/// Interned trace-name index for the worker claim-loop slice.
+fn pool_execute_idx() -> u32 {
+    static IDX: OnceLock<u32> = OnceLock::new();
+    *IDX.get_or_init(|| lttf_obs::trace::intern("pool.execute"))
 }
 
 fn worker_loop() {

@@ -15,12 +15,33 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use lttf_obs::trace;
+
 use crate::latency::{LatencyStats, LatencySummary};
 use crate::registry::{LoadedModel, Window};
+
+/// Interned trace-name indices for the request path, computed once. The
+/// async `serve.req` slice is opened at submit on the connection thread
+/// and closed at reply on the batcher thread; Chrome connects the two by
+/// the id stamped on the [`Job`].
+struct ReqTraceNames {
+    req: u32,
+    dequeue: u32,
+    forward: u32,
+}
+
+fn req_names() -> &'static ReqTraceNames {
+    static NAMES: OnceLock<ReqTraceNames> = OnceLock::new();
+    NAMES.get_or_init(|| ReqTraceNames {
+        req: trace::intern("serve.req"),
+        dequeue: trace::intern("serve.req.dequeue"),
+        forward: trace::intern("serve.req.forward"),
+    })
+}
 
 /// Micro-batching knobs.
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +92,9 @@ struct Job {
     /// served late.
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// Async trace id connecting this request's events across threads
+    /// (0 = tracing was off at submit time; emit nothing downstream).
+    trace_id: u64,
     reply: mpsc::Sender<Reply>,
 }
 
@@ -83,6 +107,7 @@ struct Job {
 pub struct Submitter {
     tx: SyncSender<Job>,
     depth: Arc<AtomicUsize>,
+    stats: Arc<Mutex<LatencyStats>>,
 }
 
 impl Submitter {
@@ -95,10 +120,12 @@ impl Submitter {
         deadline: Option<Instant>,
     ) -> Result<Receiver<Reply>, Reject> {
         let (reply_tx, reply_rx) = mpsc::channel();
+        let trace_id = if trace::enabled() { trace::next_id() } else { 0 };
         let job = Job {
             window,
             deadline,
             enqueued: Instant::now(),
+            trace_id,
             reply: reply_tx,
         };
         // Increment *before* the send: the batcher may dequeue (and
@@ -109,6 +136,12 @@ impl Submitter {
         match self.tx.try_send(job) {
             Ok(()) => {
                 lttf_obs::gauge!("serve.queue_depth", d as u64);
+                if trace_id != 0 {
+                    // Open only after the enqueue succeeds: every queued
+                    // job is answered (even on shutdown drain), so the
+                    // batcher's matching async end is guaranteed.
+                    trace::async_begin(req_names().req, trace_id);
+                }
                 Ok(reply_rx)
             }
             Err(e) => {
@@ -128,13 +161,21 @@ impl Submitter {
     pub fn queue_depth(&self) -> usize {
         self.depth.load(Ordering::Relaxed)
     }
+
+    /// Live latency summary over every request served so far — the
+    /// monitoring view behind the `"metrics"` request type. Sorts the
+    /// samples under a short lock.
+    pub fn latency(&self) -> LatencySummary {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).summary()
+    }
 }
 
 /// A model plus its batcher thread.
 pub struct Engine {
     tx: SyncSender<Job>,
     depth: Arc<AtomicUsize>,
-    worker: JoinHandle<LatencyStats>,
+    stats: Arc<Mutex<LatencyStats>>,
+    worker: JoinHandle<()>,
 }
 
 impl Engine {
@@ -145,11 +186,16 @@ impl Engine {
         let (tx, rx) = mpsc::sync_channel(cfg.queue_cap);
         let depth = Arc::new(AtomicUsize::new(0));
         let depth2 = Arc::clone(&depth);
+        // Latency samples live behind a shared mutex (locked once per
+        // batch by the writer) so monitoring can read live percentiles
+        // while the server runs, not only at shutdown.
+        let stats = Arc::new(Mutex::new(LatencyStats::new()));
+        let stats2 = Arc::clone(&stats);
         let worker = thread::Builder::new()
             .name("lttf-batcher".to_string())
-            .spawn(move || batcher_loop(model, cfg, rx, depth2))
+            .spawn(move || batcher_loop(model, cfg, rx, depth2, stats2))
             .expect("spawn batcher thread");
-        Engine { tx, depth, worker }
+        Engine { tx, depth, stats, worker }
     }
 
     /// A submission handle for connection threads.
@@ -157,6 +203,7 @@ impl Engine {
         Submitter {
             tx: self.tx.clone(),
             depth: Arc::clone(&self.depth),
+            stats: Arc::clone(&self.stats),
         }
     }
 
@@ -168,7 +215,8 @@ impl Engine {
     /// until they are.
     pub fn shutdown(self) -> LatencySummary {
         drop(self.tx);
-        self.worker.join().expect("batcher thread panicked").summary()
+        self.worker.join().expect("batcher thread panicked");
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).summary()
     }
 }
 
@@ -177,9 +225,9 @@ fn batcher_loop(
     cfg: BatchConfig,
     rx: Receiver<Job>,
     depth: Arc<AtomicUsize>,
-) -> LatencyStats {
+    stats: Arc<Mutex<LatencyStats>>,
+) {
     let wait = Duration::from_millis(cfg.max_wait_ms);
-    let mut stats = LatencyStats::new();
     // Outer recv blocks until work arrives or every sender is gone.
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
@@ -209,25 +257,41 @@ fn batcher_loop(
             .partition(|j| j.deadline.is_none_or(|dl| now < dl));
         for job in expired {
             lttf_obs::counter!("serve.deadline_expired", 1);
+            if job.trace_id != 0 {
+                trace::async_end(req_names().req, job.trace_id);
+            }
             let _ = job.reply.send(Err("deadline exceeded".to_string()));
         }
         if live.is_empty() {
             continue;
         }
 
+        for job in &live {
+            if job.trace_id != 0 {
+                trace::async_instant(req_names().dequeue, job.trace_id);
+            }
+        }
         let rows = {
             let _span = lttf_obs::span!("serve.batch");
             lttf_obs::gauge!("serve.batch_size", live.len() as u64);
             let windows: Vec<&Window> = live.iter().map(|j| &j.window).collect();
             model.forecast_rows(&windows)
         };
+        {
+            let mut st = stats.lock().unwrap_or_else(|e| e.into_inner());
+            for job in &live {
+                st.record(job.enqueued.elapsed().as_nanos() as u64);
+            }
+        }
         for (job, row) in live.into_iter().zip(rows) {
-            stats.record(job.enqueued.elapsed().as_nanos() as u64);
+            if job.trace_id != 0 {
+                trace::async_instant(req_names().forward, job.trace_id);
+                trace::async_end(req_names().req, job.trace_id);
+            }
             // A receiver that gave up (disconnected client) is fine.
             let _ = job.reply.send(Ok(row));
         }
     }
-    stats
 }
 
 #[cfg(test)]
@@ -335,6 +399,27 @@ mod tests {
         drop(sub);
         // Expired requests never count toward served latencies.
         assert_eq!(engine.shutdown().count, 0);
+    }
+
+    #[test]
+    fn traced_request_exports_connected_async_slice() {
+        let model = Arc::new(tiny_model());
+        let engine = Engine::start(Arc::clone(&model), BatchConfig::default());
+        let sub = engine.submitter();
+        trace::set_enabled(true);
+        let w = model.make_window(&raw_window(&model, 9), 0, 60).unwrap();
+        let rx = sub.submit(w, None).unwrap();
+        rx.recv().unwrap().unwrap();
+        trace::set_enabled(false);
+        drop(sub);
+        engine.shutdown();
+
+        let e = trace::export_chrome();
+        let summary = trace::validate_chrome(&e.json).expect("valid trace");
+        assert!(summary.async_slices >= 1, "{}", e.json);
+        assert!(e.json.contains("\"name\":\"serve.req\""), "{}", e.json);
+        assert!(e.json.contains("\"name\":\"serve.req.dequeue\""), "{}", e.json);
+        assert!(e.json.contains("\"cat\":\"req\""), "{}", e.json);
     }
 
     #[test]

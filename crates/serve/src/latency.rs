@@ -53,7 +53,11 @@ impl LatencyStats {
         }
         self.samples_ns.sort_unstable();
         let n = self.samples_ns.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        // p/100 * n in f64 can land a hair above an exact integer rank
+        // (0.95 * 20 = 19.000000000000004); snap to the integer before
+        // ceiling so nearest-rank stays exact.
+        let r = (p / 100.0) * n as f64;
+        let rank = if (r - r.round()).abs() < 1e-9 { r.round() } else { r.ceil() } as usize;
         self.samples_ns[rank.clamp(1, n) - 1]
     }
 
@@ -132,7 +136,44 @@ mod tests {
     fn single_sample() {
         let mut st = LatencyStats::new();
         st.record(7);
+        assert_eq!(st.percentile(0.0), 7);
         assert_eq!(st.percentile(1.0), 7);
         assert_eq!(st.percentile(99.0), 7);
+        assert_eq!(st.percentile(100.0), 7);
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_on_round_products() {
+        // 0.95 * 20 = 19.000000000000004 in f64; a bare ceil() picks the
+        // 20th sample instead of the 19th. Pin the nearest-rank answer.
+        let mut st = LatencyStats::new();
+        for v in 1..=20u64 {
+            st.record(v);
+        }
+        assert_eq!(st.percentile(95.0), 19);
+        assert_eq!(st.percentile(50.0), 10);
+        assert_eq!(st.percentile(5.0), 1);
+        assert_eq!(st.percentile(0.0), 1, "p0 is the minimum");
+    }
+
+    #[test]
+    fn tiny_counts_pin_high_percentiles() {
+        let mut st = LatencyStats::new();
+        st.record(10);
+        st.record(20);
+        // ceil(0.99 * 2) = 2 → the max; ceil(0.5 * 2) = 1 → the min.
+        assert_eq!(st.percentile(99.0), 20);
+        assert_eq!(st.percentile(50.0), 10);
+        let mut st3 = LatencyStats::new();
+        for v in [5u64, 15, 25] {
+            st3.record(v);
+        }
+        assert_eq!(st3.percentile(99.0), 25);
+        assert_eq!(st3.percentile(34.0), 15, "ceil(1.02) = rank 2");
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(LatencyStats::new().percentile(50.0), 0);
     }
 }

@@ -49,6 +49,7 @@
 
 mod engine;
 mod latency;
+pub mod metrics;
 pub mod protocol;
 mod registry;
 mod server;

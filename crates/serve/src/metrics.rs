@@ -1,0 +1,88 @@
+//! Live serve metrics: the text behind the `"metrics"` request type.
+//!
+//! Renders a Prometheus-style exposition (see [`lttf_obs::metrics`])
+//! covering what an operator watches on a running server:
+//!
+//! * per-model queue depth and live latency percentiles (nearest-rank,
+//!   over every request served so far),
+//! * the training-health watchdog state (`lttf_health_diverged`, with
+//!   the offending layer as a label when tripped),
+//! * the full observability registry snapshot (request/connection
+//!   counters, batch-size gauges, span totals).
+//!
+//! No IO here: the server embeds the returned text in a one-line JSON
+//! response ([`crate::protocol::format_metrics`]).
+
+use lttf_obs::metrics::MetricsText;
+use lttf_obs::{health, registry};
+
+use crate::engine::Submitter;
+
+/// Render the exposition for `models` (name → submission handle pairs,
+/// typically every model the server fronts).
+pub fn render<'a>(models: impl IntoIterator<Item = (&'a str, &'a Submitter)>) -> String {
+    let mut m = MetricsText::new();
+    m.line("lttf_up", &[], 1.0);
+    for (name, sub) in models {
+        let labels = [("model", name)];
+        m.line("lttf_serve_queue_depth", &labels, sub.queue_depth() as f64);
+        let lat = sub.latency();
+        m.line("lttf_serve_requests_served_total", &labels, lat.count as f64);
+        if lat.count > 0 {
+            let q = |m: &mut MetricsText, quantile: &str, ns: u64| {
+                m.line(
+                    "lttf_serve_latency_seconds",
+                    &[("model", name), ("quantile", quantile)],
+                    ns as f64 / 1e9,
+                );
+            };
+            q(&mut m, "0.5", lat.p50_ns);
+            q(&mut m, "0.95", lat.p95_ns);
+            q(&mut m, "0.99", lat.p99_ns);
+            m.line("lttf_serve_latency_seconds_min", &labels, lat.min_ns as f64 / 1e9);
+            m.line("lttf_serve_latency_seconds_max", &labels, lat.max_ns as f64 / 1e9);
+            m.line("lttf_serve_latency_seconds_mean", &labels, lat.mean_ns as f64 / 1e9);
+        }
+    }
+    match health::global() {
+        Some(d) => m.line("lttf_health_diverged", &[("layer", &d.layer)], 1.0),
+        None => m.line("lttf_health_diverged", &[], 0.0),
+    };
+    m.registry(&registry::snapshot());
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BatchConfig, Engine};
+    use crate::registry::tiny_model;
+    use lttf_tensor::{Rng, Tensor};
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_queue_latency_and_health() {
+        let model = Arc::new(tiny_model());
+        let engine = Engine::start(Arc::clone(&model), BatchConfig::default());
+        let sub = engine.submitter();
+        let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(5))
+            .data()
+            .to_vec();
+        let w = model.make_window(&raw, 0, 60).unwrap();
+        let rx = sub.submit(w, None).unwrap();
+        rx.recv().unwrap().unwrap();
+
+        let text = render([("demo", &sub)]);
+        assert!(text.contains("lttf_up 1\n"), "{text}");
+        assert!(text.contains("lttf_serve_queue_depth{model=\"demo\"} 0\n"), "{text}");
+        assert!(text.contains("lttf_serve_requests_served_total{model=\"demo\"} 1\n"), "{text}");
+        assert!(
+            text.contains("lttf_serve_latency_seconds{model=\"demo\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(text.contains("lttf_health_diverged"), "{text}");
+
+        drop(sub);
+        engine.shutdown();
+    }
+}

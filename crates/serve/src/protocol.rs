@@ -21,6 +21,12 @@
 //! (the raw-space forecast of the model's target variable), or
 //! `{"id":…,"ok":false,"error":"…"}`. Floats use shortest round-trip
 //! formatting, so an `f32` survives the wire bit-for-bit.
+//!
+//! Besides forecasts, a line of `{"id":…,"cmd":"metrics"}` asks the
+//! server for its live metrics; the answer is
+//! `{"id":…,"ok":true,"metrics":"…"}` where the string holds a
+//! Prometheus-style text exposition (newlines escaped as `\n` so the
+//! one-line-per-response framing survives). See [`crate::metrics`].
 
 use lttf_obs::jsonl::{field, parse_object, JsonObj};
 
@@ -44,6 +50,34 @@ pub struct Request {
 /// Largest accepted `values` length; guards against a client line that
 /// would allocate without bound.
 pub const MAX_VALUES: usize = 1 << 22;
+
+/// One parsed request line: a forecast, or a control command.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// An inference request (the default when no `cmd` field is present).
+    Forecast(Request),
+    /// `{"id":…,"cmd":"metrics"}` — return the live metrics exposition.
+    Metrics {
+        /// Client correlation id, echoed back.
+        id: u64,
+    },
+}
+
+/// Parse one request line into a [`Command`]. Lines without a `cmd`
+/// field are forecasts; unknown commands are errors.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let fields = parse_object(line)?;
+    match field(&fields, "cmd").and_then(|v| v.as_str()) {
+        None => parse_request(line).map(Command::Forecast),
+        Some("metrics") => {
+            let id = field(&fields, "id")
+                .and_then(|v| v.as_num())
+                .ok_or("missing numeric 'id'")? as u64;
+            Ok(Command::Metrics { id })
+        }
+        Some(other) => Err(format!("unknown cmd '{other}'")),
+    }
+}
 
 /// Parse one request line. Errors are human-readable strings that go
 /// straight into the `error` field of the reject response.
@@ -88,6 +122,35 @@ pub fn format_err(id: u64, error: &str) -> String {
         .bool("ok", false)
         .str("error", error)
         .finish()
+}
+
+/// Format a metrics response: the exposition text rides in a JSON string
+/// (its newlines become `\n` escapes, keeping the response one line).
+pub fn format_metrics(id: u64, text: &str) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .str("metrics", text)
+        .finish()
+}
+
+/// Parse a metrics response back into `(id, Result<text, error>)` — the
+/// client half of the `"metrics"` command.
+pub fn parse_metrics_response(line: &str) -> Result<(u64, Result<String, String>), String> {
+    let fields = parse_object(line)?;
+    let id = field(&fields, "id")
+        .and_then(|v| v.as_num())
+        .ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if ok {
+        let text = field(&fields, "metrics")
+            .and_then(|v| v.as_str())
+            .ok_or("ok response missing 'metrics'")?;
+        Ok((id, Ok(text.to_string())))
+    } else {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        Ok((id, Err(error.to_string())))
+    }
 }
 
 /// Parse a response line back into `(id, Result<forecast, error>)` — the
@@ -141,6 +204,25 @@ mod tests {
         let (id, res) = parse_response(&format_err(9, "queue full")).unwrap();
         assert_eq!(id, 9);
         assert_eq!(res.unwrap_err(), "queue full");
+    }
+
+    #[test]
+    fn metrics_command_round_trip() {
+        match parse_command("{\"id\":3,\"cmd\":\"metrics\"}").unwrap() {
+            Command::Metrics { id } => assert_eq!(id, 3),
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        assert!(parse_command("{\"id\":3,\"cmd\":\"nope\"}")
+            .unwrap_err()
+            .contains("unknown cmd"));
+        // Lines without cmd parse as forecasts.
+        let line = "{\"id\":1,\"t0\":0,\"values\":[1,2]}";
+        assert!(matches!(parse_command(line).unwrap(), Command::Forecast(_)));
+
+        let text = "lttf_up 1\nlttf_serve_queue_depth{model=\"demo\"} 0\n";
+        let (id, res) = parse_metrics_response(&format_metrics(3, text)).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(res.unwrap(), text, "newlines survive the one-line framing");
     }
 
     #[test]

@@ -22,7 +22,8 @@ use std::time::{Duration, Instant};
 
 use crate::engine::{BatchConfig, Engine, Reject, Submitter};
 use crate::latency::LatencySummary;
-use crate::protocol::{format_err, format_ok, parse_request};
+use crate::metrics;
+use crate::protocol::{format_err, format_metrics, format_ok, parse_command, Command};
 use crate::registry::{LoadedModel, Registry};
 
 /// How often blocked connection reads wake up to check the shutdown flag.
@@ -170,8 +171,15 @@ fn answer(line: &str, shared: &Shared) -> String {
     if line.is_empty() {
         return format_err(0, "empty request line");
     }
-    let req = match parse_request(line) {
-        Ok(r) => r,
+    let req = match parse_command(line) {
+        Ok(Command::Forecast(r)) => r,
+        Ok(Command::Metrics { id }) => {
+            let models = shared
+                .models
+                .iter()
+                .map(|(name, (_, sub))| (name.as_str(), sub));
+            return format_metrics(id, &metrics::render(models));
+        }
         Err(e) => return format_err(0, &format!("bad request: {e}")),
     };
     let name = req.model.as_deref().unwrap_or(&shared.default);
@@ -255,6 +263,33 @@ mod tests {
         assert_eq!(summaries.len(), 1);
         assert_eq!(summaries[0].0, "demo");
         assert_eq!(summaries[0].1.count, 1);
+    }
+
+    #[test]
+    fn metrics_request_reports_live_state() {
+        let model = tiny_model();
+        let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(21))
+            .data()
+            .to_vec();
+        let reg = Registry::single("demo", model);
+        let handle = serve(reg, "127.0.0.1:0", BatchConfig::default()).unwrap();
+
+        let lines = [
+            request_line(1, &raw),
+            "{\"id\":2,\"cmd\":\"metrics\"}".to_string(),
+        ];
+        let responses = roundtrip(handle.addr(), &lines);
+        let (id, text) = crate::protocol::parse_metrics_response(&responses[1]).unwrap();
+        assert_eq!(id, 2);
+        let text = text.unwrap();
+        assert!(text.contains("lttf_up 1\n"), "{text}");
+        assert!(
+            text.contains("lttf_serve_requests_served_total{model=\"demo\"} 1\n"),
+            "live latency must already count the first request: {text}"
+        );
+        assert!(text.contains("lttf_serve_latency_seconds{model=\"demo\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lttf_health_diverged"), "{text}");
+        handle.shutdown();
     }
 
     #[test]

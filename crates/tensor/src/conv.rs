@@ -127,7 +127,7 @@ impl Tensor {
         let out_len = (padded_len - k) / stride + 1;
         let span = lttf_obs::span!(
             "conv1d",
-            b * cout * out_len * cin * k >= crate::OBS_MIN_WORK
+            b * cout * out_len * cin * k >= crate::obs_min_work()
         );
         span.bytes((self.numel() + weight.numel() + b * cout * out_len) * 4);
         let mut out = vec![0.0f32; b * cout * out_len];
@@ -175,7 +175,7 @@ impl Tensor {
         let out_len = grad_out.shape()[2];
         let _span = lttf_obs::span!(
             "conv1d_bwd_input",
-            b * cout * out_len * cin * k >= crate::OBS_MIN_WORK
+            b * cout * out_len * cin * k >= crate::obs_min_work()
         );
         let mut gin = vec![0.0f32; b * cin * len];
         if cin * len > 0 {
@@ -222,7 +222,7 @@ impl Tensor {
         let out_len = grad_out.shape()[2];
         let _span = lttf_obs::span!(
             "conv1d_bwd_weight",
-            b * cout * out_len * cin * k >= crate::OBS_MIN_WORK
+            b * cout * out_len * cin * k >= crate::obs_min_work()
         );
         let mut gw = vec![0.0f32; cout * cin * k];
         for bi in 0..b {

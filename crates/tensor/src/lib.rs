@@ -63,5 +63,19 @@ pub const OBS_MIN_WORK: usize = 4096;
 /// per element that a span only pays for itself on large inputs.
 pub const OBS_MIN_REDUCE: usize = 32 * 1024;
 
+/// [`OBS_MIN_WORK`] with the `OBS_MIN_WORK` environment override applied
+/// (parsed once per process by `lttf_obs::env`). Kernel span conditions
+/// call this, so e.g. `OBS_MIN_WORK=1 lttf trace profile` captures every
+/// kernel in the timeline. Only evaluated when `telemetry` is compiled in.
+pub fn obs_min_work() -> usize {
+    lttf_obs::env::min_work()
+}
+
+/// [`OBS_MIN_REDUCE`] with the `OBS_MIN_REDUCE` environment override
+/// applied; see [`obs_min_work`].
+pub fn obs_min_reduce() -> usize {
+    lttf_obs::env::min_reduce()
+}
+
 #[cfg(test)]
 mod proptests;

@@ -172,7 +172,7 @@ impl Tensor {
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         // ~b*m*k*n madds for every supported rank combination.
         let work = self.numel() * other.shape().last().copied().unwrap_or(0);
-        let span = lttf_obs::span!("matmul", work >= crate::OBS_MIN_WORK);
+        let span = lttf_obs::span!("matmul", work >= crate::obs_min_work());
         span.bytes((self.numel() + other.numel()) * 4);
         match (self.ndim(), other.ndim()) {
             (2, 2) => {
@@ -284,7 +284,7 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        let _span = lttf_obs::span!("reduce_dot", self.numel() >= crate::OBS_MIN_REDUCE);
+        let _span = lttf_obs::span!("reduce_dot", self.numel() >= crate::obs_min_reduce());
         pairwise_dot(&self.data, &other.data)
     }
 }

@@ -71,7 +71,7 @@ impl Tensor {
     /// output has the same extent along `axis` as the input.
     pub fn moving_avg(&self, axis: isize, k: usize) -> Tensor {
         assert!(k >= 1, "moving_avg window must be >= 1");
-        let span = lttf_obs::span!("moving_avg", self.numel() >= crate::OBS_MIN_WORK);
+        let span = lttf_obs::span!("moving_avg", self.numel() >= crate::obs_min_work());
         span.bytes(self.numel() * 2 * 4);
         let ax = self.shape.normalize_axis(axis);
         let before = (k - 1) / 2;

@@ -55,7 +55,7 @@ impl Tensor {
         if n <= SUM_BLOCK {
             return pairwise_sum(&self.data);
         }
-        let span = lttf_obs::span!("reduce_sum", n >= crate::OBS_MIN_REDUCE);
+        let span = lttf_obs::span!("reduce_sum", n >= crate::obs_min_reduce());
         span.bytes(n * 4);
         let blocks = chunk_count(n, SUM_BLOCK);
         let mut partials = vec![0.0f32; blocks];

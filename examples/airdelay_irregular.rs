@@ -46,6 +46,7 @@ fn main() {
         clip: 5.0,
         seed: 7,
         val_max_windows: usize::MAX,
+        ..Default::default()
     };
 
     // Conformer — its mark embedding sees the varying timestamps.

@@ -30,6 +30,7 @@ fn main() {
         clip: 5.0,
         seed: 5,
         val_max_windows: 48,
+        ..Default::default()
     };
     let cfg = BacktestConfig {
         lx: 48,

@@ -41,6 +41,7 @@ fn main() {
             clip: 5.0,
             seed: 9,
             val_max_windows: usize::MAX,
+            ..Default::default()
         },
     );
 

@@ -60,6 +60,7 @@ fn main() {
         clip: 5.0,
         seed: 2,
         val_max_windows: 64,
+        ..Default::default()
     };
     println!("\ntraining DeepAR…");
     let mut ps = ParamSet::new();

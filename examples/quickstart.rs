@@ -56,6 +56,7 @@ fn main() {
         clip: 5.0,
         seed: 1,
         val_max_windows: usize::MAX,
+        ..Default::default()
     };
     let report = train(&mut model, &train_set, Some(&val_set), &opts);
     for (e, l) in report.train_losses.iter().enumerate() {

@@ -47,6 +47,7 @@ fn main() {
             clip: 5.0,
             seed: 3,
             val_max_windows: usize::MAX,
+            ..Default::default()
         },
     );
 

@@ -39,8 +39,19 @@ for row in matmul conv1d window_attn backward "pool utilization"; do
         || { echo "FAIL: profile output missing '$row'" >&2; exit 1; }
 done
 
-echo "==> jsonl_check  (validate the smoke run log and committed bench files)"
-cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- results/runs/ci_smoke.jsonl
+echo "==> lttf trace  (Chrome trace export: record, parse, assert events nest)"
+LTTF_QUIET=1 target/release/lttf trace --trace-out /tmp/lttf_trace_smoke.json \
+    profile --smoke --name ci_trace_smoke | tee /tmp/lttf_trace_smoke.out
+grep -q "^trace: /tmp/lttf_trace_smoke.json" /tmp/lttf_trace_smoke.out \
+    || { echo "FAIL: lttf trace printed no trace summary" >&2; exit 1; }
+# jsonl_check --trace re-validates from disk: strict per-line JSON, B/E
+# nesting per thread, async b/e pairing by id.
+cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- --trace /tmp/lttf_trace_smoke.json
+
+echo "==> jsonl_check  (validate every run log under results/runs/ and committed bench files)"
+for f in results/runs/*.jsonl; do
+    [[ -f "$f" ]] && cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- "$f"
+done
 for f in results/BENCH_*.json; do
     [[ -f "$f" ]] && cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- "$f"
 done

@@ -13,12 +13,13 @@
 //! lttf train --data wind.csv --target Wind_Power --lx 96 --ly 48 \
 //!            --epochs 3 --out wind_model
 //! lttf forecast --data wind.csv --model wind_model --samples 50
+//! lttf trace profile --smoke   # Chrome trace of the inner command
 //! ```
 
 use lttf::conformer::{Conformer, ConformerConfig};
 use lttf::data::synth::{Dataset, SynthSpec};
 use lttf::data::{read_csv, write_csv, Freq, Split, TimeSeries, WindowDataset, MARK_DIM};
-use lttf::eval::{evaluate, train_logged, TrainOptions, TrainedModel};
+use lttf::eval::{evaluate, train_logged, HealthConfig, TrainOptions, TrainedModel};
 use lttf::nn::{load_params, save_params_with_meta, Fwd, ParamSet};
 use lttf::obs::RunLog;
 use lttf::tensor::{Rng, Tensor};
@@ -30,7 +31,8 @@ fn usage() -> ! {
         "usage:\n  lttf generate --dataset <ecl|weather|exchange|etth1|ettm1|wind|airdelay> \
          [--len N] [--dims N] [--seed N] --out FILE.csv\n  \
          lttf train --data FILE.csv --target COL [--lx N] [--ly N] [--d-model N] \
-         [--epochs N] [--seed N] [--log NAME] --out MODEL\n  \
+         [--epochs N] [--seed N] [--log NAME] [--health-every N] [--health-acts] \
+         [--health-warn-only] [--health-max-grad-norm X] --out MODEL\n  \
          lttf forecast --data FILE.csv --model MODEL [--samples N] [--coverage P]\n  \
          lttf profile [--smoke] [--mode train|fwd] [--epochs N] [--lx N] [--ly N] \
          [--d-model N] [--batch N] [--len N] [--dims N] [--seed N] [--threads N] \
@@ -38,7 +40,9 @@ fn usage() -> ! {
          lttf serve --model MODEL [--port N] [--max-batch N] [--max-wait-ms N] \
          [--queue-cap N]\n  \
          lttf bench-serve [--threads N] [--requests N] [--max-batch N] \
-         [--max-wait-ms N] [--lx N] [--d-model N] [--out-dir DIR]"
+         [--max-wait-ms N] [--lx N] [--d-model N] [--out-dir DIR]\n  \
+         lttf trace [--trace-out FILE.json] <subcommand …>   \
+         (record a Chrome trace of any subcommand; open in chrome://tracing)"
     );
     exit(2);
 }
@@ -85,6 +89,20 @@ fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
         eprintln!("missing required flag --{key}");
         usage();
     })
+}
+
+/// Training health-monitor flags shared by `train` and `profile`:
+/// `--health-every N` turns the monitor on (scan cadence in batches),
+/// `--health-acts` adds activation scans, `--health-warn-only` keeps
+/// training through a divergence, `--health-max-grad-norm X` sets the
+/// exploding-gradient threshold.
+fn health_flags(flags: &HashMap<String, String>) -> HealthConfig {
+    HealthConfig {
+        cadence: get(flags, "health-every", 0usize),
+        activations: flag_set(flags, "health-acts"),
+        max_grad_norm: get(flags, "health-max-grad-norm", 1e4f64),
+        halt: !flag_set(flags, "health-warn-only"),
+    }
 }
 
 fn dataset_by_name(name: &str) -> Dataset {
@@ -177,9 +195,13 @@ fn cmd_train(flags: HashMap<String, String>) {
             clip: 5.0,
             seed,
             val_max_windows: usize::MAX,
+            health: health_flags(&flags),
         },
         run_log.as_mut(),
     );
+    if let Some(d) = &report.divergence {
+        eprintln!("health watchdog: {d}");
+    }
     for (e, l) in report.train_losses.iter().enumerate() {
         println!("  epoch {e}: train loss {l:.4}");
     }
@@ -364,6 +386,7 @@ fn cmd_profile(flags: HashMap<String, String>) {
         clip: 5.0,
         seed,
         val_max_windows: if smoke { 64 } else { usize::MAX },
+        health: health_flags(&flags),
     };
     match mode {
         "train" => {
@@ -640,7 +663,32 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `lttf trace [--trace-out FILE] <cmd> …` wraps any subcommand with
+    // event recording and writes a Chrome trace_event JSON document when
+    // the inner command returns (open it in chrome://tracing or
+    // https://ui.perfetto.dev). The export is validated before writing.
+    let mut trace_out: Option<String> = None;
+    if args.first().map(String::as_str) == Some("trace") {
+        args.remove(0);
+        let mut out = "results/trace.json".to_string();
+        if args.first().map(String::as_str) == Some("--trace-out") {
+            args.remove(0);
+            if args.is_empty() || args[0].starts_with("--") {
+                eprintln!("--trace-out needs a file path");
+                usage();
+            }
+            out = args.remove(0);
+        }
+        if args.is_empty() {
+            eprintln!("lttf trace needs a subcommand to run");
+            usage();
+        }
+        lttf::obs::trace::set_enabled(true);
+        trace_out = Some(out);
+    }
+
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
@@ -653,5 +701,31 @@ fn main() {
         "serve" => cmd_serve(flags),
         "bench-serve" => cmd_bench_serve(flags),
         _ => usage(),
+    }
+
+    if let Some(path) = trace_out {
+        lttf::obs::trace::set_enabled(false);
+        let export = lttf::obs::trace::export_chrome();
+        if let Err(e) = lttf::obs::trace::validate_chrome(&export.json) {
+            eprintln!("internal error: trace failed validation: {e}");
+            exit(1);
+        }
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &export.json) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        print!(
+            "trace: {path} ({} events on {} threads",
+            export.events, export.threads
+        );
+        if export.dropped > 0 {
+            print!(", {} dropped to ring wrap — raise LTTF_TRACE_BUF", export.dropped);
+        }
+        println!("); open in chrome://tracing");
     }
 }

@@ -154,6 +154,37 @@ fn profile_smoke_prints_span_table_and_run_log() {
 }
 
 #[test]
+fn trace_wrapper_writes_valid_chrome_json() {
+    let dir = workdir().join("trace");
+    let trace_path = dir.join("trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
+        .arg("trace")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .args([
+            "profile", "--smoke", "--lx", "24", "--ly", "8", "--d-model", "8", "--epochs", "1",
+            "--batch", "8", "--len", "400", "--name", "cli_trace", "--out-dir",
+        ])
+        .arg(&dir)
+        .env("LTTF_QUIET", "1")
+        .output()
+        .expect("trace profile");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace: "), "no trace summary line in:\n{stdout}");
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let summary = lttf::obs::trace::validate_chrome(&json).expect("valid Chrome trace");
+    assert!(summary.events > 0, "empty trace");
+    assert!(summary.slices > 0, "no completed B/E slices");
+    assert!(json.contains("\"thread_name\""), "missing thread metadata");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn unknown_subcommand_fails() {
     let out = Command::new(env!("CARGO_BIN_EXE_lttf"))
         .arg("frobnicate")

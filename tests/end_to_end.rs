@@ -28,6 +28,7 @@ fn quick_opts(seed: u64) -> TrainOptions {
         clip: 5.0,
         seed,
         val_max_windows: usize::MAX,
+        ..Default::default()
     }
 }
 

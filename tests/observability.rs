@@ -7,7 +7,7 @@
 
 use lttf::data::synth::{Dataset, SynthSpec};
 use lttf::data::{Split, WindowDataset};
-use lttf::eval::{train_logged, ModelKind, StopReason, TrainOptions, TrainedModel};
+use lttf::eval::{train_logged, HealthConfig, ModelKind, StopReason, TrainOptions, TrainedModel};
 use lttf::nn::attention::window_global_forward;
 use lttf::obs;
 use lttf::tensor::{Rng, Tensor};
@@ -118,6 +118,7 @@ fn run_log_round_trips_through_validator() {
         clip: 5.0,
         seed: 2,
         val_max_windows: usize::MAX,
+        ..Default::default()
     };
     let report = train_logged(&mut model, &train_set, Some(&val_set), &opts, Some(&mut log));
     drop(log);
@@ -144,6 +145,120 @@ fn run_log_round_trips_through_validator() {
     assert_eq!(next_epoch as usize, report.train_losses.len());
     assert_eq!(report.stop_reason, StopReason::MaxEpochs);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn watchdog_catches_injected_nan_and_names_a_layer() {
+    let _g = exclusive();
+    obs::reset();
+    lttf::obs::health::set_global(None);
+    let mut series = Dataset::Ettm1.generate(SynthSpec {
+        len: 400,
+        dims: Some(2),
+        seed: 9,
+    });
+    // Inject a NaN into the raw series: the scaler, forward pass, loss,
+    // and every gradient all get poisoned — the watchdog must still name
+    // a concrete layer, not just "loss".
+    series.values.data_mut()[37] = f32::NAN;
+    let mk = |split| WindowDataset::new(&series, split, (0.7, 0.15), 24, 8, 12);
+    let (train_set, val_set) = (mk(Split::Train), mk(Split::Val));
+    let mut model = TrainedModel::build(ModelKind::Gru, 2, 24, 8, 8, 2, 1);
+
+    let dir = std::env::temp_dir().join("lttf_obs_test");
+    let path = dir.join("nan_watchdog.jsonl");
+    let mut log = obs::RunLog::create(&path).expect("create run log");
+    let opts = TrainOptions {
+        epochs: 3,
+        batch_size: 16,
+        lr: 1e-3,
+        patience: 0,
+        lr_decay: 0.8,
+        max_batches: 4,
+        clip: 5.0,
+        seed: 2,
+        val_max_windows: usize::MAX,
+        health: HealthConfig::every(1),
+    };
+    let report = train_logged(&mut model, &train_set, Some(&val_set), &opts, Some(&mut log));
+    drop(log);
+
+    assert_eq!(report.stop_reason, StopReason::Diverged);
+    assert_eq!(report.stop_reason.label(), "diverged");
+    assert_eq!(report.stopped_at, 1, "watchdog must halt in the first epoch");
+    let d = report.divergence.expect("divergence detail");
+    assert!(d.contains("NaN"), "{d}");
+    assert!(!d.starts_with("loss"), "must name a parameter, not the loss: {d}");
+    assert!(lttf::obs::health::is_diverged());
+    let detail = lttf::obs::health::global().expect("global watchdog state");
+    assert!(!detail.layer.is_empty());
+
+    // The per-layer health records and the diverged stop reason both
+    // survive the strict run-log validator.
+    let summary = obs::runlog::validate_file(&path).expect("run log validates");
+    assert_eq!(summary.stop_reason, "diverged");
+    assert!(summary.health > 0, "expected health records, got none");
+    lttf::obs::health::set_global(None);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warn_only_watchdog_keeps_training() {
+    let _g = exclusive();
+    obs::reset();
+    lttf::obs::health::set_global(None);
+    let mut series = Dataset::Ettm1.generate(SynthSpec {
+        len: 400,
+        dims: Some(2),
+        seed: 9,
+    });
+    series.values.data_mut()[37] = f32::NAN;
+    let mk = |split| WindowDataset::new(&series, split, (0.7, 0.15), 24, 8, 12);
+    let train_set = mk(Split::Train);
+    let mut model = TrainedModel::build(ModelKind::Gru, 2, 24, 8, 8, 2, 1);
+    let opts = TrainOptions {
+        epochs: 2,
+        batch_size: 16,
+        lr: 1e-3,
+        patience: 0,
+        lr_decay: 0.8,
+        max_batches: 3,
+        clip: 5.0,
+        seed: 2,
+        val_max_windows: usize::MAX,
+        health: HealthConfig {
+            halt: false,
+            ..HealthConfig::every(1)
+        },
+    };
+    let report = train_logged(&mut model, &train_set, None, &opts, None);
+    // Divergence is reported but training runs the full budget.
+    assert!(report.divergence.is_some());
+    assert_eq!(report.stop_reason, StopReason::MaxEpochs);
+    assert_eq!(report.stopped_at, 2);
+    lttf::obs::health::set_global(None);
+}
+
+#[test]
+fn trace_records_kernel_spans_as_chrome_json() {
+    let _g = exclusive();
+    obs::reset();
+    lttf::obs::trace::clear();
+    lttf::obs::trace::set_enabled(true);
+    let mut rng = Rng::seed(14);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    for _ in 0..3 {
+        std::hint::black_box(a.matmul(&b));
+    }
+    lttf::obs::trace::set_enabled(false);
+
+    let export = lttf::obs::trace::export_chrome();
+    let summary = lttf::obs::trace::validate_chrome(&export.json).expect("trace validates");
+    assert!(summary.slices >= 3, "expected matmul slices: {}", export.json);
+    assert!(export.json.contains("\"name\":\"matmul\""), "{}", export.json);
+    assert!(export.json.contains("\"thread_name\""), "{}", export.json);
+    lttf::obs::trace::clear();
 }
 
 #[test]

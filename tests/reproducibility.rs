@@ -29,6 +29,7 @@ fn run_once(seed: u64) -> (f32, f32, Vec<f32>) {
             clip: 5.0,
             seed,
             val_max_windows: usize::MAX,
+            ..Default::default()
         },
     );
     let m = evaluate(&model, &test, 16);

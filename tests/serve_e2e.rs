@@ -157,3 +157,53 @@ fn malformed_and_oversized_requests_get_error_responses() {
 
     handle.shutdown();
 }
+
+#[test]
+fn metrics_endpoint_and_traced_request_over_tcp() {
+    let model = test_model();
+    let raw = raw_window(&model, 31);
+    let handle = serve(
+        Registry::single("m", model),
+        "127.0.0.1:0",
+        BatchConfig::default(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // Serve one forecast with event tracing on: the request must appear
+    // in the export as a connected async slice.
+    lttf::obs::trace::set_enabled(true);
+    let (_, res) = ask(addr, &request_line(1, &raw, None));
+    res.expect("forecast while traced");
+    lttf::obs::trace::set_enabled(false);
+    let export = lttf::obs::trace::export_chrome();
+    let summary = lttf::obs::trace::validate_chrome(&export.json).expect("trace validates");
+    assert!(summary.async_slices >= 1, "{}", export.json);
+    assert!(export.json.contains("\"name\":\"serve.req\""), "{}", export.json);
+
+    // The metrics command answers with a Prometheus-style exposition
+    // that already counts the request above.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{{\"id\":2,\"cmd\":\"metrics\"}}").unwrap();
+    writer.flush().unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let (id, text) = protocol::parse_metrics_response(resp.trim_end()).expect("metrics response");
+    assert_eq!(id, 2);
+    let text = text.expect("metrics ok");
+    assert!(text.contains("lttf_up 1\n"), "{text}");
+    assert!(
+        text.contains("lttf_serve_requests_served_total{model=\"m\"} 1\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("lttf_serve_latency_seconds{model=\"m\",quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(text.contains("lttf_health_diverged"), "{text}");
+
+    handle.shutdown();
+}
