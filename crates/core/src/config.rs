@@ -174,7 +174,7 @@ impl ConformerConfig {
         format!(
             "c_in {}\nc_out {}\nlx {}\nly {}\nlabel_len {}\nd_model {}\nn_heads {}\n\
              enc_layers {}\ndec_layers {}\nflow_steps {}\nlambda {}\ntarget {}\n\
-             strides {}\n",
+             strides {}\nmoving_avg {}\n",
             self.c_in,
             self.c_out,
             self.lx,
@@ -192,6 +192,7 @@ impl ConformerConfig {
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>()
                 .join(","),
+            self.moving_avg,
         )
     }
 
@@ -228,6 +229,13 @@ impl ConformerConfig {
             .get("strides")
             .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
             .unwrap_or_else(|| vec![1]);
+        // Added after the first checkpoint format: decomposition kernel
+        // size changes the forward pass without changing any parameter
+        // shape, so a reload that guessed it would silently produce
+        // different forecasts. Old sidecars fall back to the default.
+        if let Some(m) = kv.get("moving_avg").and_then(|v| v.parse().ok()) {
+            cfg.moving_avg = m;
+        }
         let target = kv.get("target").cloned().unwrap_or_default();
         Ok((cfg, target))
     }
@@ -318,6 +326,21 @@ mod tests {
         assert_eq!(back.d_model, cfg.d_model);
         assert_eq!(back.lambda, cfg.lambda);
         assert_eq!(back.multiscale_strides, cfg.multiscale_strides);
+        // tiny() overrides moving_avg; a reload must not fall back to the
+        // default and silently change the decomposition.
+        assert_eq!(back.moving_avg, cfg.moving_avg);
+    }
+
+    #[test]
+    fn sidecar_without_moving_avg_uses_default() {
+        let text = ConformerConfig::new(2, 8, 4).to_sidecar("OT");
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("moving_avg"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let (back, _) = ConformerConfig::from_sidecar(&stripped).unwrap();
+        assert_eq!(back.moving_avg, ConformerConfig::new(2, 8, 4).moving_avg);
     }
 
     #[test]

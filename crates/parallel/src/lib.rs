@@ -22,10 +22,14 @@
 //! Workers come from a lazily grown process-wide pool. The engaged thread
 //! count is, in order of precedence:
 //!
-//! 1. [`set_threads_override`] (used by benches and determinism tests),
-//! 2. the `LTTF_THREADS` environment variable (read once; `1` forces the
+//! 1. [`set_thread_threads_override`] (calling-thread only; lets each
+//!    replica of a serving pool pin its forwards to a disjoint share of
+//!    the thread budget),
+//! 2. [`set_threads_override`] (process-wide; used by benches and
+//!    determinism tests),
+//! 3. the `LTTF_THREADS` environment variable (read once; `1` forces the
 //!    fully serial path, no pool is ever touched),
-//! 3. [`std::thread::available_parallelism`].
+//! 4. [`std::thread::available_parallelism`].
 //!
 //! ## Nesting and re-entrancy
 //!
@@ -54,7 +58,7 @@ mod pool;
 #[cfg(test)]
 mod proptests;
 
-pub use pool::{num_threads, set_threads_override};
+pub use pool::{num_threads, set_thread_threads_override, set_threads_override};
 
 /// Number of chunks `par_chunks_mut` splits a `len`-element slice into.
 ///

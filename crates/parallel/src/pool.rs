@@ -24,16 +24,41 @@ const MAX_THREADS: usize = 256;
 /// counts inside one process without touching the (cached) environment.
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// Per-thread thread-count override (0 = unset). Outranks everything:
+    /// a serving replica pinned to a budget of the machine must keep that
+    /// budget even while another component sweeps the global override.
+    static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
 /// Set (or clear) the thread-count override. `Some(1)` forces the serial
 /// path exactly like `LTTF_THREADS=1`.
 pub fn set_threads_override(n: Option<usize>) {
     OVERRIDE.store(n.unwrap_or(0).min(MAX_THREADS), Ordering::Relaxed);
 }
 
-/// The thread count parallel regions will engage: the override if set,
-/// else `LTTF_THREADS` (parsed once per process by `lttf_obs::env`), else
-/// [`std::thread::available_parallelism`].
+/// Set (or clear) a thread-count override for the **calling thread only**.
+///
+/// Parallel regions dispatched from this thread engage at most `n`
+/// threads; other threads are unaffected. This is how a replicated
+/// serving tier pins each replica's batcher to a disjoint share of the
+/// `LTTF_THREADS` budget: replica `i` calls
+/// `set_thread_threads_override(Some(budget / replicas))` once at thread
+/// start, and every forward it runs inherits that cap. `Some(1)` forces
+/// the fully serial path for this thread.
+pub fn set_thread_threads_override(n: Option<usize>) {
+    LOCAL_OVERRIDE.with(|c| c.set(n.unwrap_or(0).min(MAX_THREADS)));
+}
+
+/// The thread count parallel regions will engage: the calling thread's
+/// [`set_thread_threads_override`] if set, else the process-wide
+/// [`set_threads_override`], else `LTTF_THREADS` (parsed once per process
+/// by `lttf_obs::env`), else [`std::thread::available_parallelism`].
 pub fn num_threads() -> usize {
+    let l = LOCAL_OVERRIDE.with(|c| c.get());
+    if l != 0 {
+        return l;
+    }
     let o = OVERRIDE.load(Ordering::Relaxed);
     if o != 0 {
         return o;

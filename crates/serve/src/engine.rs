@@ -119,6 +119,17 @@ impl Submitter {
         window: Window,
         deadline: Option<Instant>,
     ) -> Result<Receiver<Reply>, Reject> {
+        self.submit_window(window, deadline).map_err(|(_, r)| r)
+    }
+
+    /// [`Submitter::submit`], but a rejection hands the window back so a
+    /// replica pool can retry it against another replica without cloning
+    /// the prepared tensors.
+    pub(crate) fn submit_window(
+        &self,
+        window: Window,
+        deadline: Option<Instant>,
+    ) -> Result<Receiver<Reply>, (Window, Reject)> {
         let (reply_tx, reply_rx) = mpsc::channel();
         let trace_id = if trace::enabled() { trace::next_id() } else { 0 };
         let job = Job {
@@ -147,11 +158,11 @@ impl Submitter {
             Err(e) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
                 match e {
-                    TrySendError::Full(_) => {
+                    TrySendError::Full(job) => {
                         lttf_obs::counter!("serve.rejected_full", 1);
-                        Err(Reject::QueueFull)
+                        Err((job.window, Reject::QueueFull))
                     }
-                    TrySendError::Disconnected(_) => Err(Reject::Closed),
+                    TrySendError::Disconnected(job) => Err((job.window, Reject::Closed)),
                 }
             }
         }
@@ -181,19 +192,39 @@ pub struct Engine {
 impl Engine {
     /// Spawn the batcher thread for `model`.
     pub fn start(model: Arc<LoadedModel>, cfg: BatchConfig) -> Engine {
+        // Latency samples live behind a shared mutex (locked once per
+        // batch by the writer) so monitoring can read live percentiles
+        // while the server runs, not only at shutdown.
+        let stats = Arc::new(Mutex::new(LatencyStats::new()));
+        Engine::start_with(model, cfg, stats, None, "lttf-batcher")
+    }
+
+    /// [`Engine::start`] with the pieces a replica pool shares or pins:
+    /// a latency accumulator common to all replicas of one model, an
+    /// optional per-replica thread budget for the forward passes, and a
+    /// thread label naming the model and replica.
+    pub(crate) fn start_with(
+        model: Arc<LoadedModel>,
+        cfg: BatchConfig,
+        stats: Arc<Mutex<LatencyStats>>,
+        threads: Option<usize>,
+        label: &str,
+    ) -> Engine {
         assert!(cfg.max_batch >= 1, "max_batch must be >= 1");
         assert!(cfg.queue_cap >= 1, "queue_cap must be >= 1");
         let (tx, rx) = mpsc::sync_channel(cfg.queue_cap);
         let depth = Arc::new(AtomicUsize::new(0));
         let depth2 = Arc::clone(&depth);
-        // Latency samples live behind a shared mutex (locked once per
-        // batch by the writer) so monitoring can read live percentiles
-        // while the server runs, not only at shutdown.
-        let stats = Arc::new(Mutex::new(LatencyStats::new()));
         let stats2 = Arc::clone(&stats);
         let worker = thread::Builder::new()
-            .name("lttf-batcher".to_string())
-            .spawn(move || batcher_loop(model, cfg, rx, depth2, stats2))
+            .name(label.to_string())
+            .spawn(move || {
+                // Pin this replica's forwards to its share of the thread
+                // budget; the setting is thread-local, so replicas with
+                // disjoint budgets never fight over a global knob.
+                lttf_parallel::set_thread_threads_override(threads);
+                batcher_loop(model, cfg, rx, depth2, stats2)
+            })
             .expect("spawn batcher thread");
         Engine { tx, depth, stats, worker }
     }
@@ -218,6 +249,22 @@ impl Engine {
         self.worker.join().expect("batcher thread panicked");
         self.stats.lock().unwrap_or_else(|e| e.into_inner()).summary()
     }
+}
+
+/// Answer every job whose deadline is already past `now` with a reject
+/// and return the ones still worth serving.
+fn reject_expired(jobs: Vec<Job>, now: Instant) -> Vec<Job> {
+    let (live, expired): (Vec<Job>, Vec<Job>) = jobs
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|dl| now < dl));
+    for job in expired {
+        lttf_obs::counter!("serve.deadline_expired", 1);
+        if job.trace_id != 0 {
+            trace::async_end(req_names().req, job.trace_id);
+        }
+        let _ = job.reply.send(Err("deadline exceeded".to_string()));
+    }
+    live
 }
 
 fn batcher_loop(
@@ -248,29 +295,22 @@ fn batcher_loop(
             .saturating_sub(jobs.len());
         lttf_obs::gauge!("serve.queue_depth", d as u64);
 
-        // A request whose deadline passed while it sat in the queue is
-        // rejected rather than served late; its spot in the forward pass
-        // goes to requests that can still make theirs.
-        let now = Instant::now();
-        let (live, expired): (Vec<Job>, Vec<Job>) = jobs
-            .into_iter()
-            .partition(|j| j.deadline.is_none_or(|dl| now < dl));
-        for job in expired {
-            lttf_obs::counter!("serve.deadline_expired", 1);
-            if job.trace_id != 0 {
-                trace::async_end(req_names().req, job.trace_id);
-            }
-            let _ = job.reply.send(Err("deadline exceeded".to_string()));
-        }
-        if live.is_empty() {
-            continue;
-        }
-
-        for job in &live {
+        for job in &jobs {
             if job.trace_id != 0 {
                 trace::async_instant(req_names().dequeue, job.trace_id);
             }
         }
+        // Deadlines are re-checked on the fully assembled batch, with a
+        // timestamp taken *after* the `max_wait_ms` accumulation window:
+        // a request whose deadline passed while it sat in the queue — or
+        // while its batch waited out the flush timer — is rejected rather
+        // than served late, and its spot in the forward pass goes to
+        // requests that can still make theirs.
+        let live = reject_expired(jobs, Instant::now());
+        if live.is_empty() {
+            continue;
+        }
+
         let rows = {
             let _span = lttf_obs::span!("serve.batch");
             lttf_obs::gauge!("serve.batch_size", live.len() as u64);
@@ -399,6 +439,33 @@ mod tests {
         drop(sub);
         // Expired requests never count toward served latencies.
         assert_eq!(engine.shutdown().count, 0);
+    }
+
+    #[test]
+    fn deadline_expiring_during_batch_wait_is_rejected() {
+        let model = Arc::new(tiny_model());
+        // A long flush window and a short deadline: the job is dequeued
+        // immediately (it is the batch's first member, deadline still in
+        // the future), but its deadline expires while the batch waits out
+        // `max_wait_ms`. The post-assembly recheck must reject it instead
+        // of serving it late.
+        let engine = Engine::start(
+            Arc::clone(&model),
+            BatchConfig {
+                max_batch: 8,
+                max_wait_ms: 300,
+                queue_cap: 8,
+            },
+        );
+        let sub = engine.submitter();
+        let w = model.make_window(&raw_window(&model, 4), 0, 60).unwrap();
+        let rx = sub
+            .submit(w, Some(Instant::now() + Duration::from_millis(30)))
+            .unwrap();
+        let err = rx.recv().unwrap().unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+        drop(sub);
+        assert_eq!(engine.shutdown().count, 0, "late requests must not be served");
     }
 
     #[test]

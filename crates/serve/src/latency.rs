@@ -46,6 +46,12 @@ impl LatencyStats {
         self.samples_ns.len()
     }
 
+    /// Fold another accumulator's samples into this one (used to combine
+    /// per-client stats in the load generator).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+
     /// Nearest-rank percentile (`p` in `[0, 100]`); 0 with no samples.
     pub fn percentile(&mut self, p: f64) -> u64 {
         if self.samples_ns.is_empty() {
@@ -170,6 +176,18 @@ mod tests {
         }
         assert_eq!(st3.percentile(99.0), 25);
         assert_eq!(st3.percentile(34.0), 15, "ceil(1.02) = rank 2");
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        a.record(30);
+        let mut b = LatencyStats::new();
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(50.0), 20);
     }
 
     #[test]

@@ -3,18 +3,28 @@
 //! Zero-dependency batched inference serving for the Conformer
 //! reproduction: a model [`Registry`] that round-trips checkpoints plus
 //! scaler state, a dynamic micro-batching [`Engine`] (bounded queue,
-//! flush on `max_batch` or `max_wait_ms`), and a std-only TCP front end
+//! flush on `max_batch` or `max_wait_ms`), a replicated [`ReplicaPool`]
+//! dispatcher with [`Admission`] control, and a std-only TCP front end
 //! speaking newline-delimited JSON (see [`protocol`]).
 //!
 //! Requests carry **raw** input windows; the server scales them with the
 //! training scaler stored in the checkpoint metadata, batches concurrent
 //! requests into one no-grad forward pass, and answers in raw units.
-//! Batching is invisible to correctness: every kernel on the forward
-//! path is row-independent, so a batched forecast is bit-identical to a
-//! single-request one.
+//! Batching and replication are invisible to correctness: every kernel
+//! on the forward path is row-independent, so a forecast is bit-identical
+//! no matter which replica or batch served it.
+//!
+//! The topology scales out in two directions:
+//!
+//! * **replicas** — each model runs `replicas` engines behind a
+//!   deterministic dispatcher ([`Policy`]), each replica optionally
+//!   pinned to a disjoint `LTTF_THREADS` share;
+//! * **generations** — the `reload` wire command loads a new checkpoint
+//!   generation, atomically swaps the routing table, and drains the old
+//!   generation without dropping a single in-flight request.
 //!
 //! ```
-//! use lttf_serve::{serve, BatchConfig, LoadedModel, Registry};
+//! use lttf_serve::{serve, LoadedModel, Registry, ServeConfig};
 //! use lttf_conformer::ConformerConfig;
 //! use lttf_data::StandardScaler;
 //! use lttf_eval::TrainedModel;
@@ -30,7 +40,7 @@
 //! let handle = serve(
 //!     Registry::single("demo", loaded),
 //!     "127.0.0.1:0", // ephemeral port
-//!     BatchConfig::default(),
+//!     ServeConfig { replicas: 2, ..ServeConfig::default() },
 //! )
 //! .unwrap();
 //!
@@ -40,6 +50,7 @@
 //! let mut line = String::new();
 //! BufReader::new(stream).read_line(&mut line).unwrap();
 //! assert!(line.contains(r#""ok":true"#), "{line}");
+//! assert!(line.contains(r#""gen":1"#), "{line}");
 //!
 //! let summaries = handle.shutdown(); // drains in-flight work
 //! assert_eq!(summaries[0].1.count, 1);
@@ -47,6 +58,8 @@
 
 #![deny(missing_docs)]
 
+mod admission;
+mod dispatch;
 mod engine;
 mod latency;
 pub mod metrics;
@@ -54,7 +67,9 @@ pub mod protocol;
 mod registry;
 mod server;
 
+pub use admission::{Admission, AdmissionConfig, Denied};
+pub use dispatch::{ModelEntry, Policy, PoolConfig, ReplicaPool};
 pub use engine::{BatchConfig, Engine, Reject, Reply, Submitter};
 pub use latency::{LatencyStats, LatencySummary};
 pub use registry::{scaler_from_meta, scaler_meta, LoadedModel, Registry, Window};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, ServeConfig, ServerHandle, MAX_LINE};

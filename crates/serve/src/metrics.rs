@@ -3,30 +3,46 @@
 //! Renders a Prometheus-style exposition (see [`lttf_obs::metrics`])
 //! covering what an operator watches on a running server:
 //!
-//! * per-model queue depth and live latency percentiles (nearest-rank,
-//!   over every request served so far),
+//! * per-model replica count, serving generation, aggregate and
+//!   per-replica queue depth,
+//! * live latency percentiles (nearest-rank, over every request the
+//!   current generation has served),
 //! * the training-health watchdog state (`lttf_health_diverged`, with
 //!   the offending layer as a label when tripped),
 //! * the full observability registry snapshot (request/connection
-//!   counters, batch-size gauges, span totals).
+//!   counters, admission refusals, dispatch spills, batch-size gauges).
 //!
 //! No IO here: the server embeds the returned text in a one-line JSON
 //! response ([`crate::protocol::format_metrics`]).
 
+use std::sync::Arc;
+
 use lttf_obs::metrics::MetricsText;
 use lttf_obs::{health, registry};
 
-use crate::engine::Submitter;
+use crate::dispatch::ModelEntry;
 
-/// Render the exposition for `models` (name → submission handle pairs,
-/// typically every model the server fronts).
-pub fn render<'a>(models: impl IntoIterator<Item = (&'a str, &'a Submitter)>) -> String {
+/// Render the exposition for the routing table's current entries
+/// (typically every model the server fronts, current generation each).
+pub fn render(entries: &[Arc<ModelEntry>]) -> String {
     let mut m = MetricsText::new();
     m.line("lttf_up", &[], 1.0);
-    for (name, sub) in models {
+    for entry in entries {
+        let name = entry.name();
         let labels = [("model", name)];
-        m.line("lttf_serve_queue_depth", &labels, sub.queue_depth() as f64);
-        let lat = sub.latency();
+        let pool = entry.pool();
+        m.line("lttf_serve_replicas", &labels, pool.replicas() as f64);
+        m.line("lttf_serve_generation", &labels, entry.generation() as f64);
+        m.line("lttf_serve_queue_depth", &labels, pool.queue_depth() as f64);
+        for (i, depth) in pool.replica_depths().into_iter().enumerate() {
+            let replica = i.to_string();
+            m.line(
+                "lttf_serve_replica_queue_depth",
+                &[("model", name), ("replica", &replica)],
+                depth as f64,
+            );
+        }
+        let lat = pool.latency();
         m.line("lttf_serve_requests_served_total", &labels, lat.count as f64);
         if lat.count > 0 {
             let q = |m: &mut MetricsText, quantile: &str, ns: u64| {
@@ -55,26 +71,35 @@ pub fn render<'a>(models: impl IntoIterator<Item = (&'a str, &'a Submitter)>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{BatchConfig, Engine};
+    use crate::dispatch::PoolConfig;
     use crate::registry::tiny_model;
     use lttf_tensor::{Rng, Tensor};
-    use std::sync::Arc;
 
     #[test]
-    fn renders_queue_latency_and_health() {
+    fn renders_replicas_generation_queue_and_latency() {
         let model = Arc::new(tiny_model());
-        let engine = Engine::start(Arc::clone(&model), BatchConfig::default());
-        let sub = engine.submitter();
+        let cfg = PoolConfig {
+            replicas: 2,
+            threads_per_replica: Some(1),
+            ..PoolConfig::default()
+        };
+        let entry = Arc::new(ModelEntry::start("demo", 3, Arc::clone(&model), &cfg));
         let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(5))
             .data()
             .to_vec();
         let w = model.make_window(&raw, 0, 60).unwrap();
-        let rx = sub.submit(w, None).unwrap();
+        let rx = entry.pool().submit(w, None).unwrap();
         rx.recv().unwrap().unwrap();
 
-        let text = render([("demo", &sub)]);
+        let text = render(&[Arc::clone(&entry)]);
         assert!(text.contains("lttf_up 1\n"), "{text}");
+        assert!(text.contains("lttf_serve_replicas{model=\"demo\"} 2\n"), "{text}");
+        assert!(text.contains("lttf_serve_generation{model=\"demo\"} 3\n"), "{text}");
         assert!(text.contains("lttf_serve_queue_depth{model=\"demo\"} 0\n"), "{text}");
+        assert!(
+            text.contains("lttf_serve_replica_queue_depth{model=\"demo\",replica=\"1\"} 0\n"),
+            "{text}"
+        );
         assert!(text.contains("lttf_serve_requests_served_total{model=\"demo\"} 1\n"), "{text}");
         assert!(
             text.contains("lttf_serve_latency_seconds{model=\"demo\",quantile=\"0.99\"}"),
@@ -82,7 +107,6 @@ mod tests {
         );
         assert!(text.contains("lttf_health_diverged"), "{text}");
 
-        drop(sub);
-        engine.shutdown();
+        entry.pool().drain();
     }
 }

@@ -22,11 +22,28 @@
 //! `{"id":…,"ok":false,"error":"…"}`. Floats use shortest round-trip
 //! formatting, so an `f32` survives the wire bit-for-bit.
 //!
-//! Besides forecasts, a line of `{"id":…,"cmd":"metrics"}` asks the
-//! server for its live metrics; the answer is
-//! `{"id":…,"ok":true,"metrics":"…"}` where the string holds a
-//! Prometheus-style text exposition (newlines escaped as `\n` so the
-//! one-line-per-response framing survives). See [`crate::metrics`].
+//! Successful forecasts also carry `"gen"` — the generation number of
+//! the model that served them, bumped by every hot reload — so clients
+//! (and the reload e2e test) can tell which checkpoint answered.
+//!
+//! Refusals from admission control or a saturated queue add
+//! `"retry_after_ms"` to the error response: a backoff hint, not a
+//! promise. Clients that honor it ride out bursts instead of amplifying
+//! them.
+//!
+//! Besides forecasts, two control commands share the framing:
+//!
+//! * `{"id":…,"cmd":"metrics"}` — the answer is
+//!   `{"id":…,"ok":true,"metrics":"…"}` where the string holds a
+//!   Prometheus-style text exposition (newlines escaped as `\n` so the
+//!   one-line-per-response framing survives). See [`crate::metrics`].
+//! * `{"id":…,"cmd":"reload","path":"…","model":"…"}` — load the
+//!   checkpoint at `path` as a new generation of `model` (default: the
+//!   server's default model), atomically swap it into the routing table,
+//!   and drain the old generation. The answer is
+//!   `{"id":…,"ok":true,"gen":…,"replicas":…,"drained":…}`: the new
+//!   generation number, its replica count, and how many requests the old
+//!   generation answered during its lifetime.
 
 use lttf_obs::jsonl::{field, parse_object, JsonObj};
 
@@ -61,6 +78,16 @@ pub enum Command {
         /// Client correlation id, echoed back.
         id: u64,
     },
+    /// `{"id":…,"cmd":"reload","path":…[,"model":…]}` — hot-swap a model
+    /// to a new checkpoint generation.
+    Reload {
+        /// Client correlation id, echoed back.
+        id: u64,
+        /// Registry name to reload (`None` = server default model).
+        model: Option<String>,
+        /// Checkpoint base path (`<base>.params` + `<base>.config`).
+        path: String,
+    },
 }
 
 /// Parse one request line into a [`Command`]. Lines without a `cmd`
@@ -74,6 +101,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .and_then(|v| v.as_num())
                 .ok_or("missing numeric 'id'")? as u64;
             Ok(Command::Metrics { id })
+        }
+        Some("reload") => {
+            let id = field(&fields, "id")
+                .and_then(|v| v.as_num())
+                .ok_or("missing numeric 'id'")? as u64;
+            let path = field(&fields, "path")
+                .and_then(|v| v.as_str())
+                .ok_or("reload requires a string 'path'")?
+                .to_string();
+            let model = field(&fields, "model")
+                .and_then(|v| v.as_str())
+                .map(str::to_string);
+            Ok(Command::Reload { id, model, path })
         }
         Some(other) => Err(format!("unknown cmd '{other}'")),
     }
@@ -106,11 +146,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
-/// Format a success response carrying the forecast values.
-pub fn format_ok(id: u64, forecast: &[f32]) -> String {
+/// Format a success response carrying the forecast values, stamped with
+/// the generation of the model that produced them.
+pub fn format_ok(id: u64, generation: u64, forecast: &[f32]) -> String {
     JsonObj::new()
         .int("id", id)
         .bool("ok", true)
+        .int("gen", generation)
         .nums("forecast", forecast.iter().copied())
         .finish()
 }
@@ -122,6 +164,114 @@ pub fn format_err(id: u64, error: &str) -> String {
         .bool("ok", false)
         .str("error", error)
         .finish()
+}
+
+/// Format an admission/backpressure refusal: an error response with a
+/// `retry_after_ms` backoff hint.
+pub fn format_reject(id: u64, error: &str, retry_after_ms: u64) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", false)
+        .str("error", error)
+        .int("retry_after_ms", retry_after_ms)
+        .finish()
+}
+
+/// Format a reload request line (client side).
+pub fn format_reload(id: u64, model: Option<&str>, path: &str) -> String {
+    let mut o = JsonObj::new().int("id", id).str("cmd", "reload").str("path", path);
+    if let Some(m) = model {
+        o = o.str("model", m);
+    }
+    o.finish()
+}
+
+/// Format a successful reload response: the new generation, its replica
+/// count, and the number of requests the drained generation served.
+pub fn format_reload_ok(id: u64, generation: u64, replicas: usize, drained: u64) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .int("gen", generation)
+        .int("replicas", replicas as u64)
+        .int("drained", drained)
+        .finish()
+}
+
+/// The client-side view of one reload response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReloadInfo {
+    /// Generation number now serving the model.
+    pub generation: u64,
+    /// Replica count of the new generation's pool.
+    pub replicas: usize,
+    /// Requests the retired generation answered over its lifetime.
+    pub drained: u64,
+}
+
+/// Parse a reload response into `(id, Result<info, error>)`.
+pub fn parse_reload_response(line: &str) -> Result<(u64, Result<ReloadInfo, String>), String> {
+    let fields = parse_object(line)?;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if ok {
+        Ok((
+            id,
+            Ok(ReloadInfo {
+                generation: num("gen").ok_or("reload response missing 'gen'")? as u64,
+                replicas: num("replicas").ok_or("reload response missing 'replicas'")? as usize,
+                drained: num("drained").unwrap_or(0.0) as u64,
+            }),
+        ))
+    } else {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        Ok((id, Err(error.to_string())))
+    }
+}
+
+/// Best-effort extraction of the `id` field from a request line that may
+/// be malformed, truncated, or too long to parse — so even a reject
+/// response can carry the client's correlation id instead of a useless
+/// `0`. Scans for an `"id"` key textually; returns `None` when no
+/// plausible numeric id exists.
+pub fn extract_id(line: &str) -> Option<u64> {
+    let bytes = line.as_bytes();
+    let key = b"\"id\"";
+    let mut from = 0;
+    while let Some(pos) = find(bytes, key, from) {
+        let mut i = pos + key.len();
+        while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b':') {
+            from = pos + key.len();
+            continue;
+        }
+        i += 1;
+        while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+            i += 1;
+        }
+        let start = i;
+        while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i > start {
+            if let Ok(v) = line[start..i].parse::<u64>() {
+                return Some(v);
+            }
+        }
+        from = pos + key.len();
+    }
+    None
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    haystack
+        .get(from..)?
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
 }
 
 /// Format a metrics response: the exposition text rides in a JSON string
@@ -153,23 +303,53 @@ pub fn parse_metrics_response(line: &str) -> Result<(u64, Result<String, String>
     }
 }
 
-/// Parse a response line back into `(id, Result<forecast, error>)` — the
-/// client half of the protocol, used by `lttf bench-serve` and the tests.
-pub fn parse_response(line: &str) -> Result<(u64, Result<Vec<f32>, String>), String> {
+/// Everything a client can learn from one forecast response line.
+#[derive(Clone, Debug)]
+pub struct ResponseMeta {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// Generation of the serving model (successful forecasts only).
+    pub generation: Option<u64>,
+    /// Backoff hint attached to admission/backpressure refusals.
+    pub retry_after_ms: Option<u64>,
+    /// The forecast, or the server's error string.
+    pub result: Result<Vec<f32>, String>,
+}
+
+/// Parse a response line with its metadata (generation stamp, backoff
+/// hint) — the full client half of the protocol. The load generator uses
+/// `retry_after_ms` to tell shed traffic from hard failures, and the
+/// reload e2e uses `generation` to prove no mixed-generation batches.
+pub fn parse_response_meta(line: &str) -> Result<ResponseMeta, String> {
     let fields = parse_object(line)?;
-    let id = field(&fields, "id")
-        .and_then(|v| v.as_num())
-        .ok_or("missing numeric 'id'")? as u64;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
     let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
     if ok {
         let forecast = field(&fields, "forecast")
             .and_then(|v| v.as_arr())
             .ok_or("ok response missing 'forecast'")?;
-        Ok((id, Ok(forecast.iter().map(|&v| v as f32).collect())))
+        Ok(ResponseMeta {
+            id,
+            generation: num("gen").map(|v| v as u64),
+            retry_after_ms: None,
+            result: Ok(forecast.iter().map(|&v| v as f32).collect()),
+        })
     } else {
         let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
-        Ok((id, Err(error.to_string())))
+        Ok(ResponseMeta {
+            id,
+            generation: None,
+            retry_after_ms: num("retry_after_ms").map(|v| v as u64),
+            result: Err(error.to_string()),
+        })
     }
+}
+
+/// Parse a response line back into `(id, Result<forecast, error>)` — the
+/// compact client half used by `lttf bench-serve` and the tests.
+pub fn parse_response(line: &str) -> Result<(u64, Result<Vec<f32>, String>), String> {
+    parse_response_meta(line).map(|m| (m.id, m.result))
 }
 
 #[cfg(test)]
@@ -197,13 +377,74 @@ mod tests {
     #[test]
     fn response_round_trip_is_bit_exact() {
         let forecast = vec![0.1f32, -3.5e-5, 1.0e8, f32::MIN_POSITIVE];
-        let (id, res) = parse_response(&format_ok(42, &forecast)).unwrap();
+        let (id, res) = parse_response(&format_ok(42, 3, &forecast)).unwrap();
         assert_eq!(id, 42);
         assert_eq!(res.unwrap(), forecast);
+
+        let meta = parse_response_meta(&format_ok(42, 3, &forecast)).unwrap();
+        assert_eq!(meta.generation, Some(3));
+        assert_eq!(meta.retry_after_ms, None);
 
         let (id, res) = parse_response(&format_err(9, "queue full")).unwrap();
         assert_eq!(id, 9);
         assert_eq!(res.unwrap_err(), "queue full");
+    }
+
+    #[test]
+    fn reject_carries_retry_hint() {
+        let meta = parse_response_meta(&format_reject(5, "overloaded", 40)).unwrap();
+        assert_eq!(meta.id, 5);
+        assert_eq!(meta.retry_after_ms, Some(40));
+        assert_eq!(meta.result.unwrap_err(), "overloaded");
+    }
+
+    #[test]
+    fn reload_round_trip() {
+        let line = format_reload(11, Some("demo"), "/tmp/ckpt");
+        match parse_command(&line).unwrap() {
+            Command::Reload { id, model, path } => {
+                assert_eq!(id, 11);
+                assert_eq!(model.as_deref(), Some("demo"));
+                assert_eq!(path, "/tmp/ckpt");
+            }
+            other => panic!("expected Reload, got {other:?}"),
+        }
+        // model defaults to the server default when omitted
+        match parse_command(&format_reload(12, None, "/tmp/c2")).unwrap() {
+            Command::Reload { model, .. } => assert!(model.is_none()),
+            other => panic!("expected Reload, got {other:?}"),
+        }
+        // path is mandatory
+        assert!(parse_command("{\"id\":1,\"cmd\":\"reload\"}")
+            .unwrap_err()
+            .contains("path"));
+
+        let (id, info) = parse_reload_response(&format_reload_ok(11, 2, 4, 137)).unwrap();
+        assert_eq!(id, 11);
+        assert_eq!(
+            info.unwrap(),
+            ReloadInfo { generation: 2, replicas: 4, drained: 137 }
+        );
+        let (_, info) = parse_reload_response(&format_err(11, "no such model")).unwrap();
+        assert_eq!(info.unwrap_err(), "no such model");
+    }
+
+    #[test]
+    fn extract_id_survives_malformed_lines() {
+        // well-formed
+        assert_eq!(extract_id("{\"id\":42,\"values\":[1]}"), Some(42));
+        // whitespace around the colon
+        assert_eq!(extract_id("{\"id\" : 7}"), Some(7));
+        // truncated mid-line (e.g. an over-long line cut at the cap)
+        assert_eq!(extract_id("{\"id\":9,\"values\":[1,2,3"), Some(9));
+        // id not first
+        assert_eq!(extract_id("{\"t0\":0,\"id\":3}"), Some(3));
+        // a non-numeric "id" is skipped, a later numeric one found
+        assert_eq!(extract_id("{\"id\":\"x\",\"id\":5}"), Some(5));
+        // nothing plausible
+        assert_eq!(extract_id("not json at all"), None);
+        assert_eq!(extract_id("{\"id\":\"abc\"}"), None);
+        assert_eq!(extract_id(""), None);
     }
 
     #[test]

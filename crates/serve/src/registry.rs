@@ -14,7 +14,7 @@ use std::sync::Arc;
 use lttf_conformer::ConformerConfig;
 use lttf_data::{time_features, Batch, StandardScaler, MARK_DIM};
 use lttf_eval::{Forecaster, TrainedModel};
-use lttf_nn::load_params_with_meta;
+use lttf_nn::{load_params_with_meta, save_params_with_meta};
 use lttf_tensor::Tensor;
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -80,6 +80,18 @@ pub struct Window {
     dm: Tensor,
 }
 
+impl std::fmt::Debug for Window {
+    /// Shapes only — a window's payload is thousands of floats.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Window")
+            .field("x", &self.x.shape())
+            .field("xm", &self.xm.shape())
+            .field("dec", &self.dec.shape())
+            .field("dm", &self.dm.shape())
+            .finish()
+    }
+}
+
 /// A checkpointed model plus everything needed to serve raw inputs:
 /// config, scaler, and target variable.
 pub struct LoadedModel {
@@ -88,6 +100,10 @@ pub struct LoadedModel {
     scaler: StandardScaler,
     target: String,
     target_col: usize,
+    /// Load-harness calibration knob: when set, a batch forward takes at
+    /// least this long (the batcher sleeps out the remainder). Never set
+    /// on the production path; see [`LoadedModel::set_service_floor_ms`].
+    service_floor: Option<std::time::Duration>,
 }
 
 impl LoadedModel {
@@ -123,7 +139,17 @@ impl LoadedModel {
             scaler,
             target,
             target_col,
+            service_floor: None,
         })
+    }
+
+    /// Write `<base>.params` + `<base>.config` — a checkpoint
+    /// [`LoadedModel::load`] (and the server's `reload` command) accepts.
+    /// The scaler metadata round-trips bit-for-bit.
+    pub fn save(&self, base: &str) -> io::Result<()> {
+        self.cfg.save_sidecar(&self.target, &format!("{base}.config"))?;
+        let meta = scaler_meta(&self.scaler, &self.target, self.target_col);
+        save_params_with_meta(self.model.params(), &meta, format!("{base}.params"))
     }
 
     /// Wrap an in-memory model (tests and benches skip the filesystem).
@@ -142,7 +168,20 @@ impl LoadedModel {
             scaler,
             target,
             target_col,
+            service_floor: None,
         }
+    }
+
+    /// Set a minimum wall-clock duration per batch forward (0 clears it).
+    ///
+    /// This is a **load-harness calibration knob**, used by `lttf
+    /// bench-serve` to stand in for a heavier model than the synthetic
+    /// bench model — and, on small CI hosts, to isolate the serving
+    /// tier's replica scaling from model compute (a sleeping replica
+    /// yields its core; a computing one cannot). It is never set by
+    /// `lttf serve` or any production path.
+    pub fn set_service_floor_ms(&mut self, ms: f64) {
+        self.service_floor = (ms > 0.0).then(|| std::time::Duration::from_secs_f64(ms / 1e3));
     }
 
     /// The model's hyper-parameters.
@@ -203,6 +242,7 @@ impl LoadedModel {
     /// a batch — the e2e tests pin this down.
     pub fn forecast_rows(&self, windows: &[&Window]) -> Vec<Vec<f32>> {
         assert!(!windows.is_empty(), "empty forecast batch");
+        let floor_from = self.service_floor.map(|floor| (std::time::Instant::now(), floor));
         let cat = |f: fn(&Window) -> &Tensor| {
             let parts: Vec<&Tensor> = windows.iter().map(|w| f(w)).collect();
             Tensor::concat(&parts, 0)
@@ -222,13 +262,19 @@ impl LoadedModel {
         // c_in); univariate heads predict the target column alone.
         let col = if c_out == self.cfg.c_in { self.target_col } else { 0 };
         let (m, s) = (self.scaler.mean()[self.target_col], self.scaler.std()[self.target_col]);
-        (0..b)
+        let rows = (0..b)
             .map(|i| {
                 (0..ly)
                     .map(|t| out.at(&[i, t, col]) * s + m)
                     .collect()
             })
-            .collect()
+            .collect();
+        if let Some((t0, floor)) = floor_from {
+            if let Some(rest) = floor.checked_sub(t0.elapsed()) {
+                std::thread::sleep(rest);
+            }
+        }
+        rows
     }
 
     /// Convenience: prepare and forecast a single request.

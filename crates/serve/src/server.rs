@@ -1,39 +1,162 @@
-//! The std-only TCP front end.
+//! The std-only TCP front end, replicated edition.
 //!
 //! Newline-delimited JSON over plain TCP: each connection writes one
 //! request per line and reads one response per line (see
 //! [`crate::protocol`]). A thread per connection parses and prepares
-//! windows, then hands them to the per-model batching [`Engine`]; actual
-//! forward passes happen on the batcher threads, so slow clients never
-//! stall inference.
+//! windows, passes the admission gate, then hands them to the target
+//! model's [`ReplicaPool`]; actual forward passes happen on the replica
+//! batcher threads, so slow clients never stall inference.
+//!
+//! ## Routing table and hot reload
+//!
+//! Models live in a versioned routing table: `name → Arc<ModelEntry>`,
+//! where an entry is one *generation* of a model (checkpoint + replica
+//! pool + generation number). A `reload` command loads the new
+//! checkpoint and starts its pool **before** touching the table, then
+//! swaps the entry in under a write lock — a single atomic pointer
+//! update from the perspective of connection threads — and only then
+//! drains the old generation. In-flight requests on the old generation
+//! complete (drain answers everything queued); a request that races the
+//! swap and hits the drained pool gets its window handed back with
+//! `Closed` and resubmits against the table, landing on the new
+//! generation. No request is dropped across a reload.
+//!
+//! ## Admission
+//!
+//! Before any work is done for a forecast, the connection thread asks
+//! the [`Admission`] gate (token-bucket rate limit + queue-depth load
+//! shedding). Refusals answer immediately with a `retry_after_ms` hint
+//! and cost no model work at all.
+//!
+//! ## Hardening
+//!
+//! * request lines are capped at [`MAX_LINE`] bytes — an over-long line
+//!   gets a protocol error naming the cap and the connection closes
+//!   (the buffer is never grown without bound);
+//! * error replies to unparseable lines carry the client's `id` when one
+//!   can be textually extracted ([`crate::protocol::extract_id`]);
+//! * the accept loop reaps finished connection threads on a periodic
+//!   tick, not just when a new connection happens to arrive.
 //!
 //! Shutdown is graceful by construction: stop accepting, join connection
-//! threads (each finishes the request it is waiting on), then drop the
-//! engines' senders so the batchers drain everything still queued before
+//! threads (each finishes the request it is waiting on), then drain
+//! every pool so the batchers answer everything still queued before
 //! exiting.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::engine::{BatchConfig, Engine, Reject, Submitter};
+use crate::admission::{Admission, AdmissionConfig};
+use crate::dispatch::{ModelEntry, Policy, PoolConfig};
+use crate::engine::{BatchConfig, Reject};
 use crate::latency::LatencySummary;
 use crate::metrics;
-use crate::protocol::{format_err, format_metrics, format_ok, parse_command, Command};
+use crate::protocol::{
+    extract_id, format_err, format_metrics, format_ok, format_reject, format_reload_ok,
+    parse_command, Command,
+};
 use crate::registry::{LoadedModel, Registry};
 
 /// How often blocked connection reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
+/// How often the accept loop reaps finished connection threads.
+const REAP_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Hard cap on one request line (bytes, newline included). A client that
+/// exceeds it gets a protocol error and the connection closes; nothing
+/// past the cap is buffered.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// How many times a forecast resubmits after racing a reload before
+/// giving up. One retry suffices for a single swap; the margin covers
+/// back-to-back reloads.
+const RELOAD_RETRIES: usize = 8;
+
+/// Everything `serve` needs beyond an address: batching, replication,
+/// and admission knobs. The default is one replica, round-robin, no
+/// admission limits — wire-compatible with the pre-replication server.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Per-replica micro-batching knobs.
+    pub batch: BatchConfig,
+    /// Replicas per model (each model gets its own pool of this size).
+    pub replicas: usize,
+    /// Dispatch policy across a pool's replicas.
+    pub policy: Policy,
+    /// Forward-pass thread budget per replica (`None` = inherit
+    /// `LTTF_THREADS`). With `Some(k)`, replicas never contend for more
+    /// than `replicas * k` threads.
+    pub threads_per_replica: Option<usize>,
+    /// Seeds the round-robin dispatch offset (reproducible assignment).
+    pub seed: u64,
+    /// Rate-limit / load-shed gate, applied before any model work.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch: BatchConfig::default(),
+            replicas: 1,
+            policy: Policy::RoundRobin,
+            threads_per_replica: None,
+            seed: 0,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn pool_cfg(&self) -> PoolConfig {
+        PoolConfig {
+            batch: self.batch,
+            replicas: self.replicas.max(1),
+            policy: self.policy,
+            threads_per_replica: self.threads_per_replica,
+            seed: self.seed,
+        }
+    }
+}
+
 struct Shared {
-    /// Per-model submission handles, keyed by registry name.
-    models: HashMap<String, (Arc<LoadedModel>, Submitter)>,
+    /// The versioned routing table. Swapped under a short write lock by
+    /// reload; everything else takes read locks.
+    table: RwLock<HashMap<String, Arc<ModelEntry>>>,
     default: String,
     stop: AtomicBool,
+    cfg: ServeConfig,
+    admission: Admission,
+    /// Serializes reloads; a reload in progress must fully drain the old
+    /// generation before the next may retire it again.
+    reload_lock: Mutex<()>,
+}
+
+impl Shared {
+    fn entry(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.table
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        let mut v: Vec<Arc<ModelEntry>> = self
+            .table
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.name().cmp(b.name()));
+        v
+    }
 }
 
 /// A running server; dropping it without calling [`ServerHandle::shutdown`]
@@ -42,38 +165,39 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
-    engines: Vec<(String, Engine)>,
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
-/// every model in `registry`, each behind its own batching engine.
-pub fn serve(registry: Registry, addr: &str, cfg: BatchConfig) -> io::Result<ServerHandle> {
+/// every model in `registry`, each behind its own replica pool.
+pub fn serve(registry: Registry, addr: &str, cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let mut engines = Vec::new();
-    let mut models = HashMap::new();
+    // Nonblocking accepts let the loop poll the stop flag and reap
+    // finished connection threads on its own clock.
+    listener.set_nonblocking(true)?;
+    let pool_cfg = cfg.pool_cfg();
+    let mut table = HashMap::new();
     for name in registry.names() {
         let model = Arc::clone(registry.get(Some(name)).unwrap());
-        let engine = Engine::start(Arc::clone(&model), cfg);
-        models.insert(name.to_string(), (model, engine.submitter()));
-        engines.push((name.to_string(), engine));
+        table.insert(
+            name.to_string(),
+            Arc::new(ModelEntry::start(name, 1, model, &pool_cfg)),
+        );
     }
     let shared = Arc::new(Shared {
-        models,
+        table: RwLock::new(table),
         default: registry.default_name().to_string(),
         stop: AtomicBool::new(false),
+        cfg,
+        admission: Admission::new(cfg.admission),
+        reload_lock: Mutex::new(()),
     });
     let shared2 = Arc::clone(&shared);
     let accept = thread::Builder::new()
         .name("lttf-accept".to_string())
         .spawn(move || accept_loop(listener, shared2))
         .expect("spawn accept thread");
-    Ok(ServerHandle {
-        addr,
-        shared,
-        accept,
-        engines,
-    })
+    Ok(ServerHandle { addr, shared, accept })
 }
 
 impl ServerHandle {
@@ -83,41 +207,56 @@ impl ServerHandle {
     }
 
     /// Stop accepting, drain in-flight and queued work, and return each
-    /// model's latency summary.
+    /// model's latency summary (current generation only — generations
+    /// retired by reload reported their counts in the reload response).
     pub fn shutdown(self) -> Vec<(String, LatencySummary)> {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // The nonblocking accept loop sees the flag within one poll tick
+        // and joins every connection thread before returning.
         self.accept.join().expect("accept thread panicked");
-        // Connection threads are joined; drop the submitters so the
-        // batchers see sender-count zero and drain out.
-        drop(self.shared);
-        self.engines
-            .into_iter()
-            .map(|(name, engine)| (name, engine.shutdown()))
-            .collect()
+        let mut out = Vec::new();
+        for entry in self.shared.entries() {
+            out.push((entry.name().to_string(), entry.pool().drain()));
+        }
+        out
     }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
+    let mut last_reap = Instant::now();
+    loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        lttf_obs::counter!("serve.connections", 1);
-        let shared = Arc::clone(&shared);
-        match thread::Builder::new()
-            .name("lttf-conn".to_string())
-            .spawn(move || handle_conn(stream, shared))
-        {
-            Ok(h) => conns.push(h),
-            Err(e) => eprintln!("serve: cannot spawn connection thread: {e}"),
+        match listener.accept() {
+            Ok((stream, _)) => {
+                lttf_obs::counter!("serve.connections", 1);
+                // The listener is nonblocking; accepted streams must not
+                // inherit that, their reads use timeouts instead.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let shared = Arc::clone(&shared);
+                match thread::Builder::new()
+                    .name("lttf-conn".to_string())
+                    .spawn(move || handle_conn(stream, shared))
+                {
+                    Ok(h) => conns.push(h),
+                    Err(e) => eprintln!("serve: cannot spawn connection thread: {e}"),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
         }
-        // Reap finished connections so long-running servers don't
-        // accumulate join handles.
-        conns.retain(|h| !h.is_finished());
+        // Reap on a clock, not on connection arrival: an idle server
+        // with long-lived clients must still release finished threads.
+        if last_reap.elapsed() >= REAP_INTERVAL {
+            conns.retain(|h| !h.is_finished());
+            last_reap = Instant::now();
+        }
     }
     for h in conns {
         let _ = h.join();
@@ -145,6 +284,10 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
         match reader.read_line(&mut line) {
             Ok(0) => break, // client closed
             Ok(_) => {
+                if line.len() > MAX_LINE {
+                    oversize_reject(&mut writer, &line);
+                    break;
+                }
                 let response = answer(line.trim_end(), &shared);
                 line.clear();
                 if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
@@ -155,6 +298,13 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // A partial line that already exceeds the cap will never
+                // become a valid request — refuse it without waiting for
+                // the newline (which may be many megabytes away).
+                if line.len() > MAX_LINE {
+                    oversize_reject(&mut writer, &line);
+                    break;
+                }
                 if shared.stop.load(Ordering::SeqCst) {
                     break;
                 }
@@ -162,6 +312,16 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
             Err(_) => break,
         }
     }
+}
+
+/// Answer an over-long request line with a protocol error (best-effort
+/// id) — the caller closes the connection, since the line's framing can
+/// no longer be trusted.
+fn oversize_reject(writer: &mut TcpStream, line: &str) {
+    lttf_obs::counter!("serve.line_too_long", 1);
+    let id = extract_id(line).unwrap_or(0);
+    let msg = format!("request line exceeds {MAX_LINE} bytes; closing connection");
+    let _ = writeln!(writer, "{}", format_err(id, &msg)).and_then(|_| writer.flush());
 }
 
 /// Process one request line into one response line.
@@ -174,44 +334,113 @@ fn answer(line: &str, shared: &Shared) -> String {
     let req = match parse_command(line) {
         Ok(Command::Forecast(r)) => r,
         Ok(Command::Metrics { id }) => {
-            let models = shared
-                .models
-                .iter()
-                .map(|(name, (_, sub))| (name.as_str(), sub));
-            return format_metrics(id, &metrics::render(models));
+            return format_metrics(id, &metrics::render(&shared.entries()));
         }
-        Err(e) => return format_err(0, &format!("bad request: {e}")),
+        Ok(Command::Reload { id, model, path }) => {
+            return reload(id, model.as_deref(), &path, shared);
+        }
+        // Unparseable line — still try to salvage the client's id so the
+        // error can be correlated, instead of a blanket id 0.
+        Err(e) => {
+            let id = extract_id(line).unwrap_or(0);
+            return format_err(id, &format!("bad request: {e}"));
+        }
     };
     let name = req.model.as_deref().unwrap_or(&shared.default);
-    let Some((model, submitter)) = shared.models.get(name) else {
+    let Some(entry) = shared.entry(name) else {
         return format_err(req.id, &format!("unknown model '{name}'"));
     };
-    let window = match model.make_window(&req.values, req.t0, req.dt) {
+    // Admission runs before window preparation: refused work should cost
+    // as close to nothing as possible.
+    if let Err(denied) = shared.admission.admit(entry.pool().queue_depth()) {
+        return format_reject(req.id, denied.reason(), denied.retry_after_ms());
+    }
+    let mut window = match entry.model().make_window(&req.values, req.t0, req.dt) {
         Ok(w) => w,
         Err(e) => return format_err(req.id, &e),
     };
     let deadline = req
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let reply_rx = match submitter.submit(window, deadline) {
-        Ok(rx) => rx,
-        Err(r @ Reject::QueueFull) | Err(r @ Reject::Closed) => {
-            return format_err(req.id, &r.to_string())
-        }
-    };
-    // The batcher answers every accepted job, even during shutdown; a
-    // recv error means it died, which is a server bug worth surfacing.
-    match reply_rx.recv() {
-        Ok(Ok(forecast)) => format_ok(req.id, &forecast),
-        Ok(Err(e)) => format_err(req.id, &e),
-        Err(_) => format_err(req.id, "internal error: batcher gone"),
+    let mut entry = entry;
+    for _ in 0..=RELOAD_RETRIES {
+        let reply_rx = match entry.pool().submit(window, deadline) {
+            Ok(rx) => rx,
+            Err((_, Reject::QueueFull)) => {
+                // Aggregate queue capacity exhausted — same backoff hint
+                // as a shed, since both mean "come back after a drain".
+                return format_reject(
+                    req.id,
+                    &Reject::QueueFull.to_string(),
+                    shared.admission.config().shed_retry_ms.max(1),
+                );
+            }
+            Err((w, Reject::Closed)) => {
+                // The generation was drained under us (hot reload or
+                // shutdown). Re-read the table: a new generation means
+                // retry there; the same one means the server is going
+                // away for real.
+                match shared.entry(entry.name()) {
+                    Some(cur) if cur.generation() != entry.generation() => {
+                        lttf_obs::counter!("serve.reload_resubmit", 1);
+                        window = w;
+                        entry = cur;
+                        continue;
+                    }
+                    _ => return format_err(req.id, &Reject::Closed.to_string()),
+                }
+            }
+        };
+        // The batcher answers every accepted job, even during drain; a
+        // recv error means it died, which is a server bug worth surfacing.
+        return match reply_rx.recv() {
+            Ok(Ok(forecast)) => format_ok(req.id, entry.generation(), &forecast),
+            Ok(Err(e)) => format_err(req.id, &e),
+            Err(_) => format_err(req.id, "internal error: batcher gone"),
+        };
     }
+    format_err(req.id, "reload storm: retries exhausted")
+}
+
+/// Handle a `reload` command: load the checkpoint, start the next
+/// generation's pool, swap it into the routing table, drain the retired
+/// generation. Failures leave the current generation serving untouched.
+fn reload(id: u64, model: Option<&str>, path: &str, shared: &Shared) -> String {
+    let _guard = shared.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let name = model.unwrap_or(&shared.default).to_string();
+    let Some(old) = shared.entry(&name) else {
+        return format_err(id, &format!("unknown model '{name}'"));
+    };
+    let loaded = match LoadedModel::load(path) {
+        Ok(m) => m,
+        Err(e) => return format_err(id, &format!("reload failed: {e}")),
+    };
+    let next_gen = old.generation() + 1;
+    let entry = Arc::new(ModelEntry::start(
+        &name,
+        next_gen,
+        Arc::new(loaded),
+        &shared.cfg.pool_cfg(),
+    ));
+    let replicas = entry.pool().replicas();
+    // The swap: one write-locked map insert. Connection threads that
+    // read the table after this point route to the new generation.
+    shared
+        .table
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name.clone(), entry);
+    // Drain the retired generation only after the swap, so its queued
+    // requests finish while new traffic already flows to the new one.
+    let summary = old.pool().drain();
+    lttf_obs::counter!("serve.reloads", 1);
+    format_reload_ok(id, next_gen, replicas, summary.count as u64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::parse_response;
+    use crate::protocol::{parse_reload_response, parse_response, parse_response_meta};
     use crate::registry::tiny_model;
     use lttf_obs::jsonl::JsonObj;
     use lttf_tensor::{Rng, Tensor};
@@ -248,15 +477,17 @@ mod tests {
             .to_vec();
         let expect = model.forecast_one(&raw, 1_700_000_000, 3600).unwrap();
         let reg = Registry::single("demo", model);
-        let handle = serve(reg, "127.0.0.1:0", BatchConfig::default()).unwrap();
+        let handle = serve(reg, "127.0.0.1:0", ServeConfig::default()).unwrap();
 
         let responses = roundtrip(handle.addr(), &[request_line(5, &raw)]);
-        let (id, res) = parse_response(&responses[0]).unwrap();
-        assert_eq!(id, 5);
-        assert_eq!(res.unwrap(), expect, "wire forecast != direct forward");
+        let meta = parse_response_meta(&responses[0]).unwrap();
+        assert_eq!(meta.id, 5);
+        assert_eq!(meta.generation, Some(1), "first generation must stamp gen 1");
+        assert_eq!(meta.result.unwrap(), expect, "wire forecast != direct forward");
 
         let bad = roundtrip(handle.addr(), &["{\"id\":9,\"t0\":0}".to_string()]);
-        let (_, res) = parse_response(&bad[0]).unwrap();
+        let (id, res) = parse_response(&bad[0]).unwrap();
+        assert_eq!(id, 9, "parse-failure replies must echo the extracted id");
         assert!(res.unwrap_err().contains("bad request"));
 
         let summaries = handle.shutdown();
@@ -266,13 +497,37 @@ mod tests {
     }
 
     #[test]
+    fn replicated_server_serves_identically() {
+        let model = tiny_model();
+        let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(31))
+            .data()
+            .to_vec();
+        let expect = model.forecast_one(&raw, 1_700_000_000, 3600).unwrap();
+        let reg = Registry::single("demo", model);
+        let cfg = ServeConfig {
+            replicas: 3,
+            policy: Policy::LeastQueueDepth,
+            threads_per_replica: Some(1),
+            ..ServeConfig::default()
+        };
+        let handle = serve(reg, "127.0.0.1:0", cfg).unwrap();
+        let lines: Vec<String> = (0..6).map(|i| request_line(i, &raw)).collect();
+        for resp in roundtrip(handle.addr(), &lines) {
+            let (_, res) = parse_response(&resp).unwrap();
+            assert_eq!(res.unwrap(), expect);
+        }
+        let summaries = handle.shutdown();
+        assert_eq!(summaries[0].1.count, 6);
+    }
+
+    #[test]
     fn metrics_request_reports_live_state() {
         let model = tiny_model();
         let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(21))
             .data()
             .to_vec();
         let reg = Registry::single("demo", model);
-        let handle = serve(reg, "127.0.0.1:0", BatchConfig::default()).unwrap();
+        let handle = serve(reg, "127.0.0.1:0", ServeConfig::default()).unwrap();
 
         let lines = [
             request_line(1, &raw),
@@ -288,6 +543,8 @@ mod tests {
             "live latency must already count the first request: {text}"
         );
         assert!(text.contains("lttf_serve_latency_seconds{model=\"demo\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lttf_serve_replicas{model=\"demo\"} 1\n"), "{text}");
+        assert!(text.contains("lttf_serve_generation{model=\"demo\"} 1\n"), "{text}");
         assert!(text.contains("lttf_health_diverged"), "{text}");
         handle.shutdown();
     }
@@ -297,7 +554,7 @@ mod tests {
         let model = tiny_model();
         let raw = vec![0.5f32; model.window_len()];
         let reg = Registry::single("demo", model);
-        let handle = serve(reg, "127.0.0.1:0", BatchConfig::default()).unwrap();
+        let handle = serve(reg, "127.0.0.1:0", ServeConfig::default()).unwrap();
         let line = JsonObj::new()
             .int("id", 1)
             .str("model", "nope")
@@ -308,5 +565,113 @@ mod tests {
         let (_, res) = parse_response(&responses[0]).unwrap();
         assert!(res.unwrap_err().contains("unknown model"));
         handle.shutdown();
+    }
+
+    #[test]
+    fn oversize_line_gets_protocol_error_and_close() {
+        let model = tiny_model();
+        let reg = Registry::single("demo", model);
+        let handle = serve(reg, "127.0.0.1:0", ServeConfig::default()).unwrap();
+
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // id first so the error reply can echo it even though the line is
+        // rejected long before the closing brace.
+        write!(writer, "{{\"id\":77,\"values\":[").unwrap();
+        let filler = "1.0,".repeat(64 * 1024); // 256 KiB per chunk
+        let mut written = 22;
+        while written <= MAX_LINE {
+            write!(writer, "{filler}").unwrap();
+            written += filler.len();
+        }
+        writeln!(writer, "1.0]}}").unwrap();
+        writer.flush().unwrap();
+
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let (id, res) = parse_response(resp.trim_end()).unwrap();
+        assert_eq!(id, 77, "oversize reject must carry the extracted id");
+        assert!(res.unwrap_err().contains("exceeds"), "{resp}");
+        // The server closes the connection after the reject.
+        let mut next = String::new();
+        assert_eq!(reader.read_line(&mut next).unwrap_or(0), 0, "connection must be closed");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn rate_limit_refuses_with_retry_hint() {
+        let model = tiny_model();
+        let raw = vec![0.25f32; model.window_len()];
+        let reg = Registry::single("demo", model);
+        let cfg = ServeConfig {
+            admission: AdmissionConfig {
+                rate: Some(0.001), // one token per ~17 minutes
+                burst: 2.0,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let handle = serve(reg, "127.0.0.1:0", cfg).unwrap();
+        let lines: Vec<String> = (0..3).map(|i| request_line(i, &raw)).collect();
+        let responses = roundtrip(handle.addr(), &lines);
+        for resp in &responses[..2] {
+            let (_, res) = parse_response(resp).unwrap();
+            assert!(res.is_ok(), "burst capacity must admit: {resp}");
+        }
+        let meta = parse_response_meta(&responses[2]).unwrap();
+        assert_eq!(meta.result.unwrap_err(), "rate limited");
+        assert!(meta.retry_after_ms.unwrap() >= 1, "hint must be present");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn reload_swaps_generation_on_the_wire() {
+        let dir = std::env::temp_dir().join(format!(
+            "lttf-reload-unit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ckpt");
+        let base = base.to_str().unwrap();
+
+        let model = tiny_model();
+        let raw = Tensor::randn(&[model.window_len()], &mut Rng::seed(41))
+            .data()
+            .to_vec();
+        model.save(base).unwrap();
+        let reg = Registry::single("demo", model);
+        let handle = serve(reg, "127.0.0.1:0", ServeConfig::default()).unwrap();
+
+        let reload_line = crate::protocol::format_reload(50, Some("demo"), base);
+        let lines = [
+            request_line(1, &raw),
+            reload_line,
+            request_line(2, &raw),
+            crate::protocol::format_reload(51, None, &format!("{base}-missing")),
+            request_line(3, &raw),
+        ];
+        let responses = roundtrip(handle.addr(), &lines);
+
+        let before = parse_response_meta(&responses[0]).unwrap();
+        assert_eq!(before.generation, Some(1));
+        let (id, info) = parse_reload_response(&responses[1]).unwrap();
+        assert_eq!(id, 50);
+        let info = info.unwrap();
+        assert_eq!(info.generation, 2);
+        assert_eq!(info.replicas, 1);
+        assert_eq!(info.drained, 1, "gen 1 served exactly one request");
+        let after = parse_response_meta(&responses[2]).unwrap();
+        assert_eq!(after.generation, Some(2), "post-reload traffic must hit gen 2");
+        assert_eq!(after.result.unwrap(), before.result.unwrap(), "same checkpoint, same bits");
+        // A failed reload must leave the current generation serving.
+        let (_, bad) = parse_reload_response(&responses[3]).unwrap();
+        assert!(bad.unwrap_err().contains("reload failed"));
+        let still = parse_response_meta(&responses[4]).unwrap();
+        assert_eq!(still.generation, Some(2));
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

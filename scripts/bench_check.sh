@@ -83,3 +83,34 @@ awk -v on="$on_sum" -v off="$off_sum" 'BEGIN {
     exit 1
 }
 echo "==> bench_check: telemetry overhead within 3%"
+
+# Serving-tier scaling gate: the committed replica curve (written by
+# `lttf bench-serve`, see DESIGN.md §10) must contain open-loop entries
+# for 1, 2, and 4 replicas, record zero hard failures, and show the
+# 4-replica run completing at least 2x the 1-replica throughput. The
+# curve is calibrated with a service-time floor, so this holds even on
+# single-core CI hosts (the floor is recorded in each entry).
+SERVE=results/BENCH_serve.json
+if [[ -f "$SERVE" ]]; then
+    echo "==> serve replica-scaling gate ($SERVE)"
+    for r in 1 2 4; do
+        grep -q "\"bench\":\"open_loop_[a-z]*/replicas_$r\"" "$SERVE" \
+            || { echo "FAIL: $SERVE missing open-loop entry for replicas_$r" >&2; exit 1; }
+    done
+    if grep -o '"failed":[0-9]*' "$SERVE" | grep -qv '"failed":0'; then
+        echo "FAIL: committed open-loop runs recorded hard failures" >&2
+        exit 1
+    fi
+    speedup=$(sed -n 's/.*"bench":"replica_speedup".*"speedup":\([0-9.]*\).*/\1/p' "$SERVE")
+    if [[ -z "$speedup" ]]; then
+        echo "FAIL: $SERVE has no replica_speedup entry" >&2
+        exit 1
+    fi
+    awk -v s="$speedup" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+        echo "FAIL: committed replica speedup ${speedup}x below the 2x gate" >&2
+        exit 1
+    }
+    echo "==> bench_check: replica speedup ${speedup}x (gate >= 2x), zero failed requests"
+else
+    echo "no committed serve baseline at $SERVE; skipping scaling gate" >&2
+fi

@@ -22,7 +22,7 @@ LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline
 echo "==> cargo test -q --offline  (LTTF_THREADS=4, pooled)"
 LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline
 
-echo "==> serve e2e  (real TCP round trips, serial and pooled)"
+echo "==> serve e2e  (TCP round trips, replicated dispatch, hot reload, shedding; serial and pooled)"
 LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline --test serve_e2e
 LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline --test serve_e2e
 

@@ -38,9 +38,12 @@ fn usage() -> ! {
          [--d-model N] [--batch N] [--len N] [--dims N] [--seed N] [--threads N] \
          [--name NAME] [--out-dir DIR]\n  \
          lttf serve --model MODEL [--port N] [--max-batch N] [--max-wait-ms N] \
-         [--queue-cap N]\n  \
-         lttf bench-serve [--threads N] [--requests N] [--max-batch N] \
-         [--max-wait-ms N] [--lx N] [--d-model N] [--out-dir DIR]\n  \
+         [--queue-cap N] [--replicas N] [--policy rr|lqd] [--threads-per-replica N] \
+         [--seed N] [--rate RPS] [--burst N] [--shed-depth N]\n  \
+         lttf bench-serve [--mode closed|open|scaling|all] [--threads N] [--requests N] \
+         [--max-batch N] [--max-wait-ms N] [--lx N] [--d-model N] [--clients N] \
+         [--rate RPS] [--duration-ms N] [--pattern uniform|bursty|diurnal] \
+         [--service-floor-ms X] [--replicas N] [--seed N] [--out-dir DIR]\n  \
          lttf trace [--trace-out FILE.json] <subcommand …>   \
          (record a Chrome trace of any subcommand; open in chrome://tracing)"
     );
@@ -446,10 +449,34 @@ fn cmd_profile(flags: HashMap<String, String>) {
 fn cmd_serve(flags: HashMap<String, String>) {
     let model_base = require(&flags, "model");
     let port = get(&flags, "port", 7878u16);
-    let batch_cfg = lttf::serve::BatchConfig {
-        max_batch: get(&flags, "max-batch", 8usize),
-        max_wait_ms: get(&flags, "max-wait-ms", 5u64),
-        queue_cap: get(&flags, "queue-cap", 128usize),
+    let policy: lttf::serve::Policy = flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("rr")
+        .parse()
+        .unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            exit(2);
+        });
+    let threads_per_replica = get(&flags, "threads-per-replica", 0usize);
+    let rate = get(&flags, "rate", 0.0f64);
+    let shed_depth = get(&flags, "shed-depth", 0usize);
+    let serve_cfg = lttf::serve::ServeConfig {
+        batch: lttf::serve::BatchConfig {
+            max_batch: get(&flags, "max-batch", 8usize),
+            max_wait_ms: get(&flags, "max-wait-ms", 5u64),
+            queue_cap: get(&flags, "queue-cap", 128usize),
+        },
+        replicas: get(&flags, "replicas", 1usize),
+        policy,
+        threads_per_replica: (threads_per_replica > 0).then_some(threads_per_replica),
+        seed: get(&flags, "seed", 0u64),
+        admission: lttf::serve::AdmissionConfig {
+            rate: (rate > 0.0).then_some(rate),
+            burst: get(&flags, "burst", 16.0f64),
+            shed_depth: (shed_depth > 0).then_some(shed_depth),
+            ..lttf::serve::AdmissionConfig::default()
+        },
     };
     let model = lttf::serve::LoadedModel::load(model_base).unwrap_or_else(|e| {
         eprintln!("cannot load {model_base}: {e}");
@@ -468,19 +495,22 @@ fn cmd_serve(flags: HashMap<String, String>) {
         model.cfg().ly,
     );
     let registry = lttf::serve::Registry::single(&name, model);
-    let handle = lttf::serve::serve(registry, &format!("127.0.0.1:{port}"), batch_cfg)
+    let handle = lttf::serve::serve(registry, &format!("127.0.0.1:{port}"), serve_cfg)
         .unwrap_or_else(|e| {
             eprintln!("cannot bind port {port}: {e}");
             exit(1);
         });
     println!(
-        "listening on {} (max_batch {}, max_wait {} ms, queue {}); \
+        "listening on {} ({} replica(s), {:?} dispatch, max_batch {}, max_wait {} ms, \
+         queue {}/replica); hot reload with {{\"cmd\":\"reload\",\"path\":…}}; \
          send requests with e.g. `nc 127.0.0.1 {port}`; \
          type 'quit' or close stdin to stop",
         handle.addr(),
-        batch_cfg.max_batch,
-        batch_cfg.max_wait_ms,
-        batch_cfg.queue_cap,
+        serve_cfg.replicas,
+        serve_cfg.policy,
+        serve_cfg.batch.max_batch,
+        serve_cfg.batch.max_wait_ms,
+        serve_cfg.batch.queue_cap,
     );
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -549,26 +579,276 @@ fn bench_serve_run(
     (t0.elapsed(), stats)
 }
 
-/// `lttf bench-serve`: closed-loop serving benchmark. Builds a synthetic
-/// model in-process, serves it on an ephemeral port, and drives it with
-/// N client threads twice — once with batching disabled (`max_batch=1`)
-/// and once with the requested `max_batch` — writing both runs'
-/// throughput and latency percentiles to `results/BENCH_serve.json`.
+/// Arrival-rate envelope for the open-loop generator: a multiplier on
+/// the base rate as a function of time into the run.
+#[derive(Clone, Copy, PartialEq)]
+enum Pattern {
+    /// Constant rate.
+    Uniform,
+    /// 400 ms square wave: 1.75x for 200 ms, then 0.25x — a burst train.
+    Bursty,
+    /// One sinusoidal "day" over the run: 1 + 0.75 sin(2πt/T).
+    Diurnal,
+}
+
+impl Pattern {
+    fn parse(s: &str) -> Pattern {
+        match s {
+            "uniform" => Pattern::Uniform,
+            "bursty" => Pattern::Bursty,
+            "diurnal" => Pattern::Diurnal,
+            other => {
+                eprintln!("unknown pattern '{other}' (expected uniform|bursty|diurnal)");
+                exit(2);
+            }
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Pattern::Uniform => "uniform",
+            Pattern::Bursty => "bursty",
+            Pattern::Diurnal => "diurnal",
+        }
+    }
+
+    /// Rate multiplier at `t` seconds into a `duration`-second run.
+    fn envelope(self, t: f64, duration: f64) -> f64 {
+        match self {
+            Pattern::Uniform => 1.0,
+            Pattern::Bursty => {
+                if (t / 0.4).fract() < 0.5 {
+                    1.75
+                } else {
+                    0.25
+                }
+            }
+            Pattern::Diurnal => {
+                1.0 + 0.75 * (2.0 * std::f64::consts::PI * t / duration.max(1e-9)).sin()
+            }
+        }
+    }
+
+    /// Upper bound of [`Pattern::envelope`], for Poisson thinning.
+    fn peak(self) -> f64 {
+        match self {
+            Pattern::Uniform => 1.0,
+            Pattern::Bursty | Pattern::Diurnal => 1.75,
+        }
+    }
+}
+
+/// One client's deterministic arrival schedule (seconds from run start):
+/// a Poisson process at `rate` req/s shaped by `pattern` via thinning.
+/// The same seed always yields the same offered traffic.
+fn arrival_schedule(seed: u64, rate: f64, pattern: Pattern, duration: f64) -> Vec<f64> {
+    let mut rng = Rng::seed(seed);
+    let lam_max = (rate * pattern.peak()).max(1e-9);
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        t += rng.exponential(lam_max as f32) as f64;
+        if t >= duration {
+            return out;
+        }
+        let keep = pattern.envelope(t, duration) * rate / lam_max;
+        if (rng.uniform(0.0, 1.0) as f64) < keep {
+            out.push(t);
+        }
+    }
+}
+
+/// Aggregated outcome of one open-loop run.
+struct OpenLoopOutcome {
+    sent: u64,
+    completed: u64,
+    shed: u64,
+    failed: u64,
+    stats: lttf::serve::LatencyStats,
+    elapsed: std::time::Duration,
+    first_error: Option<String>,
+}
+
+/// Open-loop load generation: `clients` independent connections, each
+/// firing requests on a precomputed seeded schedule totalling `rate`
+/// req/s across the fleet, shaped by `pattern`. Arrivals are paced by the
+/// schedule, not by responses (a lagging client sends its overdue
+/// requests back-to-back), so offered load keeps pressing a saturated
+/// server — exactly what distinguishes open- from closed-loop load.
+///
+/// Refusals carrying a `retry_after_ms` hint (admission control, full
+/// queues) count as `shed`, separately from hard failures.
+fn open_loop_run(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    rate: f64,
+    pattern: Pattern,
+    duration: f64,
+    seed: u64,
+    window: &[f32],
+) -> OpenLoopOutcome {
+    use std::io::{BufRead, BufReader, Write};
+    let per_client = rate / clients.max(1) as f64;
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let sched = arrival_schedule(
+                seed.wrapping_mul(0x9e37_79b9).wrapping_add(c as u64),
+                per_client,
+                pattern,
+                duration,
+            );
+            let window = window.to_vec();
+            std::thread::spawn(move || {
+                let mut out = OpenLoopOutcome {
+                    sent: 0,
+                    completed: 0,
+                    shed: 0,
+                    failed: 0,
+                    stats: lttf::serve::LatencyStats::new(),
+                    elapsed: std::time::Duration::ZERO,
+                    first_error: None,
+                };
+                let Ok(stream) = std::net::TcpStream::connect(addr) else {
+                    out.failed = sched.len() as u64;
+                    out.first_error = Some("connect failed".to_string());
+                    return out;
+                };
+                let _ = stream.set_nodelay(true);
+                // Replies always come (the server answers every request,
+                // shed or served); the timeout only guards a dead server.
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let start = std::time::Instant::now();
+                let mut resp = String::new();
+                for (k, &at) in sched.iter().enumerate() {
+                    // Pace by the schedule; if the previous reply arrived
+                    // late, fire immediately (the backlog is part of the
+                    // offered load, not forgiven).
+                    let due = std::time::Duration::from_secs_f64(at);
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let line = lttf::obs::JsonObj::new()
+                        .int("id", ((c as u64) << 32) | k as u64)
+                        .nums("values", window.iter().copied())
+                        .int("t0", 1_700_000_000)
+                        .int("dt", 3600)
+                        .finish();
+                    let sent_at = std::time::Instant::now();
+                    if writeln!(writer, "{line}").is_err() {
+                        out.failed += 1;
+                        continue;
+                    }
+                    out.sent += 1;
+                    resp.clear();
+                    if reader.read_line(&mut resp).is_err() || resp.is_empty() {
+                        out.failed += 1;
+                        if out.first_error.is_none() {
+                            out.first_error = Some("no reply".to_string());
+                        }
+                        continue;
+                    }
+                    match lttf::serve::protocol::parse_response_meta(resp.trim_end()) {
+                        Ok(meta) => match meta.result {
+                            Ok(_) => {
+                                out.completed += 1;
+                                out.stats.record(sent_at.elapsed().as_nanos() as u64);
+                            }
+                            Err(_) if meta.retry_after_ms.is_some() => out.shed += 1,
+                            Err(e) => {
+                                out.failed += 1;
+                                if out.first_error.is_none() {
+                                    out.first_error = Some(e);
+                                }
+                            }
+                        },
+                        Err(e) => {
+                            out.failed += 1;
+                            if out.first_error.is_none() {
+                                out.first_error = Some(e);
+                            }
+                        }
+                    }
+                }
+                out.elapsed = start.elapsed();
+                out
+            })
+        })
+        .collect();
+    let mut total = OpenLoopOutcome {
+        sent: 0,
+        completed: 0,
+        shed: 0,
+        failed: 0,
+        stats: lttf::serve::LatencyStats::new(),
+        elapsed: std::time::Duration::ZERO,
+        first_error: None,
+    };
+    for h in handles {
+        let c = h.join().expect("client thread");
+        total.sent += c.sent;
+        total.completed += c.completed;
+        total.shed += c.shed;
+        total.failed += c.failed;
+        total.stats.merge(&c.stats);
+        if total.first_error.is_none() {
+            total.first_error = c.first_error;
+        }
+    }
+    total.elapsed = t0.elapsed();
+    total
+}
+
+/// The host's physical parallelism, recorded alongside scaling numbers so
+/// a reader can judge them in context.
+fn host_cores() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64
+}
+
+/// `lttf bench-serve`: serving-tier benchmarks, three modes.
+///
+/// * `--mode closed` — the original closed-loop batching comparison
+///   (`max_batch` 1 vs N, client threads in lock-step).
+/// * `--mode open` — one open-loop run against a replicated server with
+///   seeded bursty/diurnal/uniform arrivals; prints and records offered
+///   vs completed throughput and the shed count.
+/// * `--mode scaling` — the replica-scaling curve: the same open-loop
+///   traffic against 1, 2, and 4 replicas.
+/// * `--mode all` (default) — `closed` + `scaling`, the committed
+///   `results/BENCH_serve.json` set.
+///
+/// Scaling runs give the model a **service-time floor**
+/// (`--service-floor-ms`): each batch forward takes at least that long,
+/// sleeping out the remainder. This calibrates the bench to a realistic
+/// model service time and — crucially on small CI hosts — isolates the
+/// serving tier being measured (dispatch, queues, batching) from raw
+/// model compute, which would otherwise serialize every replica onto
+/// however few cores the host has. The floor and the host's core count
+/// are recorded in every affected entry.
 fn cmd_bench_serve(flags: HashMap<String, String>) {
     use lttf::obs::JsonObj;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("all");
     let threads = get(&flags, "threads", 8usize);
     let requests = get(&flags, "requests", 40usize); // per thread
     let max_batch = get(&flags, "max-batch", 8usize);
     let max_wait_ms = get(&flags, "max-wait-ms", 2u64);
     let lx = get(&flags, "lx", 48usize);
     let d_model = get(&flags, "d-model", 16usize);
+    let clients = get(&flags, "clients", 160usize);
+    let rate = get(&flags, "rate", 900.0f64);
+    let duration = get(&flags, "duration-ms", 4000u64) as f64 / 1e3;
+    let pattern = Pattern::parse(flags.get("pattern").map(String::as_str).unwrap_or("bursty"));
+    let service_floor_ms = get(&flags, "service-floor-ms", 40.0f64);
+    let open_replicas = get(&flags, "replicas", 2usize);
+    let seed = get(&flags, "seed", 42u64);
     let out_dir = flags
         .get("out-dir")
         .map(String::as_str)
         .unwrap_or("results");
 
-    // Deterministic in-memory model; dims=3 keeps the forward pass cheap
-    // enough that queueing (not compute) dominates at max_batch=1.
+    // Closed-loop model: dims=3, lx 48 — heavy enough that batching shows.
     let mut cfg = ConformerConfig::new(3, lx, lx / 2);
     cfg.d_model = d_model;
     cfg.n_heads = if d_model.is_multiple_of(4) { 4 } else { 2 };
@@ -583,69 +863,227 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         lttf::serve::LoadedModel::from_parts(model, cfg.clone(), scaler, "y".to_string(), 0)
     };
     let window = Tensor::randn(&[window_len], &mut Rng::seed(6)).data().to_vec();
-    println!(
-        "bench-serve: {threads} client threads x {requests} requests, lx {lx}, \
-         d_model {d_model}, max_batch 1 vs {max_batch}"
-    );
+
+    // Open-loop model: the smallest architecture in the repo plus the
+    // service-time floor, so the serving tier — not the forward pass — is
+    // what the replica curve measures.
+    let open_cfg = ConformerConfig::tiny(2, 8, 4);
+    let open_window_len = open_cfg.lx * open_cfg.c_in;
+    let make_open_model = || {
+        let model = TrainedModel::from_conformer(&open_cfg, 3);
+        let fit_on = Tensor::randn(&[64, open_cfg.c_in], &mut Rng::seed(9))
+            .mul_scalar(3.0)
+            .add_scalar(5.0);
+        let scaler = lttf::data::StandardScaler::fit(&fit_on);
+        let mut m = lttf::serve::LoadedModel::from_parts(
+            model,
+            open_cfg.clone(),
+            scaler,
+            "OT".to_string(),
+            1,
+        );
+        m.set_service_floor_ms(service_floor_ms);
+        m
+    };
+    let open_window = Tensor::randn(&[open_window_len], &mut Rng::seed(8)).data().to_vec();
+    let open_serve_cfg = |replicas: usize| lttf::serve::ServeConfig {
+        batch: lttf::serve::BatchConfig {
+            max_batch: 8,
+            max_wait_ms: 5,
+            queue_cap: 16,
+        },
+        replicas,
+        policy: lttf::serve::Policy::RoundRobin,
+        threads_per_replica: Some(1),
+        seed,
+        ..lttf::serve::ServeConfig::default()
+    };
 
     let mut lines = Vec::new();
-    let mut rps = Vec::new();
-    for batch in [1usize, max_batch] {
-        let registry = lttf::serve::Registry::single("bench", make_model());
-        let handle = lttf::serve::serve(
-            registry,
-            "127.0.0.1:0",
-            lttf::serve::BatchConfig {
-                max_batch: batch,
-                max_wait_ms,
-                queue_cap: (threads * 4).max(32),
-            },
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("cannot start server: {e}");
-            exit(1);
-        });
-        let (elapsed, mut stats) = bench_serve_run(handle.addr(), threads, requests, &window);
+
+    let open_entry = |label: &str,
+                      replicas: usize,
+                      out: &OpenLoopOutcome,
+                      summary: &lttf::serve::LatencySummary| {
+        let offered = out.sent as f64 / out.elapsed.as_secs_f64();
+        let rps = out.completed as f64 / out.elapsed.as_secs_f64();
+        JsonObj::new()
+            .str("suite", "serve")
+            .str("bench", label)
+            .int("clients", clients as u64)
+            .int("replicas", replicas as u64)
+            .str("pattern", pattern.name())
+            .num("service_floor_ms", service_floor_ms)
+            .int("host_cores", host_cores())
+            .num("offered_rps", offered)
+            .num("rps", rps)
+            .int("sent", out.sent)
+            .int("completed", out.completed)
+            .int("shed", out.shed)
+            .int("failed", out.failed)
+            .int("min_ns", summary.min_ns)
+            .int("mean_ns", summary.mean_ns)
+            .int("median_ns", summary.p50_ns)
+            .int("p95_ns", summary.p95_ns)
+            .int("p99_ns", summary.p99_ns)
+            .int("max_ns", summary.max_ns)
+            .finish()
+    };
+
+    let run_open = |replicas: usize, lines: &mut Vec<String>| -> f64 {
+        let registry = lttf::serve::Registry::single("bench", make_open_model());
+        let handle = lttf::serve::serve(registry, "127.0.0.1:0", open_serve_cfg(replicas))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start server: {e}");
+                exit(1);
+            });
+        let mut out = open_loop_run(
+            handle.addr(),
+            clients,
+            rate,
+            pattern,
+            duration,
+            seed,
+            &open_window,
+        );
         handle.shutdown();
-        let total = threads * requests;
-        let throughput = total as f64 / elapsed.as_secs_f64();
-        let summary = stats.summary();
+        let summary = out.stats.summary();
+        let offered = out.sent as f64 / out.elapsed.as_secs_f64();
+        let rps = out.completed as f64 / out.elapsed.as_secs_f64();
         println!(
-            "max_batch {batch}: {throughput:.1} req/s, {}",
+            "open/{} replicas {replicas}: offered {offered:.0} rps, completed {rps:.0} rps, \
+             shed {}, failed {}, {}",
+            pattern.name(),
+            out.shed,
+            out.failed,
             summary.render()
         );
-        rps.push(throughput);
+        if out.failed > 0 {
+            if let Some(e) = &out.first_error {
+                eprintln!("warning: {} hard failures (first: {e})", out.failed);
+            }
+        }
+        lines.push(open_entry(
+            &format!("open_loop_{}/replicas_{replicas}", pattern.name()),
+            replicas,
+            &out,
+            &summary,
+        ));
+        rps
+    };
+
+    if mode == "closed" || mode == "all" {
+        println!(
+            "bench-serve closed loop: {threads} client threads x {requests} requests, lx {lx}, \
+             d_model {d_model}, max_batch 1 vs {max_batch}"
+        );
+        let mut rps = Vec::new();
+        for batch in [1usize, max_batch] {
+            let registry = lttf::serve::Registry::single("bench", make_model());
+            let handle = lttf::serve::serve(
+                registry,
+                "127.0.0.1:0",
+                lttf::serve::ServeConfig {
+                    batch: lttf::serve::BatchConfig {
+                        max_batch: batch,
+                        max_wait_ms,
+                        queue_cap: (threads * 4).max(32),
+                    },
+                    ..lttf::serve::ServeConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start server: {e}");
+                exit(1);
+            });
+            let (elapsed, mut stats) = bench_serve_run(handle.addr(), threads, requests, &window);
+            handle.shutdown();
+            let total = threads * requests;
+            let throughput = total as f64 / elapsed.as_secs_f64();
+            let summary = stats.summary();
+            println!(
+                "max_batch {batch}: {throughput:.1} req/s, {}",
+                summary.render()
+            );
+            rps.push(throughput);
+            lines.push(
+                JsonObj::new()
+                    .str("suite", "serve")
+                    .str("bench", &format!("closed_loop/max_batch_{batch}"))
+                    .int("threads", threads as u64)
+                    .int("requests", total as u64)
+                    .int("max_batch", batch as u64)
+                    .num("rps", throughput)
+                    .int("min_ns", summary.min_ns)
+                    .int("mean_ns", summary.mean_ns)
+                    .int("median_ns", summary.p50_ns)
+                    .int("p95_ns", summary.p95_ns)
+                    .int("p99_ns", summary.p99_ns)
+                    .int("max_ns", summary.max_ns)
+                    .finish(),
+            );
+        }
+        let speedup = rps[1] / rps[0].max(1e-9);
+        println!("batching speedup: {speedup:.2}x over max_batch=1");
         lines.push(
             JsonObj::new()
                 .str("suite", "serve")
-                .str("bench", &format!("closed_loop/max_batch_{batch}"))
+                .str("bench", "batching_speedup")
                 .int("threads", threads as u64)
-                .int("requests", total as u64)
-                .int("max_batch", batch as u64)
-                .num("rps", throughput)
-                .int("min_ns", summary.min_ns)
-                .int("mean_ns", summary.mean_ns)
-                .int("median_ns", summary.p50_ns)
-                .int("p95_ns", summary.p95_ns)
-                .int("p99_ns", summary.p99_ns)
-                .int("max_ns", summary.max_ns)
+                .int("max_batch", max_batch as u64)
+                .num("speedup", speedup)
+                .int("min_ns", 0)
+                .int("mean_ns", 0)
+                .int("median_ns", 0)
                 .finish(),
         );
     }
-    let speedup = rps[1] / rps[0].max(1e-9);
-    println!("batching speedup: {speedup:.2}x over max_batch=1");
-    lines.push(
-        JsonObj::new()
-            .str("suite", "serve")
-            .str("bench", "batching_speedup")
-            .int("threads", threads as u64)
-            .int("max_batch", max_batch as u64)
-            .num("speedup", speedup)
-            .int("min_ns", 0)
-            .int("mean_ns", 0)
-            .int("median_ns", 0)
-            .finish(),
-    );
+
+    if mode == "open" {
+        println!(
+            "bench-serve open loop: {clients} clients, {rate:.0} rps offered, {} arrivals, \
+             {open_replicas} replica(s), floor {service_floor_ms} ms",
+            pattern.name()
+        );
+        run_open(open_replicas, &mut lines);
+    }
+
+    if mode == "scaling" || mode == "all" {
+        println!(
+            "bench-serve replica scaling: {clients} clients, {rate:.0} rps offered, {} arrivals, \
+             floor {service_floor_ms} ms, replicas 1/2/4",
+            pattern.name()
+        );
+        let mut by_replicas = Vec::new();
+        for replicas in [1usize, 2, 4] {
+            by_replicas.push((replicas, run_open(replicas, &mut lines)));
+        }
+        let r1 = by_replicas[0].1.max(1e-9);
+        let speedup = by_replicas.last().unwrap().1 / r1;
+        println!("replica speedup: {speedup:.2}x at 4 replicas over 1");
+        lines.push(
+            JsonObj::new()
+                .str("suite", "serve")
+                .str("bench", "replica_speedup")
+                .int("clients", clients as u64)
+                .str("pattern", pattern.name())
+                .num("service_floor_ms", service_floor_ms)
+                .int("host_cores", host_cores())
+                .num("speedup", speedup)
+                .int("min_ns", 0)
+                .int("mean_ns", 0)
+                .int("median_ns", 0)
+                .finish(),
+        );
+    }
+
+    if !matches!(mode, "closed" | "open" | "scaling" | "all") {
+        eprintln!("unknown mode '{mode}' (expected closed|open|scaling|all)");
+        exit(2);
+    }
+    if lines.is_empty() {
+        return;
+    }
     let path = format!("{out_dir}/BENCH_serve.json");
     let write = || -> std::io::Result<()> {
         std::fs::create_dir_all(out_dir)?;

@@ -1,6 +1,7 @@
 //! End-to-end tests of the serving subsystem: a real TCP server on an
 //! ephemeral port, concurrent clients, bit-for-bit agreement with the
-//! direct forward pass, and deadline-based rejection.
+//! direct forward pass, deadline-based rejection, replicated dispatch,
+//! hot reload under live traffic, and admission-control load shedding.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -10,7 +11,9 @@ use lttf::conformer::ConformerConfig;
 use lttf::data::StandardScaler;
 use lttf::eval::TrainedModel;
 use lttf::obs::JsonObj;
-use lttf::serve::{protocol, serve, BatchConfig, LoadedModel, Registry};
+use lttf::serve::{
+    protocol, serve, AdmissionConfig, BatchConfig, LoadedModel, Policy, Registry, ServeConfig,
+};
 use lttf::tensor::{Rng, Tensor};
 
 fn test_model() -> LoadedModel {
@@ -44,6 +47,12 @@ fn request_line(id: u64, values: &[f32], deadline_ms: Option<u64>) -> String {
 
 /// Open a connection, send one line, read one line back.
 fn ask(addr: SocketAddr, line: &str) -> (u64, Result<Vec<f32>, String>) {
+    let (id, _, res) = ask_meta(addr, line);
+    (id, res)
+}
+
+/// Like [`ask`], but also return the reply's generation stamp.
+fn ask_meta(addr: SocketAddr, line: &str) -> (u64, Option<u64>, Result<Vec<f32>, String>) {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).unwrap();
     let mut writer = stream.try_clone().unwrap();
@@ -52,7 +61,8 @@ fn ask(addr: SocketAddr, line: &str) -> (u64, Result<Vec<f32>, String>) {
     writer.flush().unwrap();
     let mut resp = String::new();
     reader.read_line(&mut resp).unwrap();
-    protocol::parse_response(resp.trim_end()).expect("well-formed response")
+    let meta = protocol::parse_response_meta(resp.trim_end()).expect("well-formed response");
+    (meta.id, meta.generation, meta.result)
 }
 
 #[test]
@@ -61,10 +71,13 @@ fn concurrent_clients_match_direct_forward_bit_for_bit() {
     let handle = serve(
         Registry::single("m", test_model()),
         "127.0.0.1:0",
-        BatchConfig {
-            max_batch: 4,
-            max_wait_ms: 10,
-            queue_cap: 64,
+        ServeConfig {
+            batch: BatchConfig {
+                max_batch: 4,
+                max_wait_ms: 10,
+                queue_cap: 64,
+            },
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -105,11 +118,204 @@ fn concurrent_clients_match_direct_forward_bit_for_bit() {
 }
 
 #[test]
+fn replicated_dispatch_matches_single_engine_over_tcp() {
+    // The same windows, forecast through 1-, 2-, and 4-replica servers
+    // under both policies, must come back bit-identical to the direct
+    // forward pass: replication must never change what is computed.
+    let reference = test_model();
+    let windows: Vec<Vec<f32>> = (0..6).map(|s| raw_window(&reference, 300 + s)).collect();
+    let direct: Vec<Vec<f32>> = windows
+        .iter()
+        .map(|w| reference.forecast_one(w, 1_700_000_000, 3600).unwrap())
+        .collect();
+
+    for replicas in [1usize, 2, 4] {
+        for policy in [Policy::RoundRobin, Policy::LeastQueueDepth] {
+            let handle = serve(
+                Registry::single("m", test_model()),
+                "127.0.0.1:0",
+                ServeConfig {
+                    batch: BatchConfig {
+                        max_batch: 4,
+                        max_wait_ms: 2,
+                        queue_cap: 64,
+                    },
+                    replicas,
+                    policy,
+                    seed: 11,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bind");
+            for (i, w) in windows.iter().enumerate() {
+                let (id, res) = ask(handle.addr(), &request_line(i as u64, w, None));
+                assert_eq!(id, i as u64);
+                assert_eq!(
+                    res.expect("served"),
+                    direct[i],
+                    "replicas={replicas} policy={policy:?} window {i} diverged"
+                );
+            }
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn hot_reload_under_concurrent_traffic_drops_nothing() {
+    // Live traffic across an atomic generation swap: every request must
+    // be answered successfully (no drops, no errors), every reply must
+    // carry exactly one generation from {1, 2}, and each connection must
+    // see a non-decreasing generation sequence (the swap is atomic — no
+    // going back, no mixing).
+    let dir = std::env::temp_dir().join(format!(
+        "lttf-reload-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("ckpt");
+    let base = base.to_str().unwrap().to_string();
+
+    let model = test_model();
+    model.save(&base).expect("write checkpoint");
+    let handle = serve(
+        Registry::single("m", model),
+        "127.0.0.1:0",
+        ServeConfig {
+            batch: BatchConfig {
+                max_batch: 4,
+                max_wait_ms: 2,
+                queue_cap: 128,
+            },
+            replicas: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    const CLIENTS: u64 = 4;
+    const ROUNDS: u64 = 25;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let reference = test_model();
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut gens = Vec::new();
+                for round in 0..ROUNDS {
+                    let raw = raw_window(&reference, 500 + c * 100 + round);
+                    writeln!(writer, "{}", request_line(c * 1000 + round, &raw, None)).unwrap();
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).unwrap();
+                    let meta =
+                        protocol::parse_response_meta(resp.trim_end()).expect("parseable reply");
+                    assert_eq!(meta.id, c * 1000 + round);
+                    // Zero failed requests across the swap — the whole
+                    // point of drain-after-swap plus front-end retry.
+                    meta.result
+                        .unwrap_or_else(|e| panic!("client {c} round {round} failed: {e}"));
+                    gens.push(meta.generation.expect("every forecast is gen-stamped"));
+                }
+                gens
+            })
+        })
+        .collect();
+
+    // Fire the reload mid-traffic.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let reload = protocol::format_reload(9000, Some("m"), &base);
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{reload}").unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let (id, info) = protocol::parse_reload_response(resp.trim_end()).expect("reload reply");
+    assert_eq!(id, 9000);
+    let info = info.expect("reload succeeds");
+    assert_eq!(info.generation, 2);
+    assert_eq!(info.replicas, 2);
+
+    let mut seen = std::collections::BTreeSet::new();
+    for client in clients {
+        let gens = client.join().expect("client thread");
+        assert_eq!(gens.len(), ROUNDS as usize);
+        // Per-connection generations never step backwards across the swap.
+        for pair in gens.windows(2) {
+            assert!(pair[0] <= pair[1], "generation went backwards: {gens:?}");
+        }
+        seen.extend(gens);
+    }
+    assert!(
+        seen.iter().all(|g| *g == 1 || *g == 2),
+        "unexpected generations: {seen:?}"
+    );
+    // The reload raced real traffic, so gen 2 must have served requests.
+    assert!(seen.contains(&2), "post-swap traffic never reached gen 2");
+
+    // After the dust settles the new generation owns the route.
+    let reference = test_model();
+    let raw = raw_window(&reference, 999);
+    let (_, generation, res) = ask_meta(addr, &request_line(42, &raw, None));
+    assert_eq!(generation, Some(2));
+    // Same checkpoint bits on both generations ⇒ same forecast.
+    assert_eq!(
+        res.unwrap(),
+        reference.forecast_one(&raw, 1_700_000_000, 3600).unwrap()
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn load_shedding_refuses_with_retry_hint_over_tcp() {
+    // shed_depth 0: the watermark is always hit, so every forecast is
+    // refused before touching the model — deterministic load shedding.
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        ServeConfig {
+            admission: AdmissionConfig {
+                shed_depth: Some(0),
+                shed_retry_ms: 25,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let raw = raw_window(&test_model(), 17);
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", request_line(5, &raw, None)).unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let meta = protocol::parse_response_meta(resp.trim_end()).expect("reply parses");
+    assert_eq!(meta.id, 5);
+    let err = meta.result.expect_err("shed, not served");
+    assert!(err.contains("overloaded"), "unexpected error: {err}");
+    assert_eq!(
+        meta.retry_after_ms,
+        Some(25),
+        "shed refusals must carry the backoff hint"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
 fn past_deadline_request_is_rejected_not_served() {
     let handle = serve(
         Registry::single("m", test_model()),
         "127.0.0.1:0",
-        BatchConfig::default(),
+        ServeConfig::default(),
     )
     .expect("bind");
     let raw = raw_window(&test_model(), 7);
@@ -133,7 +339,7 @@ fn malformed_and_oversized_requests_get_error_responses() {
     let handle = serve(
         Registry::single("m", test_model()),
         "127.0.0.1:0",
-        BatchConfig::default(),
+        ServeConfig::default(),
     )
     .expect("bind");
     let addr = handle.addr();
@@ -165,7 +371,7 @@ fn metrics_endpoint_and_traced_request_over_tcp() {
     let handle = serve(
         Registry::single("m", model),
         "127.0.0.1:0",
-        BatchConfig::default(),
+        ServeConfig::default(),
     )
     .expect("bind");
     let addr = handle.addr();
