@@ -21,7 +21,9 @@ fn setup() -> (TrainedModel, lttf_data::Batch) {
 }
 
 fn main() {
-    let mut suite = Suite::new("model_forward").samples(10);
+    // iters=1 samples of a ~50 ms forward made the p95 pure scheduler
+    // noise; average a few calls per sample and discard warmup rounds.
+    let mut suite = Suite::new("model_forward").samples(10).warmup(3).min_iters(3);
 
     let (model, batch) = setup();
     suite.bench("conformer_predict_b4_lx48_ly24", || {

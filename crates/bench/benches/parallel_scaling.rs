@@ -16,7 +16,10 @@ use lttf_testkit::bench::Suite;
 use std::hint::black_box;
 
 fn main() {
-    let mut suite = Suite::new("parallel_scaling").samples(10);
+    // Multi-millisecond benches calibrate to iters=1; the floor plus the
+    // warmup keeps one cold call out of the gated medians
+    // (scripts/bench_check.sh gates on this suite).
+    let mut suite = Suite::new("parallel_scaling").samples(10).warmup(3).min_iters(3);
 
     let default_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -26,11 +29,15 @@ fn main() {
         counts.push(default_threads);
     }
 
-    // End-to-end model workload: one Conformer forward over a batch.
+    // End-to-end model workload: one Conformer forward over a batch, plus
+    // the batch=1 single-request shape the serving tier sees — the row the
+    // intra-request parallelism work is gated on (threads must no longer
+    // be flat at batch=1).
     let series = series_for(Dataset::Etth1, Scale::Small, 1);
     let (train_set, _, _) = splits(&series, 96, 48, 48);
     let model = TrainedModel::build(ModelKind::Conformer, series.dims(), 96, 48, 32, 4, 1);
     let batch = train_set.batch(&[0, 1, 2, 3, 4, 5, 6, 7]);
+    let single = train_set.batch(&[0]);
 
     // Kernel workloads sized like the attention/embedding hot path.
     let mut rng = Rng::seed(7);
@@ -43,6 +50,9 @@ fn main() {
         set_threads_override(Some(t));
         suite.bench(&format!("model_forward/threads={t}"), || {
             black_box(model.predict_batch(&batch))
+        });
+        suite.bench(&format!("model_forward_b1/threads={t}"), || {
+            black_box(model.predict_batch(&single))
         });
         suite.bench(&format!("matmul_32x96x64/threads={t}"), || {
             black_box(mm_a.matmul(&mm_b))

@@ -130,8 +130,7 @@ pub fn window_global_forward(
             let mut max = f32::NEG_INFINITY;
             for (s, &j) in positions.iter().enumerate() {
                 let krow = &kd[(b * lk + j) * dh..(b * lk + j + 1) * dh];
-                let dot: f32 = qrow.iter().zip(krow).map(|(a, c)| a * c).sum();
-                scores[s] = dot * scale;
+                scores[s] = lttf_tensor::simd::dot(qrow, krow) * scale;
                 max = max.max(scores[s]);
             }
             // softmax
@@ -146,9 +145,7 @@ pub fn window_global_forward(
             for (s, &j) in positions.iter().enumerate() {
                 let a = scores[s] * inv_z;
                 let vrow = &vd[(b * lk + j) * dv..(b * lk + j + 1) * dv];
-                for (o, &vx) in orow.iter_mut().zip(vrow) {
-                    *o += a * vx;
-                }
+                lttf_tensor::simd::axpy(orow, a, vrow);
             }
         }
     };
@@ -204,8 +201,7 @@ pub fn window_global_backward(
             let mut max = f32::NEG_INFINITY;
             for (s, &j) in positions.iter().enumerate() {
                 let krow = &kd[(b * lk + j) * dh..(b * lk + j + 1) * dh];
-                let dot: f32 = qrow.iter().zip(krow).map(|(a, c)| a * c).sum();
-                attn[s] = dot * scale;
+                attn[s] = lttf_tensor::simd::dot(qrow, krow) * scale;
                 max = max.max(attn[s]);
             }
             let mut z = 0.0;
@@ -220,13 +216,11 @@ pub fn window_global_backward(
             let mut dot_sum = 0.0;
             for (s, &j) in positions.iter().enumerate() {
                 let vrow = &vd[(b * lk + j) * dv..(b * lk + j + 1) * dv];
-                let da: f32 = grow.iter().zip(vrow).map(|(a, c)| a * c).sum();
+                let da = lttf_tensor::simd::dot(grow, vrow);
                 dattn[s] = da;
                 dot_sum += attn[s] * da;
                 let gvrow = &mut gv_p[j * dv..(j + 1) * dv];
-                for (gvx, &gx) in gvrow.iter_mut().zip(grow) {
-                    *gvx += attn[s] * gx;
-                }
+                lttf_tensor::simd::axpy(gvrow, attn[s], grow);
             }
             // softmax backward → dscores, then dQ/dK
             let gqrow = &mut gq_p[i * dh..(i + 1) * dh];
@@ -237,10 +231,8 @@ pub fn window_global_backward(
                 }
                 let krow = &kd[(b * lk + j) * dh..(b * lk + j + 1) * dh];
                 let gkrow = &mut gk_p[j * dh..(j + 1) * dh];
-                for t in 0..dh {
-                    gqrow[t] += ds * krow[t];
-                    gkrow[t] += ds * qrow[t];
-                }
+                lttf_tensor::simd::axpy(gqrow, ds, krow);
+                lttf_tensor::simd::axpy(gkrow, ds, qrow);
             }
         }
     };

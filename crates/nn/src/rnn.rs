@@ -130,6 +130,13 @@ impl Gru {
 
     /// Run over `x` of shape `[batch, len, input]` starting from zero
     /// hidden states.
+    ///
+    /// Each layer runs as **one** tape node through the fused kernels in
+    /// `lttf-tensor` ([`lttf_tensor::gru_layer_forward`]): unrolling
+    /// `GruCell::step` op-by-op costs ~20 nodes per timestep, and at the
+    /// paper's sequence lengths the tape bookkeeping dominates the
+    /// arithmetic. The backward is the hand-written BPTT kernel; on
+    /// inference graphs no gate stash is recorded at all.
     pub fn forward<'g>(&self, cx: &Fwd<'g, '_>, x: Var<'g>) -> RnnOutput<'g> {
         let shape = x.shape();
         assert_eq!(
@@ -144,14 +151,42 @@ impl Gru {
         let mut last_hidden = Vec::with_capacity(self.cells.len());
         let mut outputs = layer_input; // replaced below
         for (li, cell) in self.cells.iter().enumerate() {
-            let mut h = g.constant(Tensor::zeros(&[b, hs]));
-            let mut steps: Vec<Var<'g>> = Vec::with_capacity(len);
-            for t in 0..len {
-                let xt = layer_input.narrow(1, t, 1).reshape(&[b, cell.input_size()]);
-                h = cell.step(cx, xt, h);
-                steps.push(h.reshape(&[b, 1, hs]));
-            }
-            outputs = Var::concat(&steps, 1);
+            let w_ih = cx.param(cell.w_ih);
+            let w_hh = cx.param(cell.w_hh);
+            let b_ih = cx.param(cell.b_ih);
+            let b_hh = cx.param(cell.b_hh);
+            let (out, stash) = lttf_tensor::gru_layer_forward(
+                &layer_input.value(),
+                &w_ih.value(),
+                &w_hh.value(),
+                &b_ih.value(),
+                &b_hh.value(),
+                g.records_gradients(),
+            );
+            outputs = g.custom_named(
+                "gru_layer",
+                out,
+                &[layer_input, w_ih, w_hh, b_ih, b_hh],
+                move |ctx| {
+                    let stash = stash
+                        .as_ref()
+                        .expect("gate stash is recorded on gradient-recording graphs");
+                    let gr = lttf_tensor::gru_layer_backward(
+                        ctx.grad,
+                        ctx.inputs[0],
+                        ctx.inputs[1],
+                        ctx.inputs[2],
+                        ctx.out,
+                        stash,
+                    );
+                    vec![gr.dx, gr.dw_ih, gr.dw_hh, gr.db_ih, gr.db_hh]
+                },
+            );
+            let h = if len == 0 {
+                g.constant(Tensor::zeros(&[b, hs]))
+            } else {
+                outputs.narrow(1, len - 1, 1).reshape(&[b, hs])
+            };
             last_hidden.push(h);
             if li + 1 < self.cells.len() && self.dropout > 0.0 {
                 outputs = cx.dropout(outputs, self.dropout);
@@ -341,6 +376,66 @@ mod tests {
         let out = lstm.forward(&cx, x);
         assert_eq!(out.outputs.shape(), vec![2, 7, 6]);
         assert_eq!(out.last_hidden[0].shape(), vec![2, 6]);
+    }
+
+    /// The fused GRU layer must agree with the op-by-op `GruCell::step`
+    /// composition — both the forward outputs and every parameter
+    /// gradient — to float tolerance (the fused path reassociates the
+    /// per-step gemms into whole-sequence ones).
+    #[test]
+    fn fused_layer_matches_composed_steps() {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed(7);
+        let gru = Gru::new(&mut ps, "g", 3, 5, 2, 0.0, &mut rng);
+        let x = Tensor::randn(&[2, 6, 3], &mut rng);
+
+        // Fused path (Gru::forward).
+        let g1 = Graph::new();
+        let cx1 = Fwd::new(&g1, &ps, true, 0);
+        let out1 = gru.forward(&cx1, g1.leaf(x.clone()));
+        let loss1 = out1.outputs.square().sum_all();
+        let grads1 = g1.backward(loss1);
+        let collected1 = cx1.collect_grads(&grads1);
+
+        // Composed path: the pre-fusion unroll via GruCell::step.
+        let g2 = Graph::new();
+        let cx2 = Fwd::new(&g2, &ps, true, 0);
+        let x2 = g2.leaf(x);
+        let mut layer_input = x2;
+        let mut composed = layer_input;
+        for cell in &gru.cells {
+            let mut h = g2.constant(Tensor::zeros(&[2, 5]));
+            let mut steps = Vec::new();
+            for t in 0..6 {
+                let xt = layer_input.narrow(1, t, 1).reshape(&[2, cell.input_size()]);
+                h = cell.step(&cx2, xt, h);
+                steps.push(h.reshape(&[2, 1, 5]));
+            }
+            composed = lttf_autograd::Var::concat(&steps, 1);
+            layer_input = composed;
+        }
+        let loss2 = composed.square().sum_all();
+        let grads2 = g2.backward(loss2);
+        let collected2 = cx2.collect_grads(&grads2);
+
+        out1.outputs.value().assert_close(&composed.value(), 1e-5);
+        assert!(!collected1.is_empty(), "fused path produced no param grads");
+        for (pid, gt) in collected1 {
+            // The composed path binds each param once per timestep, so its
+            // gradient arrives as per-binding pieces to be summed.
+            let mut want: Option<Tensor> = None;
+            for (p2, piece) in &collected2 {
+                if *p2 == pid {
+                    match want.as_mut() {
+                        None => want = Some(piece.clone()),
+                        Some(acc) => acc.add_assign(piece),
+                    }
+                }
+            }
+            let want =
+                want.unwrap_or_else(|| panic!("composed path missing grad for {pid:?}"));
+            gt.assert_close(&want, 1e-3);
+        }
     }
 
     /// A GRU can learn to remember: predict the mean of a short sequence.

@@ -10,6 +10,7 @@
 //! |-------------------|------------------------------|---------|
 //! | `LTTF_QUIET`      | unset (not quiet)            | suppress per-epoch stderr progress |
 //! | `LTTF_THREADS`    | all cores                    | fork-join pool width (1 = serial) |
+//! | `LTTF_SIMD`       | auto (use when detected)     | `0` forces the scalar kernels |
 //! | `OBS_MIN_WORK`    | 4096 madds                   | min kernel work before a span opens |
 //! | `OBS_MIN_REDUCE`  | 32768 elements               | min reduction size before a span opens |
 //! | `LTTF_TRACE_BUF`  | 16384 events/thread          | timeline ring-buffer capacity |
@@ -50,6 +51,19 @@ pub fn quiet() -> bool {
 pub fn threads() -> Option<usize> {
     static V: OnceLock<Option<usize>> = OnceLock::new();
     *V.get_or_init(|| positive("LTTF_THREADS"))
+}
+
+/// `LTTF_SIMD`: kernel backend selection. `Some(false)` (`LTTF_SIMD=0` or
+/// empty) forces the scalar kernels; `Some(true)` asks for the SIMD
+/// kernels (still subject to runtime CPU feature detection); `None` when
+/// unset, meaning "use SIMD when the CPU supports it".
+pub fn simd() -> Option<bool> {
+    static V: OnceLock<Option<bool>> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::env::var("LTTF_SIMD")
+            .ok()
+            .map(|v| !v.is_empty() && v != "0")
+    })
 }
 
 /// `OBS_MIN_WORK`: minimum kernel work size (multiply-adds / touched

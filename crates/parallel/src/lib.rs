@@ -60,6 +60,30 @@ mod proptests;
 
 pub use pool::{num_threads, set_thread_threads_override, set_threads_override};
 
+/// Work items per task so each task carries at least `grain` work units:
+/// `max(1, grain / work_per_item)`.
+///
+/// The standard way kernels group small independent problems — batches of
+/// a batched gemm, `(batch, out_ch)` pairs of a conv — into tasks big
+/// enough to amortize the pool's dispatch cost. A pure function of its
+/// arguments, so chunk boundaries (and therefore result bytes) never
+/// depend on the thread count.
+pub fn items_per_task(work_per_item: usize, grain: usize) -> usize {
+    (grain / work_per_item.max(1)).max(1)
+}
+
+/// Rows per task for row-partitioned kernels: enough rows that a task
+/// carries at least `grain` work units (each row costing `row_work`),
+/// rounded **up** to a multiple of `quantum` so every task starts on a
+/// micro-tile boundary.
+///
+/// # Panics
+/// Panics if `quantum == 0`.
+pub fn rows_per_block(row_work: usize, grain: usize, quantum: usize) -> usize {
+    assert!(quantum >= 1, "quantum must be >= 1");
+    items_per_task(row_work, grain).max(quantum).div_ceil(quantum) * quantum
+}
+
 /// Number of chunks `par_chunks_mut` splits a `len`-element slice into.
 ///
 /// Mirrors `slice::chunks_mut`: all chunks have `chunk_len` elements

@@ -2,8 +2,12 @@
 //!
 //! Maps over large tensors run chunked on the worker pool; each chunk is a
 //! pure element-wise image of the corresponding input range, so the output
-//! bytes do not depend on the thread count.
+//! bytes do not depend on the thread count. Same-shape arithmetic and the
+//! four transcendental maps the models lean on (`exp`, `sigmoid`, `tanh`,
+//! `gelu`) dispatch through [`crate::simd`]; the rest go through the
+//! generic closure map.
 
+use crate::simd::{BinOp, UnOp};
 use crate::tensor::Tensor;
 use lttf_parallel::{chunk_bounds, par_chunks_mut};
 
@@ -13,24 +17,69 @@ pub(crate) const PAR_MAP_MIN: usize = 64 * 1024;
 pub(crate) const PAR_MAP_CHUNK: usize = 16 * 1024;
 
 impl Tensor {
+    /// Same-shape binary arithmetic through the dispatched lane kernels
+    /// (bit-identical across backends — the SIMD path only widens the
+    /// stride), chunked on the pool for large tensors. Shapes that need
+    /// broadcasting fall back to the closure path.
+    fn zip_simd(&self, other: &Tensor, op: BinOp, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        if self.shape != other.shape {
+            return self.broadcast_zip(other, f);
+        }
+        let n = self.data.len();
+        let mut out = vec![0.0f32; n];
+        if n < PAR_MAP_MIN || lttf_parallel::num_threads() <= 1 {
+            crate::simd::binary(op, &self.data, &other.data, &mut out);
+        } else {
+            let (a, b) = (&self.data, &other.data);
+            par_chunks_mut(&mut out, PAR_MAP_CHUNK, |ci, chunk| {
+                let (s, e) = chunk_bounds(n, PAR_MAP_CHUNK, ci);
+                crate::simd::binary(op, &a[s..e], &b[s..e], chunk);
+            });
+        }
+        Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Transcendental map through the dispatched kernels; per-element, so
+    /// chunk boundaries never change the bytes (per backend).
+    fn map_simd(&self, op: UnOp) -> Tensor {
+        let n = self.data.len();
+        let mut out = vec![0.0f32; n];
+        if n < PAR_MAP_MIN || lttf_parallel::num_threads() <= 1 {
+            crate::simd::unary(op, &self.data, &mut out);
+        } else {
+            let src = &self.data;
+            par_chunks_mut(&mut out, PAR_MAP_CHUNK, |ci, chunk| {
+                let (s, e) = chunk_bounds(n, PAR_MAP_CHUNK, ci);
+                crate::simd::unary(op, &src[s..e], chunk);
+            });
+        }
+        Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        }
+    }
+
     /// Element-wise addition with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.broadcast_zip(other, |a, b| a + b)
+        self.zip_simd(other, BinOp::Add, |a, b| a + b)
     }
 
     /// Element-wise subtraction with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.broadcast_zip(other, |a, b| a - b)
+        self.zip_simd(other, BinOp::Sub, |a, b| a - b)
     }
 
     /// Element-wise multiplication with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.broadcast_zip(other, |a, b| a * b)
+        self.zip_simd(other, BinOp::Mul, |a, b| a * b)
     }
 
     /// Element-wise division with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.broadcast_zip(other, |a, b| a / b)
+        self.zip_simd(other, BinOp::Div, |a, b| a / b)
     }
 
     /// Element-wise maximum with broadcasting.
@@ -70,7 +119,7 @@ impl Tensor {
 
     /// Element-wise natural exponential.
     pub fn exp(&self) -> Tensor {
-        self.map(f32::exp)
+        self.map_simd(UnOp::Exp)
     }
 
     /// Element-wise natural logarithm.
@@ -100,12 +149,12 @@ impl Tensor {
 
     /// Element-wise hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        self.map(f32::tanh)
+        self.map_simd(UnOp::Tanh)
     }
 
     /// Element-wise logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&self) -> Tensor {
-        self.map(|v| 1.0 / (1.0 + (-v).exp()))
+        self.map_simd(UnOp::Sigmoid)
     }
 
     /// Element-wise ReLU `max(x, 0)`.
@@ -115,10 +164,7 @@ impl Tensor {
 
     /// Element-wise GELU (tanh approximation, as used by transformers).
     pub fn gelu(&self) -> Tensor {
-        self.map(|v| {
-            let c = (2.0 / std::f32::consts::PI).sqrt();
-            0.5 * v * (1.0 + (c * (v + 0.044_715 * v * v * v)).tanh())
-        })
+        self.map_simd(UnOp::Gelu)
     }
 
     /// Element-wise ELU with `alpha = 1`.

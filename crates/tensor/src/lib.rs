@@ -40,15 +40,18 @@ mod broadcast;
 mod conv;
 mod display;
 mod elementwise;
+mod gru;
 mod matmul;
 mod pool;
 mod random;
 mod reduce;
 mod shape;
 mod shape_ops;
+pub mod simd;
 mod tensor;
 
 pub use broadcast::broadcast_shapes;
+pub use gru::{gru_layer_backward, gru_layer_forward, GruGrads, GruStash};
 pub use random::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

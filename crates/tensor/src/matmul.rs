@@ -1,27 +1,32 @@
 //! Matrix multiplication kernels: 2-D, batched 3-D, and transposed variants.
 //!
-//! The scalar kernel is a cache-blocked i-k-j microkernel (k- and n-tiling
-//! with a small stack-resident accumulator), and the rank-2/rank-3 entry
-//! points parallelize over row blocks / batches with `lttf-parallel`.
-//! Chunk boundaries depend only on the problem shape, so results are
-//! bit-identical at any thread count.
+//! The serial kernel dispatches through [`crate::simd`]: an AVX2+FMA
+//! register-blocked micro-tile when the CPU supports it (with a packed
+//! B-panel on the `k > KC` tiled path so the microkernel streams
+//! contiguous vectors), else a cache-blocked i-k-j scalar loop. The
+//! rank-2/rank-3 entry points parallelize over row blocks / batches with
+//! `lttf-parallel`. Chunk boundaries depend only on the problem shape, so
+//! results are bit-identical at any thread count (per backend).
 
-use crate::reduce::pairwise_dot;
 use crate::tensor::Tensor;
 use lttf_parallel::par_chunks_mut;
 
 /// k-tile: `KC` consecutive inner-dimension elements are accumulated into
-/// the stack tile before touching `out`, keeping both operand panels in L1/L2.
-const KC: usize = 256;
-/// n-tile: width of the stack-resident accumulator panel.
-const NC: usize = 128;
+/// the accumulator panel before touching `out`, keeping both operand
+/// panels in L1/L2.
+pub(crate) const KC: usize = 256;
+/// n-tile: width of the accumulator / packed-B panel.
+pub(crate) const NC: usize = 128;
 /// Row micro-tile: rows of `a` processed together so each loaded `b` row is
 /// reused `MR` times.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 
 /// Approximate multiply-add count per parallel chunk. Below ~2 chunks of
 /// this the dispatch overhead outweighs the win and kernels run serially.
-const PAR_GRAIN: usize = 128 * 1024;
+/// Halved from the original 128k when the SIMD kernels landed: each madd
+/// now takes fewer cycles, and a lower grain lets the serve model's
+/// batch=1 gemms (~100–300k madds) split across the pool.
+const PAR_GRAIN: usize = 64 * 1024;
 
 /// Multiply an `m×k` row-major block by a `k×n` row-major block into `m×n`,
 /// accumulating into `out` (callers pass a zeroed buffer).
@@ -30,12 +35,20 @@ const PAR_GRAIN: usize = 128 * 1024;
 /// path that accumulates straight into `out`; larger `k` goes through the
 /// k/n-tiled stack accumulator. The path depends only on the shape, never
 /// on the thread count.
-fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     if k <= KC {
-        gemm_single_ktile(a, b, out, m, k, n);
+        if crate::simd::enabled() {
+            crate::simd::gemm_block(a, k, b, n, out, n, m, k, n);
+        } else {
+            gemm_single_ktile(a, b, out, m, k, n);
+        }
+        return;
+    }
+    if crate::simd::enabled() {
+        gemm_tiled_packed(a, b, out, m, k, n);
         return;
     }
     for ks in (0..k).step_by(KC) {
@@ -65,6 +78,38 @@ fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
                 }
                 i += mr;
             }
+        }
+    }
+}
+
+/// KC/NC-tiled gemm for the SIMD backend: each `[kc × nb]` panel of `b`
+/// is packed into a contiguous buffer once, then every `MR`-row block of
+/// `a` streams it through the AVX2 micro-tile. Packing pays for itself
+/// because the panel is reused `m / MR` times with unit-stride loads.
+fn gemm_tiled_packed(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // Heap-allocated: 128 KiB would be a meaningful bite out of a worker
+    // thread's stack, and this path only runs for k > KC.
+    let mut pack = vec![0.0f32; KC * NC.min(n)];
+    for ks in (0..k).step_by(KC) {
+        let ke = (ks + KC).min(k);
+        let kc = ke - ks;
+        for ns in (0..n).step_by(NC) {
+            let ne = (ns + NC).min(n);
+            let nb = ne - ns;
+            for (pi, p) in (ks..ke).enumerate() {
+                pack[pi * nb..(pi + 1) * nb].copy_from_slice(&b[p * n + ns..p * n + ne]);
+            }
+            crate::simd::gemm_block(
+                &a[ks..],
+                k,
+                &pack[..kc * nb],
+                nb,
+                &mut out[ns..],
+                n,
+                m,
+                kc,
+                nb,
+            );
         }
     }
 }
@@ -113,7 +158,7 @@ fn gemm_single_ktile(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
 /// Each task owns a disjoint block of output rows, so no float operation
 /// crosses a block boundary and the result is bit-identical to the serial
 /// kernel. Block size is a pure function of the problem shape.
-fn gemm_par(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+pub(crate) fn gemm_par(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let work = m * k * n;
     if work < 2 * PAR_GRAIN || lttf_parallel::num_threads() <= 1 {
         gemm(a, b, out, m, k, n);
@@ -121,7 +166,7 @@ fn gemm_par(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
     }
     // Rows per chunk sized to ~PAR_GRAIN multiply-adds, rounded up to a
     // multiple of MR so every chunk starts on a micro-tile boundary.
-    let rows = (PAR_GRAIN / (k * n).max(1)).max(MR).div_ceil(MR) * MR;
+    let rows = lttf_parallel::rows_per_block(k * n, PAR_GRAIN, MR);
     par_chunks_mut(out, rows * n, |ci, chunk| {
         let r0 = ci * rows;
         let mb = chunk.len() / n;
@@ -148,8 +193,7 @@ fn gemm_batched<'a>(
         gemm_par(a_of(0), b_of(0), out, m, k, n);
         return;
     }
-    let mkn = m * k * n;
-    let per = (PAR_GRAIN / mkn.max(1)).max(1);
+    let per = lttf_parallel::items_per_task(m * k * n, PAR_GRAIN);
     par_chunks_mut(out, per * m * n, |ci, chunk| {
         for (j, o) in chunk.chunks_mut(m * n).enumerate() {
             let bi = ci * per + j;
@@ -285,7 +329,7 @@ impl Tensor {
             other.shape
         );
         let _span = lttf_obs::span!("reduce_dot", self.numel() >= crate::obs_min_reduce());
-        pairwise_dot(&self.data, &other.data)
+        crate::simd::dot(&self.data, &other.data)
     }
 }
 

@@ -122,3 +122,147 @@ properties! {
         prop_assert!((c.data()[7] - t.sum()).abs() < 1e-3);
     }
 }
+
+/// Run `f` under forced-scalar then forced-AVX2 dispatch, returning
+/// `(scalar, simd)`. Holds the crate's simd test lock for the duration and
+/// restores auto-detection even if `f` panics mid-property.
+fn on_both_backends<T>(f: impl Fn() -> T) -> (T, T) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            crate::simd::set_simd_override(None);
+        }
+    }
+    let _guard = crate::simd::test_lock();
+    let _restore = Restore;
+    crate::simd::set_simd_override(Some(false));
+    let scalar = f();
+    crate::simd::set_simd_override(Some(true));
+    let simd = f();
+    (scalar, simd)
+}
+
+// SIMD/scalar equivalence over randomized shapes (DESIGN.md §8): the two
+// backends may differ in the last ulp on fused/reassociated kernels, so
+// these compare within a tolerance scaled by the reduction depth rather
+// than bit-for-bit. On hosts without AVX2 both runs take the scalar path
+// and the checks are trivially true. Case counts are modest — each case
+// runs every kernel twice.
+properties! {
+    cases = 32;
+
+    // m straddles the MR=4 microkernel tile, n stays below one NC=128
+    // column panel, k crosses the KC=256 tile boundary (packed-B path).
+    fn simd_gemm_matches_scalar(
+        m in prop::usizes(1..10),
+        k in prop::usizes(1..320),
+        n in prop::usizes(1..140),
+        seed in prop::usizes(0..10_000)
+    ) {
+        let mut rng = Rng::seed(seed as u64 + 1);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let (s, v) = on_both_backends(|| a.matmul(&b));
+        let tol = 1e-5 * (k as f32) + 1e-5;
+        prop_assert!(
+            s.max_abs_diff(&v) <= tol,
+            "gemm [{m},{k}]x[{k},{n}]: backends differ by {} (> {tol})",
+            s.max_abs_diff(&v)
+        );
+    }
+
+    fn simd_conv1d_and_backwards_match_scalar(
+        b in prop::usizes(1..4),
+        cin in prop::usizes(1..6),
+        cout in prop::usizes(1..6),
+        len in prop::usizes(1..40),
+        ksize in prop::usizes(1..6),
+        padding in prop::usizes(0..3),
+        seed in prop::usizes(0..10_000)
+    ) {
+        let mut rng = Rng::seed(seed as u64 + 2);
+        let x = Tensor::randn(&[b, cin, len], &mut rng);
+        let w = Tensor::randn(&[cout, cin, ksize], &mut rng);
+        let out_len = (len + 2 * padding).saturating_sub(ksize - 1);
+        if out_len == 0 {
+            return Ok(());
+        }
+        let go = Tensor::randn(&[b, cout, out_len], &mut rng);
+        let (s, v) = on_both_backends(|| {
+            (
+                x.conv1d(&w, None, padding, 1),
+                Tensor::conv1d_backward_input(&go, &w, &[b, cin, len], padding, 1),
+                Tensor::conv1d_backward_weight(&go, &x, &[cout, cin, ksize], padding, 1),
+            )
+        });
+        let tol = 1e-5 * (cin * ksize * out_len) as f32 + 1e-5;
+        prop_assert!(s.0.max_abs_diff(&v.0) <= tol, "conv1d forward diverged");
+        prop_assert!(s.1.max_abs_diff(&v.1) <= tol, "conv1d bwd_input diverged");
+        prop_assert!(s.2.max_abs_diff(&v.2) <= tol, "conv1d bwd_weight diverged");
+    }
+
+    // Lengths cover the 8-lane remainder and both sides of the pairwise
+    // block size; tolerance is relative, matching the tree-reduction bound.
+    fn simd_sum_and_dot_match_scalar(
+        n in prop::usizes(1..3000),
+        seed in prop::usizes(0..10_000)
+    ) {
+        let mut rng = Rng::seed(seed as u64 + 3);
+        let a = Tensor::randn(&[n], &mut rng);
+        let b = Tensor::randn(&[n], &mut rng);
+        let (s, v) = on_both_backends(|| (a.sum(), a.dot(&b)));
+        prop_assert!(
+            (s.0 - v.0).abs() <= 1e-4 * s.0.abs().max(1.0),
+            "sum len {n}: {} vs {}", s.0, v.0
+        );
+        prop_assert!(
+            (s.1 - v.1).abs() <= 1e-4 * s.1.abs().max(1.0),
+            "dot len {n}: {} vs {}", s.1, v.1
+        );
+    }
+
+    fn simd_transcendental_maps_match_scalar(data in vec_f32(-12.0, 12.0, 37)) {
+        let t = Tensor::from_vec(data, &[37]);
+        let (s, v) = on_both_backends(|| (t.exp(), t.sigmoid(), t.tanh(), t.gelu()));
+        for (name, (sc, vc)) in [("exp", (&s.0, &v.0)), ("sigmoid", (&s.1, &v.1)),
+                                 ("tanh", (&s.2, &v.2)), ("gelu", (&s.3, &v.3))] {
+            for (x, y) in sc.data().iter().zip(vc.data()) {
+                prop_assert!(
+                    (x - y).abs() <= 4e-6 * x.abs().max(1.0),
+                    "{name}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    fn simd_gru_layer_matches_scalar(
+        b in prop::usizes(1..3),
+        len in prop::usizes(0..8),
+        input in prop::usizes(1..6),
+        hs in prop::usizes(1..8),
+        seed in prop::usizes(0..10_000)
+    ) {
+        let mut rng = Rng::seed(seed as u64 + 4);
+        let x = Tensor::randn(&[b, len, input], &mut rng);
+        let w_ih = Tensor::randn(&[input, 3 * hs], &mut rng);
+        let w_hh = Tensor::randn(&[hs, 3 * hs], &mut rng);
+        let b_ih = Tensor::randn(&[3 * hs], &mut rng);
+        let b_hh = Tensor::randn(&[3 * hs], &mut rng);
+        let go = Tensor::randn(&[b, len, hs], &mut rng);
+        let (s, v) = on_both_backends(|| {
+            let (out, stash) =
+                crate::gru_layer_forward(&x, &w_ih, &w_hh, &b_ih, &b_hh, true);
+            let g = crate::gru_layer_backward(
+                &go, &x, &w_ih, &w_hh, &out, stash.as_ref().unwrap(),
+            );
+            (out, g.dx, g.dw_ih, g.dw_hh)
+        });
+        // Gates saturate, so absolute error stays small; BPTT compounds
+        // per step, hence the len-scaled bound.
+        let tol = 1e-4 * (len as f32 + 1.0);
+        prop_assert!(s.0.max_abs_diff(&v.0) <= tol, "gru forward diverged");
+        prop_assert!(s.1.max_abs_diff(&v.1) <= tol, "gru dx diverged");
+        prop_assert!(s.2.max_abs_diff(&v.2) <= tol, "gru dw_ih diverged");
+        prop_assert!(s.3.max_abs_diff(&v.3) <= tol, "gru dw_hh diverged");
+    }
+}

@@ -49,11 +49,13 @@ impl Tensor {
     /// The reduction tree — `SUM_BLOCK`-sized leaf blocks combined
     /// pairwise — is a pure function of the length, so the serial and
     /// pool-parallel paths produce the same bits; the thread count only
-    /// decides who reduces which block.
+    /// decides who reduces which block. Block reduction dispatches through
+    /// [`crate::simd::sum`]; each backend's tree is fixed, but the two
+    /// backends' trees differ (DESIGN.md §8).
     pub fn sum(&self) -> f32 {
         let n = self.data.len();
         if n <= SUM_BLOCK {
-            return pairwise_sum(&self.data);
+            return crate::simd::sum(&self.data);
         }
         let span = lttf_obs::span!("reduce_sum", n >= crate::obs_min_reduce());
         span.bytes(n * 4);
@@ -62,7 +64,7 @@ impl Tensor {
         let src = &self.data;
         let block_sum = |bi: usize| {
             let s = bi * SUM_BLOCK;
-            pairwise_sum(&src[s..(s + SUM_BLOCK).min(n)])
+            crate::simd::sum(&src[s..(s + SUM_BLOCK).min(n)])
         };
         if n >= PAR_SUM_MIN && lttf_parallel::num_threads() > 1 {
             par_chunks_mut(&mut partials, 1, |bi, slot| {

@@ -10,9 +10,10 @@
 //!
 //! Environment knobs:
 //!
-//! - `BENCH_SAMPLES` — samples per benchmark (default 20).
-//! - `BENCH_WARMUP`  — warmup samples, untimed (default 2).
-//! - `BENCH_OUT`     — output directory (default `results`).
+//! - `BENCH_SAMPLES`   — samples per benchmark (default 20).
+//! - `BENCH_WARMUP`    — warmup samples, untimed (default 2).
+//! - `BENCH_MIN_ITERS` — floor on calls per sample (default 1).
+//! - `BENCH_OUT`       — output directory (default `results`).
 //!
 //! ```no_run
 //! use lttf_testkit::bench::Suite;
@@ -70,6 +71,7 @@ pub struct Suite {
     name: String,
     samples: usize,
     warmup: usize,
+    min_iters: u64,
     records: Vec<Record>,
     out_dir: std::path::PathBuf,
 }
@@ -92,6 +94,7 @@ impl Suite {
             name: name.to_string(),
             samples: env_usize("BENCH_SAMPLES", 20).max(1),
             warmup: env_usize("BENCH_WARMUP", 2),
+            min_iters: env_usize("BENCH_MIN_ITERS", 1).max(1) as u64,
             records: Vec::new(),
             out_dir: std::env::var("BENCH_OUT")
                 .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../results").into())
@@ -105,13 +108,32 @@ impl Suite {
         self
     }
 
+    /// Override the untimed warmup sample count (env still wins). Raise
+    /// this for benches whose first calls pay one-off costs (allocator
+    /// growth, page faults, branch-predictor training) that would
+    /// otherwise smear into the p95.
+    pub fn warmup(mut self, n: usize) -> Suite {
+        self.warmup = env_usize("BENCH_WARMUP", n);
+        self
+    }
+
+    /// Floor on calls per sample (env still wins). Auto-calibration targets
+    /// ~1 ms samples, which degrades to `iters = 1` for calls in the tens
+    /// of milliseconds — a single noisy call then lands directly in the
+    /// percentiles. Slow benches that gate CI set this to average several
+    /// calls per sample instead.
+    pub fn min_iters(mut self, n: u64) -> Suite {
+        self.min_iters = (env_usize("BENCH_MIN_ITERS", n as usize).max(1)) as u64;
+        self
+    }
+
     /// Time `f`, print its JSON record, and keep it for [`Suite::finish`].
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
         // Calibrate: aim for ~1ms per sample so Instant overhead is noise.
         let t0 = Instant::now();
         std::hint::black_box(f());
         let once_ns = t0.elapsed().as_nanos().max(1);
-        let iters = (1_000_000 / once_ns).clamp(1, 10_000) as u64;
+        let iters = ((1_000_000 / once_ns).clamp(1, 10_000) as u64).max(self.min_iters);
 
         let mut per_call: Vec<u64> = Vec::with_capacity(self.samples);
         for round in 0..self.warmup + self.samples {
@@ -119,7 +141,9 @@ impl Suite {
             for _ in 0..iters {
                 std::hint::black_box(f());
             }
-            let ns = (t.elapsed().as_nanos() / iters as u128) as u64;
+            // Sub-nanosecond calls (a const-folded body) floor at 1 ns —
+            // 0 would read as "unmeasured" to downstream ratio checks.
+            let ns = ((t.elapsed().as_nanos() / iters as u128) as u64).max(1);
             if round >= self.warmup {
                 per_call.push(ns);
             }

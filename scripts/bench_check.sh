@@ -114,3 +114,67 @@ if [[ -f "$SERVE" ]]; then
 else
     echo "no committed serve baseline at $SERVE; skipping scaling gate" >&2
 fi
+
+# Single-request latency gates (PR 7, SIMD microkernels + intra-request
+# parallelism). Fresh parallel_scaling run, compared against the *frozen*
+# pre-SIMD medians in results/BENCH_parallel_scaling_pr6_baseline.json
+# (that file is a historical snapshot — never regenerate it):
+#
+#   1. On AVX2+FMA hosts, model_forward/threads=1 must stay >= 1.8x faster
+#      than the pre-SIMD median.
+#   2. On hosts with >= 4 cores, the batch=1 row must actually scale:
+#      model_forward_b1 threads=4 must beat threads=1 by >= 1.4x.
+#
+# Each gate is skipped (loudly) on hosts that cannot express it.
+FROZEN=results/BENCH_parallel_scaling_pr6_baseline.json
+if [[ -f "$FROZEN" ]]; then
+    echo "==> cargo bench --bench parallel_scaling  (single-request latency gates)"
+    BENCH_OUT="$FRESH_DIR" cargo bench --offline -p lttf-bench --bench parallel_scaling >/dev/null
+    PSCALE="$FRESH_DIR/BENCH_parallel_scaling.json"
+    if [[ ! -f "$PSCALE" ]]; then
+        echo "FAIL: bench run produced no $PSCALE" >&2
+        exit 1
+    fi
+
+    if grep -m1 '^flags' /proc/cpuinfo 2>/dev/null | grep -qw avx2 \
+        && grep -m1 '^flags' /proc/cpuinfo 2>/dev/null | grep -qw fma; then
+        base_fwd=$(medians "$FROZEN" | awk '$1 == "model_forward/threads=1" {print $2}')
+        fresh_fwd=$(medians "$PSCALE" | awk '$1 == "model_forward/threads=1" {print $2}')
+        if [[ -z "$base_fwd" || -z "$fresh_fwd" ]]; then
+            echo "FAIL: model_forward/threads=1 missing from $FROZEN or fresh run" >&2
+            exit 1
+        fi
+        awk -v b="$base_fwd" -v f="$fresh_fwd" 'BEGIN {
+            printf "model_forward/threads=1: pre-SIMD %dns, fresh %dns (%.2fx)\n", b, f, b / f;
+            exit (b >= 1.8 * f) ? 0 : 1;
+        }' || {
+            echo "FAIL: model_forward median no longer >= 1.8x faster than the pre-SIMD baseline" >&2
+            exit 1
+        }
+        echo "==> bench_check: SIMD forward-pass speedup holds (>= 1.8x vs pre-SIMD median)"
+    else
+        echo "host lacks AVX2+FMA; skipping the 1.8x SIMD speedup gate" >&2
+    fi
+
+    cores=$(nproc 2>/dev/null || echo 1)
+    if (( cores >= 4 )); then
+        b1_t1=$(medians "$PSCALE" | awk '$1 == "model_forward_b1/threads=1" {print $2}')
+        b1_t4=$(medians "$PSCALE" | awk '$1 == "model_forward_b1/threads=4" {print $2}')
+        if [[ -z "$b1_t1" || -z "$b1_t4" ]]; then
+            echo "FAIL: model_forward_b1 rows missing from fresh parallel_scaling run" >&2
+            exit 1
+        fi
+        awk -v t1="$b1_t1" -v t4="$b1_t4" 'BEGIN {
+            printf "model_forward_b1: threads=1 %dns, threads=4 %dns (%.2fx)\n", t1, t4, t1 / t4;
+            exit (t1 >= 1.4 * t4) ? 0 : 1;
+        }' || {
+            echo "FAIL: batch=1 forward no longer scales >= 1.4x from 1 to 4 threads" >&2
+            exit 1
+        }
+        echo "==> bench_check: batch=1 intra-request scaling holds (>= 1.4x at 4 threads)"
+    else
+        echo "host has $cores core(s); skipping the 4-thread batch=1 scaling gate" >&2
+    fi
+else
+    echo "no frozen pre-SIMD baseline at $FROZEN; skipping latency gates" >&2
+fi

@@ -16,15 +16,22 @@ cargo build --release --offline --locked --no-default-features
 echo "==> cargo build --release --offline --locked"
 cargo build --release --offline --locked
 
-echo "==> cargo test -q --offline  (LTTF_THREADS=1, fully serial)"
-LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline
+echo "==> cargo test -q --offline  (LTTF_THREADS=1 LTTF_SIMD=0, serial + scalar kernels)"
+LTTF_QUIET=1 LTTF_THREADS=1 LTTF_SIMD=0 cargo test -q --offline
 
-echo "==> cargo test -q --offline  (LTTF_THREADS=4, pooled)"
-LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline
+echo "==> cargo test -q --offline  (LTTF_THREADS=4 LTTF_SIMD=1, pooled + SIMD dispatch)"
+LTTF_QUIET=1 LTTF_THREADS=4 LTTF_SIMD=1 cargo test -q --offline
 
-echo "==> serve e2e  (TCP round trips, replicated dispatch, hot reload, shedding; serial and pooled)"
-LTTF_QUIET=1 LTTF_THREADS=1 cargo test -q --offline --test serve_e2e
-LTTF_QUIET=1 LTTF_THREADS=4 cargo test -q --offline --test serve_e2e
+echo "==> determinism + serve e2e under the full LTTF_SIMD x LTTF_THREADS matrix"
+# The scalar fallback must never rot, and neither backend may depend on
+# the thread count (DESIGN.md §8) — sweep both suites over all four cells.
+for simd in 0 1; do
+    for threads in 1 4; do
+        echo "    LTTF_SIMD=$simd LTTF_THREADS=$threads"
+        LTTF_QUIET=1 LTTF_SIMD=$simd LTTF_THREADS=$threads \
+            cargo test -q --offline --test determinism --test serve_e2e
+    done
+done
 
 echo "==> cargo doc --no-deps --offline  (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline

@@ -368,9 +368,11 @@ fn cmd_profile(flags: HashMap<String, String>) {
     let mut model = TrainedModel::from_conformer(&cfg, seed);
     println!(
         "profiling Conformer ({} params) on synthetic ettm1: mode {mode}, \
-         lx {lx}, ly {ly}, d_model {d_model}, batch {batch}, {} threads",
+         lx {lx}, ly {ly}, d_model {d_model}, batch {batch}, {} threads, \
+         kernels {}",
         model.num_parameters(),
         lttf::parallel::num_threads(),
+        lttf::tensor::simd::backend_name(),
     );
 
     // Profile only what runs below, not process warm-up.
@@ -973,6 +975,53 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
     };
 
     if mode == "closed" || mode == "all" {
+        // Single-client row first: one connection issuing requests
+        // back-to-back, so every request is a batch=1 forward pass with no
+        // queueing — the committed p50/p95 here tracks the kernel-level
+        // single-request latency across PRs (the SIMD work moves this row).
+        {
+            let n = threads * requests; // same total as one matrix cell
+            println!("bench-serve closed loop, single client: {n} sequential batch=1 requests");
+            let registry = lttf::serve::Registry::single("bench", make_model());
+            let handle = lttf::serve::serve(
+                registry,
+                "127.0.0.1:0",
+                lttf::serve::ServeConfig {
+                    batch: lttf::serve::BatchConfig {
+                        max_batch: 1,
+                        max_wait_ms,
+                        queue_cap: 32,
+                    },
+                    ..lttf::serve::ServeConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start server: {e}");
+                exit(1);
+            });
+            let (elapsed, mut stats) = bench_serve_run(handle.addr(), 1, n, &window);
+            handle.shutdown();
+            let throughput = n as f64 / elapsed.as_secs_f64();
+            let summary = stats.summary();
+            println!("single client: {throughput:.1} req/s, {}", summary.render());
+            lines.push(
+                JsonObj::new()
+                    .str("suite", "serve")
+                    .str("bench", "closed_loop_single_client/max_batch_1")
+                    .int("threads", 1)
+                    .int("requests", n as u64)
+                    .int("max_batch", 1)
+                    .num("rps", throughput)
+                    .int("min_ns", summary.min_ns)
+                    .int("mean_ns", summary.mean_ns)
+                    .int("median_ns", summary.p50_ns)
+                    .int("p95_ns", summary.p95_ns)
+                    .int("p99_ns", summary.p99_ns)
+                    .int("max_ns", summary.max_ns)
+                    .finish(),
+            );
+        }
+
         println!(
             "bench-serve closed loop: {threads} client threads x {requests} requests, lx {lx}, \
              d_model {d_model}, max_batch 1 vs {max_batch}"

@@ -6,8 +6,17 @@
 //! design — reproducibility of training runs cannot depend on the machine's
 //! core count. Each case sweeps `set_threads_override` and compares raw
 //! f32 bit patterns, not approximate values.
+//!
+//! Since the SIMD microkernels landed, the contract is per kernel *backend*
+//! (DESIGN.md §8): scalar and AVX2+FMA may differ in the last ulp, but each
+//! backend alone must stay bit-identical across every thread count. The
+//! `*_on_both_simd_backends` cases pin each backend in turn via
+//! `set_simd_override` and re-run the thread sweep, and the lane-parallel
+//! binary ops (`add`/`sub`/`mul`/`div`) are additionally asserted
+//! bit-identical *across* backends.
 
 use lttf::nn::attention::{window_global_backward, window_global_forward};
+use lttf::tensor::simd::set_simd_override;
 use lttf::tensor::{Rng, Tensor};
 use lttf_parallel::set_threads_override;
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -119,4 +128,80 @@ fn reductions_and_maps_are_thread_count_invariant() {
             wide.moving_avg(1, 13),
         ]
     });
+}
+
+/// Every dispatched kernel, swept across thread counts with each SIMD
+/// backend pinned in turn. Shapes deliberately hit the gemm edge cases
+/// (m % MR != 0, k > KC forces the packed-panel path).
+#[test]
+fn kernels_are_thread_count_invariant_on_both_simd_backends() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(106);
+    let a = Tensor::randn(&[66, 300], &mut rng);
+    let b = Tensor::randn(&[300, 48], &mut rng);
+    let x = Tensor::randn(&[4, 8, 96], &mut rng);
+    let w = Tensor::randn(&[8, 8, 3], &mut rng);
+    let go = Tensor::randn(&[4, 8, 96], &mut rng);
+    let big = Tensor::randn(&[200_000], &mut rng);
+    let other = Tensor::randn(&[200_000], &mut rng);
+    let gx = Tensor::randn(&[2, 12, 6], &mut rng);
+    let w_ih = Tensor::randn(&[6, 24], &mut rng);
+    let w_hh = Tensor::randn(&[8, 24], &mut rng);
+    let b_ih = Tensor::randn(&[24], &mut rng);
+    let b_hh = Tensor::randn(&[24], &mut rng);
+    for backend in [Some(false), Some(true)] {
+        set_simd_override(backend);
+        assert_bit_identical(&format!("all_kernels simd={backend:?}"), || {
+            let (gru_out, stash) =
+                lttf::tensor::gru_layer_forward(&gx, &w_ih, &w_hh, &b_ih, &b_hh, true);
+            let gg = lttf::tensor::gru_layer_backward(
+                &gru_out,
+                &gx,
+                &w_ih,
+                &w_hh,
+                &gru_out,
+                stash.as_ref().unwrap(),
+            );
+            vec![
+                a.matmul(&b),
+                x.conv1d(&w, None, 1, 1),
+                Tensor::conv1d_backward_input(&go, &w, &[4, 8, 96], 1, 1),
+                Tensor::conv1d_backward_weight(&go, &x, &[8, 8, 3], 1, 1),
+                Tensor::from_vec(vec![big.sum()], &[1]),
+                Tensor::from_vec(vec![big.dot(&other)], &[1]),
+                big.exp(),
+                big.mul(&other),
+                gru_out,
+                gg.dx,
+                gg.dw_hh,
+            ]
+        });
+    }
+    set_simd_override(None);
+}
+
+/// The lane-parallel binary ops are the one family whose bytes must agree
+/// *across* backends too — the SIMD path only widens the stride and never
+/// reassociates (DESIGN.md §8).
+#[test]
+fn lane_parallel_binary_ops_agree_across_simd_backends() {
+    let _g = exclusive();
+    let mut rng = Rng::seed(107);
+    let a = Tensor::randn(&[150_003], &mut rng);
+    let b = Tensor::randn(&[150_003], &mut rng).add_scalar(3.0);
+    let run = || vec![a.add(&b), a.sub(&b), a.mul(&b), a.div(&b)];
+    set_simd_override(Some(false));
+    let scalar = run();
+    set_simd_override(Some(true));
+    let simd = run();
+    set_simd_override(None);
+    for (ti, (s, v)) in scalar.iter().zip(&simd).enumerate() {
+        for (i, (&x, &y)) in s.data().iter().zip(v.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "binary op {ti}: backend divergence at element {i} ({x} vs {y})"
+            );
+        }
+    }
 }
