@@ -14,6 +14,7 @@ mod backtest;
 mod metrics;
 mod model;
 mod multirun;
+mod profile;
 #[cfg(test)]
 mod proptests;
 mod scale;
@@ -25,6 +26,7 @@ pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use metrics::{corr, coverage, mae, mse, pinball, rse, Metrics};
 pub use model::{Forecaster, ModelImpl, ModelKind, TrainedModel};
 pub use multirun::{run_seeds, run_seeds_with_reports, RunStats, TrainSummary};
+pub use profile::fit_reference_profile;
 pub use scale::Scale;
 pub use table::Table;
 pub use trainer::{

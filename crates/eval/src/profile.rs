@@ -1,0 +1,74 @@
+//! Training-time reference profiles for serving-side drift detection.
+//!
+//! [`fit_reference_profile`] summarizes the **train split** of a series
+//! (the same `[n, c]` raw-unit view the scaler is fitted on) into one
+//! [`ReferenceProfile`]: per-feature mean, standard deviation, and
+//! P²-estimated 10/50/90 quantiles. `lttf train` stores the profile in
+//! the checkpoint's metadata sidecar (next to the scaler statistics),
+//! and the serving tier's `DriftMonitor` compares live traffic against
+//! it. Fitting is streaming (one pass, O(1) memory per feature), so it
+//! costs nothing measurable next to training itself.
+
+use lttf_obs::sketch::{FeatureSketch, ReferenceProfile};
+use lttf_tensor::Tensor;
+
+/// Fit a per-feature reference profile over a raw-unit `[n, c]` tensor
+/// (rows = time steps, columns = variables — the training split, in the
+/// same units requests arrive in).
+///
+/// # Panics
+///
+/// Panics when `values` is not rank 2 or has no rows: a drift reference
+/// fitted on nothing would silently never alert.
+pub fn fit_reference_profile(values: &Tensor) -> ReferenceProfile {
+    let shape = values.shape();
+    assert_eq!(shape.len(), 2, "reference profile needs an [n, c] tensor");
+    let (n, c) = (shape[0], shape[1]);
+    assert!(n > 0 && c > 0, "reference profile needs a non-empty train split");
+    let mut sketches = vec![FeatureSketch::new(); c];
+    for row in values.data().chunks_exact(c) {
+        for (sketch, &v) in sketches.iter_mut().zip(row) {
+            sketch.record(v as f64);
+        }
+    }
+    ReferenceProfile {
+        features: sketches.iter().map(FeatureSketch::stats).collect(),
+        count: n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_column_statistics() {
+        // Column 0: 0..100 ramp; column 1: constant 5.
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            rows.push(i as f32);
+            rows.push(5.0);
+        }
+        let t = Tensor::from_vec(rows, &[100, 2]);
+        let p = fit_reference_profile(&t);
+        assert_eq!(p.count, 100);
+        assert_eq!(p.features.len(), 2);
+        let f0 = &p.features[0];
+        assert!((f0.mean - 49.5).abs() < 1e-6, "{}", f0.mean);
+        assert!((f0.q50 - 49.5).abs() < 2.0, "{}", f0.q50);
+        assert!(f0.q10 < f0.q50 && f0.q50 < f0.q90);
+        let f1 = &p.features[1];
+        assert!((f1.mean - 5.0).abs() < 1e-6);
+        assert!(f1.std.abs() < 1e-6);
+        // Round-trips through checkpoint metadata exactly.
+        let meta = p.to_meta();
+        let back = ReferenceProfile::from_meta(&meta).unwrap().unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_split_is_refused() {
+        fit_reference_profile(&Tensor::zeros(&[0, 3]));
+    }
+}

@@ -1,0 +1,68 @@
+//! Strict Prometheus text-exposition validator used by `scripts/ci.sh`.
+//!
+//! Usage: `metrics_check <file>... [--require <substring>]...`
+//!
+//! Each file is validated with `lttf_obs::metrics::validate`: legal
+//! metric/label names, quoting, parseable values, no duplicate series,
+//! and structural histogram checks (ascending `le` bounds ending in
+//! `+Inf`, non-decreasing cumulative counts, matching `_sum`/`_count`).
+//! `--require` asserts a substring appears in every file — ci.sh uses it
+//! to pin down the series the serving tier must expose. Exits non-zero
+//! on the first invalid file.
+
+use std::process::ExitCode;
+
+use lttf_obs::metrics;
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut required: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--require" => match args.next() {
+                Some(s) => required.push(s),
+                None => {
+                    eprintln!("--require needs a substring argument");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: metrics_check <file>... [--require <substring>]...");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        match check(path, &required) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn check(path: &str, required: &[String]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let summary = metrics::validate(&text)?;
+    for needle in required {
+        if !text.contains(needle.as_str()) {
+            return Err(format!("required series {needle:?} not found"));
+        }
+    }
+    println!(
+        "ok {path}: {} samples, {} metric names, {} histogram families",
+        summary.samples, summary.names, summary.histograms
+    );
+    Ok(())
+}

@@ -1,0 +1,458 @@
+//! Fixed-memory log-linear histograms with time-bucketed rotation.
+//!
+//! The live serving tier needs "what is p99 *right now*" without keeping
+//! every sample: an unbounded `Vec<u64>` grows forever under sustained
+//! traffic and re-sorts on every scrape. A [`Histogram`] here is an
+//! HDR-style log-linear sketch — a fixed array of counters whose bucket
+//! boundaries grow geometrically — so `record` is O(1), memory is O(1)
+//! per series, and any nearest-rank quantile is reproducible within a
+//! bounded **relative** error of `2^-SUB_BITS` (3.125%).
+//!
+//! [`WindowedHistogram`] stacks `n` of them as rotating time buckets
+//! (e.g. 12 × 10 s): recording lands in the bucket owning the current
+//! period, stale buckets are lazily cleared on touch, and a snapshot
+//! merges every bucket still inside the trailing window. Rates get the
+//! same treatment from [`WindowedCounter`].
+//!
+//! Time is injected as a plain milliseconds-since-epoch integer, so the
+//! core is deterministic under test; callers derive `t_ms` from a shared
+//! [`std::time::Instant`].
+//!
+//! ## Bucket layout
+//!
+//! With `SUB_BITS = 5`, values below 64 map to themselves (exact), and
+//! each further octave `[2^k, 2^(k+1))` splits into 32 equal sub-buckets:
+//! index `e * 32 + (v >> e)` where `e = msb(v) - 5`. Bucket width is
+//! `2^e` at a lower bound of at least `32 * 2^e`, hence the `1/32`
+//! relative-error bound. Everything at or above 2^40 ns (≈18 min) clamps
+//! into the last bucket.
+
+/// Sub-bucket resolution bits: 2^5 = 32 sub-buckets per octave, bounding
+/// quantile relative error at 1/32.
+pub const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Largest sub-bucket shift; values >= 2^(MAX_EXP + SUB_BITS + 1) clamp.
+const MAX_EXP: u32 = 35;
+/// Total bucket count (indices `0 .. MAX_EXP*SUB + 2*SUB`).
+const BUCKETS: usize = (MAX_EXP as usize) * SUB + 2 * SUB;
+
+/// Bucket index for a value: identity below `2*SUB`, log-linear above.
+fn index(v: u64) -> usize {
+    let msb = 63 - (v | 1).leading_zeros();
+    let e = msb.saturating_sub(SUB_BITS).min(MAX_EXP);
+    let m = (v >> e).min(2 * SUB as u64 - 1);
+    (e as usize) * SUB + m as usize
+}
+
+/// Inclusive lower bound of a bucket (its smallest representable value).
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        idx as u64
+    } else {
+        let e = idx / SUB - 1;
+        let m = (SUB + idx % SUB) as u64;
+        m << e
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_hi(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(idx + 1) - 1
+    }
+}
+
+/// A fixed-memory log-linear histogram over `u64` samples (nanoseconds
+/// on the serving path, but unit-agnostic).
+///
+/// ~9 KiB per instance regardless of how many samples it absorbs.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample. O(1): one index computation, two adds.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.min }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another histogram into this one. Merging is exact (bucket
+    /// counts add), so `hist(A ∪ B) == merge(hist(A), hist(B))` — the
+    /// property the replica pool and windowed snapshots rely on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Drop every sample; the allocation is reused.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]` (0 when empty).
+    ///
+    /// The k-th smallest sample lies in the bucket where the cumulative
+    /// count first reaches `k`; the bucket midpoint is returned, so the
+    /// result is within half a bucket width of the exact nearest-rank
+    /// answer — a relative error of at most `2^-(SUB_BITS)` and exact
+    /// for values below `2^(SUB_BITS+1)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (lo, hi) = (bucket_lo(idx), bucket_hi(idx));
+                // Clamp to observed extremes so q=0/q=1 report min/max
+                // even when they share a bucket with other samples.
+                return (lo + (hi - lo) / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Samples with value `<= le`. Exact when `le + 1` is a bucket
+    /// boundary (powers of two are), otherwise rounds down to the last
+    /// whole bucket.
+    pub fn count_le(&self, le: u64) -> u64 {
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if bucket_hi(idx) > le {
+                break;
+            }
+            cum += c;
+        }
+        cum
+    }
+}
+
+/// Default Prometheus `le` bucket bounds for nanosecond latencies:
+/// powers of 4 from 4.096 µs to ~4.6 min. Every bound is a power of two,
+/// so [`Histogram::count_le`] is exact at each.
+pub const LATENCY_LE_NS: [u64; 14] = [
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+    1 << 32,
+    1 << 34,
+    1 << 36,
+    1 << 38,
+];
+
+/// `n` rotating time buckets of `width_ms` each: recording is O(1) into
+/// the current period's bucket, a snapshot merges every bucket inside
+/// the trailing `n * width_ms` window. Stale buckets are cleared lazily
+/// when their slot is reused, so memory stays `n` histograms forever.
+pub struct WindowedHistogram {
+    width_ms: u64,
+    /// Period id each slot currently holds (`u64::MAX` = never used).
+    periods: Vec<u64>,
+    buckets: Vec<Histogram>,
+}
+
+impl WindowedHistogram {
+    /// `n_buckets` rotating buckets of `width_ms` milliseconds each.
+    pub fn new(n_buckets: usize, width_ms: u64) -> WindowedHistogram {
+        assert!(n_buckets >= 1 && width_ms >= 1, "degenerate window");
+        WindowedHistogram {
+            width_ms,
+            periods: vec![u64::MAX; n_buckets],
+            buckets: (0..n_buckets).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Total trailing-window span in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.width_ms * self.periods.len() as u64
+    }
+
+    /// Record one sample at time `t_ms` (monotone milliseconds).
+    pub fn record(&mut self, t_ms: u64, v: u64) {
+        let p = t_ms / self.width_ms;
+        let idx = (p % self.periods.len() as u64) as usize;
+        if self.periods[idx] != p {
+            self.buckets[idx].clear();
+            self.periods[idx] = p;
+        }
+        self.buckets[idx].record(v);
+    }
+
+    /// Merge every bucket still inside the trailing window ending at
+    /// `t_ms` (the current, partially-filled period included) into one
+    /// [`Histogram`].
+    pub fn snapshot(&self, t_ms: u64) -> Histogram {
+        let p = t_ms / self.width_ms;
+        let oldest = (p + 1).saturating_sub(self.periods.len() as u64);
+        let mut out = Histogram::new();
+        for (idx, &period) in self.periods.iter().enumerate() {
+            if period != u64::MAX && period >= oldest && period <= p {
+                out.merge(&self.buckets[idx]);
+            }
+        }
+        out
+    }
+}
+
+/// Rotating time buckets of plain event counts — the windowed-rate
+/// counterpart of [`WindowedHistogram`] (shed/reject/resubmit rates).
+pub struct WindowedCounter {
+    width_ms: u64,
+    periods: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl WindowedCounter {
+    /// `n_buckets` rotating buckets of `width_ms` milliseconds each.
+    pub fn new(n_buckets: usize, width_ms: u64) -> WindowedCounter {
+        assert!(n_buckets >= 1 && width_ms >= 1, "degenerate window");
+        WindowedCounter {
+            width_ms,
+            periods: vec![u64::MAX; n_buckets],
+            counts: vec![0; n_buckets],
+        }
+    }
+
+    /// Total trailing-window span in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.width_ms * self.periods.len() as u64
+    }
+
+    /// Add `n` events at time `t_ms`.
+    pub fn add(&mut self, t_ms: u64, n: u64) {
+        let p = t_ms / self.width_ms;
+        let idx = (p % self.periods.len() as u64) as usize;
+        if self.periods[idx] != p {
+            self.counts[idx] = 0;
+            self.periods[idx] = p;
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Events inside the trailing window ending at `t_ms`.
+    pub fn total(&self, t_ms: u64) -> u64 {
+        let p = t_ms / self.width_ms;
+        let oldest = (p + 1).saturating_sub(self.periods.len() as u64);
+        self.periods
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&period, _)| period != u64::MAX && period >= oldest && period <= p)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Events per second over the trailing window ending at `t_ms`.
+    pub fn rate_per_sec(&self, t_ms: u64) -> f64 {
+        self.total(t_ms) as f64 / (self.window_ms() as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // Below 2*SUB every value owns its own bucket.
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn index_and_bounds_are_consistent() {
+        for idx in 0..BUCKETS {
+            let lo = bucket_lo(idx);
+            let hi = bucket_hi(idx);
+            assert!(lo <= hi, "bucket {idx}: lo {lo} > hi {hi}");
+            assert_eq!(index(lo), idx, "lo of bucket {idx} maps back");
+            if hi != u64::MAX {
+                assert_eq!(index(hi), idx, "hi of bucket {idx} maps back");
+                assert_eq!(index(hi + 1), idx + 1, "hi+1 starts bucket {}", idx + 1);
+            }
+        }
+        // Huge values clamp into the last bucket instead of overflowing.
+        assert_eq!(index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..4000u64).map(|i| 1 + i * i * 37).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let approx = h.quantile(q) as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= 1.0 / 32.0, "q={q}: exact {exact}, approx {approx}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let (mut a, mut b, mut u) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 0..500u64 {
+            let v = i * 7919 + 3;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        assert_eq!(a.sum(), u.sum());
+        assert_eq!(a.min(), u.min());
+        assert_eq!(a.max(), u.max());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.quantile(q), u.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn count_le_is_exact_at_powers_of_two() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..2000u64).map(|i| 1 + i * 997).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for &le in &[1u64 << 8, 1 << 12, 1 << 16, 1 << 20] {
+            let exact = samples.iter().filter(|&&s| s <= le).count() as u64;
+            assert_eq!(h.count_le(le), exact, "le={le}");
+        }
+        assert_eq!(h.count_le(u64::MAX), h.count());
+    }
+
+    #[test]
+    fn windowed_rotation_expires_old_samples() {
+        let mut w = WindowedHistogram::new(3, 100); // 300 ms window
+        w.record(0, 10);
+        w.record(150, 20);
+        w.record(250, 30);
+        let snap = w.snapshot(250);
+        assert_eq!(snap.count(), 3, "all samples inside the window");
+        // At t=320 the period-0 bucket (t<100) has aged out.
+        assert_eq!(w.snapshot(320).count(), 2);
+        // Far in the future everything is stale.
+        assert_eq!(w.snapshot(10_000).count(), 0);
+        // Recording after a long gap reuses (and clears) stale slots.
+        w.record(10_050, 40);
+        let snap = w.snapshot(10_050);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.max(), 40);
+    }
+
+    #[test]
+    fn windowed_counter_rates() {
+        let mut c = WindowedCounter::new(4, 250); // 1 s window
+        for t in [0u64, 100, 400, 600, 900] {
+            c.add(t, 2);
+        }
+        assert_eq!(c.total(900), 10);
+        assert!((c.rate_per_sec(900) - 10.0).abs() < 1e-9);
+        // 300 ms later the first bucket (two adds) has aged out.
+        assert_eq!(c.total(1200), 6);
+        assert_eq!(c.total(99_000), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!((h.count(), h.min(), h.max(), h.mean()), (0, 0, 0, 0));
+        assert!(h.is_empty());
+    }
+}

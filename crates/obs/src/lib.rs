@@ -52,19 +52,26 @@
 
 pub mod env;
 pub mod health;
+pub mod hist;
 pub mod jsonl;
 pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod runlog;
+pub mod sketch;
 pub mod trace;
 
 pub use health::{Divergence, TensorHealth, Watchdog};
+pub use hist::{Histogram, WindowedCounter, WindowedHistogram};
 pub use jsonl::{JsonObj, JsonValue, JsonlSink};
 pub use registry::{
     calls, register, reset, scoped, snapshot, Kind, SpanGuard, SpanSnapshot, SpanStats,
 };
 pub use runlog::RunLog;
+pub use sketch::{FeatureSketch, FeatureStats, ReferenceProfile, Welford};
+
+#[cfg(test)]
+mod proptests;
 
 #[cfg(test)]
 mod tests {

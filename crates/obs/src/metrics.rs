@@ -122,10 +122,280 @@ impl MetricsText {
         self
     }
 
+    /// Append a full Prometheus histogram (`_bucket`/`_sum`/`_count`)
+    /// from a nanosecond-valued [`Histogram`](crate::hist::Histogram).
+    ///
+    /// `bounds_ns` are the cumulative `le` upper bounds in nanoseconds
+    /// (exposed in seconds, the base unit); pass
+    /// [`LATENCY_LE_NS`](crate::hist::LATENCY_LE_NS) for latencies.
+    /// Power-of-two bounds align exactly with the log-linear bucket
+    /// boundaries, so the cumulative counts are exact. The `+Inf`
+    /// bucket, `_sum`, and `_count` are always emitted — an empty
+    /// histogram still renders a complete (all-zero) family.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &crate::hist::Histogram,
+        bounds_ns: &[u64],
+    ) -> &mut Self {
+        let bucket = format!("{name}_bucket");
+        let les: Vec<String> = bounds_ns
+            .iter()
+            .map(|&b| format!("{}", b as f64 / 1e9))
+            .collect();
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", ""));
+        for (&bound, le) in bounds_ns.iter().zip(&les) {
+            *with_le.last_mut().unwrap() = ("le", le);
+            self.line(&bucket, &with_le, hist.count_le(bound) as f64);
+        }
+        *with_le.last_mut().unwrap() = ("le", "+Inf");
+        self.line(&bucket, &with_le, hist.count() as f64);
+        self.line(&format!("{name}_sum"), labels, hist.sum() as f64 / 1e9);
+        self.line(&format!("{name}_count"), labels, hist.count() as f64);
+        self
+    }
+
     /// The accumulated exposition text.
     pub fn finish(self) -> String {
         self.buf
     }
+}
+
+// ---------------------------------------------------------------------------
+// Strict exposition validation (the `metrics_check` binary's engine)
+// ---------------------------------------------------------------------------
+
+/// What [`validate`] accepted: series/line counts for the `ok` summary.
+pub struct ExpositionSummary {
+    /// Sample lines (comments excluded).
+    pub samples: usize,
+    /// Distinct metric names.
+    pub names: usize,
+    /// Histogram families checked for `le` monotonicity.
+    pub histograms: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse one sample line into `(name, sorted labels, value)`.
+fn parse_sample(line: &str) -> Result<(String, Vec<(String, String)>, f64), String> {
+    let name_end = line
+        .find(|c| c == '{' || c == ' ')
+        .ok_or("missing value (no space)")?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = name_end;
+    if bytes[i] == b'{' {
+        i += 1;
+        if bytes.get(i) == Some(&b'}') {
+            return Err("empty label set {}".into());
+        }
+        loop {
+            // Label name up to '='.
+            let eq = line[i..]
+                .find('=')
+                .map(|o| i + o)
+                .ok_or("label without '='")?;
+            let lname = &line[i..eq];
+            if !valid_label_name(lname) {
+                return Err(format!("invalid label name {lname:?}"));
+            }
+            if bytes.get(eq + 1) != Some(&b'"') {
+                return Err(format!("label {lname:?}: value not quoted"));
+            }
+            // Quoted value with \\, \", \n escapes.
+            let mut value = String::new();
+            let mut chars = line[eq + 2..].char_indices();
+            let close;
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, c)) => return Err(format!("bad escape \\{c}")),
+                        None => return Err("unterminated label value".into()),
+                    },
+                    Some((j, '"')) => {
+                        close = eq + 2 + j;
+                        break;
+                    }
+                    Some((_, c)) => value.push(c),
+                    None => return Err("unterminated label value".into()),
+                }
+            }
+            if labels.iter().any(|(k, _)| k == lname) {
+                return Err(format!("duplicate label {lname:?}"));
+            }
+            labels.push((lname.to_string(), value));
+            match bytes.get(close + 1) {
+                Some(b',') => i = close + 2,
+                Some(b'}') => {
+                    i = close + 2;
+                    break;
+                }
+                _ => return Err("expected ',' or '}' after label value".into()),
+            }
+        }
+        labels.sort();
+    }
+    if bytes.get(i) != Some(&b' ') {
+        return Err("expected space before value".into());
+    }
+    Ok((name.to_string(), labels, parse_value(&line[i + 1..])?))
+}
+
+fn parse_value(tok: &str) -> Result<f64, String> {
+    if tok.is_empty() || tok.contains(' ') {
+        return Err(format!("malformed value {tok:?}"));
+    }
+    match tok {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => tok
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {tok:?}: {e}")),
+    }
+}
+
+/// Strictly validate a Prometheus text-exposition document.
+///
+/// Checks, line by line: trailing newline present, legal metric/label
+/// names, quoting and escapes, parseable values, no duplicate series
+/// (same name + label set). Then structurally: every `*_bucket` family
+/// (grouped by its non-`le` labels) must have strictly ascending `le`
+/// bounds ending in `+Inf`, non-decreasing cumulative counts, a
+/// matching `_count` series equal to the `+Inf` bucket, and a matching
+/// `_sum` series; `_total`-suffixed samples must be non-negative.
+/// `#`-prefixed comment lines are skipped; empty lines are rejected.
+pub fn validate(text: &str) -> Result<ExpositionSummary, String> {
+    if text.is_empty() {
+        return Err("empty document".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("missing trailing newline".into());
+    }
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    // base name + canonical non-le labels -> [(le, cumulative count)]
+    let mut hist_buckets: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    let mut plain: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = |e: String| format!("line {}: {e}", lineno + 1);
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            return Err(ctx("empty line".into()));
+        }
+        let (name, labels, value) = parse_sample(line).map_err(ctx)?;
+        let key = format!(
+            "{name}{{{}}}",
+            labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if !seen.insert(key.clone()) {
+            return Err(ctx(format!("duplicate series {key}")));
+        }
+        if name.ends_with("_total") && value < 0.0 {
+            return Err(ctx(format!("counter {name} is negative ({value})")));
+        }
+        names.insert(name.clone());
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| ctx(format!("{name} sample without le label")))?;
+            let bound = parse_value(&le.1).map_err(|e| ctx(format!("le label: {e}")))?;
+            let others: Vec<_> = labels.iter().filter(|(k, _)| k != "le").collect();
+            let group = format!(
+                "{base}{{{}}}",
+                others
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            hist_buckets.entry(group).or_default().push((bound, value));
+        } else {
+            plain.insert(key_for(&name, &labels), value);
+        }
+    }
+    let histograms = hist_buckets.len();
+    for (group, buckets) in &hist_buckets {
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_count = -1.0;
+        for &(le, count) in buckets {
+            if le.is_nan() || le <= last_le {
+                return Err(format!("{group}: le bounds not strictly ascending"));
+            }
+            if count < last_count {
+                return Err(format!("{group}: cumulative bucket counts decrease"));
+            }
+            (last_le, last_count) = (le, count);
+        }
+        if last_le != f64::INFINITY {
+            return Err(format!("{group}: last bucket is not le=\"+Inf\""));
+        }
+        // `group` is `base{k="v",...}`; derive the _count/_sum keys.
+        let (base, label_part) = group.split_once('{').unwrap();
+        let labels = label_part.trim_end_matches('}');
+        let count_key = format!("{base}_count{{{labels}}}");
+        let sum_key = format!("{base}_sum{{{labels}}}");
+        match plain.get(&count_key) {
+            None => return Err(format!("{group}: missing {base}_count series")),
+            Some(&c) if c != last_count => {
+                return Err(format!(
+                    "{group}: +Inf bucket ({last_count}) != _count ({c})"
+                ))
+            }
+            Some(_) => {}
+        }
+        if !plain.contains_key(&sum_key) {
+            return Err(format!("{group}: missing {base}_sum series"));
+        }
+    }
+    Ok(ExpositionSummary {
+        samples: seen.len(),
+        names: names.len(),
+        histograms,
+    })
+}
+
+/// Canonical series key used to cross-reference `_count`/`_sum`.
+fn key_for(name: &str, labels: &[(String, String)]) -> String {
+    format!(
+        "{name}{{{}}}",
+        labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
 }
 
 #[cfg(test)]
@@ -207,5 +477,102 @@ mod tests {
         assert!(text.contains("lttf_pool_busy_ns_seconds_total 1.5\n"), "{text}");
         assert!(text.contains("lttf_serve_batch_size_count 2\n"), "{text}");
         assert!(text.contains("lttf_serve_batch_size_max 6\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_family_renders_and_validates() {
+        let mut h = crate::hist::Histogram::new();
+        for v in [5_000u64, 80_000, 80_000, 2_000_000, 40_000_000_000] {
+            h.record(v);
+        }
+        let mut m = MetricsText::new();
+        m.histogram(
+            "lttf_serve_latency_hist_seconds",
+            &[("model", "m")],
+            &h,
+            &crate::hist::LATENCY_LE_NS,
+        );
+        let text = m.finish();
+        assert!(
+            text.contains("lttf_serve_latency_hist_seconds_bucket{model=\"m\",le=\"+Inf\"} 5\n"),
+            "{text}"
+        );
+        assert!(text.contains("lttf_serve_latency_hist_seconds_count{model=\"m\"} 5\n"), "{text}");
+        // 5_000 ns <= 2^14 ns (16.384 µs) — the second bound.
+        assert!(
+            text.contains("lttf_serve_latency_hist_seconds_bucket{model=\"m\",le=\"0.000016384\"} 1\n"),
+            "{text}"
+        );
+        let summary = validate(&text).unwrap();
+        assert_eq!(summary.histograms, 1);
+
+        // Empty histograms still emit a complete family.
+        let mut m = MetricsText::new();
+        m.histogram("lttf_empty_seconds", &[], &crate::hist::Histogram::new(), &[4096]);
+        let text = m.finish();
+        assert!(text.contains("lttf_empty_seconds_count 0\n"), "{text}");
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_wellformed_documents() {
+        let doc = "# comment\nlttf_up 1\nlttf_x{a=\"1\",b=\"q\\\"uo\\\\te\\n\"} 2.5\nlttf_neg -3.5\n";
+        let s = validate(doc).unwrap();
+        assert_eq!((s.samples, s.names, s.histograms), (3, 3, 0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for (doc, why) in [
+            ("lttf_up 1", "missing trailing newline"),
+            ("", "empty document"),
+            ("lttf_up 1\n\n", "empty line"),
+            ("9bad 1\n", "bad metric name"),
+            ("lttf_up{9l=\"x\"} 1\n", "bad label name"),
+            ("lttf_up{a=x} 1\n", "unquoted label value"),
+            ("lttf_up{a=\"x} 1\n", "unterminated label value"),
+            ("lttf_up{a=\"x\"\"} 1\n", "junk after label value"),
+            ("lttf_up{} 1\n", "empty label set"),
+            ("lttf_up{a=\"1\",a=\"2\"} 1\n", "duplicate label"),
+            ("lttf_up one\n", "bad value"),
+            ("lttf_up 1 2\n", "two values"),
+            ("lttf_up\n", "no value"),
+            ("lttf_up 1\nlttf_up 1\n", "duplicate series"),
+            ("lttf_events_total -1\n", "negative counter"),
+        ] {
+            assert!(validate(doc).is_err(), "accepted: {why}: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn validator_enforces_histogram_structure() {
+        let ok = "lttf_h_bucket{le=\"0.1\"} 1\nlttf_h_bucket{le=\"+Inf\"} 3\nlttf_h_sum 0.4\nlttf_h_count 3\n";
+        assert_eq!(validate(ok).unwrap().histograms, 1);
+        for (doc, why) in [
+            (
+                "lttf_h_bucket{le=\"0.1\"} 1\nlttf_h_sum 0.4\nlttf_h_count 1\n",
+                "no +Inf bucket",
+            ),
+            (
+                "lttf_h_bucket{le=\"0.2\"} 1\nlttf_h_bucket{le=\"0.1\"} 2\nlttf_h_bucket{le=\"+Inf\"} 3\nlttf_h_sum 1\nlttf_h_count 3\n",
+                "le not ascending",
+            ),
+            (
+                "lttf_h_bucket{le=\"0.1\"} 5\nlttf_h_bucket{le=\"+Inf\"} 3\nlttf_h_sum 1\nlttf_h_count 3\n",
+                "counts decrease",
+            ),
+            (
+                "lttf_h_bucket{le=\"+Inf\"} 3\nlttf_h_sum 1\nlttf_h_count 2\n",
+                "+Inf != _count",
+            ),
+            ("lttf_h_bucket{le=\"+Inf\"} 3\nlttf_h_sum 1\n", "missing _count"),
+            ("lttf_h_bucket{le=\"+Inf\"} 3\nlttf_h_count 3\n", "missing _sum"),
+            ("lttf_h_bucket{a=\"1\"} 3\n", "bucket without le"),
+        ] {
+            assert!(validate(doc).is_err(), "accepted: {why}: {doc:?}");
+        }
+        // Labeled family: grouping keys include the non-le labels.
+        let labeled = "lttf_h_bucket{model=\"a\",le=\"+Inf\"} 2\nlttf_h_sum{model=\"a\"} 1\nlttf_h_count{model=\"a\"} 2\n";
+        assert_eq!(validate(labeled).unwrap().histograms, 1);
     }
 }

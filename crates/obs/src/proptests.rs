@@ -1,0 +1,112 @@
+//! Property-based tests for the histogram and sketch layer.
+
+use crate::hist::{Histogram, WindowedHistogram};
+use lttf_testkit::{prop_assert, prop_assert_eq, properties, Xoshiro256PlusPlus as Rng};
+
+/// Deterministic sample stream: log-uniform over ~9 decades so every
+/// octave of the histogram gets exercised.
+fn samples(rng: &mut Rng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let mag = rng.below(30) as u32; // 2^0 .. 2^29
+            1 + rng.below(1u64 << mag)
+        })
+        .collect()
+}
+
+properties! {
+    cases = 32;
+
+    // Any quantile of the sketch is within the 1/32 relative-error bound
+    // of the exact nearest-rank answer on the same samples.
+    fn quantile_relative_error_bounded(seed in 0u64..10_000, n in 1usize..2000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let xs = samples(&mut rng, n);
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let approx = h.quantile(q);
+            let err = (approx as f64 - exact as f64).abs();
+            prop_assert!(
+                err <= exact as f64 / 32.0 + 0.5,
+                "q={} exact={} approx={}",
+                q,
+                exact,
+                approx
+            );
+        }
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), sorted[n - 1]);
+        prop_assert_eq!(h.sum(), xs.iter().map(|&x| x as u128).sum::<u128>());
+    }
+
+    // Merging is associative and order-independent: any grouping of the
+    // same sample stream yields an identical histogram.
+    fn merge_is_associative(seed in 0u64..10_000, n in 3usize..600) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let xs = samples(&mut rng, n);
+        let cut1 = 1 + rng.below(n as u64 - 2) as usize;
+        let cut2 = cut1 + 1 + rng.below((n - cut1 - 1) as u64) as usize;
+        let part = |range: &[u64]| {
+            let mut h = Histogram::new();
+            for &x in range {
+                h.record(x);
+            }
+            h
+        };
+        let (a, b, c) = (part(&xs[..cut1]), part(&xs[cut1..cut2]), part(&xs[cut2..]));
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // one pass
+        let whole = part(&xs);
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), whole.count());
+            prop_assert_eq!(h.sum(), whole.sum());
+            prop_assert_eq!(h.min(), whole.min());
+            prop_assert_eq!(h.max(), whole.max());
+            for q in [0.1, 0.5, 0.95] {
+                prop_assert_eq!(h.quantile(q), whole.quantile(q));
+            }
+        }
+    }
+
+    // Rotation only ever forgets whole buckets: as time advances with no
+    // new samples, the windowed count is non-increasing, and a snapshot
+    // never contains samples recorded outside the window.
+    fn rotation_is_monotone(seed in 0u64..10_000, buckets in 2usize..8, width in 10u64..200) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut w = WindowedHistogram::new(buckets, width);
+        let span = buckets as u64 * width;
+        let mut t = 0u64;
+        let mut recorded = 0u64;
+        for _ in 0..100 {
+            t += rng.below(width);
+            w.record(t, 1 + rng.below(1000));
+            recorded += 1;
+        }
+        let mut last = w.snapshot(t).count();
+        prop_assert!(last <= recorded);
+        // Advance beyond the window with no recording: counts only drop.
+        for _ in 0..(2 * buckets + 2) {
+            t += width;
+            let now = w.snapshot(t).count();
+            prop_assert!(now <= last, "count grew {} -> {} with no records", last, now);
+            last = now;
+        }
+        prop_assert_eq!(w.snapshot(t + span).count(), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Streaming per-feature distribution sketches for drift detection.
+//!
+//! The serving tier needs "does the live input distribution still look
+//! like training?" without storing samples: a [`FeatureSketch`] keeps a
+//! Welford mean/variance accumulator plus three P² quantile estimators
+//! (q10/q50/q90) — O(1) memory and O(1) per sample. A
+//! [`ReferenceProfile`] is the frozen training-time counterpart, fitted
+//! once at train time and round-tripped through the checkpoint v2
+//! sidecar's free-form meta section (`drift.*` keys), so drift scoring
+//! needs no extra files and profile-less checkpoints degrade gracefully
+//! (`from_meta` → `Ok(None)`).
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Clone, Copy, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Fold in one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 with fewer than 2 samples).
+    pub fn std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
+/// P² streaming quantile estimator (Jain & Chlamtac 1985): five markers
+/// tracking min, two intermediate quantiles, the target quantile, and
+/// max, adjusted with piecewise-parabolic interpolation. O(1) memory,
+/// no sample retention.
+#[derive(Clone, Copy)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `p` in `(0, 1)`.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!(p > 0.0 && p < 1.0, "p out of range");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            count: 0,
+        }
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold in one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            let k = self.count as usize - 1;
+            self.q[k] = x;
+            // Keep the first five sorted.
+            let mut i = k;
+            while i > 0 && self.q[i - 1] > self.q[i] {
+                self.q.swap(i - 1, i);
+                i -= 1;
+            }
+            return;
+        }
+        // Find the cell containing x and bump marker positions above it.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= self.q[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        let dnp = [0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0];
+        for i in 0..5 {
+            self.np[i] += dnp[i];
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let parabolic = self.q[i]
+                    + s / (self.n[i + 1] - self.n[i - 1])
+                        * ((self.n[i] - self.n[i - 1] + s) * (self.q[i + 1] - self.q[i])
+                            / (self.n[i + 1] - self.n[i])
+                            + (self.n[i + 1] - self.n[i] - s) * (self.q[i] - self.q[i - 1])
+                                / (self.n[i] - self.n[i - 1]));
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    // Linear fallback keeps markers ordered.
+                    let j = (i as f64 + s) as usize;
+                    self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    /// Current quantile estimate. With fewer than 5 samples, the exact
+    /// nearest-rank quantile of what was seen (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count <= 5 {
+            let n = self.count as usize;
+            let rank = ((self.p * n as f64).ceil() as usize).clamp(1, n);
+            return self.q[rank - 1];
+        }
+        self.q[2]
+    }
+}
+
+/// Streaming sketch of one feature column: mean/var plus q10/q50/q90.
+#[derive(Clone, Copy)]
+pub struct FeatureSketch {
+    /// Mean/variance accumulator.
+    pub moments: Welford,
+    q10: P2Quantile,
+    q50: P2Quantile,
+    q90: P2Quantile,
+}
+
+impl Default for FeatureSketch {
+    fn default() -> Self {
+        FeatureSketch::new()
+    }
+}
+
+impl FeatureSketch {
+    /// An empty sketch.
+    pub fn new() -> FeatureSketch {
+        FeatureSketch {
+            moments: Welford::new(),
+            q10: P2Quantile::new(0.1),
+            q50: P2Quantile::new(0.5),
+            q90: P2Quantile::new(0.9),
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn record(&mut self, x: f64) {
+        self.moments.record(x);
+        self.q10.record(x);
+        self.q50.record(x);
+        self.q90.record(x);
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Freeze the current state into reference statistics.
+    pub fn stats(&self) -> FeatureStats {
+        FeatureStats {
+            mean: self.moments.mean(),
+            std: self.moments.std(),
+            q10: self.q10.value(),
+            q50: self.q50.value(),
+            q90: self.q90.value(),
+        }
+    }
+}
+
+/// Frozen per-feature reference statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeatureStats {
+    /// Mean of the feature over the reference data.
+    pub mean: f64,
+    /// Standard deviation over the reference data.
+    pub std: f64,
+    /// 10th percentile.
+    pub q10: f64,
+    /// Median.
+    pub q50: f64,
+    /// 90th percentile.
+    pub q90: f64,
+}
+
+/// Training-time distribution profile: one [`FeatureStats`] per input
+/// column, plus how many time steps it was fitted on. Serialized into
+/// checkpoint meta under `drift.*` keys.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReferenceProfile {
+    /// Per-feature reference statistics, one per input column.
+    pub features: Vec<FeatureStats>,
+    /// Time steps the profile was fitted on.
+    pub count: u64,
+}
+
+/// Shortest round-trip float formatting (matches the scaler-meta idiom).
+fn fmt_f64(v: f64) -> String {
+    let mut s = format!("{v}");
+    if s.parse::<f64>() != Ok(v) {
+        s = format!("{v:?}");
+    }
+    s
+}
+
+fn join(vals: impl Iterator<Item = f64>) -> String {
+    vals.map(fmt_f64).collect::<Vec<_>>().join(",")
+}
+
+fn parse_list(s: &str, key: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|t| t.trim().parse::<f64>().map_err(|e| format!("{key}: bad float {t:?}: {e}")))
+        .collect()
+}
+
+impl ReferenceProfile {
+    /// Serialize to checkpoint meta key/value pairs (`drift.*`).
+    pub fn to_meta(&self) -> Vec<(String, String)> {
+        vec![
+            ("drift.mean".into(), join(self.features.iter().map(|f| f.mean))),
+            ("drift.std".into(), join(self.features.iter().map(|f| f.std))),
+            ("drift.q10".into(), join(self.features.iter().map(|f| f.q10))),
+            ("drift.q50".into(), join(self.features.iter().map(|f| f.q50))),
+            ("drift.q90".into(), join(self.features.iter().map(|f| f.q90))),
+            ("drift.count".into(), format!("{}", self.count)),
+        ]
+    }
+
+    /// Parse from checkpoint meta. Absent `drift.*` keys → `Ok(None)`
+    /// (old checkpoints serve with drift unavailable); present but
+    /// malformed → `Err`.
+    pub fn from_meta(meta: &[(String, String)]) -> Result<Option<ReferenceProfile>, String> {
+        let get = |key: &str| meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+        let Some(mean) = get("drift.mean") else {
+            return Ok(None);
+        };
+        let need = |key: &str| get(key).ok_or_else(|| format!("missing meta key {key}"));
+        let mean = parse_list(mean, "drift.mean")?;
+        let std = parse_list(need("drift.std")?, "drift.std")?;
+        let q10 = parse_list(need("drift.q10")?, "drift.q10")?;
+        let q50 = parse_list(need("drift.q50")?, "drift.q50")?;
+        let q90 = parse_list(need("drift.q90")?, "drift.q90")?;
+        let count: u64 = need("drift.count")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("drift.count: {e}"))?;
+        let n = mean.len();
+        if std.len() != n || q10.len() != n || q50.len() != n || q90.len() != n {
+            return Err(format!(
+                "drift meta length mismatch: mean {n}, std {}, q10 {}, q50 {}, q90 {}",
+                std.len(),
+                q10.len(),
+                q50.len(),
+                q90.len()
+            ));
+        }
+        if n == 0 {
+            return Err("drift meta has zero features".into());
+        }
+        let features = (0..n)
+            .map(|i| FeatureStats {
+                mean: mean[i],
+                std: std[i],
+                q10: q10[i],
+                q50: q50[i],
+                q90: q90[i],
+            })
+            .collect();
+        Ok(Some(ReferenceProfile { features, count }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.std() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantiles() {
+        // Deterministic LCG over [0, 1).
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for p in [0.1, 0.5, 0.9] {
+            let mut est = P2Quantile::new(p);
+            for _ in 0..20_000 {
+                est.record(next());
+            }
+            assert!(
+                (est.value() - p).abs() < 0.02,
+                "p={p}: estimate {}",
+                est.value()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_small_sample_is_exact_nearest_rank() {
+        let mut est = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            est.record(x);
+        }
+        assert_eq!(est.value(), 3.0);
+        let mut lo = P2Quantile::new(0.1);
+        lo.record(7.0);
+        assert_eq!(lo.value(), 7.0);
+        assert_eq!(P2Quantile::new(0.5).value(), 0.0);
+    }
+
+    #[test]
+    fn profile_meta_round_trips() {
+        let profile = ReferenceProfile {
+            features: vec![
+                FeatureStats { mean: 1.5, std: 0.25, q10: -1.0, q50: 1.25, q90: 3.75 },
+                FeatureStats { mean: -2.0, std: 4.5, q10: -8.5, q50: -2.125, q90: 4.0 },
+            ],
+            count: 4096,
+        };
+        let meta = profile.to_meta();
+        let back = ReferenceProfile::from_meta(&meta).unwrap().unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn profile_meta_absent_and_malformed() {
+        let empty: Vec<(String, String)> = vec![("scaler.mean".into(), "1,2".into())];
+        assert_eq!(ReferenceProfile::from_meta(&empty).unwrap(), None);
+        // Present but incomplete is an error, not silently None.
+        let partial = vec![("drift.mean".into(), "1,2".into())];
+        assert!(ReferenceProfile::from_meta(&partial).is_err());
+        let mismatched = vec![
+            ("drift.mean".into(), "1,2".into()),
+            ("drift.std".into(), "1".into()),
+            ("drift.q10".into(), "0,0".into()),
+            ("drift.q50".into(), "0,0".into()),
+            ("drift.q90".into(), "0,0".into()),
+            ("drift.count".into(), "10".into()),
+        ];
+        assert!(ReferenceProfile::from_meta(&mismatched).is_err());
+    }
+
+    #[test]
+    fn feature_sketch_stats() {
+        let mut s = FeatureSketch::new();
+        for i in 0..5000 {
+            s.record((i % 100) as f64);
+        }
+        let st = s.stats();
+        assert!((st.mean - 49.5).abs() < 1e-9);
+        assert!((st.q50 - 49.5).abs() < 2.0);
+        assert!((st.q10 - 9.9).abs() < 2.5);
+        assert!((st.q90 - 89.1).abs() < 2.5);
+        assert_eq!(s.count(), 5000);
+    }
+}

@@ -259,6 +259,17 @@ pub fn clear() {
     }
 }
 
+/// Events lost to ring wrap-around across all threads so far — the same
+/// quantity [`export_chrome`] reports as `dropped`, computable without
+/// building an export. The metrics endpoint exposes this as
+/// `lttf_trace_dropped_total` so silent trace loss is visible live.
+pub fn dropped_total() -> u64 {
+    let all = rings().lock().unwrap_or_else(|e| e.into_inner());
+    all.iter()
+        .map(|ring| ring.head.load(Ordering::Acquire).saturating_sub(ring.cap()))
+        .sum()
+}
+
 // ---------------------------------------------------------------------------
 // Export
 // ---------------------------------------------------------------------------

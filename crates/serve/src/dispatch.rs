@@ -32,9 +32,11 @@ use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use crate::drift::{DriftConfig, DriftMonitor};
 use crate::engine::{BatchConfig, Engine, Reject, Reply, Submitter};
-use crate::latency::{LatencyStats, LatencySummary};
+use crate::latency::LatencySummary;
 use crate::registry::{LoadedModel, Window};
+use crate::stats::ServeStats;
 
 /// How the dispatcher picks a replica for each request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +77,9 @@ pub struct PoolConfig {
     /// Seeds the round-robin starting offset, making the assignment
     /// sequence reproducible run to run.
     pub seed: u64,
+    /// Drift-monitor knobs for this model (window, threshold, minimum
+    /// sample count).
+    pub drift: DriftConfig,
 }
 
 impl Default for PoolConfig {
@@ -85,6 +90,7 @@ impl Default for PoolConfig {
             policy: Policy::RoundRobin,
             threads_per_replica: None,
             seed: 0,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -101,8 +107,8 @@ pub struct ReplicaPool {
     /// Round-robin cursor.
     next: AtomicUsize,
     policy: Policy,
-    /// Latency samples shared by every replica of this pool.
-    stats: Arc<Mutex<LatencyStats>>,
+    /// Live histogram-backed stats shared by every replica of this pool.
+    stats: Arc<ServeStats>,
     replicas: usize,
 }
 
@@ -111,7 +117,7 @@ impl ReplicaPool {
     /// named `lttf-batch-<name>-<i>` so traces and stack dumps read well.
     pub fn start(model: Arc<LoadedModel>, cfg: &PoolConfig, name: &str) -> ReplicaPool {
         assert!(cfg.replicas >= 1, "a pool needs at least one replica");
-        let stats = Arc::new(Mutex::new(LatencyStats::new()));
+        let stats = ServeStats::new(cfg.replicas);
         let mut engines = Vec::with_capacity(cfg.replicas);
         let mut submitters = Vec::with_capacity(cfg.replicas);
         for i in 0..cfg.replicas {
@@ -119,6 +125,7 @@ impl ReplicaPool {
                 Arc::clone(&model),
                 cfg.batch,
                 Arc::clone(&stats),
+                i,
                 cfg.threads_per_replica,
                 &format!("lttf-batch-{name}-{i}"),
             );
@@ -214,9 +221,17 @@ impl ReplicaPool {
         self.replicas
     }
 
-    /// Live latency summary aggregated over every replica.
+    /// Live latency summary aggregated over every replica (from the
+    /// lifetime histogram: count/min/max/mean exact, quantiles within
+    /// 3.125%).
     pub fn latency(&self) -> LatencySummary {
-        self.stats.lock().unwrap_or_else(|e| e.into_inner()).summary()
+        self.stats.summary()
+    }
+
+    /// The pool's shared live stats: lifetime + trailing-window
+    /// histograms and per-replica served counters.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
     }
 
     /// Stop accepting work, let every queued job finish (each still gets
@@ -250,17 +265,20 @@ pub struct ModelEntry {
     generation: u64,
     model: Arc<LoadedModel>,
     pool: ReplicaPool,
+    drift: DriftMonitor,
 }
 
 impl ModelEntry {
     /// Load `model` behind a fresh replica pool as generation `gen`.
     pub fn start(name: &str, generation: u64, model: Arc<LoadedModel>, cfg: &PoolConfig) -> ModelEntry {
         let pool = ReplicaPool::start(Arc::clone(&model), cfg, name);
+        let drift = DriftMonitor::new(model.profile().cloned(), model.target_col(), cfg.drift);
         ModelEntry {
             name: name.to_string(),
             generation,
             model,
             pool,
+            drift,
         }
     }
 
@@ -284,6 +302,12 @@ impl ModelEntry {
     pub fn pool(&self) -> &ReplicaPool {
         &self.pool
     }
+
+    /// The drift monitor watching this model's live inputs. Unavailable
+    /// (never alerting) when the checkpoint carried no reference profile.
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +329,8 @@ mod tests {
             policy,
             threads_per_replica: Some(1),
             seed: 42,
+
+            drift: DriftConfig::default(),
         }
     }
 
@@ -361,6 +387,8 @@ mod tests {
             policy: Policy::RoundRobin,
             threads_per_replica: Some(1),
             seed: 6, // 6 % 4 = replica 2 first
+
+            drift: DriftConfig::default(),
         };
         let pool = ReplicaPool::start(Arc::clone(&model), &cfg, "t");
         let raws = raw_windows(&model, 8);
@@ -394,6 +422,8 @@ mod tests {
             policy: Policy::LeastQueueDepth,
             threads_per_replica: Some(1),
             seed: 0,
+
+            drift: DriftConfig::default(),
         };
         let pool = ReplicaPool::start(Arc::clone(&model), &cfg, "t");
         let raws = raw_windows(&model, 6);
@@ -428,6 +458,8 @@ mod tests {
             policy: Policy::RoundRobin,
             threads_per_replica: Some(1),
             seed: 0,
+
+            drift: DriftConfig::default(),
         };
         let pool = ReplicaPool::start(Arc::clone(&model), &cfg, "t");
         let raws = raw_windows(&model, 4);

@@ -15,14 +15,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use lttf_obs::trace;
 
-use crate::latency::{LatencyStats, LatencySummary};
+use crate::latency::LatencySummary;
 use crate::registry::{LoadedModel, Window};
+use crate::stats::ServeStats;
 
 /// Interned trace-name indices for the request path, computed once. The
 /// async `serve.req` slice is opened at submit on the connection thread
@@ -107,7 +108,7 @@ struct Job {
 pub struct Submitter {
     tx: SyncSender<Job>,
     depth: Arc<AtomicUsize>,
-    stats: Arc<Mutex<LatencyStats>>,
+    stats: Arc<ServeStats>,
 }
 
 impl Submitter {
@@ -174,10 +175,17 @@ impl Submitter {
     }
 
     /// Live latency summary over every request served so far — the
-    /// monitoring view behind the `"metrics"` request type. Sorts the
-    /// samples under a short lock.
+    /// monitoring view behind the `"metrics"` request type. Reads the
+    /// fixed-memory lifetime histogram under a short lock; quantiles are
+    /// within 3.125%, count/min/max/mean exact.
     pub fn latency(&self) -> LatencySummary {
-        self.stats.lock().unwrap_or_else(|e| e.into_inner()).summary()
+        self.stats.summary()
+    }
+
+    /// The shared live-stats handle (windowed histograms, per-replica
+    /// counters) behind this submitter.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
     }
 }
 
@@ -185,28 +193,29 @@ impl Submitter {
 pub struct Engine {
     tx: SyncSender<Job>,
     depth: Arc<AtomicUsize>,
-    stats: Arc<Mutex<LatencyStats>>,
+    stats: Arc<ServeStats>,
     worker: JoinHandle<()>,
 }
 
 impl Engine {
     /// Spawn the batcher thread for `model`.
     pub fn start(model: Arc<LoadedModel>, cfg: BatchConfig) -> Engine {
-        // Latency samples live behind a shared mutex (locked once per
-        // batch by the writer) so monitoring can read live percentiles
-        // while the server runs, not only at shutdown.
-        let stats = Arc::new(Mutex::new(LatencyStats::new()));
-        Engine::start_with(model, cfg, stats, None, "lttf-batcher")
+        // Live stats are histogram-backed (O(1) memory, locked once per
+        // batch by the writer) so monitoring can read windowed
+        // percentiles while the server runs, not only at shutdown.
+        Engine::start_with(model, cfg, ServeStats::new(1), 0, None, "lttf-batcher")
     }
 
     /// [`Engine::start`] with the pieces a replica pool shares or pins:
-    /// a latency accumulator common to all replicas of one model, an
-    /// optional per-replica thread budget for the forward passes, and a
-    /// thread label naming the model and replica.
+    /// a stats accumulator common to all replicas of one model, this
+    /// engine's replica index within it, an optional per-replica thread
+    /// budget for the forward passes, and a thread label naming the
+    /// model and replica.
     pub(crate) fn start_with(
         model: Arc<LoadedModel>,
         cfg: BatchConfig,
-        stats: Arc<Mutex<LatencyStats>>,
+        stats: Arc<ServeStats>,
+        replica: usize,
         threads: Option<usize>,
         label: &str,
     ) -> Engine {
@@ -223,7 +232,7 @@ impl Engine {
                 // budget; the setting is thread-local, so replicas with
                 // disjoint budgets never fight over a global knob.
                 lttf_parallel::set_thread_threads_override(threads);
-                batcher_loop(model, cfg, rx, depth2, stats2)
+                batcher_loop(model, cfg, rx, depth2, stats2, replica)
             })
             .expect("spawn batcher thread");
         Engine { tx, depth, stats, worker }
@@ -247,7 +256,7 @@ impl Engine {
     pub fn shutdown(self) -> LatencySummary {
         drop(self.tx);
         self.worker.join().expect("batcher thread panicked");
-        self.stats.lock().unwrap_or_else(|e| e.into_inner()).summary()
+        self.stats.summary()
     }
 }
 
@@ -272,7 +281,8 @@ fn batcher_loop(
     cfg: BatchConfig,
     rx: Receiver<Job>,
     depth: Arc<AtomicUsize>,
-    stats: Arc<Mutex<LatencyStats>>,
+    stats: Arc<ServeStats>,
+    replica: usize,
 ) {
     let wait = Duration::from_millis(cfg.max_wait_ms);
     // Outer recv blocks until work arrives or every sender is gone.
@@ -306,7 +316,11 @@ fn batcher_loop(
         // while its batch waited out the flush timer — is rejected rather
         // than served late, and its spot in the forward pass goes to
         // requests that can still make theirs.
-        let live = reject_expired(jobs, Instant::now());
+        // `dequeued` splits each request's life into queue wait (submit
+        // -> batch assembled) and everything after; the forward duration
+        // is the batch's shared service time.
+        let dequeued = Instant::now();
+        let live = reject_expired(jobs, dequeued);
         if live.is_empty() {
             continue;
         }
@@ -317,12 +331,15 @@ fn batcher_loop(
             let windows: Vec<&Window> = live.iter().map(|j| &j.window).collect();
             model.forecast_rows(&windows)
         };
-        {
-            let mut st = stats.lock().unwrap_or_else(|e| e.into_inner());
-            for job in &live {
-                st.record(job.enqueued.elapsed().as_nanos() as u64);
-            }
-        }
+        let service_ns = dequeued.elapsed().as_nanos() as u64;
+        let samples: Vec<(u64, u64)> = live
+            .iter()
+            .map(|job| {
+                let queue_ns = dequeued.duration_since(job.enqueued).as_nanos() as u64;
+                (job.enqueued.elapsed().as_nanos() as u64, queue_ns)
+            })
+            .collect();
+        stats.record_batch(replica, &samples, service_ns);
         for (job, row) in live.into_iter().zip(rows) {
             if job.trace_id != 0 {
                 trace::async_instant(req_names().forward, job.trace_id);

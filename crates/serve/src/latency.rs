@@ -1,13 +1,20 @@
 //! Request latency accounting: exact percentiles over recorded samples.
 //!
-//! The sample count is bounded by the request count of one server run,
-//! so the summary keeps every sample and computes exact (nearest-rank)
-//! percentiles rather than an approximate sketch.
+//! This is the **offline** accumulator — the load generator and serve
+//! bench keep every sample of one bounded run and report exact
+//! (nearest-rank) percentiles at the end. The live serving path instead
+//! records into fixed-memory windowed histograms ([`crate::stats`]),
+//! which stay O(1) per series under unbounded traffic; this type's
+//! memory grows with the sample count and is only appropriate when the
+//! run length is known.
 
 /// Accumulates per-request latencies (nanoseconds).
 #[derive(Default)]
 pub struct LatencyStats {
     samples_ns: Vec<u64>,
+    /// Whether `samples_ns` is currently sorted; lets a summary (three
+    /// percentile reads) sort at most once instead of once per read.
+    sorted: bool,
 }
 
 /// The percentile summary printed on shutdown and written by
@@ -39,6 +46,7 @@ impl LatencyStats {
     /// Record one request's latency.
     pub fn record(&mut self, ns: u64) {
         self.samples_ns.push(ns);
+        self.sorted = false;
     }
 
     /// Number of samples recorded so far.
@@ -50,14 +58,25 @@ impl LatencyStats {
     /// per-client stats in the load generator).
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples_ns.extend_from_slice(&other.samples_ns);
+        if !other.samples_ns.is_empty() {
+            self.sorted = false;
+        }
     }
 
     /// Nearest-rank percentile (`p` in `[0, 100]`); 0 with no samples.
+    ///
+    /// Sorts only when samples were added since the last sort, so a
+    /// [`LatencyStats::summary`] costs one O(n log n) sort total rather
+    /// than one per percentile, and repeated summaries over an unchanged
+    /// accumulator are O(n).
     pub fn percentile(&mut self, p: f64) -> u64 {
         if self.samples_ns.is_empty() {
             return 0;
         }
-        self.samples_ns.sort_unstable();
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
         let n = self.samples_ns.len();
         // p/100 * n in f64 can land a hair above an exact integer rank
         // (0.95 * 20 = 19.000000000000004); snap to the integer before
@@ -193,5 +212,22 @@ mod tests {
     #[test]
     fn empty_percentile_is_zero() {
         assert_eq!(LatencyStats::new().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn records_after_a_summary_are_seen() {
+        // The sort-once fast path must not serve stale order after new
+        // samples (or merged samples) arrive.
+        let mut st = LatencyStats::new();
+        st.record(50);
+        st.record(10);
+        assert_eq!(st.percentile(100.0), 50);
+        st.record(90);
+        assert_eq!(st.percentile(100.0), 90);
+        let mut other = LatencyStats::new();
+        other.record(5);
+        st.merge(&other);
+        assert_eq!(st.percentile(0.0), 5);
+        assert_eq!(st.summary().max_ns, 90);
     }
 }

@@ -5,31 +5,48 @@
 //!
 //! * per-model replica count, serving generation, aggregate and
 //!   per-replica queue depth,
-//! * live latency percentiles (nearest-rank, over every request the
-//!   current generation has served),
-//! * the training-health watchdog state (`lttf_health_diverged`, with
-//!   the offending layer as a label when tripped),
-//! * the full observability registry snapshot (request/connection
-//!   counters, admission refusals, dispatch spills, batch-size gauges).
+//! * **trailing-window** latency quantiles (total, queue wait, service
+//!   time) labeled by model and generation — "what is p99 *right now*",
+//!   from fixed-memory log-linear histograms, never diluted by hours-old
+//!   traffic,
+//! * the **lifetime** latency distribution as a Prometheus histogram
+//!   family (`_bucket`/`_sum`/`_count`, cumulative and monotone — the
+//!   series `rate()`/`histogram_quantile()` work on),
+//! * per-replica served counters and windowed medians,
+//! * windowed shed / queue-full / resubmit rates from admission and
+//!   dispatch,
+//! * the drift monitor's verdict: per-feature divergence scores against
+//!   the training reference profile and the `lttf_drift_alert` flag,
+//! * the training-health watchdog state and the full observability
+//!   registry snapshot (request/connection counters, admission refusals,
+//!   dispatch spills, batch-size gauges), plus how many trace spans the
+//!   bounded rings have overwritten (`lttf_trace_dropped_total`).
 //!
 //! No IO here: the server embeds the returned text in a one-line JSON
-//! response ([`crate::protocol::format_metrics`]).
+//! response ([`crate::protocol::format_metrics`]). The exposition is
+//! kept strictly parseable — `lttf_obs::metrics::validate` (and the
+//! `metrics_check` binary CI runs against a live server) accepts it.
 
 use std::sync::Arc;
 
+use lttf_obs::hist::LATENCY_LE_NS;
 use lttf_obs::metrics::MetricsText;
-use lttf_obs::{health, registry};
+use lttf_obs::{health, registry, trace};
 
 use crate::dispatch::ModelEntry;
+use crate::stats::FlowRates;
 
 /// Render the exposition for the routing table's current entries
-/// (typically every model the server fronts, current generation each).
-pub fn render(entries: &[Arc<ModelEntry>]) -> String {
+/// (typically every model the server fronts, current generation each)
+/// plus the server-level flow rates.
+pub fn render(entries: &[Arc<ModelEntry>], flow: &FlowRates) -> String {
     let mut m = MetricsText::new();
     m.line("lttf_up", &[], 1.0);
     for entry in entries {
         let name = entry.name();
+        let gen = entry.generation().to_string();
         let labels = [("model", name)];
+        let gen_labels = [("model", name), ("gen", gen.as_str())];
         let pool = entry.pool();
         m.line("lttf_serve_replicas", &labels, pool.replicas() as f64);
         m.line("lttf_serve_generation", &labels, entry.generation() as f64);
@@ -42,24 +59,76 @@ pub fn render(entries: &[Arc<ModelEntry>]) -> String {
                 depth as f64,
             );
         }
-        let lat = pool.latency();
-        m.line("lttf_serve_requests_served_total", &labels, lat.count as f64);
-        if lat.count > 0 {
-            let q = |m: &mut MetricsText, quantile: &str, ns: u64| {
+
+        let stats = pool.stats();
+        let life = stats.lifetime();
+        m.line("lttf_serve_requests_served_total", &labels, life.count() as f64);
+        // The cumulative distribution: monotone across scrapes, the
+        // input to rate() + histogram_quantile().
+        m.histogram("lttf_serve_latency_hist_seconds", &labels, &life, &LATENCY_LE_NS);
+        if !life.is_empty() {
+            m.line("lttf_serve_latency_seconds_min", &labels, life.min() as f64 / 1e9);
+            m.line("lttf_serve_latency_seconds_max", &labels, life.max() as f64 / 1e9);
+            m.line("lttf_serve_latency_seconds_mean", &labels, life.mean() as f64 / 1e9);
+        }
+
+        // Trailing-window quantiles: what the last ~2 minutes look like,
+        // labeled with the generation that served them.
+        let win = stats.windowed();
+        m.line("lttf_serve_window_seconds", &labels, win.window_ms as f64 / 1e3);
+        m.line("lttf_serve_window_requests", &gen_labels, win.total.count() as f64);
+        if !win.total.is_empty() {
+            let q = |m: &mut MetricsText, metric: &str, hist: &lttf_obs::hist::Histogram,
+                         quantile: &str, p: f64| {
                 m.line(
-                    "lttf_serve_latency_seconds",
-                    &[("model", name), ("quantile", quantile)],
-                    ns as f64 / 1e9,
+                    metric,
+                    &[("model", name), ("gen", gen.as_str()), ("quantile", quantile)],
+                    hist.quantile(p) as f64 / 1e9,
                 );
             };
-            q(&mut m, "0.5", lat.p50_ns);
-            q(&mut m, "0.95", lat.p95_ns);
-            q(&mut m, "0.99", lat.p99_ns);
-            m.line("lttf_serve_latency_seconds_min", &labels, lat.min_ns as f64 / 1e9);
-            m.line("lttf_serve_latency_seconds_max", &labels, lat.max_ns as f64 / 1e9);
-            m.line("lttf_serve_latency_seconds_mean", &labels, lat.mean_ns as f64 / 1e9);
+            for (label, p) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                q(&mut m, "lttf_serve_latency_seconds", &win.total, label, p);
+            }
+            for (label, p) in [("0.5", 0.50), ("0.95", 0.95)] {
+                q(&mut m, "lttf_serve_queue_wait_seconds", &win.queue, label, p);
+                q(&mut m, "lttf_serve_service_time_seconds", &win.service, label, p);
+            }
+        }
+        for i in 0..stats.replicas() {
+            let replica = i.to_string();
+            let rl = [("model", name), ("replica", replica.as_str())];
+            m.line("lttf_serve_replica_served_total", &rl, stats.replica_served(i) as f64);
+            let rw = stats.replica_window(i);
+            if !rw.is_empty() {
+                m.line(
+                    "lttf_serve_replica_latency_seconds",
+                    &[("model", name), ("replica", replica.as_str()), ("quantile", "0.5")],
+                    rw.quantile(0.50) as f64 / 1e9,
+                );
+            }
+        }
+
+        let drift = entry.drift().status();
+        m.line("lttf_drift_available", &labels, drift.available as u8 as f64);
+        m.line("lttf_drift_alert", &labels, drift.alert as u8 as f64);
+        m.line("lttf_drift_threshold", &labels, drift.threshold);
+        m.line("lttf_drift_window_count", &labels, drift.window_count as f64);
+        for (i, &score) in drift.scores.iter().enumerate() {
+            let feature = i.to_string();
+            m.line(
+                "lttf_drift_score",
+                &[("model", name), ("feature", feature.as_str())],
+                score,
+            );
+        }
+        if drift.available {
+            m.line("lttf_drift_prediction_score", &labels, drift.prediction_score);
         }
     }
+    m.line("lttf_serve_shed_per_second", &[], flow.shed_per_sec);
+    m.line("lttf_serve_rejected_per_second", &[], flow.rejected_per_sec);
+    m.line("lttf_serve_resubmitted_per_second", &[], flow.resubmitted_per_sec);
+    m.line("lttf_trace_dropped_total", &[], trace::dropped_total() as f64);
     match health::global() {
         Some(d) => m.line("lttf_health_diverged", &[("layer", &d.layer)], 1.0),
         None => m.line("lttf_health_diverged", &[], 0.0),
@@ -73,6 +142,7 @@ mod tests {
     use super::*;
     use crate::dispatch::PoolConfig;
     use crate::registry::tiny_model;
+    use crate::stats::FlowStats;
     use lttf_tensor::{Rng, Tensor};
 
     #[test]
@@ -91,7 +161,9 @@ mod tests {
         let rx = entry.pool().submit(w, None).unwrap();
         rx.recv().unwrap().unwrap();
 
-        let text = render(&[Arc::clone(&entry)]);
+        let flow = FlowStats::new();
+        flow.shed();
+        let text = render(&[Arc::clone(&entry)], &flow.rates());
         assert!(text.contains("lttf_up 1\n"), "{text}");
         assert!(text.contains("lttf_serve_replicas{model=\"demo\"} 2\n"), "{text}");
         assert!(text.contains("lttf_serve_generation{model=\"demo\"} 3\n"), "{text}");
@@ -101,11 +173,40 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("lttf_serve_requests_served_total{model=\"demo\"} 1\n"), "{text}");
+        // Windowed quantiles carry the generation label.
         assert!(
-            text.contains("lttf_serve_latency_seconds{model=\"demo\",quantile=\"0.99\"}"),
+            text.contains("lttf_serve_latency_seconds{model=\"demo\",gen=\"3\",quantile=\"0.99\"}"),
             "{text}"
         );
+        assert!(
+            text.contains("lttf_serve_queue_wait_seconds{model=\"demo\",gen=\"3\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lttf_serve_service_time_seconds{model=\"demo\",gen=\"3\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        // The lifetime distribution renders as a full histogram family.
+        assert!(
+            text.contains("lttf_serve_latency_hist_seconds_bucket{model=\"demo\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("lttf_serve_latency_hist_seconds_count{model=\"demo\"} 1\n"), "{text}");
+        assert!(
+            text.contains("lttf_serve_replica_served_total{model=\"demo\",replica=\"0\"}"),
+            "{text}"
+        );
+        // tiny_model has no reference profile: drift is declared
+        // unavailable, not omitted.
+        assert!(text.contains("lttf_drift_available{model=\"demo\"} 0\n"), "{text}");
+        assert!(text.contains("lttf_drift_alert{model=\"demo\"} 0\n"), "{text}");
+        assert!(text.contains("lttf_serve_shed_per_second"), "{text}");
+        assert!(text.contains("lttf_trace_dropped_total"), "{text}");
         assert!(text.contains("lttf_health_diverged"), "{text}");
+
+        // The whole exposition must satisfy the strict validator CI runs.
+        let summary = lttf_obs::metrics::validate(&text).expect("exposition must validate");
+        assert!(summary.histograms >= 1, "histogram family must be counted");
 
         entry.pool().drain();
     }

@@ -31,12 +31,17 @@
 //! promise. Clients that honor it ride out bursts instead of amplifying
 //! them.
 //!
-//! Besides forecasts, two control commands share the framing:
+//! Besides forecasts, three control commands share the framing:
 //!
 //! * `{"id":…,"cmd":"metrics"}` — the answer is
 //!   `{"id":…,"ok":true,"metrics":"…"}` where the string holds a
 //!   Prometheus-style text exposition (newlines escaped as `\n` so the
 //!   one-line-per-response framing survives). See [`crate::metrics`].
+//! * `{"id":…,"cmd":"stats"[,"model":"…"]}` — a one-line JSON snapshot
+//!   of one model's live state ([`StatsReport`]): trailing-window
+//!   latency quantiles (total, queue wait, service time), refusal/retry
+//!   rates, and the drift monitor's verdict. Machine-readable where the
+//!   metrics exposition is scrape-shaped; `lttf watch` polls it.
 //! * `{"id":…,"cmd":"reload","path":"…","model":"…"}` — load the
 //!   checkpoint at `path` as a new generation of `model` (default: the
 //!   server's default model), atomically swap it into the routing table,
@@ -78,6 +83,14 @@ pub enum Command {
         /// Client correlation id, echoed back.
         id: u64,
     },
+    /// `{"id":…,"cmd":"stats"[,"model":…]}` — return one model's live
+    /// [`StatsReport`] as flat JSON.
+    Stats {
+        /// Client correlation id, echoed back.
+        id: u64,
+        /// Registry name to report on (`None` = server default model).
+        model: Option<String>,
+    },
     /// `{"id":…,"cmd":"reload","path":…[,"model":…]}` — hot-swap a model
     /// to a new checkpoint generation.
     Reload {
@@ -101,6 +114,15 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .and_then(|v| v.as_num())
                 .ok_or("missing numeric 'id'")? as u64;
             Ok(Command::Metrics { id })
+        }
+        Some("stats") => {
+            let id = field(&fields, "id")
+                .and_then(|v| v.as_num())
+                .ok_or("missing numeric 'id'")? as u64;
+            let model = field(&fields, "model")
+                .and_then(|v| v.as_str())
+                .map(str::to_string);
+            Ok(Command::Stats { id, model })
         }
         Some("reload") => {
             let id = field(&fields, "id")
@@ -303,6 +325,138 @@ pub fn parse_metrics_response(line: &str) -> Result<(u64, Result<String, String>
     }
 }
 
+/// One model's live serving state, as carried by the `"stats"` command.
+/// Latencies are milliseconds; everything windowed describes the last
+/// `window_ms` of traffic, not the process lifetime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReport {
+    /// Registry name of the model.
+    pub model: String,
+    /// Serving generation.
+    pub generation: u64,
+    /// Replica count.
+    pub replicas: usize,
+    /// Aggregate queue depth right now.
+    pub queue_depth: usize,
+    /// Requests served since the generation started (lifetime, exact).
+    pub served_total: u64,
+    /// Trailing-window span in milliseconds.
+    pub window_ms: u64,
+    /// Requests served inside the current window.
+    pub window_count: u64,
+    /// Windowed total-latency quantiles (ms).
+    pub p50_ms: f64,
+    /// 95th percentile of windowed total latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile of windowed total latency (ms).
+    pub p99_ms: f64,
+    /// Windowed queue-wait median (ms).
+    pub queue_p50_ms: f64,
+    /// Windowed per-batch service-time median (ms).
+    pub service_p50_ms: f64,
+    /// Admission refusals per second over the window.
+    pub shed_per_sec: f64,
+    /// Queue-full rejections per second over the window.
+    pub rejected_per_sec: f64,
+    /// Reload resubmissions per second over the window.
+    pub resubmitted_per_sec: f64,
+    /// Whether the model carries a drift reference profile.
+    pub drift_available: bool,
+    /// Whether the drift alert is currently raised.
+    pub drift_alert: bool,
+    /// Per-input-feature drift scores (training std units).
+    pub drift_scores: Vec<f64>,
+    /// Advisory prediction-drift score.
+    pub drift_prediction_score: f64,
+    /// Configured drift alert threshold.
+    pub drift_threshold: f64,
+    /// Time steps in the drift window the scores describe.
+    pub drift_window_count: u64,
+}
+
+/// Format a stats request line (client side).
+pub fn format_stats_request(id: u64, model: Option<&str>) -> String {
+    let mut o = JsonObj::new().int("id", id).str("cmd", "stats");
+    if let Some(m) = model {
+        o = o.str("model", m);
+    }
+    o.finish()
+}
+
+/// Format a stats response carrying one model's [`StatsReport`].
+pub fn format_stats(id: u64, r: &StatsReport) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .str("model", &r.model)
+        .int("gen", r.generation)
+        .int("replicas", r.replicas as u64)
+        .int("queue_depth", r.queue_depth as u64)
+        .int("served_total", r.served_total)
+        .int("window_ms", r.window_ms)
+        .int("window_count", r.window_count)
+        .num("p50_ms", r.p50_ms)
+        .num("p95_ms", r.p95_ms)
+        .num("p99_ms", r.p99_ms)
+        .num("queue_p50_ms", r.queue_p50_ms)
+        .num("service_p50_ms", r.service_p50_ms)
+        .num("shed_per_sec", r.shed_per_sec)
+        .num("rejected_per_sec", r.rejected_per_sec)
+        .num("resubmitted_per_sec", r.resubmitted_per_sec)
+        .bool("drift_available", r.drift_available)
+        .bool("drift_alert", r.drift_alert)
+        .nums("drift_scores", r.drift_scores.iter().map(|&v| v as f32))
+        .num("drift_prediction_score", r.drift_prediction_score)
+        .num("drift_threshold", r.drift_threshold)
+        .int("drift_window_count", r.drift_window_count)
+        .finish()
+}
+
+/// Parse a stats response into `(id, Result<report, error>)` — the
+/// client half of the `"stats"` command (`lttf watch` runs on this).
+pub fn parse_stats_response(line: &str) -> Result<(u64, Result<StatsReport, String>), String> {
+    let fields = parse_object(line)?;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if !ok {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        return Ok((id, Err(error.to_string())));
+    }
+    let need = |k: &str| num(k).ok_or_else(|| format!("stats response missing '{k}'"));
+    let flag = |k: &str| field(&fields, k).and_then(|v| v.as_bool()).unwrap_or(false);
+    let report = StatsReport {
+        model: field(&fields, "model")
+            .and_then(|v| v.as_str())
+            .ok_or("stats response missing 'model'")?
+            .to_string(),
+        generation: need("gen")? as u64,
+        replicas: need("replicas")? as usize,
+        queue_depth: need("queue_depth")? as usize,
+        served_total: need("served_total")? as u64,
+        window_ms: need("window_ms")? as u64,
+        window_count: need("window_count")? as u64,
+        p50_ms: need("p50_ms")?,
+        p95_ms: need("p95_ms")?,
+        p99_ms: need("p99_ms")?,
+        queue_p50_ms: need("queue_p50_ms")?,
+        service_p50_ms: need("service_p50_ms")?,
+        shed_per_sec: need("shed_per_sec")?,
+        rejected_per_sec: need("rejected_per_sec")?,
+        resubmitted_per_sec: need("resubmitted_per_sec")?,
+        drift_available: flag("drift_available"),
+        drift_alert: flag("drift_alert"),
+        drift_scores: field(&fields, "drift_scores")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.to_vec())
+            .unwrap_or_default(),
+        drift_prediction_score: num("drift_prediction_score").unwrap_or(0.0),
+        drift_threshold: num("drift_threshold").unwrap_or(0.0),
+        drift_window_count: num("drift_window_count").unwrap_or(0.0) as u64,
+    };
+    Ok((id, Ok(report)))
+}
+
 /// Everything a client can learn from one forecast response line.
 #[derive(Clone, Debug)]
 pub struct ResponseMeta {
@@ -464,6 +618,51 @@ mod tests {
         let (id, res) = parse_metrics_response(&format_metrics(3, text)).unwrap();
         assert_eq!(id, 3);
         assert_eq!(res.unwrap(), text, "newlines survive the one-line framing");
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        match parse_command("{\"id\":4,\"cmd\":\"stats\",\"model\":\"demo\"}").unwrap() {
+            Command::Stats { id, model } => {
+                assert_eq!(id, 4);
+                assert_eq!(model.as_deref(), Some("demo"));
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        match parse_command(&format_stats_request(5, None)).unwrap() {
+            Command::Stats { model, .. } => assert!(model.is_none()),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        let report = StatsReport {
+            model: "demo".to_string(),
+            generation: 2,
+            replicas: 3,
+            queue_depth: 1,
+            served_total: 400,
+            window_ms: 120_000,
+            window_count: 37,
+            p50_ms: 1.5,
+            p95_ms: 4.25,
+            p99_ms: 9.0,
+            queue_p50_ms: 0.5,
+            service_p50_ms: 1.0,
+            shed_per_sec: 0.25,
+            rejected_per_sec: 0.0,
+            resubmitted_per_sec: 0.125,
+            drift_available: true,
+            drift_alert: true,
+            drift_scores: vec![0.5, 3.25],
+            drift_prediction_score: 0.75,
+            drift_threshold: 1.0,
+            drift_window_count: 640,
+        };
+        let (id, got) = parse_stats_response(&format_stats(9, &report)).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(got.unwrap(), report);
+
+        let (_, err) = parse_stats_response(&format_err(9, "unknown model 'x'")).unwrap();
+        assert!(err.unwrap_err().contains("unknown model"));
     }
 
     #[test]

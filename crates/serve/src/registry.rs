@@ -15,6 +15,7 @@ use lttf_conformer::ConformerConfig;
 use lttf_data::{time_features, Batch, StandardScaler, MARK_DIM};
 use lttf_eval::{Forecaster, TrainedModel};
 use lttf_nn::{load_params_with_meta, save_params_with_meta};
+use lttf_obs::sketch::ReferenceProfile;
 use lttf_tensor::Tensor;
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -100,6 +101,11 @@ pub struct LoadedModel {
     scaler: StandardScaler,
     target: String,
     target_col: usize,
+    /// Training-time input distribution profile for drift detection
+    /// (`drift.*` checkpoint meta). `None` for checkpoints written before
+    /// the profile existed — the server then serves with drift reporting
+    /// marked unavailable.
+    profile: Option<ReferenceProfile>,
     /// Load-harness calibration knob: when set, a batch forward takes at
     /// least this long (the batcher sleeps out the remainder). Never set
     /// on the production path; see [`LoadedModel::set_service_floor_ms`].
@@ -133,12 +139,25 @@ impl LoadedModel {
                 cfg.c_in
             )));
         }
+        // Absent drift meta is fine (pre-profile checkpoint); present
+        // but malformed meta is corruption and refuses to load.
+        let profile = ReferenceProfile::from_meta(&meta).map_err(bad)?;
+        if let Some(p) = &profile {
+            if p.features.len() != cfg.c_in {
+                return Err(bad(format!(
+                    "drift profile has {} features but the model expects {}",
+                    p.features.len(),
+                    cfg.c_in
+                )));
+            }
+        }
         Ok(LoadedModel {
             model,
             cfg,
             scaler,
             target,
             target_col,
+            profile,
             service_floor: None,
         })
     }
@@ -148,7 +167,10 @@ impl LoadedModel {
     /// The scaler metadata round-trips bit-for-bit.
     pub fn save(&self, base: &str) -> io::Result<()> {
         self.cfg.save_sidecar(&self.target, &format!("{base}.config"))?;
-        let meta = scaler_meta(&self.scaler, &self.target, self.target_col);
+        let mut meta = scaler_meta(&self.scaler, &self.target, self.target_col);
+        if let Some(p) = &self.profile {
+            meta.extend(p.to_meta());
+        }
         save_params_with_meta(self.model.params(), &meta, format!("{base}.params"))
     }
 
@@ -168,8 +190,33 @@ impl LoadedModel {
             scaler,
             target,
             target_col,
+            profile: None,
             service_floor: None,
         }
+    }
+
+    /// Attach a training-time reference profile (written into the
+    /// checkpoint meta by [`LoadedModel::save`], consumed by the drift
+    /// monitor).
+    pub fn with_profile(mut self, profile: ReferenceProfile) -> LoadedModel {
+        assert_eq!(
+            profile.features.len(),
+            self.cfg.c_in,
+            "profile/model dims mismatch"
+        );
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The training-time distribution profile, when the checkpoint
+    /// carried one.
+    pub fn profile(&self) -> Option<&ReferenceProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Column index of the forecast target among the input variables.
+    pub fn target_col(&self) -> usize {
+        self.target_col
     }
 
     /// Set a minimum wall-clock duration per batch forward (0 clears it).
@@ -387,6 +434,34 @@ mod tests {
         let err = m.forecast_one(&[0.0; 5], 0, 60).unwrap_err();
         assert!(err.contains("expected 16 values"), "{err}");
         assert!(m.forecast_one(&vec![0.0; 16], 0, 0).is_err());
+    }
+
+    #[test]
+    fn profile_round_trips_through_checkpoint_and_absent_is_none() {
+        use lttf_obs::sketch::FeatureStats;
+        let dir = std::env::temp_dir().join("lttf_serve_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("m").to_str().unwrap().to_string();
+
+        // Without a profile: save → load yields None (backward compat).
+        let plain = tiny_model();
+        plain.save(&base).unwrap();
+        assert!(LoadedModel::load(&base).unwrap().profile().is_none());
+
+        // With a profile: exact round trip.
+        let profile = ReferenceProfile {
+            features: vec![
+                FeatureStats { mean: 1.0, std: 2.0, q10: -1.5, q50: 1.0, q90: 3.5 },
+                FeatureStats { mean: 5.0, std: 3.0, q10: 1.2, q50: 5.0, q90: 8.8 },
+            ],
+            count: 64,
+        };
+        let m = tiny_model().with_profile(profile.clone());
+        m.save(&base).unwrap();
+        let back = LoadedModel::load(&base).unwrap();
+        assert_eq!(back.profile(), Some(&profile));
+        assert_eq!(back.target_col(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -53,14 +53,16 @@ use std::time::{Duration, Instant};
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::dispatch::{ModelEntry, Policy, PoolConfig};
+use crate::drift::DriftConfig;
 use crate::engine::{BatchConfig, Reject};
 use crate::latency::LatencySummary;
 use crate::metrics;
 use crate::protocol::{
     extract_id, format_err, format_metrics, format_ok, format_reject, format_reload_ok,
-    parse_command, Command,
+    format_stats, parse_command, Command, StatsReport,
 };
 use crate::registry::{LoadedModel, Registry};
+use crate::stats::FlowStats;
 
 /// How often blocked connection reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -97,6 +99,9 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Rate-limit / load-shed gate, applied before any model work.
     pub admission: AdmissionConfig,
+    /// Input-drift monitor knobs (window, alert threshold, minimum
+    /// sample count) for every model's [`crate::DriftMonitor`].
+    pub drift: DriftConfig,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +113,7 @@ impl Default for ServeConfig {
             threads_per_replica: None,
             seed: 0,
             admission: AdmissionConfig::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -120,6 +126,7 @@ impl ServeConfig {
             policy: self.policy,
             threads_per_replica: self.threads_per_replica,
             seed: self.seed,
+            drift: self.drift,
         }
     }
 }
@@ -132,6 +139,9 @@ struct Shared {
     stop: AtomicBool,
     cfg: ServeConfig,
     admission: Admission,
+    /// Windowed shed / queue-full / resubmit counters — the flows that
+    /// never reach a replica's latency stats.
+    flow: FlowStats,
     /// Serializes reloads; a reload in progress must fully drain the old
     /// generation before the next may retire it again.
     reload_lock: Mutex<()>,
@@ -190,6 +200,7 @@ pub fn serve(registry: Registry, addr: &str, cfg: ServeConfig) -> io::Result<Ser
         stop: AtomicBool::new(false),
         cfg,
         admission: Admission::new(cfg.admission),
+        flow: FlowStats::new(),
         reload_lock: Mutex::new(()),
     });
     let shared2 = Arc::clone(&shared);
@@ -334,7 +345,14 @@ fn answer(line: &str, shared: &Shared) -> String {
     let req = match parse_command(line) {
         Ok(Command::Forecast(r)) => r,
         Ok(Command::Metrics { id }) => {
-            return format_metrics(id, &metrics::render(&shared.entries()));
+            return format_metrics(id, &metrics::render(&shared.entries(), &shared.flow.rates()));
+        }
+        Ok(Command::Stats { id, model }) => {
+            let name = model.as_deref().unwrap_or(&shared.default);
+            return match shared.entry(name) {
+                Some(entry) => format_stats(id, &stats_report(&entry, shared)),
+                None => format_err(id, &format!("unknown model '{name}'")),
+            };
         }
         Ok(Command::Reload { id, model, path }) => {
             return reload(id, model.as_deref(), &path, shared);
@@ -353,8 +371,12 @@ fn answer(line: &str, shared: &Shared) -> String {
     // Admission runs before window preparation: refused work should cost
     // as close to nothing as possible.
     if let Err(denied) = shared.admission.admit(entry.pool().queue_depth()) {
+        shared.flow.shed();
         return format_reject(req.id, denied.reason(), denied.retry_after_ms());
     }
+    // Only admitted traffic is sketched: refused requests never reach the
+    // model, so they should not move its input-distribution estimate.
+    entry.drift().observe_input(&req.values);
     let mut window = match entry.model().make_window(&req.values, req.t0, req.dt) {
         Ok(w) => w,
         Err(e) => return format_err(req.id, &e),
@@ -369,6 +391,7 @@ fn answer(line: &str, shared: &Shared) -> String {
             Err((_, Reject::QueueFull)) => {
                 // Aggregate queue capacity exhausted — same backoff hint
                 // as a shed, since both mean "come back after a drain".
+                shared.flow.rejected();
                 return format_reject(
                     req.id,
                     &Reject::QueueFull.to_string(),
@@ -383,6 +406,7 @@ fn answer(line: &str, shared: &Shared) -> String {
                 match shared.entry(entry.name()) {
                     Some(cur) if cur.generation() != entry.generation() => {
                         lttf_obs::counter!("serve.reload_resubmit", 1);
+                        shared.flow.resubmitted();
                         window = w;
                         entry = cur;
                         continue;
@@ -394,12 +418,50 @@ fn answer(line: &str, shared: &Shared) -> String {
         // The batcher answers every accepted job, even during drain; a
         // recv error means it died, which is a server bug worth surfacing.
         return match reply_rx.recv() {
-            Ok(Ok(forecast)) => format_ok(req.id, entry.generation(), &forecast),
+            Ok(Ok(forecast)) => {
+                entry.drift().observe_prediction(&forecast);
+                format_ok(req.id, entry.generation(), &forecast)
+            }
             Ok(Err(e)) => format_err(req.id, &e),
             Err(_) => format_err(req.id, "internal error: batcher gone"),
         };
     }
     format_err(req.id, "reload storm: retries exhausted")
+}
+
+/// Build one model's [`StatsReport`] from its live entry plus the
+/// server-level flow counters.
+fn stats_report(entry: &Arc<ModelEntry>, shared: &Shared) -> StatsReport {
+    let pool = entry.pool();
+    let stats = pool.stats();
+    let win = stats.windowed();
+    let life = stats.lifetime();
+    let flow = shared.flow.rates();
+    let drift = entry.drift().status();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    StatsReport {
+        model: entry.name().to_string(),
+        generation: entry.generation(),
+        replicas: pool.replicas(),
+        queue_depth: pool.queue_depth(),
+        served_total: life.count(),
+        window_ms: win.window_ms,
+        window_count: win.total.count(),
+        p50_ms: ms(win.total.quantile(0.50)),
+        p95_ms: ms(win.total.quantile(0.95)),
+        p99_ms: ms(win.total.quantile(0.99)),
+        queue_p50_ms: ms(win.queue.quantile(0.50)),
+        service_p50_ms: ms(win.service.quantile(0.50)),
+        shed_per_sec: flow.shed_per_sec,
+        rejected_per_sec: flow.rejected_per_sec,
+        resubmitted_per_sec: flow.resubmitted_per_sec,
+        drift_available: drift.available,
+        drift_alert: drift.alert,
+        drift_scores: drift.scores,
+        drift_prediction_score: drift.prediction_score,
+        drift_threshold: drift.threshold,
+        drift_window_count: drift.window_count,
+    }
 }
 
 /// Handle a `reload` command: load the checkpoint, start the next
@@ -542,10 +604,35 @@ mod tests {
             text.contains("lttf_serve_requests_served_total{model=\"demo\"} 1\n"),
             "live latency must already count the first request: {text}"
         );
-        assert!(text.contains("lttf_serve_latency_seconds{model=\"demo\",quantile=\"0.5\"}"), "{text}");
+        assert!(
+            text.contains("lttf_serve_latency_seconds{model=\"demo\",gen=\"1\",quantile=\"0.5\"}"),
+            "windowed quantiles must carry the generation label: {text}"
+        );
         assert!(text.contains("lttf_serve_replicas{model=\"demo\"} 1\n"), "{text}");
         assert!(text.contains("lttf_serve_generation{model=\"demo\"} 1\n"), "{text}");
         assert!(text.contains("lttf_health_diverged"), "{text}");
+        lttf_obs::metrics::validate(&text).expect("live exposition must validate");
+
+        // The machine-readable twin of the exposition.
+        let lines = ["{\"id\":3,\"cmd\":\"stats\"}".to_string()];
+        let responses = roundtrip(handle.addr(), &lines);
+        let (id, report) = crate::protocol::parse_stats_response(&responses[0]).unwrap();
+        assert_eq!(id, 3);
+        let report = report.unwrap();
+        assert_eq!(report.model, "demo");
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.served_total, 1);
+        assert!(report.window_count >= 1, "{report:?}");
+        assert!(report.p50_ms > 0.0 && report.p50_ms <= report.p99_ms, "{report:?}");
+        assert!(!report.drift_available, "tiny model carries no profile");
+        assert!(!report.drift_alert);
+
+        let bad = roundtrip(
+            handle.addr(),
+            &["{\"id\":4,\"cmd\":\"stats\",\"model\":\"nope\"}".to_string()],
+        );
+        let (_, err) = crate::protocol::parse_stats_response(&bad[0]).unwrap();
+        assert!(err.unwrap_err().contains("unknown model"));
         handle.shutdown();
     }
 

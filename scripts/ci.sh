@@ -63,4 +63,85 @@ for f in results/BENCH_*.json; do
     [[ -f "$f" ]] && cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- "$f"
 done
 
-echo "==> OK: build, tests, bench compilation, and telemetry smoke all passed offline"
+echo "==> live serve scrape  (train tiny checkpoint, serve it, drive traffic, validate exposition)"
+SCRATCH=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
+LTTF_QUIET=1 target/release/lttf generate --dataset ettm1 --len 400 --seed 7 \
+    --out "$SCRATCH/ettm1.csv" >/dev/null
+LTTF_QUIET=1 LTTF_THREADS=2 target/release/lttf train --data "$SCRATCH/ettm1.csv" --target OT \
+    --lx 16 --ly 8 --d-model 8 --epochs 1 --out "$SCRATCH/ckpt" | tee "$SCRATCH/train.out" >/dev/null
+grep -q "drift reference:" "$SCRATCH/train.out" \
+    || { echo "FAIL: lttf train did not fit a drift reference profile" >&2; exit 1; }
+
+# The server exits on stdin EOF, so park a fifo on its stdin and keep the
+# write end open for the duration of the scrape.
+PORT=17878
+mkfifo "$SCRATCH/ctl"
+LTTF_QUIET=1 target/release/lttf serve --model "$SCRATCH/ckpt" --port $PORT \
+    < "$SCRATCH/ctl" > "$SCRATCH/serve.out" 2>&1 &
+SERVE_PID=$!
+exec 9> "$SCRATCH/ctl"
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then break; fi
+    kill -0 "$SERVE_PID" 2>/dev/null \
+        || { echo "FAIL: lttf serve exited early:" >&2; cat "$SCRATCH/serve.out" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drift monitor armed" "$SCRATCH/serve.out" \
+    || { echo "FAIL: server did not arm the drift monitor from the checkpoint" >&2; exit 1; }
+
+# Drive real traffic so the trailing-window series are populated. Each
+# request's raw window is a different lx=16 row slice from the TRAIN
+# region of the CSV (first 70% of 400 rows), so the aggregate traffic
+# matches the drift reference and the monitor must stay quiet.
+exec 8<>"/dev/tcp/127.0.0.1/$PORT"
+for i in $(seq 1 8); do
+    awk -F, -v id="$i" -v r0="$((2 + (i - 1) * 33))" 'NR > 1 { rows[NR] = $0 } END {
+        printf "{\"id\":%d,\"t0\":1700000000,\"dt\":3600,\"values\":[", id
+        sep = ""
+        for (r = r0; r < r0 + 16; r++) {
+            m = split(rows[r], f, ",")
+            for (j = 2; j <= m; j++) { printf "%s%s", sep, f[j]; sep = "," }
+        }
+        print "]}"
+    }' "$SCRATCH/ettm1.csv" >&8
+    IFS= read -r resp <&8
+    case "$resp" in
+        *'"error"'*) echo "FAIL: forecast request $i refused: $resp" >&2; exit 1 ;;
+    esac
+done
+exec 8>&-
+
+# One watch tick renders the dashboard and writes the Prometheus scrape.
+LTTF_QUIET=1 target/release/lttf watch --port $PORT --iters 1 --no-clear \
+    --scrape-out "$SCRATCH/metrics.prom" | tee "$SCRATCH/watch.out"
+grep -q "drift     ok" "$SCRATCH/watch.out" \
+    || { echo "FAIL: watch dashboard did not report a quiet drift monitor" >&2; exit 1; }
+
+# Strict exposition check: parseable throughout, histogram families
+# complete and ordered, plus the series the SLO dashboards key on —
+# trailing-window quantiles labeled by model and generation.
+cargo run -q --release --offline -p lttf-obs --bin metrics_check -- "$SCRATCH/metrics.prom" \
+    --require 'lttf_serve_latency_seconds{model="ckpt",gen="1",quantile="0.5"}' \
+    --require 'lttf_serve_latency_seconds{model="ckpt",gen="1",quantile="0.99"}' \
+    --require 'lttf_serve_queue_wait_seconds{model="ckpt",gen="1",quantile="0.5"}' \
+    --require 'lttf_serve_service_time_seconds{model="ckpt",gen="1",quantile="0.5"}' \
+    --require 'lttf_serve_latency_hist_seconds_bucket{model="ckpt",le="+Inf"}' \
+    --require 'lttf_serve_replica_served_total{model="ckpt",replica="0"}' \
+    --require 'lttf_drift_available{model="ckpt"} 1' \
+    --require 'lttf_drift_alert{model="ckpt"} 0' \
+    --require 'lttf_serve_shed_per_second' \
+    --require 'lttf_trace_dropped_total'
+
+echo quit >&9
+exec 9>&-
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "==> OK: build, tests, bench compilation, telemetry smoke, and live scrape all passed offline"

@@ -39,7 +39,10 @@ fn usage() -> ! {
          [--name NAME] [--out-dir DIR]\n  \
          lttf serve --model MODEL [--port N] [--max-batch N] [--max-wait-ms N] \
          [--queue-cap N] [--replicas N] [--policy rr|lqd] [--threads-per-replica N] \
-         [--seed N] [--rate RPS] [--burst N] [--shed-depth N]\n  \
+         [--seed N] [--rate RPS] [--burst N] [--shed-depth N] \
+         [--drift-threshold X] [--drift-min-count N]\n  \
+         lttf watch [--port N] [--host H] [--interval-ms N] [--iters N] [--model NAME] \
+         [--scrape-out FILE.prom] [--no-clear]\n  \
          lttf bench-serve [--mode closed|open|scaling|all] [--threads N] [--requests N] \
          [--max-batch N] [--max-wait-ms N] [--lx N] [--d-model N] [--clients N] \
          [--rate RPS] [--duration-ms N] [--pattern uniform|bursty|diurnal] \
@@ -218,8 +221,19 @@ fn cmd_train(flags: HashMap<String, String>) {
     println!("test: {}", evaluate(&model, &test_set, 16));
 
     // Checkpoint metadata carries the train-split scaler statistics so
-    // `lttf serve` can round-trip raw inputs without the training CSV.
-    let meta = lttf::serve::scaler_meta(train_set.scaler(), target, train_set.target());
+    // `lttf serve` can round-trip raw inputs without the training CSV,
+    // plus a per-feature reference profile of the same raw train rows so
+    // the server's drift monitor has a baseline to compare traffic to.
+    let mut meta = lttf::serve::scaler_meta(train_set.scaler(), target, train_set.target());
+    let n_train = (series.len() as f32 * 0.7) as usize;
+    let train_view = series.values.narrow(0, 0, n_train.max(2));
+    let profile = lttf::eval::fit_reference_profile(&train_view);
+    println!(
+        "drift reference: {} features over {} train steps",
+        profile.features.len(),
+        profile.count
+    );
+    meta.extend(profile.to_meta());
     save_params_with_meta(model.params(), &meta, format!("{out}.params")).unwrap_or_else(|e| {
         eprintln!("cannot save checkpoint: {e}");
         exit(1);
@@ -479,6 +493,11 @@ fn cmd_serve(flags: HashMap<String, String>) {
             shed_depth: (shed_depth > 0).then_some(shed_depth),
             ..lttf::serve::AdmissionConfig::default()
         },
+        drift: lttf::serve::DriftConfig {
+            threshold: get(&flags, "drift-threshold", 1.0f64),
+            min_count: get(&flags, "drift-min-count", 64u64),
+            ..lttf::serve::DriftConfig::default()
+        },
     };
     let model = lttf::serve::LoadedModel::load(model_base).unwrap_or_else(|e| {
         eprintln!("cannot load {model_base}: {e}");
@@ -490,11 +509,16 @@ fn cmd_serve(flags: HashMap<String, String>) {
         .unwrap_or("default")
         .to_string();
     println!(
-        "serving '{}' (target '{}', lx {}, ly {}) as model '{name}'",
+        "serving '{}' (target '{}', lx {}, ly {}) as model '{name}'; drift monitor {}",
         model_base,
         model.target(),
         model.cfg().lx,
         model.cfg().ly,
+        if model.profile().is_some() {
+            "armed (checkpoint carries a reference profile)"
+        } else {
+            "unavailable (no reference profile in checkpoint — retrain to enable)"
+        },
     );
     let registry = lttf::serve::Registry::single(&name, model);
     let handle = lttf::serve::serve(registry, &format!("127.0.0.1:{port}"), serve_cfg)
@@ -528,6 +552,146 @@ fn cmd_serve(flags: HashMap<String, String>) {
     println!("shutting down (draining in-flight requests)…");
     for (name, summary) in handle.shutdown() {
         println!("{name}: {}", summary.render());
+    }
+}
+
+/// One request/response round trip on the watch connection. Exits the
+/// process on IO failure — a dashboard with a dead server has nothing
+/// left to do.
+fn watch_roundtrip(
+    writer: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+    line: &str,
+) -> String {
+    use std::io::{BufRead, Write};
+    writeln!(writer, "{line}").and_then(|_| writer.flush()).unwrap_or_else(|e| {
+        eprintln!("send failed: {e}");
+        exit(1);
+    });
+    let mut resp = String::new();
+    match reader.read_line(&mut resp) {
+        Ok(0) => {
+            eprintln!("server closed the connection");
+            exit(1);
+        }
+        Ok(_) => resp.trim_end().to_string(),
+        Err(e) => {
+            eprintln!("recv failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+/// `lttf watch`: a live terminal dashboard over a running `lttf serve`.
+/// Polls the `stats` wire command every `--interval-ms` and renders
+/// trailing-window latency, flow rates, and the drift verdict; with
+/// `--scrape-out FILE` it also fetches the Prometheus exposition each
+/// tick and writes it to `FILE` (CI validates that file with
+/// `metrics_check`). `--iters N` stops after N ticks (0 = forever).
+fn cmd_watch(flags: HashMap<String, String>) {
+    let host = flags.get("host").map(String::as_str).unwrap_or("127.0.0.1");
+    let port = get(&flags, "port", 7878u16);
+    let interval_ms = get(&flags, "interval-ms", 1000u64);
+    let iters = get(&flags, "iters", 0u64);
+    let model = flags.get("model").cloned();
+    let scrape_out = flags.get("scrape-out").cloned();
+    let clear = !flag_set(&flags, "no-clear");
+
+    let addr = format!("{host}:{port}");
+    let stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("cannot clone stream: {e}");
+        exit(1);
+    });
+    let mut reader = std::io::BufReader::new(stream);
+
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let req = lttf::serve::protocol::format_stats_request(tick, model.as_deref());
+        let resp = watch_roundtrip(&mut writer, &mut reader, &req);
+        let report = match lttf::serve::protocol::parse_stats_response(&resp) {
+            Ok((_, Ok(r))) => r,
+            Ok((_, Err(e))) => {
+                eprintln!("stats error: {e}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("bad stats response: {e}");
+                exit(1);
+            }
+        };
+        if clear {
+            // ANSI clear + home; suppressible for logs and dumb terminals.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("lttf watch — '{}' @ {addr} (tick {tick})", report.model);
+        println!(
+            "  gen {} | {} replica(s) | queue {} | served {} lifetime, {} in last {:.0}s",
+            report.generation,
+            report.replicas,
+            report.queue_depth,
+            report.served_total,
+            report.window_count,
+            report.window_ms as f64 / 1e3,
+        );
+        println!(
+            "  latency   p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms (window)",
+            report.p50_ms, report.p95_ms, report.p99_ms
+        );
+        println!(
+            "  phases    queue-wait p50 {:.2} ms | service p50 {:.2} ms",
+            report.queue_p50_ms, report.service_p50_ms
+        );
+        println!(
+            "  flows     shed {:.2}/s   rejected {:.2}/s   resubmitted {:.2}/s",
+            report.shed_per_sec, report.rejected_per_sec, report.resubmitted_per_sec
+        );
+        if report.drift_available {
+            let scores = report
+                .drift_scores
+                .iter()
+                .map(|s| format!("{s:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!(
+                "  drift     {} | scores [{scores}] pred {:.2} thr {:.1} (n={})",
+                if report.drift_alert { "ALERT" } else { "ok" },
+                report.drift_prediction_score,
+                report.drift_threshold,
+                report.drift_window_count,
+            );
+        } else {
+            println!("  drift     unavailable (checkpoint has no reference profile)");
+        }
+        if let Some(path) = &scrape_out {
+            let req = lttf::obs::JsonObj::new()
+                .int("id", tick)
+                .str("cmd", "metrics")
+                .finish();
+            let resp = watch_roundtrip(&mut writer, &mut reader, &req);
+            match lttf::serve::protocol::parse_metrics_response(&resp) {
+                Ok((_, Ok(text))) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1);
+                    });
+                    println!("  scrape    wrote {path} ({} bytes)", text.len());
+                }
+                Ok((_, Err(e))) | Err(e) => {
+                    eprintln!("metrics error: {e}");
+                    exit(1);
+                }
+            }
+        }
+        if iters > 0 && tick >= iters {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
     }
 }
 
@@ -1186,6 +1350,7 @@ fn main() {
         "forecast" => cmd_forecast(flags),
         "profile" => cmd_profile(flags),
         "serve" => cmd_serve(flags),
+        "watch" => cmd_watch(flags),
         "bench-serve" => cmd_bench_serve(flags),
         _ => usage(),
     }

@@ -406,10 +406,212 @@ fn metrics_endpoint_and_traced_request_over_tcp() {
         "{text}"
     );
     assert!(
-        text.contains("lttf_serve_latency_seconds{model=\"m\",quantile=\"0.99\"}"),
+        text.contains("lttf_serve_latency_seconds{model=\"m\",gen=\"1\",quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("lttf_serve_latency_hist_seconds_bucket{model=\"m\",le=\"+Inf\"} 1\n"),
         "{text}"
     );
     assert!(text.contains("lttf_health_diverged"), "{text}");
+    // The live exposition must satisfy the same strict validator CI runs
+    // (`metrics_check`): histogram families complete and ordered, no
+    // duplicate series, parseable sample lines throughout.
+    lttf::obs::metrics::validate(&text).expect("exposition validates");
 
     handle.shutdown();
+}
+
+/// Ask the `stats` command on a fresh connection.
+fn ask_stats(addr: SocketAddr, id: u64) -> protocol::StatsReport {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{}", protocol::format_stats_request(id, None)).unwrap();
+    writer.flush().unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let (got, report) = protocol::parse_stats_response(resp.trim_end()).expect("stats parses");
+    assert_eq!(got, id);
+    report.expect("stats ok")
+}
+
+/// Fetch the metrics exposition on a fresh connection.
+fn ask_metrics(addr: SocketAddr, id: u64) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{{\"id\":{id},\"cmd\":\"metrics\"}}").unwrap();
+    writer.flush().unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    let (_, text) = protocol::parse_metrics_response(resp.trim_end()).expect("metrics parses");
+    text.expect("metrics ok")
+}
+
+#[test]
+fn drift_monitor_alerts_on_shifted_traffic_only() {
+    use lttf::obs::{FeatureStats, ReferenceProfile};
+    use lttf::serve::DriftConfig;
+
+    // Reference matching raw_window's distribution: randn * 3 per
+    // feature — mean 0, std 3, symmetric quantiles.
+    let profile = ReferenceProfile {
+        features: vec![
+            FeatureStats { mean: 0.0, std: 3.0, q10: -3.84, q50: 0.0, q90: 3.84 };
+            3
+        ],
+        count: 1000,
+    };
+    let model = test_model().with_profile(profile);
+    let handle = serve(
+        Registry::single("m", model),
+        "127.0.0.1:0",
+        ServeConfig {
+            // Each request contributes lx = 12 time steps per feature;
+            // two requests are already scoreable.
+            drift: DriftConfig { min_count: 24, ..DriftConfig::default() },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let reference = test_model();
+
+    // Phase 1: in-distribution traffic must NOT trip the alert.
+    for i in 0..4u64 {
+        let raw = raw_window(&reference, 700 + i);
+        let (_, res) = ask(addr, &request_line(i, &raw, None));
+        res.expect("served");
+    }
+    let stats = ask_stats(addr, 50);
+    assert!(stats.drift_available, "profile-armed model must report available");
+    assert!(!stats.drift_alert, "in-distribution traffic alerted: {stats:?}");
+    assert_eq!(stats.drift_scores.len(), 3);
+    assert!(
+        stats.drift_scores.iter().all(|&s| s < 1.0),
+        "scores must stay below threshold: {stats:?}"
+    );
+    let text = ask_metrics(addr, 51);
+    assert!(text.contains("lttf_drift_available{model=\"m\"} 1\n"), "{text}");
+    assert!(text.contains("lttf_drift_alert{model=\"m\"} 0\n"), "{text}");
+
+    // Phase 2: shift every value by +5 training stds — the alert must
+    // fire within the same evaluation window.
+    for i in 0..8u64 {
+        let mut raw = raw_window(&reference, 800 + i);
+        for v in &mut raw {
+            *v += 15.0;
+        }
+        let (_, res) = ask(addr, &request_line(100 + i, &raw, None));
+        res.expect("shifted traffic is still served");
+    }
+    let stats = ask_stats(addr, 60);
+    assert!(stats.drift_alert, "5-sigma shift must alert: {stats:?}");
+    assert!(
+        stats.drift_scores.iter().any(|&s| s >= 1.0),
+        "at least one feature must cross the threshold: {stats:?}"
+    );
+    let text = ask_metrics(addr, 61);
+    assert!(text.contains("lttf_drift_alert{model=\"m\"} 1\n"), "{text}");
+    assert!(text.contains("lttf_drift_score{model=\"m\",feature=\"0\"}"), "{text}");
+    lttf::obs::metrics::validate(&text).expect("exposition validates with drift series");
+
+    handle.shutdown();
+}
+
+#[test]
+fn stats_command_reports_windowed_latency_and_flows() {
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        ServeConfig {
+            admission: AdmissionConfig {
+                shed_depth: Some(0), // refuse everything: exercise the shed flow
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let raw = raw_window(&test_model(), 23);
+    let (_, res) = ask(handle.addr(), &request_line(1, &raw, None));
+    res.expect_err("shed_depth 0 refuses forecasts");
+    let stats = ask_stats(handle.addr(), 2);
+    assert_eq!(stats.model, "m");
+    assert_eq!(stats.served_total, 0, "shed traffic never reaches a replica");
+    assert!(
+        stats.shed_per_sec > 0.0,
+        "windowed shed rate must see the refusal: {stats:?}"
+    );
+    assert_eq!(stats.rejected_per_sec, 0.0);
+    handle.shutdown();
+
+    // A permissive server serves, and the windowed latency view fills in.
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    for i in 0..3u64 {
+        let (_, res) = ask(handle.addr(), &request_line(i, &raw, None));
+        res.expect("served");
+    }
+    let stats = ask_stats(handle.addr(), 9);
+    assert_eq!(stats.served_total, 3);
+    assert_eq!(stats.window_count, 3, "all three land in the trailing window");
+    assert!(stats.p50_ms > 0.0 && stats.p50_ms <= stats.p99_ms, "{stats:?}");
+    assert!(
+        stats.queue_p50_ms <= stats.p50_ms,
+        "queue wait is a component of total latency: {stats:?}"
+    );
+    assert!(stats.service_p50_ms > 0.0, "{stats:?}");
+    assert_eq!(stats.shed_per_sec, 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn profileless_checkpoint_serves_with_drift_unavailable() {
+    // Checkpoints from before the drift profile existed must keep
+    // serving; the monitor reports unavailable instead of guessing.
+    let dir = std::env::temp_dir().join(format!(
+        "lttf-noprofile-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("ckpt");
+    let base = base.to_str().unwrap().to_string();
+
+    let model = test_model(); // from_parts: no profile attached
+    model.save(&base).expect("write checkpoint");
+    let loaded = LoadedModel::load(&base).expect("load plain checkpoint");
+    assert!(loaded.profile().is_none(), "no profile must round-trip as None");
+
+    let handle = serve(
+        Registry::single("m", loaded),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let reference = test_model();
+    let raw = raw_window(&reference, 19);
+    let (_, res) = ask(handle.addr(), &request_line(1, &raw, None));
+    assert_eq!(
+        res.expect("profile-less checkpoints must keep serving"),
+        reference.forecast_one(&raw, 1_700_000_000, 3600).unwrap()
+    );
+    let stats = ask_stats(handle.addr(), 2);
+    assert!(!stats.drift_available);
+    assert!(!stats.drift_alert);
+    assert!(stats.drift_scores.is_empty());
+    let text = ask_metrics(handle.addr(), 3);
+    assert!(text.contains("lttf_drift_available{model=\"m\"} 0\n"), "{text}");
+    lttf::obs::metrics::validate(&text).expect("exposition validates without a profile");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
