@@ -17,6 +17,7 @@ mod multirun;
 mod profile;
 #[cfg(test)]
 mod proptests;
+mod regime;
 mod scale;
 mod table;
 mod trainer;
@@ -27,6 +28,7 @@ pub use metrics::{corr, coverage, mae, mse, pinball, rse, Metrics};
 pub use model::{Forecaster, ModelImpl, ModelKind, TrainedModel};
 pub use multirun::{run_seeds, run_seeds_with_reports, RunStats, TrainSummary};
 pub use profile::fit_reference_profile;
+pub use regime::{generate as generate_regime, horizon_truth, ErrorAccum, RegimeSpec};
 pub use scale::Scale;
 pub use table::Table;
 pub use trainer::{

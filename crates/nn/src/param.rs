@@ -104,6 +104,41 @@ impl ParamSet {
         (0..self.params.len()).map(ParamId)
     }
 
+    /// Clone every parameter value, in registration order.
+    ///
+    /// A snapshot is the unit of rollback for online adaptation: take one
+    /// before a risky optimizer step, and [`ParamSet::restore`] rewinds
+    /// the set bit-for-bit if the step diverges. Gradients and optimizer
+    /// state are *not* captured — a restore lands on clean values with
+    /// whatever gradient slots the caller zeroes next.
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Overwrite every parameter value from a [`ParamSet::snapshot`].
+    ///
+    /// # Panics
+    /// Panics when the snapshot's length or any tensor shape does not
+    /// match this set — restoring across different architectures is
+    /// always a bug.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "snapshot has {} tensors but the set has {} parameters",
+            snapshot.len(),
+            self.params.len()
+        );
+        for (p, s) in self.params.iter_mut().zip(snapshot) {
+            assert_eq!(
+                p.value.shape(),
+                s.shape(),
+                "snapshot tensor shape mismatch"
+            );
+            p.value = s.clone();
+        }
+    }
+
     /// One-pass health statistics per parameter, in registration order:
     /// `(name, value stats, gradient stats)`. The training health monitor
     /// feeds these to its divergence watchdog and the run log.
@@ -387,6 +422,35 @@ mod tests {
         assert_eq!(grad.nan, 1);
         assert!(grad.non_finite());
         assert!(!scan[1].2.non_finite());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_for_bit() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Tensor::from_slice(&[1.5, -2.25]));
+        let b = ps.add("b", Tensor::from_slice(&[0.125]));
+        let snap = ps.snapshot();
+        ps.value_mut(a).data_mut().copy_from_slice(&[9.0, 9.0]);
+        ps.value_mut(b).data_mut().copy_from_slice(&[f32::NAN]);
+        ps.restore(&snap);
+        assert_eq!(ps.value(a).data(), &[1.5, -2.25]);
+        assert_eq!(ps.value(b).data(), &[0.125]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot has")]
+    fn restore_rejects_wrong_length() {
+        let mut ps = ParamSet::new();
+        ps.add("a", Tensor::from_slice(&[1.0]));
+        ps.restore(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_rejects_wrong_shape() {
+        let mut ps = ParamSet::new();
+        ps.add("a", Tensor::from_slice(&[1.0, 2.0]));
+        ps.restore(&[Tensor::from_slice(&[1.0])]);
     }
 
     #[test]

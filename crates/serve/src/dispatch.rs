@@ -266,11 +266,26 @@ pub struct ModelEntry {
     model: Arc<LoadedModel>,
     pool: ReplicaPool,
     drift: DriftMonitor,
+    /// True when this generation came from the online adapter rather
+    /// than a checkpoint load; stamped as `"adapted"` in push replies.
+    adapted: bool,
 }
 
 impl ModelEntry {
     /// Load `model` behind a fresh replica pool as generation `gen`.
     pub fn start(name: &str, generation: u64, model: Arc<LoadedModel>, cfg: &PoolConfig) -> ModelEntry {
+        Self::start_tagged(name, generation, model, cfg, false)
+    }
+
+    /// [`ModelEntry::start`] with the adapted provenance tag set
+    /// explicitly — the online adapter publishes with `adapted = true`.
+    pub fn start_tagged(
+        name: &str,
+        generation: u64,
+        model: Arc<LoadedModel>,
+        cfg: &PoolConfig,
+        adapted: bool,
+    ) -> ModelEntry {
         let pool = ReplicaPool::start(Arc::clone(&model), cfg, name);
         let drift = DriftMonitor::new(model.profile().cloned(), model.target_col(), cfg.drift);
         ModelEntry {
@@ -279,6 +294,7 @@ impl ModelEntry {
             model,
             pool,
             drift,
+            adapted,
         }
     }
 
@@ -307,6 +323,12 @@ impl ModelEntry {
     /// (never alerting) when the checkpoint carried no reference profile.
     pub fn drift(&self) -> &DriftMonitor {
         &self.drift
+    }
+
+    /// Whether this generation was published by the online adapter
+    /// (true) or loaded from a checkpoint (false).
+    pub fn adapted(&self) -> bool {
+        self.adapted
     }
 }
 

@@ -23,6 +23,18 @@
 //!   generation, atomically swaps the routing table, and drains the old
 //!   generation without dropping a single in-flight request.
 //!
+//! Beyond one-shot forecasts, the server speaks a **streaming session**
+//! mode (`open`/`push`/`close`): it keeps a per-client rolling window in
+//! a bounded, TTL-evicted [`SessionTable`] and answers each push with a
+//! horizon forecast through the same micro-batching path — bit-identical
+//! to a one-shot `forecast` of the same window while adaptation is off.
+//! With [`AdaptConfig::enabled`], a background adapter thread fine-tunes
+//! a *copy* of the live model on recent session data whenever the
+//! [`DriftMonitor`] alerts, health-gates every update with the
+//! [`lttf_obs::Watchdog`] (a NaN or divergent round is dropped, leaving
+//! the serving parameters untouched), and publishes healthy updates as a
+//! new generation stamped `"adapted":true` (see `crate::adapt`).
+//!
 //! ```
 //! use lttf_serve::{serve, LoadedModel, Registry, ServeConfig};
 //! use lttf_conformer::ConformerConfig;
@@ -58,6 +70,7 @@
 
 #![deny(missing_docs)]
 
+pub mod adapt;
 mod admission;
 mod dispatch;
 mod drift;
@@ -67,13 +80,19 @@ pub mod metrics;
 pub mod protocol;
 mod registry;
 mod server;
+mod session;
 mod stats;
 
+pub use adapt::{AdaptConfig, AdaptShared, AdaptState, Example, ExampleBuffer};
 pub use admission::{Admission, AdmissionConfig, Denied};
 pub use dispatch::{ModelEntry, Policy, PoolConfig, ReplicaPool};
 pub use drift::{DriftConfig, DriftMonitor, DriftStatus};
 pub use engine::{BatchConfig, Engine, Reject, Reply, Submitter};
 pub use latency::{LatencyStats, LatencySummary};
+pub use metrics::ServerGauges;
 pub use registry::{scaler_from_meta, scaler_meta, LoadedModel, Registry, Window};
 pub use server::{serve, ServeConfig, ServerHandle, MAX_LINE};
+pub use session::{
+    PushOutcome, SessionConfig, SessionShape, SessionSummary, SessionTable,
+};
 pub use stats::{FlowRates, FlowStats, ServeStats, WindowSnapshot, WINDOW_BUCKETS, WINDOW_BUCKET_MS};

@@ -36,10 +36,30 @@ use lttf_obs::{health, registry, trace};
 use crate::dispatch::ModelEntry;
 use crate::stats::FlowRates;
 
+/// Server-level session and adapter gauges, snapshotted by the server
+/// when a `metrics` request arrives.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerGauges {
+    /// Sessions currently open.
+    pub sessions_open: u64,
+    /// Sessions opened since startup.
+    pub sessions_opened: u64,
+    /// Sessions evicted by the TTL sweep since startup.
+    pub session_evictions: u64,
+    /// Whether online adaptation is enabled.
+    pub adapt_enabled: bool,
+    /// Lifetime adapter gradient steps.
+    pub adapt_steps: u64,
+    /// Lifetime rolled-back adaptation rounds.
+    pub adapt_rollbacks: u64,
+    /// Lifetime published adaptation rounds.
+    pub adapt_publishes: u64,
+}
+
 /// Render the exposition for the routing table's current entries
 /// (typically every model the server fronts, current generation each)
-/// plus the server-level flow rates.
-pub fn render(entries: &[Arc<ModelEntry>], flow: &FlowRates) -> String {
+/// plus the server-level flow rates and session/adapter gauges.
+pub fn render(entries: &[Arc<ModelEntry>], flow: &FlowRates, gauges: &ServerGauges) -> String {
     let mut m = MetricsText::new();
     m.line("lttf_up", &[], 1.0);
     for entry in entries {
@@ -128,6 +148,13 @@ pub fn render(entries: &[Arc<ModelEntry>], flow: &FlowRates) -> String {
     m.line("lttf_serve_shed_per_second", &[], flow.shed_per_sec);
     m.line("lttf_serve_rejected_per_second", &[], flow.rejected_per_sec);
     m.line("lttf_serve_resubmitted_per_second", &[], flow.resubmitted_per_sec);
+    m.line("lttf_sessions_open", &[], gauges.sessions_open as f64);
+    m.line("lttf_sessions_opened_total", &[], gauges.sessions_opened as f64);
+    m.line("lttf_session_evictions_total", &[], gauges.session_evictions as f64);
+    m.line("lttf_adapt_enabled", &[], gauges.adapt_enabled as u8 as f64);
+    m.line("lttf_adapt_steps_total", &[], gauges.adapt_steps as f64);
+    m.line("lttf_adapt_rollbacks_total", &[], gauges.adapt_rollbacks as f64);
+    m.line("lttf_adapt_publishes_total", &[], gauges.adapt_publishes as f64);
     m.line("lttf_trace_dropped_total", &[], trace::dropped_total() as f64);
     match health::global() {
         Some(d) => m.line("lttf_health_diverged", &[("layer", &d.layer)], 1.0),
@@ -163,7 +190,16 @@ mod tests {
 
         let flow = FlowStats::new();
         flow.shed();
-        let text = render(&[Arc::clone(&entry)], &flow.rates());
+        let gauges = ServerGauges {
+            sessions_open: 2,
+            sessions_opened: 5,
+            session_evictions: 1,
+            adapt_enabled: true,
+            adapt_steps: 8,
+            adapt_rollbacks: 1,
+            adapt_publishes: 2,
+        };
+        let text = render(&[Arc::clone(&entry)], &flow.rates(), &gauges);
         assert!(text.contains("lttf_up 1\n"), "{text}");
         assert!(text.contains("lttf_serve_replicas{model=\"demo\"} 2\n"), "{text}");
         assert!(text.contains("lttf_serve_generation{model=\"demo\"} 3\n"), "{text}");
@@ -201,6 +237,13 @@ mod tests {
         assert!(text.contains("lttf_drift_available{model=\"demo\"} 0\n"), "{text}");
         assert!(text.contains("lttf_drift_alert{model=\"demo\"} 0\n"), "{text}");
         assert!(text.contains("lttf_serve_shed_per_second"), "{text}");
+        assert!(text.contains("lttf_sessions_open 2\n"), "{text}");
+        assert!(text.contains("lttf_sessions_opened_total 5\n"), "{text}");
+        assert!(text.contains("lttf_session_evictions_total 1\n"), "{text}");
+        assert!(text.contains("lttf_adapt_enabled 1\n"), "{text}");
+        assert!(text.contains("lttf_adapt_steps_total 8\n"), "{text}");
+        assert!(text.contains("lttf_adapt_rollbacks_total 1\n"), "{text}");
+        assert!(text.contains("lttf_adapt_publishes_total 2\n"), "{text}");
         assert!(text.contains("lttf_trace_dropped_total"), "{text}");
         assert!(text.contains("lttf_health_diverged"), "{text}");
 

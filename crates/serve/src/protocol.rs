@@ -31,7 +31,34 @@
 //! promise. Clients that honor it ride out bursts instead of amplifying
 //! them.
 //!
-//! Besides forecasts, three control commands share the framing:
+//! Besides one-shot forecasts, the framing carries the **streaming
+//! session** commands:
+//!
+//! * `{"id":…,"cmd":"open"[,"model":…][,"t0":…][,"dt":…]}` — open a
+//!   stateful session against one model. The answer is
+//!   `{"id":…,"ok":true,"session":S,"window":W}`: a server-assigned
+//!   session id and the number of observation rows (`lx`) the rolling
+//!   window needs before forecasts flow.
+//! * `{"id":…,"cmd":"push","session":S,"values":[…]}` — append one or
+//!   more raw observation rows (each `c_in` values) to the session's
+//!   rolling window. While the window is still filling the answer is
+//!   `{"id":…,"ok":true,"session":S,"pending":K}` (`K` rows still
+//!   needed); once full, every push answers with a fresh horizon
+//!   forecast `{"id":…,"ok":true,"session":S,"gen":G,"adapted":B,
+//!   "forecast":[…]}` through the same micro-batching engine one-shot
+//!   requests use. `"adapted"` is `true` when the serving generation
+//!   was published by the online adapter rather than loaded from disk.
+//! * `{"id":…,"cmd":"close","session":S}` — drop the session; the
+//!   answer echoes its lifetime counts:
+//!   `{"id":…,"ok":true,"session":S,"pushed":P,"forecasts":F}`.
+//!
+//! Sessions are keyed by model *name*, not generation, so they survive
+//! hot reloads: the first push after a swap simply forecasts on the new
+//! generation. Idle sessions are evicted after the server's TTL; a push
+//! against an evicted or unknown id gets
+//! `{"ok":false,"error":"unknown session"}` and the client re-opens.
+//!
+//! Three further control commands share the framing:
 //!
 //! * `{"id":…,"cmd":"metrics"}` — the answer is
 //!   `{"id":…,"ok":true,"metrics":"…"}` where the string holds a
@@ -101,6 +128,36 @@ pub enum Command {
         /// Checkpoint base path (`<base>.params` + `<base>.config`).
         path: String,
     },
+    /// `{"id":…,"cmd":"open"[,"model":…][,"t0":…][,"dt":…]}` — open a
+    /// streaming session.
+    Open {
+        /// Client correlation id, echoed back.
+        id: u64,
+        /// Registry name the session forecasts on (`None` = default).
+        model: Option<String>,
+        /// Unix timestamp (seconds) of the first observation row.
+        t0: i64,
+        /// Seconds between consecutive observation rows.
+        dt: i64,
+    },
+    /// `{"id":…,"cmd":"push","session":…,"values":[…]}` — append
+    /// observation rows to a session; answers with a forecast once the
+    /// rolling window is full.
+    Push {
+        /// Client correlation id, echoed back.
+        id: u64,
+        /// Server-assigned session id from the `open` response.
+        session: u64,
+        /// Raw observation rows, each `c_in` values, row-major.
+        values: Vec<f32>,
+    },
+    /// `{"id":…,"cmd":"close","session":…}` — drop a session.
+    Close {
+        /// Client correlation id, echoed back.
+        id: u64,
+        /// Server-assigned session id from the `open` response.
+        session: u64,
+    },
 }
 
 /// Parse one request line into a [`Command`]. Lines without a `cmd`
@@ -136,6 +193,49 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .and_then(|v| v.as_str())
                 .map(str::to_string);
             Ok(Command::Reload { id, model, path })
+        }
+        Some("open") => {
+            let id = field(&fields, "id")
+                .and_then(|v| v.as_num())
+                .ok_or("missing numeric 'id'")? as u64;
+            let model = field(&fields, "model")
+                .and_then(|v| v.as_str())
+                .map(str::to_string);
+            let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+            Ok(Command::Open {
+                id,
+                model,
+                t0: num("t0").unwrap_or(0.0) as i64,
+                dt: num("dt").unwrap_or(3600.0) as i64,
+            })
+        }
+        Some("push") => {
+            let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+            let id = num("id").ok_or("missing numeric 'id'")? as u64;
+            let session = num("session").ok_or("push requires a numeric 'session'")? as u64;
+            let values = field(&fields, "values")
+                .and_then(|v| v.as_arr())
+                .ok_or("push requires an array 'values'")?;
+            if values.len() > MAX_VALUES {
+                return Err(format!("'values' too long ({} > {MAX_VALUES})", values.len()));
+            }
+            if values.is_empty() {
+                return Err("push requires a non-empty 'values'".to_string());
+            }
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err("'values' contains a non-finite entry".to_string());
+            }
+            Ok(Command::Push {
+                id,
+                session,
+                values: values.iter().map(|&v| v as f32).collect(),
+            })
+        }
+        Some("close") => {
+            let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+            let id = num("id").ok_or("missing numeric 'id'")? as u64;
+            let session = num("session").ok_or("close requires a numeric 'session'")? as u64;
+            Ok(Command::Close { id, session })
         }
         Some(other) => Err(format!("unknown cmd '{other}'")),
     }
@@ -246,6 +346,160 @@ pub fn parse_reload_response(line: &str) -> Result<(u64, Result<ReloadInfo, Stri
                 drained: num("drained").unwrap_or(0.0) as u64,
             }),
         ))
+    } else {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        Ok((id, Err(error.to_string())))
+    }
+}
+
+/// Format an `open` request line (client side).
+pub fn format_open(id: u64, model: Option<&str>, t0: i64, dt: i64) -> String {
+    let mut o = JsonObj::new().int("id", id).str("cmd", "open");
+    if let Some(m) = model {
+        o = o.str("model", m);
+    }
+    o.num("t0", t0 as f64).num("dt", dt as f64).finish()
+}
+
+/// Format a successful `open` response: the assigned session id and the
+/// number of observation rows the window needs before forecasts flow.
+pub fn format_open_ok(id: u64, session: u64, window_rows: usize) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .int("session", session)
+        .int("window", window_rows as u64)
+        .finish()
+}
+
+/// Format a `push` request line (client side).
+pub fn format_push(id: u64, session: u64, values: &[f32]) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .str("cmd", "push")
+        .int("session", session)
+        .nums("values", values.iter().copied())
+        .finish()
+}
+
+/// Format a `push` response while the rolling window is still filling:
+/// `pending` rows are still needed before forecasts flow.
+pub fn format_push_pending(id: u64, session: u64, pending: usize) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .int("session", session)
+        .int("pending", pending as u64)
+        .finish()
+}
+
+/// Format a `push` response carrying a fresh horizon forecast. `adapted`
+/// marks generations published by the online adapter.
+pub fn format_push_ok(
+    id: u64,
+    session: u64,
+    generation: u64,
+    adapted: bool,
+    forecast: &[f32],
+) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .int("session", session)
+        .int("gen", generation)
+        .bool("adapted", adapted)
+        .nums("forecast", forecast.iter().copied())
+        .finish()
+}
+
+/// Format a `close` request line (client side).
+pub fn format_close(id: u64, session: u64) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .str("cmd", "close")
+        .int("session", session)
+        .finish()
+}
+
+/// Format a successful `close` response echoing the session's lifetime
+/// counts.
+pub fn format_close_ok(id: u64, session: u64, pushed: u64, forecasts: u64) -> String {
+    JsonObj::new()
+        .int("id", id)
+        .bool("ok", true)
+        .int("session", session)
+        .int("pushed", pushed)
+        .int("forecasts", forecasts)
+        .finish()
+}
+
+/// The client-side view of one `push` response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PushReply {
+    /// The window is still filling; this many rows are still needed.
+    Pending(usize),
+    /// The window is full and every push answers with a forecast.
+    Forecast {
+        /// Generation of the model that computed the forecast.
+        generation: u64,
+        /// True when the generation was published by the online adapter.
+        adapted: bool,
+        /// `ly` raw-space values of the model's target variable.
+        forecast: Vec<f32>,
+    },
+}
+
+/// Parse an `open` response into `(id, Result<(session, window_rows), error>)`.
+pub fn parse_open_response(line: &str) -> Result<(u64, Result<(u64, usize), String>), String> {
+    let fields = parse_object(line)?;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if ok {
+        let session = num("session").ok_or("open response missing 'session'")? as u64;
+        let window = num("window").ok_or("open response missing 'window'")? as usize;
+        Ok((id, Ok((session, window))))
+    } else {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        Ok((id, Err(error.to_string())))
+    }
+}
+
+/// Parse a `push` response into `(id, Result<PushReply, error>)`.
+pub fn parse_push_response(line: &str) -> Result<(u64, Result<PushReply, String>), String> {
+    let fields = parse_object(line)?;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if !ok {
+        let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
+        return Ok((id, Err(error.to_string())));
+    }
+    if let Some(forecast) = field(&fields, "forecast").and_then(|v| v.as_arr()) {
+        Ok((
+            id,
+            Ok(PushReply::Forecast {
+                generation: num("gen").ok_or("push response missing 'gen'")? as u64,
+                adapted: field(&fields, "adapted").and_then(|v| v.as_bool()).unwrap_or(false),
+                forecast: forecast.iter().map(|&v| v as f32).collect(),
+            }),
+        ))
+    } else {
+        let pending = num("pending").ok_or("push response missing 'pending'")? as usize;
+        Ok((id, Ok(PushReply::Pending(pending))))
+    }
+}
+
+/// Parse a `close` response into `(id, Result<(pushed, forecasts), error>)`.
+pub fn parse_close_response(line: &str) -> Result<(u64, Result<(u64, u64), String>), String> {
+    let fields = parse_object(line)?;
+    let num = |k: &str| field(&fields, k).and_then(|v| v.as_num());
+    let id = num("id").ok_or("missing numeric 'id'")? as u64;
+    let ok = field(&fields, "ok").and_then(|v| v.as_bool()).ok_or("missing 'ok'")?;
+    if ok {
+        let pushed = num("pushed").unwrap_or(0.0) as u64;
+        let forecasts = num("forecasts").unwrap_or(0.0) as u64;
+        Ok((id, Ok((pushed, forecasts))))
     } else {
         let error = field(&fields, "error").and_then(|v| v.as_str()).unwrap_or("unknown");
         Ok((id, Err(error.to_string())))
@@ -372,6 +626,23 @@ pub struct StatsReport {
     pub drift_threshold: f64,
     /// Time steps in the drift window the scores describe.
     pub drift_window_count: u64,
+    /// Streaming sessions currently open (server-wide).
+    pub sessions_open: u64,
+    /// Sessions opened since startup (server-wide, lifetime).
+    pub sessions_opened: u64,
+    /// Sessions evicted by the TTL sweep (server-wide, lifetime).
+    pub session_evictions: u64,
+    /// Whether the online adapter is running.
+    pub adapt_enabled: bool,
+    /// Adapter state: `"off"`, `"idle"`, `"adapting"`, `"published"`,
+    /// or `"rolled_back"` (the latter two describe the last cycle).
+    pub adapt_state: String,
+    /// Optimizer steps the adapter has taken (lifetime).
+    pub adapt_steps: u64,
+    /// Divergent adaptation cycles rolled back by the watchdog.
+    pub adapt_rollbacks: u64,
+    /// Adapted generations published into the routing table.
+    pub adapt_publishes: u64,
 }
 
 /// Format a stats request line (client side).
@@ -409,6 +680,14 @@ pub fn format_stats(id: u64, r: &StatsReport) -> String {
         .num("drift_prediction_score", r.drift_prediction_score)
         .num("drift_threshold", r.drift_threshold)
         .int("drift_window_count", r.drift_window_count)
+        .int("sessions_open", r.sessions_open)
+        .int("sessions_opened", r.sessions_opened)
+        .int("session_evictions", r.session_evictions)
+        .bool("adapt_enabled", r.adapt_enabled)
+        .str("adapt_state", &r.adapt_state)
+        .int("adapt_steps", r.adapt_steps)
+        .int("adapt_rollbacks", r.adapt_rollbacks)
+        .int("adapt_publishes", r.adapt_publishes)
         .finish()
 }
 
@@ -453,6 +732,19 @@ pub fn parse_stats_response(line: &str) -> Result<(u64, Result<StatsReport, Stri
         drift_prediction_score: num("drift_prediction_score").unwrap_or(0.0),
         drift_threshold: num("drift_threshold").unwrap_or(0.0),
         drift_window_count: num("drift_window_count").unwrap_or(0.0) as u64,
+        // Session/adapter fields are absent in pre-session stats lines;
+        // default them so old servers still parse.
+        sessions_open: num("sessions_open").unwrap_or(0.0) as u64,
+        sessions_opened: num("sessions_opened").unwrap_or(0.0) as u64,
+        session_evictions: num("session_evictions").unwrap_or(0.0) as u64,
+        adapt_enabled: flag("adapt_enabled"),
+        adapt_state: field(&fields, "adapt_state")
+            .and_then(|v| v.as_str())
+            .unwrap_or("off")
+            .to_string(),
+        adapt_steps: num("adapt_steps").unwrap_or(0.0) as u64,
+        adapt_rollbacks: num("adapt_rollbacks").unwrap_or(0.0) as u64,
+        adapt_publishes: num("adapt_publishes").unwrap_or(0.0) as u64,
     };
     Ok((id, Ok(report)))
 }
@@ -656,6 +948,14 @@ mod tests {
             drift_prediction_score: 0.75,
             drift_threshold: 1.0,
             drift_window_count: 640,
+            sessions_open: 3,
+            sessions_opened: 11,
+            session_evictions: 2,
+            adapt_enabled: true,
+            adapt_state: "published".to_string(),
+            adapt_steps: 12,
+            adapt_rollbacks: 1,
+            adapt_publishes: 2,
         };
         let (id, got) = parse_stats_response(&format_stats(9, &report)).unwrap();
         assert_eq!(id, 9);
@@ -663,6 +963,85 @@ mod tests {
 
         let (_, err) = parse_stats_response(&format_err(9, "unknown model 'x'")).unwrap();
         assert!(err.unwrap_err().contains("unknown model"));
+    }
+
+    #[test]
+    fn session_command_round_trips() {
+        match parse_command(&format_open(1, Some("demo"), 1_700_000_000, 60)).unwrap() {
+            Command::Open { id, model, t0, dt } => {
+                assert_eq!(id, 1);
+                assert_eq!(model.as_deref(), Some("demo"));
+                assert_eq!(t0, 1_700_000_000);
+                assert_eq!(dt, 60);
+            }
+            other => panic!("expected Open, got {other:?}"),
+        }
+        // model/t0/dt are all optional on open
+        match parse_command("{\"id\":2,\"cmd\":\"open\"}").unwrap() {
+            Command::Open { model, t0, dt, .. } => {
+                assert!(model.is_none());
+                assert_eq!((t0, dt), (0, 3600));
+            }
+            other => panic!("expected Open, got {other:?}"),
+        }
+
+        match parse_command(&format_push(3, 17, &[1.5, -2.25])).unwrap() {
+            Command::Push { id, session, values } => {
+                assert_eq!((id, session), (3, 17));
+                assert_eq!(values, vec![1.5, -2.25]);
+            }
+            other => panic!("expected Push, got {other:?}"),
+        }
+        assert!(parse_command("{\"id\":1,\"cmd\":\"push\",\"values\":[1]}")
+            .unwrap_err()
+            .contains("session"));
+        assert!(parse_command("{\"id\":1,\"cmd\":\"push\",\"session\":1}")
+            .unwrap_err()
+            .contains("values"));
+        assert!(parse_command("{\"id\":1,\"cmd\":\"push\",\"session\":1,\"values\":[]}")
+            .unwrap_err()
+            .contains("non-empty"));
+        assert!(
+            parse_command("{\"id\":1,\"cmd\":\"push\",\"session\":1,\"values\":[1,null]}")
+                .unwrap_err()
+                .contains("non-finite")
+        );
+
+        match parse_command(&format_close(4, 17)).unwrap() {
+            Command::Close { id, session } => assert_eq!((id, session), (4, 17)),
+            other => panic!("expected Close, got {other:?}"),
+        }
+        assert!(parse_command("{\"id\":1,\"cmd\":\"close\"}")
+            .unwrap_err()
+            .contains("session"));
+    }
+
+    #[test]
+    fn session_response_round_trips() {
+        let (id, res) = parse_open_response(&format_open_ok(5, 42, 16)).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(res.unwrap(), (42, 16));
+        let (_, res) = parse_open_response(&format_err(5, "session table full")).unwrap();
+        assert!(res.unwrap_err().contains("full"));
+
+        let (id, res) = parse_push_response(&format_push_pending(6, 42, 9)).unwrap();
+        assert_eq!(id, 6);
+        assert_eq!(res.unwrap(), PushReply::Pending(9));
+
+        let forecast = vec![0.1f32, -3.5e-5, f32::MIN_POSITIVE];
+        let (id, res) = parse_push_response(&format_push_ok(7, 42, 3, true, &forecast)).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(
+            res.unwrap(),
+            PushReply::Forecast { generation: 3, adapted: true, forecast },
+            "forecast floats survive the wire bit-for-bit"
+        );
+        let (_, res) = parse_push_response(&format_err(7, "unknown session")).unwrap();
+        assert!(res.unwrap_err().contains("unknown session"));
+
+        let (id, res) = parse_close_response(&format_close_ok(8, 42, 20, 5)).unwrap();
+        assert_eq!(id, 8);
+        assert_eq!(res.unwrap(), (20, 5));
     }
 
     #[test]

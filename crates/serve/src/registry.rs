@@ -329,6 +329,88 @@ impl LoadedModel {
         let w = self.make_window(values, t0, dt)?;
         Ok(self.forecast_rows(&[&w]).pop().unwrap())
     }
+
+    /// Clone the current parameter values — the adapter's rollback unit.
+    pub fn params_snapshot(&self) -> Vec<Tensor> {
+        self.model.params().snapshot()
+    }
+
+    /// A private, trainable copy of the model carrying the exact current
+    /// parameter values. Parameter registration order is deterministic
+    /// for a given config, so rebuild-then-restore is a faithful clone —
+    /// the same mechanism [`LoadedModel::load`] uses to revive a
+    /// checkpoint. The live model is never handed out mutably; the
+    /// adapter fine-tunes this copy and publishes it as a new entry.
+    pub fn clone_trained(&self) -> TrainedModel {
+        let mut copy = TrainedModel::from_conformer(&self.cfg, 0);
+        copy.params_mut().restore(&self.model.params().snapshot());
+        copy
+    }
+
+    /// Wrap a (fine-tuned) model with this entry's scaler, target,
+    /// profile, and calibration floor — the publish half of the adapter's
+    /// clone → tune → publish cycle.
+    pub fn with_model(&self, model: TrainedModel) -> LoadedModel {
+        LoadedModel {
+            model,
+            cfg: self.cfg.clone(),
+            scaler: self.scaler.clone(),
+            target: self.target.clone(),
+            target_col: self.target_col,
+            profile: self.profile.clone(),
+            service_floor: self.service_floor,
+        }
+    }
+
+    /// Build a supervised training example from `lx + ly` raw trailing
+    /// rows of a stream: encoder window from the first `lx`, target from
+    /// the last `ly`, everything scaled with the serving scaler and
+    /// mark-augmented exactly like [`LoadedModel::make_window`]. This is
+    /// what the adapter fine-tunes on.
+    pub fn make_train_batch(&self, values: &[f32], t0: i64, dt: i64) -> Result<Batch, String> {
+        let (lx, ly, label, c) = (self.cfg.lx, self.cfg.ly, self.cfg.label_len, self.cfg.c_in);
+        let rows = lx + ly;
+        if values.len() != rows * c {
+            return Err(format!(
+                "expected {} values ((lx {lx} + ly {ly}) x c_in {c}), got {}",
+                rows * c,
+                values.len()
+            ));
+        }
+        if dt <= 0 {
+            return Err("dt must be positive".to_string());
+        }
+        let raw = Tensor::from_vec(values.to_vec(), &[rows, c]);
+        let scaled = self.scaler.transform(&raw);
+        let x = scaled.narrow(0, 0, lx).reshape(&[1, lx, c]);
+        let mut xm_rows = Vec::with_capacity(lx * MARK_DIM);
+        for t in 0..lx {
+            xm_rows.extend_from_slice(&time_features(t0 + dt * t as i64));
+        }
+        let x_mark = Tensor::from_vec(xm_rows, &[1, lx, MARK_DIM]);
+        let dec_known = scaled.narrow(0, lx - label, label);
+        let c_out = self.cfg.c_out;
+        let dec = Tensor::concat(&[&dec_known, &Tensor::zeros(&[ly, c])], 0)
+            .reshape(&[1, label + ly, c]);
+        let mut dm_rows = Vec::with_capacity((label + ly) * MARK_DIM);
+        for t in lx - label..lx + ly {
+            dm_rows.extend_from_slice(&time_features(t0 + dt * t as i64));
+        }
+        let dec_mark = Tensor::from_vec(dm_rows, &[1, label + ly, MARK_DIM]);
+        let future = scaled.narrow(0, lx, ly);
+        // The label matches the head: every column for multivariate
+        // models, the target column alone for univariate heads.
+        let y = if c_out == c {
+            future.reshape(&[1, ly, c])
+        } else {
+            let mut col = Vec::with_capacity(ly);
+            for t in 0..ly {
+                col.push(future.at(&[t, self.target_col]));
+            }
+            Tensor::from_vec(col, &[1, ly, 1])
+        };
+        Ok(Batch { x, x_mark, dec, dec_mark, y })
+    }
 }
 
 /// Named checkpoints, shared across the server's threads.

@@ -51,17 +51,20 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use crate::adapt::{self, AdaptConfig, AdaptShared, AdaptState, Example, ExampleBuffer};
 use crate::admission::{Admission, AdmissionConfig};
 use crate::dispatch::{ModelEntry, Policy, PoolConfig};
 use crate::drift::DriftConfig;
 use crate::engine::{BatchConfig, Reject};
 use crate::latency::LatencySummary;
-use crate::metrics;
+use crate::metrics::{self, ServerGauges};
 use crate::protocol::{
-    extract_id, format_err, format_metrics, format_ok, format_reject, format_reload_ok,
-    format_stats, parse_command, Command, StatsReport,
+    extract_id, format_close_ok, format_err, format_metrics, format_ok, format_open_ok,
+    format_push_ok, format_push_pending, format_reject, format_reload_ok, format_stats,
+    parse_command, Command, StatsReport,
 };
-use crate::registry::{LoadedModel, Registry};
+use crate::registry::{LoadedModel, Registry, Window};
+use crate::session::{SessionConfig, SessionShape, SessionTable};
 use crate::stats::FlowStats;
 
 /// How often blocked connection reads wake up to check the shutdown flag.
@@ -102,6 +105,12 @@ pub struct ServeConfig {
     /// Input-drift monitor knobs (window, alert threshold, minimum
     /// sample count) for every model's [`crate::DriftMonitor`].
     pub drift: DriftConfig,
+    /// Streaming-session table knobs (capacity, idle TTL).
+    pub session: SessionConfig,
+    /// Online test-time adaptation knobs. Disabled by default; when
+    /// enabled, a background adapter thread fine-tunes the default model
+    /// on recent session data whenever the drift monitor alerts.
+    pub adapt: AdaptConfig,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +123,8 @@ impl Default for ServeConfig {
             seed: 0,
             admission: AdmissionConfig::default(),
             drift: DriftConfig::default(),
+            session: SessionConfig::default(),
+            adapt: AdaptConfig::default(),
         }
     }
 }
@@ -143,8 +154,18 @@ struct Shared {
     /// never reach a replica's latency stats.
     flow: FlowStats,
     /// Serializes reloads; a reload in progress must fully drain the old
-    /// generation before the next may retire it again.
+    /// generation before the next may retire it again. The adapter's
+    /// publish path takes the same lock, so an adapted generation and a
+    /// checkpoint reload can never retire each other mid-drain.
     reload_lock: Mutex<()>,
+    /// The streaming-session table (bounded, TTL-evicted).
+    sessions: SessionTable,
+    /// Adapter telemetry (state machine + lifetime counters), rendered
+    /// by `stats` and `metrics` whether or not adaptation is enabled.
+    adapt: AdaptShared,
+    /// Recent session examples the adapter fine-tunes on. Only fed when
+    /// adaptation is enabled.
+    examples: ExampleBuffer,
 }
 
 impl Shared {
@@ -167,6 +188,31 @@ impl Shared {
         v.sort_by(|a, b| a.name().cmp(b.name()));
         v
     }
+
+    /// The retention a session needs under the current config: the
+    /// forecast window, plus the horizon when the adapter harvests
+    /// supervised examples.
+    fn session_shape(&self, entry: &ModelEntry) -> SessionShape {
+        let cfg = entry.model().cfg();
+        let keep = if self.cfg.adapt.enabled { cfg.lx + cfg.ly } else { cfg.lx };
+        SessionShape {
+            c_in: cfg.c_in,
+            window_rows: cfg.lx,
+            keep_rows: keep,
+        }
+    }
+
+    fn gauges(&self) -> ServerGauges {
+        ServerGauges {
+            sessions_open: self.sessions.open_count() as u64,
+            sessions_opened: self.sessions.opened_total(),
+            session_evictions: self.sessions.evicted_total(),
+            adapt_enabled: self.cfg.adapt.enabled,
+            adapt_steps: self.adapt.steps(),
+            adapt_rollbacks: self.adapt.rollbacks(),
+            adapt_publishes: self.adapt.publishes(),
+        }
+    }
 }
 
 /// A running server; dropping it without calling [`ServerHandle::shutdown`]
@@ -175,6 +221,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
+    /// The online-adaptation thread, present only when
+    /// [`AdaptConfig::enabled`] was set.
+    adapter: Option<JoinHandle<()>>,
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
@@ -202,13 +251,26 @@ pub fn serve(registry: Registry, addr: &str, cfg: ServeConfig) -> io::Result<Ser
         admission: Admission::new(cfg.admission),
         flow: FlowStats::new(),
         reload_lock: Mutex::new(()),
+        sessions: SessionTable::new(cfg.session),
+        adapt: AdaptShared::new(),
+        examples: ExampleBuffer::new(cfg.adapt.buffer),
     });
     let shared2 = Arc::clone(&shared);
     let accept = thread::Builder::new()
         .name("lttf-accept".to_string())
         .spawn(move || accept_loop(listener, shared2))
         .expect("spawn accept thread");
-    Ok(ServerHandle { addr, shared, accept })
+    // The adapter thread only exists when adaptation is on; a disabled
+    // server has no background writer and stays bit-reproducible.
+    let adapter = cfg.adapt.enabled.then(|| {
+        shared.adapt.set_state(AdaptState::Idle);
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("lttf-adapt".to_string())
+            .spawn(move || adapter_loop(shared))
+            .expect("spawn adapter thread")
+    });
+    Ok(ServerHandle { addr, shared, accept, adapter })
 }
 
 impl ServerHandle {
@@ -225,6 +287,11 @@ impl ServerHandle {
         // The nonblocking accept loop sees the flag within one poll tick
         // and joins every connection thread before returning.
         self.accept.join().expect("accept thread panicked");
+        // The adapter must stop before the pools drain: a publish racing
+        // the final drain would start a pool nobody shuts down.
+        if let Some(h) = self.adapter {
+            h.join().expect("adapter thread panicked");
+        }
         let mut out = Vec::new();
         for entry in self.shared.entries() {
             out.push((entry.name().to_string(), entry.pool().drain()));
@@ -345,7 +412,9 @@ fn answer(line: &str, shared: &Shared) -> String {
     let req = match parse_command(line) {
         Ok(Command::Forecast(r)) => r,
         Ok(Command::Metrics { id }) => {
-            return format_metrics(id, &metrics::render(&shared.entries(), &shared.flow.rates()));
+            let text =
+                metrics::render(&shared.entries(), &shared.flow.rates(), &shared.gauges());
+            return format_metrics(id, &text);
         }
         Ok(Command::Stats { id, model }) => {
             let name = model.as_deref().unwrap_or(&shared.default);
@@ -356,6 +425,26 @@ fn answer(line: &str, shared: &Shared) -> String {
         }
         Ok(Command::Reload { id, model, path }) => {
             return reload(id, model.as_deref(), &path, shared);
+        }
+        Ok(Command::Open { id, model, t0, dt }) => {
+            let name = model.as_deref().unwrap_or(&shared.default);
+            let Some(entry) = shared.entry(name) else {
+                return format_err(id, &format!("unknown model '{name}'"));
+            };
+            let shape = shared.session_shape(&entry);
+            return match shared.sessions.open(name, shape, t0, dt) {
+                Ok(session) => format_open_ok(id, session, shape.window_rows),
+                Err(e) => format_err(id, &e),
+            };
+        }
+        Ok(Command::Push { id, session, values }) => {
+            return push_session(id, session, &values, shared);
+        }
+        Ok(Command::Close { id, session }) => {
+            return match shared.sessions.close(session) {
+                Ok(sum) => format_close_ok(id, session, sum.pushed_rows, sum.forecasts),
+                Err(e) => format_err(id, &e),
+            };
         }
         // Unparseable line — still try to salvage the client's id so the
         // error can be correlated, instead of a blanket id 0.
@@ -377,32 +466,61 @@ fn answer(line: &str, shared: &Shared) -> String {
     // Only admitted traffic is sketched: refused requests never reach the
     // model, so they should not move its input-distribution estimate.
     entry.drift().observe_input(&req.values);
-    let mut window = match entry.model().make_window(&req.values, req.t0, req.dt) {
+    let window = match entry.model().make_window(&req.values, req.t0, req.dt) {
         Ok(w) => w,
         Err(e) => return format_err(req.id, &e),
     };
     let deadline = req
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let mut entry = entry;
+    match run_forecast(entry, window, deadline, shared) {
+        ForecastOutcome::Done { forecast, entry } => {
+            format_ok(req.id, entry.generation(), &forecast)
+        }
+        ForecastOutcome::QueueFull => {
+            // Aggregate queue capacity exhausted — same backoff hint
+            // as a shed, since both mean "come back after a drain".
+            shared.flow.rejected();
+            format_reject(
+                req.id,
+                &Reject::QueueFull.to_string(),
+                shared.admission.config().shed_retry_ms.max(1),
+            )
+        }
+        ForecastOutcome::Failed(e) => format_err(req.id, &e),
+    }
+}
+
+/// How one prepared window fared against the replica pools.
+enum ForecastOutcome {
+    /// Answered; `entry` is the generation that actually served it
+    /// (relevant after a mid-flight reload or adapter publish).
+    Done {
+        forecast: Vec<f32>,
+        entry: Arc<ModelEntry>,
+    },
+    /// Aggregate queue capacity exhausted; the caller formats a reject
+    /// with a retry hint.
+    QueueFull,
+    Failed(String),
+}
+
+/// Submit a window, retrying across generation swaps: a pool drained
+/// under us (hot reload, adapter publish, or shutdown) hands the window
+/// back, and a new generation in the table means resubmit there.
+fn run_forecast(
+    mut entry: Arc<ModelEntry>,
+    mut window: Window,
+    deadline: Option<Instant>,
+    shared: &Shared,
+) -> ForecastOutcome {
     for _ in 0..=RELOAD_RETRIES {
         let reply_rx = match entry.pool().submit(window, deadline) {
             Ok(rx) => rx,
-            Err((_, Reject::QueueFull)) => {
-                // Aggregate queue capacity exhausted — same backoff hint
-                // as a shed, since both mean "come back after a drain".
-                shared.flow.rejected();
-                return format_reject(
-                    req.id,
-                    &Reject::QueueFull.to_string(),
-                    shared.admission.config().shed_retry_ms.max(1),
-                );
-            }
+            Err((_, Reject::QueueFull)) => return ForecastOutcome::QueueFull,
             Err((w, Reject::Closed)) => {
-                // The generation was drained under us (hot reload or
-                // shutdown). Re-read the table: a new generation means
-                // retry there; the same one means the server is going
-                // away for real.
+                // Re-read the table: a new generation means retry there;
+                // the same one means the server is going away for real.
                 match shared.entry(entry.name()) {
                     Some(cur) if cur.generation() != entry.generation() => {
                         lttf_obs::counter!("serve.reload_resubmit", 1);
@@ -411,7 +529,7 @@ fn answer(line: &str, shared: &Shared) -> String {
                         entry = cur;
                         continue;
                     }
-                    _ => return format_err(req.id, &Reject::Closed.to_string()),
+                    _ => return ForecastOutcome::Failed(Reject::Closed.to_string()),
                 }
             }
         };
@@ -420,13 +538,73 @@ fn answer(line: &str, shared: &Shared) -> String {
         return match reply_rx.recv() {
             Ok(Ok(forecast)) => {
                 entry.drift().observe_prediction(&forecast);
-                format_ok(req.id, entry.generation(), &forecast)
+                ForecastOutcome::Done { forecast, entry }
             }
-            Ok(Err(e)) => format_err(req.id, &e),
-            Err(_) => format_err(req.id, "internal error: batcher gone"),
+            Ok(Err(e)) => ForecastOutcome::Failed(e),
+            Err(_) => ForecastOutcome::Failed("internal error: batcher gone".to_string()),
         };
     }
-    format_err(req.id, "reload storm: retries exhausted")
+    ForecastOutcome::Failed("reload storm: retries exhausted".to_string())
+}
+
+/// Handle one `push`: append rows to the session, and when the rolling
+/// window is full, forecast it through the same admission gate, drift
+/// sketch, and micro-batching path as a one-shot request — so with
+/// adaptation disabled a push forecast is bit-identical to a `forecast`
+/// of the same window. When the adapter is enabled and the session
+/// retains `lx + ly` rows, the trailing slice is harvested as a
+/// supervised example.
+fn push_session(id: u64, session: u64, values: &[f32], shared: &Shared) -> String {
+    let Some(name) = shared.sessions.model_of(session) else {
+        return format_err(id, "unknown session");
+    };
+    let Some(entry) = shared.entry(&name) else {
+        return format_err(id, &format!("unknown model '{name}'"));
+    };
+    // Same gate as one-shot forecasts: refused pushes cost no model work
+    // and are not appended (the client retries the same rows).
+    if let Err(denied) = shared.admission.admit(entry.pool().queue_depth()) {
+        shared.flow.shed();
+        return format_reject(id, denied.reason(), denied.retry_after_ms());
+    }
+    let shape = shared.session_shape(&entry);
+    let outcome = match shared.sessions.push(session, values, shape) {
+        Ok(o) => o,
+        Err(e) => return format_err(id, &e),
+    };
+    // Sketch the new rows (each row exactly once — windows overlap, so
+    // sketching whole windows would double-count the stream).
+    entry.drift().observe_input(values);
+    if shared.cfg.adapt.enabled {
+        if let Some((ex_values, ex_t0)) = outcome.example {
+            shared.examples.push(Example {
+                values: ex_values,
+                t0: ex_t0,
+                dt: outcome.dt,
+            });
+        }
+    }
+    let Some((win_values, win_t0)) = outcome.window else {
+        return format_push_pending(id, session, outcome.pending);
+    };
+    let window = match entry.model().make_window(&win_values, win_t0, outcome.dt) {
+        Ok(w) => w,
+        Err(e) => return format_err(id, &e),
+    };
+    match run_forecast(entry, window, None, shared) {
+        ForecastOutcome::Done { forecast, entry } => {
+            format_push_ok(id, session, entry.generation(), entry.adapted(), &forecast)
+        }
+        ForecastOutcome::QueueFull => {
+            shared.flow.rejected();
+            format_reject(
+                id,
+                &Reject::QueueFull.to_string(),
+                shared.admission.config().shed_retry_ms.max(1),
+            )
+        }
+        ForecastOutcome::Failed(e) => format_err(id, &e),
+    }
 }
 
 /// Build one model's [`StatsReport`] from its live entry plus the
@@ -461,6 +639,18 @@ fn stats_report(entry: &Arc<ModelEntry>, shared: &Shared) -> StatsReport {
         drift_prediction_score: drift.prediction_score,
         drift_threshold: drift.threshold,
         drift_window_count: drift.window_count,
+        sessions_open: shared.sessions.open_count() as u64,
+        sessions_opened: shared.sessions.opened_total(),
+        session_evictions: shared.sessions.evicted_total(),
+        adapt_enabled: shared.cfg.adapt.enabled,
+        adapt_state: if shared.cfg.adapt.enabled {
+            shared.adapt.state().label().to_string()
+        } else {
+            AdaptState::Off.label().to_string()
+        },
+        adapt_steps: shared.adapt.steps(),
+        adapt_rollbacks: shared.adapt.rollbacks(),
+        adapt_publishes: shared.adapt.publishes(),
     }
 }
 
@@ -497,6 +687,89 @@ fn reload(id: u64, model: Option<&str>, path: &str, shared: &Shared) -> String {
     let summary = old.pool().drain();
     lttf_obs::counter!("serve.reloads", 1);
     format_reload_ok(id, next_gen, replicas, summary.count as u64)
+}
+
+/// The online-adaptation thread body: poll the default model's drift
+/// monitor; while it alerts and enough examples are buffered, fine-tune
+/// a copy of the live model and publish it as a new generation (or roll
+/// back on a watchdog trip). See `crate::adapt` for the tune/rollback
+/// contract and DESIGN.md §12 for the state machine.
+fn adapter_loop(shared: Arc<Shared>) {
+    let cfg = shared.cfg.adapt;
+    let tick = Duration::from_millis(cfg.interval_ms.clamp(10, 60_000));
+    let mut round: u64 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        thread::sleep(tick);
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Some(entry) = shared.entry(&shared.default) else {
+            continue;
+        };
+        // Triggered, not periodic: only an input-distribution alert
+        // (with enough harvested examples) starts a round.
+        if !entry.drift().status().alert || shared.examples.len() < cfg.min_examples.max(1) {
+            continue;
+        }
+        shared.adapt.set_state(AdaptState::Adapting);
+        round += 1;
+        let examples = shared.examples.recent(cfg.batch.max(1));
+        let seed = shared.cfg.seed.wrapping_add(round);
+        match adapt::fine_tune(entry.model(), &examples, &cfg, seed, &shared.adapt) {
+            Ok((tuned, loss)) => {
+                if publish_adapted(&entry, tuned, &shared) {
+                    shared.adapt.add_publish();
+                    if !lttf_obs::env::quiet() {
+                        eprintln!(
+                            "[adapt] published generation for '{}' (round {round}, loss {loss:.4})",
+                            entry.name()
+                        );
+                    }
+                } else {
+                    // A reload raced the round; the tuned copy was based
+                    // on retired parameters and is simply dropped.
+                    shared.adapt.set_state(AdaptState::Idle);
+                }
+            }
+            Err(e) => {
+                shared.adapt.add_rollback();
+                if !lttf_obs::env::quiet() {
+                    eprintln!("[adapt] rolled back round {round}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Swap a fine-tuned model in as the next generation of `old`'s name —
+/// the same swap-then-drain dance as `reload`, under the same lock.
+/// Returns false (publishing nothing) when a reload retired `old` while
+/// the round was running: the tuned parameters would be based on a stale
+/// generation.
+fn publish_adapted(old: &Arc<ModelEntry>, tuned: lttf_eval::TrainedModel, shared: &Shared) -> bool {
+    let _guard = shared.reload_lock.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(cur) = shared.entry(old.name()) else {
+        return false;
+    };
+    if cur.generation() != old.generation() {
+        lttf_obs::counter!("serve.adapt.stale_round", 1);
+        return false;
+    }
+    let loaded = Arc::new(cur.model().with_model(tuned));
+    let entry = Arc::new(ModelEntry::start_tagged(
+        old.name(),
+        cur.generation() + 1,
+        loaded,
+        &shared.cfg.pool_cfg(),
+        true,
+    ));
+    shared
+        .table
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(old.name().to_string(), entry);
+    cur.pool().drain();
+    true
 }
 
 #[cfg(test)]

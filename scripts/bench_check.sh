@@ -111,6 +111,32 @@ if [[ -f "$SERVE" ]]; then
         exit 1
     }
     echo "==> bench_check: replica speedup ${speedup}x (gate >= 2x), zero failed requests"
+
+    # Streaming-session gate (PR 9, online test-time adaptation): the
+    # committed regime-shift run must contain both the frozen and the
+    # adapted rows, record zero failed pushes (already enforced by the
+    # "failed":0 check above), and show the adapted server beating — or
+    # at worst matching — the frozen server's post-shift error.
+    echo "==> serve streaming-adaptation gate ($SERVE)"
+    frozen_mse=$(sed -n 's/.*"bench":"stream_frozen".*"post_shift_mse":\([0-9.eE+-]*\).*/\1/p' "$SERVE")
+    adapted_mse=$(sed -n 's/.*"bench":"stream_adapted".*"post_shift_mse":\([0-9.eE+-]*\).*/\1/p' "$SERVE")
+    if [[ -z "$frozen_mse" || -z "$adapted_mse" ]]; then
+        echo "FAIL: $SERVE missing stream_frozen/stream_adapted rows" >&2
+        exit 1
+    fi
+    publishes=$(sed -n 's/.*"bench":"stream_adapted".*"publishes":\([0-9]*\).*/\1/p' "$SERVE")
+    if [[ -z "$publishes" || "$publishes" -lt 1 ]]; then
+        echo "FAIL: committed stream_adapted run never published an adapted generation" >&2
+        exit 1
+    fi
+    awk -v f="$frozen_mse" -v a="$adapted_mse" 'BEGIN {
+        printf "post-shift mse: frozen %.4f, adapted %.4f (%.2fx)\n", f, a, f / (a > 0 ? a : 1e-9);
+        exit (a <= f) ? 0 : 1;
+    }' || {
+        echo "FAIL: adapted post-shift MSE ${adapted_mse} exceeds frozen ${frozen_mse}" >&2
+        exit 1
+    }
+    echo "==> bench_check: adapted server beats the frozen server after the regime shift"
 else
     echo "no committed serve baseline at $SERVE; skipping scaling gate" >&2
 fi

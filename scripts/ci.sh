@@ -123,6 +123,10 @@ LTTF_QUIET=1 target/release/lttf watch --port $PORT --iters 1 --no-clear \
     --scrape-out "$SCRATCH/metrics.prom" | tee "$SCRATCH/watch.out"
 grep -q "drift     ok" "$SCRATCH/watch.out" \
     || { echo "FAIL: watch dashboard did not report a quiet drift monitor" >&2; exit 1; }
+grep -q "sessions  " "$SCRATCH/watch.out" \
+    || { echo "FAIL: watch dashboard did not render the sessions line" >&2; exit 1; }
+grep -q "adapt     off" "$SCRATCH/watch.out" \
+    || { echo "FAIL: watch dashboard did not report the adapter as off" >&2; exit 1; }
 
 # Strict exposition check: parseable throughout, histogram families
 # complete and ordered, plus the series the SLO dashboards key on —
@@ -137,6 +141,10 @@ cargo run -q --release --offline -p lttf-obs --bin metrics_check -- "$SCRATCH/me
     --require 'lttf_drift_available{model="ckpt"} 1' \
     --require 'lttf_drift_alert{model="ckpt"} 0' \
     --require 'lttf_serve_shed_per_second' \
+    --require 'lttf_sessions_open 0' \
+    --require 'lttf_sessions_opened_total 0' \
+    --require 'lttf_adapt_enabled 0' \
+    --require 'lttf_adapt_rollbacks_total 0' \
     --require 'lttf_trace_dropped_total'
 
 echo quit >&9
@@ -144,4 +152,58 @@ exec 9>&-
 wait "$SERVE_PID"
 SERVE_PID=""
 
-echo "==> OK: build, tests, bench compilation, telemetry smoke, and live scrape all passed offline"
+echo "==> session smoke  (open/push/close over TCP at LTTF_THREADS=1 and 4)"
+# A full streaming session against the same checkpoint: open, 17 pushes
+# of real CSV rows (the window is lx=16, so pushes 16 and 17 must answer
+# with forecasts), then close and check the summary counters — once
+# serial, once pooled.
+for threads in 1 4; do
+    SPORT=$((17900 + threads))
+    mkfifo "$SCRATCH/ctl_$threads"
+    LTTF_QUIET=1 LTTF_THREADS=$threads target/release/lttf serve --model "$SCRATCH/ckpt" \
+        --port $SPORT --sessions 8 < "$SCRATCH/ctl_$threads" > "$SCRATCH/serve_$threads.out" 2>&1 &
+    SERVE_PID=$!
+    exec 9> "$SCRATCH/ctl_$threads"
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$SPORT") 2>/dev/null; then break; fi
+        kill -0 "$SERVE_PID" 2>/dev/null \
+            || { echo "FAIL: lttf serve exited early:" >&2; cat "$SCRATCH/serve_$threads.out" >&2; exit 1; }
+        sleep 0.1
+    done
+    exec 8<>"/dev/tcp/127.0.0.1/$SPORT"
+    echo '{"id":1,"cmd":"open","t0":1700000000,"dt":3600}' >&8
+    IFS= read -r resp <&8
+    session=$(printf '%s' "$resp" | sed -n 's/.*"session":\([0-9][0-9]*\).*/\1/p')
+    [[ "$resp" == *'"ok":true'* && -n "$session" ]] \
+        || { echo "FAIL: open refused at LTTF_THREADS=$threads: $resp" >&2; exit 1; }
+    awk -F, -v sid="$session" 'NR >= 2 && NR <= 18 {
+        printf "{\"id\":%d,\"cmd\":\"push\",\"session\":%s,\"values\":[", NR + 100, sid
+        sep = ""
+        for (j = 2; j <= NF; j++) { printf "%s%s", sep, $j; sep = "," }
+        print "]}"
+    }' "$SCRATCH/ettm1.csv" > "$SCRATCH/pushes_$threads.jsonl"
+    while IFS= read -r line; do
+        printf '%s\n' "$line" >&8
+        IFS= read -r resp <&8
+        case "$resp" in
+            *'"error"'*) echo "FAIL: push refused at LTTF_THREADS=$threads: $resp" >&2; exit 1 ;;
+        esac
+    done < "$SCRATCH/pushes_$threads.jsonl"
+    case "$resp" in
+        *'"forecast"'*'"gen":1'*|*'"gen":1'*'"forecast"'*) ;;
+        *) echo "FAIL: full window did not forecast at LTTF_THREADS=$threads: $resp" >&2; exit 1 ;;
+    esac
+    echo "{\"id\":999,\"cmd\":\"close\",\"session\":$session}" >&8
+    IFS= read -r resp <&8
+    case "$resp" in
+        *'"pushed":17'*'"forecasts":2'*) ;;
+        *) echo "FAIL: close summary wrong at LTTF_THREADS=$threads: $resp" >&2; exit 1 ;;
+    esac
+    exec 8>&-
+    echo quit >&9
+    exec 9>&-
+    wait "$SERVE_PID"
+    SERVE_PID=""
+done
+
+echo "==> OK: build, tests, bench compilation, telemetry smoke, live scrape, and session smoke all passed offline"

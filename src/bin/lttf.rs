@@ -40,13 +40,17 @@ fn usage() -> ! {
          lttf serve --model MODEL [--port N] [--max-batch N] [--max-wait-ms N] \
          [--queue-cap N] [--replicas N] [--policy rr|lqd] [--threads-per-replica N] \
          [--seed N] [--rate RPS] [--burst N] [--shed-depth N] \
-         [--drift-threshold X] [--drift-min-count N]\n  \
+         [--drift-threshold X] [--drift-min-count N] \
+         [--sessions N] [--session-ttl-ms N] [--adapt] [--adapt-lr X] [--adapt-steps N] \
+         [--adapt-batch N] [--adapt-buffer N] [--adapt-min-examples N] \
+         [--adapt-interval-ms N]\n  \
          lttf watch [--port N] [--host H] [--interval-ms N] [--iters N] [--model NAME] \
          [--scrape-out FILE.prom] [--no-clear]\n  \
-         lttf bench-serve [--mode closed|open|scaling|all] [--threads N] [--requests N] \
+         lttf bench-serve [--mode closed|open|scaling|stream|all] [--threads N] [--requests N] \
          [--max-batch N] [--max-wait-ms N] [--lx N] [--d-model N] [--clients N] \
          [--rate RPS] [--duration-ms N] [--pattern uniform|bursty|diurnal] \
-         [--service-floor-ms X] [--replicas N] [--seed N] [--out-dir DIR]\n  \
+         [--service-floor-ms X] [--replicas N] [--seed N] [--out-dir DIR] \
+         [--stream-len N] [--stream-shift X] [--stream-lx N] [--stream-ly N]\n  \
          lttf trace [--trace-out FILE.json] <subcommand …>   \
          (record a Chrome trace of any subcommand; open in chrome://tracing)"
     );
@@ -498,6 +502,20 @@ fn cmd_serve(flags: HashMap<String, String>) {
             min_count: get(&flags, "drift-min-count", 64u64),
             ..lttf::serve::DriftConfig::default()
         },
+        session: lttf::serve::SessionConfig {
+            max_sessions: get(&flags, "sessions", 256usize),
+            ttl_ms: get(&flags, "session-ttl-ms", 600_000u64),
+        },
+        adapt: lttf::serve::AdaptConfig {
+            enabled: flag_set(&flags, "adapt"),
+            lr: get(&flags, "adapt-lr", 1e-3f32),
+            steps: get(&flags, "adapt-steps", 4usize),
+            batch: get(&flags, "adapt-batch", 8usize),
+            buffer: get(&flags, "adapt-buffer", 64usize),
+            min_examples: get(&flags, "adapt-min-examples", 8usize),
+            interval_ms: get(&flags, "adapt-interval-ms", 500u64),
+            ..lttf::serve::AdaptConfig::default()
+        },
     };
     let model = lttf::serve::LoadedModel::load(model_base).unwrap_or_else(|e| {
         eprintln!("cannot load {model_base}: {e}");
@@ -537,6 +555,20 @@ fn cmd_serve(flags: HashMap<String, String>) {
         serve_cfg.batch.max_batch,
         serve_cfg.batch.max_wait_ms,
         serve_cfg.batch.queue_cap,
+    );
+    println!(
+        "sessions: up to {} (ttl {} s) via {{\"cmd\":\"open\"}}/{{\"cmd\":\"push\"}}/{{\"cmd\":\"close\"}}; \
+         online adaptation {}",
+        serve_cfg.session.max_sessions,
+        serve_cfg.session.ttl_ms / 1000,
+        if serve_cfg.adapt.enabled {
+            format!(
+                "ON (lr {:.0e}, {} steps, drift-triggered every {} ms)",
+                serve_cfg.adapt.lr, serve_cfg.adapt.steps, serve_cfg.adapt.interval_ms
+            )
+        } else {
+            "off (enable with --adapt)".to_string()
+        },
     );
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -667,6 +699,19 @@ fn cmd_watch(flags: HashMap<String, String>) {
             );
         } else {
             println!("  drift     unavailable (checkpoint has no reference profile)");
+        }
+        println!(
+            "  sessions  {} open | {} opened | {} evicted",
+            report.sessions_open, report.sessions_opened, report.session_evictions
+        );
+        if report.adapt_enabled {
+            println!(
+                "  adapt     {} | steps {} | published {} | rolled back {}",
+                report.adapt_state, report.adapt_steps, report.adapt_publishes,
+                report.adapt_rollbacks
+            );
+        } else {
+            println!("  adapt     off (serve with --adapt to enable)");
         }
         if let Some(path) = &scrape_out {
             let req = lttf::obs::JsonObj::new()
@@ -973,6 +1018,119 @@ fn host_cores() -> u64 {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64
 }
 
+/// Outcome of streaming one regime-shift series through a session.
+struct StreamOutcome {
+    pushes: u64,
+    forecasts: u64,
+    failed: u64,
+    adapted_forecasts: u64,
+    publishes: u64,
+    rollbacks: u64,
+    pre: lttf::eval::ErrorAccum,
+    post: lttf::eval::ErrorAccum,
+    first_error: Option<String>,
+}
+
+/// Stream `series` row-by-row through a session on the server at `addr`
+/// and score every returned forecast against the known future.
+///
+/// Forecasts whose horizon lies entirely before `shift_at` score into
+/// `pre`; forecasts starting at or after `shift_at` score into `post`
+/// (straddling horizons are skipped so the two numbers are clean).
+/// `pace` is slept after every post-shift push so a background adapter
+/// has wall-clock time to observe drift and publish while the tail of
+/// the stream is still arriving.
+#[allow(clippy::too_many_arguments)]
+fn stream_series(
+    addr: std::net::SocketAddr,
+    series: &Tensor,
+    ly: usize,
+    shift_at: usize,
+    target_col: usize,
+    t0: i64,
+    dt: i64,
+    pace: std::time::Duration,
+) -> StreamOutcome {
+    use lttf::serve::protocol as proto;
+    use std::io::{BufRead, BufReader, Write};
+    let (len, dims) = (series.shape()[0], series.shape()[1]);
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    let mut ask = |writer: &mut std::net::TcpStream, line: String| -> String {
+        writeln!(writer, "{line}").expect("send");
+        resp.clear();
+        reader.read_line(&mut resp).expect("recv");
+        resp.trim_end().to_string()
+    };
+
+    let mut out = StreamOutcome {
+        pushes: 0,
+        forecasts: 0,
+        failed: 0,
+        adapted_forecasts: 0,
+        publishes: 0,
+        rollbacks: 0,
+        pre: lttf::eval::ErrorAccum::new(),
+        post: lttf::eval::ErrorAccum::new(),
+        first_error: None,
+    };
+
+    let open = ask(&mut writer, proto::format_open(0, None, t0, dt));
+    let (_, opened) = proto::parse_open_response(&open).expect("open parse");
+    let (session, _window_rows) = opened.expect("open refused");
+
+    let fail = |out: &mut StreamOutcome, e: String| {
+        out.failed += 1;
+        if out.first_error.is_none() {
+            out.first_error = Some(e);
+        }
+    };
+    for t in 0..len {
+        let row: Vec<f32> = (0..dims).map(|d| series.at(&[t, d])).collect();
+        let reply = ask(&mut writer, proto::format_push(1 + t as u64, session, &row));
+        out.pushes += 1;
+        match proto::parse_push_response(&reply) {
+            Ok((_, Ok(proto::PushReply::Pending(_)))) => {}
+            Ok((_, Ok(proto::PushReply::Forecast {
+                adapted, forecast, ..
+            }))) => {
+                out.forecasts += 1;
+                if adapted {
+                    out.adapted_forecasts += 1;
+                }
+                // The window ends at row t, so the forecast covers rows
+                // t+1 .. t+1+ly. Score it if the future is in the series.
+                let start = t + 1;
+                if start + ly <= len {
+                    let truth = lttf::eval::horizon_truth(series, start, ly, target_col);
+                    if start >= shift_at {
+                        out.post.observe(&forecast, &truth);
+                    } else if start + ly <= shift_at {
+                        out.pre.observe(&forecast, &truth);
+                    }
+                }
+            }
+            Ok((_, Err(e))) => fail(&mut out, e),
+            Err(e) => fail(&mut out, e),
+        }
+        if t >= shift_at && !pace.is_zero() {
+            std::thread::sleep(pace);
+        }
+    }
+
+    let stats = ask(&mut writer, proto::format_stats_request(u64::MAX - 1, None));
+    if let Ok((_, Ok(report))) = proto::parse_stats_response(&stats) {
+        out.publishes = report.adapt_publishes;
+        out.rollbacks = report.adapt_rollbacks;
+    }
+    let closed = ask(&mut writer, proto::format_close(u64::MAX, session));
+    let _ = proto::parse_close_response(&closed).expect("close parse");
+    out
+}
+
 /// `lttf bench-serve`: serving-tier benchmarks, three modes.
 ///
 /// * `--mode closed` — the original closed-loop batching comparison
@@ -982,8 +1140,14 @@ fn host_cores() -> u64 {
 ///   vs completed throughput and the shed count.
 /// * `--mode scaling` — the replica-scaling curve: the same open-loop
 ///   traffic against 1, 2, and 4 replicas.
-/// * `--mode all` (default) — `closed` + `scaling`, the committed
-///   `results/BENCH_serve.json` set.
+/// * `--mode stream` — the regime-shift streaming comparison: train a
+///   small Conformer on the pre-shift half of a synthetic series with an
+///   abrupt 5σ level shift, stream the whole series through a session
+///   (`open`/`push`/`close`) against a frozen server and against one
+///   with drift-triggered online adaptation, and record pre/post-shift
+///   MSE for both (`stream_frozen` / `stream_adapted` rows).
+/// * `--mode all` (default) — `closed` + `scaling` + `stream`, the
+///   committed `results/BENCH_serve.json` set.
 ///
 /// Scaling runs give the model a **service-time floor**
 /// (`--service-floor-ms`): each batch forward takes at least that long,
@@ -1290,8 +1454,174 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         );
     }
 
-    if !matches!(mode, "closed" | "open" | "scaling" | "all") {
-        eprintln!("unknown mode '{mode}' (expected closed|open|scaling|all)");
+    if mode == "stream" || mode == "all" {
+        let stream_len = get(&flags, "stream-len", 640usize);
+        let stream_shift = get(&flags, "stream-shift", 5.0f32);
+        let stream_lx = get(&flags, "stream-lx", 24usize);
+        let stream_ly = get(&flags, "stream-ly", 8usize);
+        let shift_at = stream_len / 2;
+        let spec = lttf::eval::RegimeSpec {
+            len: stream_len,
+            dims: 2,
+            shift_at,
+            shift: stream_shift,
+            seed,
+        };
+        let series = lttf::eval::generate_regime(&spec);
+        let (t0, dt) = (1_700_000_000i64, 3600i64);
+
+        // Train a small Conformer on the pre-shift half only, so the
+        // post-shift regime is genuinely out of distribution for it.
+        let pre = series.narrow(0, 0, shift_at);
+        let ts = lttf::data::TimeSeries::new(
+            pre.clone(),
+            (0..shift_at).map(|i| t0 + dt * i as i64).collect(),
+            vec!["x".to_string(), "y".to_string()],
+            1,
+            lttf::data::Freq::Irregular,
+        );
+        let mut scfg = ConformerConfig::new(2, stream_lx, stream_ly);
+        scfg.d_model = 8;
+        scfg.n_heads = 2;
+        scfg.multiscale_strides = vec![1, (stream_lx / 4).max(2)];
+        let train_set = WindowDataset::new(
+            &ts,
+            Split::Train,
+            (0.9, 0.05),
+            stream_lx,
+            stream_ly,
+            stream_lx / 2,
+        );
+        let mut trained = TrainedModel::from_conformer(&scfg, seed);
+        println!(
+            "bench-serve stream: training on {} pre-shift rows ({} params)…",
+            shift_at,
+            trained.num_parameters()
+        );
+        lttf::eval::train(
+            &mut trained,
+            &train_set,
+            None,
+            &TrainOptions {
+                epochs: 3,
+                batch_size: 8,
+                lr: 1e-3,
+                patience: 2,
+                lr_decay: 0.7,
+                max_batches: 60,
+                clip: 5.0,
+                seed,
+                val_max_windows: usize::MAX,
+                health: health_flags(&flags),
+            },
+        );
+        let snapshot = trained.params().snapshot();
+        let scaler = train_set.scaler().clone();
+        let profile = lttf::eval::fit_reference_profile(&pre);
+
+        // Frozen vs adapting: same checkpoint, same traffic, same seed —
+        // the only difference is the background adapter.
+        let make_stream_model = || {
+            let mut m = TrainedModel::from_conformer(&scfg, seed);
+            m.params_mut().restore(&snapshot);
+            lttf::serve::LoadedModel::from_parts(m, scfg.clone(), scaler.clone(), "y".into(), 1)
+                .with_profile(profile.clone())
+        };
+        let stream_serve_cfg = |adapt_on: bool| lttf::serve::ServeConfig {
+            batch: lttf::serve::BatchConfig {
+                max_batch: 4,
+                max_wait_ms: 2,
+                queue_cap: 64,
+            },
+            replicas: 1,
+            seed,
+            drift: lttf::serve::DriftConfig {
+                window_ms: 60_000,
+                threshold: 1.0,
+                min_count: 32,
+            },
+            adapt: lttf::serve::AdaptConfig {
+                enabled: adapt_on,
+                lr: 2e-2,
+                steps: 10,
+                batch: 8,
+                buffer: 64,
+                min_examples: 8,
+                interval_ms: 50,
+                ..lttf::serve::AdaptConfig::default()
+            },
+            ..lttf::serve::ServeConfig::default()
+        };
+        let run_stream = |label: &str, adapt_on: bool, lines: &mut Vec<String>| -> f64 {
+            let registry = lttf::serve::Registry::single("bench", make_stream_model());
+            let handle = lttf::serve::serve(registry, "127.0.0.1:0", stream_serve_cfg(adapt_on))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot start server: {e}");
+                    exit(1);
+                });
+            let out = stream_series(
+                handle.addr(),
+                &series,
+                stream_ly,
+                shift_at,
+                1,
+                t0,
+                dt,
+                std::time::Duration::from_millis(4),
+            );
+            handle.shutdown();
+            println!(
+                "{label}: {} pushes, {} forecasts ({} adapted), {} published, \
+                 {} rolled back, failed {}, pre-shift mse {:.4}, post-shift mse {:.4}",
+                out.pushes,
+                out.forecasts,
+                out.adapted_forecasts,
+                out.publishes,
+                out.rollbacks,
+                out.failed,
+                out.pre.mse(),
+                out.post.mse()
+            );
+            if out.failed > 0 {
+                if let Some(e) = &out.first_error {
+                    eprintln!("warning: {} stream failures (first: {e})", out.failed);
+                }
+            }
+            lines.push(
+                JsonObj::new()
+                    .str("suite", "serve")
+                    .str("bench", label)
+                    .int("rows", stream_len as u64)
+                    .int("shift_at", shift_at as u64)
+                    .num("shift", stream_shift as f64)
+                    .int("lx", stream_lx as u64)
+                    .int("ly", stream_ly as u64)
+                    .int("pushes", out.pushes)
+                    .int("forecasts", out.forecasts)
+                    .int("adapted_forecasts", out.adapted_forecasts)
+                    .int("publishes", out.publishes)
+                    .int("rollbacks", out.rollbacks)
+                    .int("failed", out.failed)
+                    .num("pre_shift_mse", out.pre.mse())
+                    .num("post_shift_mse", out.post.mse())
+                    .int("min_ns", 0)
+                    .int("mean_ns", 0)
+                    .int("median_ns", 0)
+                    .finish(),
+            );
+            out.post.mse()
+        };
+        let frozen = run_stream("stream_frozen", false, &mut lines);
+        let adapted = run_stream("stream_adapted", true, &mut lines);
+        println!(
+            "post-shift mse: frozen {frozen:.4} vs adapted {adapted:.4} \
+             ({:.2}x)",
+            frozen / adapted.max(1e-9)
+        );
+    }
+
+    if !matches!(mode, "closed" | "open" | "scaling" | "stream" | "all") {
+        eprintln!("unknown mode '{mode}' (expected closed|open|scaling|stream|all)");
         exit(2);
     }
     if lines.is_empty() {

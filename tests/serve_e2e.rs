@@ -12,7 +12,8 @@ use lttf::data::StandardScaler;
 use lttf::eval::TrainedModel;
 use lttf::obs::JsonObj;
 use lttf::serve::{
-    protocol, serve, AdmissionConfig, BatchConfig, LoadedModel, Policy, Registry, ServeConfig,
+    protocol, serve, AdaptConfig, AdmissionConfig, BatchConfig, DriftConfig, LoadedModel, Policy,
+    Registry, ServeConfig, SessionConfig,
 };
 use lttf::tensor::{Rng, Tensor};
 
@@ -614,4 +615,391 @@ fn profileless_checkpoint_serves_with_drift_unavailable() {
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions and online adaptation
+// ---------------------------------------------------------------------------
+
+/// A persistent connection speaking the session protocol.
+struct SessionClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl SessionClient {
+    fn connect(addr: SocketAddr) -> SessionClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let writer = stream.try_clone().unwrap();
+        SessionClient {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").unwrap();
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        resp.trim_end().to_string()
+    }
+
+    fn open(&mut self, id: u64) -> (u64, usize) {
+        let resp = self.ask(&protocol::format_open(id, None, 1_700_000_000, 3600));
+        let (got, res) = protocol::parse_open_response(&resp).expect("open parses");
+        assert_eq!(got, id);
+        res.expect("open refused")
+    }
+
+    fn push(&mut self, id: u64, session: u64, row: &[f32]) -> Result<protocol::PushReply, String> {
+        let resp = self.ask(&protocol::format_push(id, session, row));
+        let (got, res) = protocol::parse_push_response(&resp).expect("push parses");
+        assert_eq!(got, id);
+        res
+    }
+
+    fn close(&mut self, id: u64, session: u64) -> (u64, u64) {
+        let resp = self.ask(&protocol::format_close(id, session));
+        let (got, res) = protocol::parse_close_response(&resp).expect("close parses");
+        assert_eq!(got, id);
+        res.expect("close refused")
+    }
+}
+
+/// `n` rows of 3 features drawn from the test model's raw distribution.
+fn session_rows(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let t = Tensor::randn(&[n, 3], &mut Rng::seed(seed)).mul_scalar(3.0);
+    (0..n)
+        .map(|r| (0..3).map(|c| t.at(&[r, c])).collect())
+        .collect()
+}
+
+/// Poll `cond` until it holds or `budget_ms` elapses.
+fn wait_for(mut cond: impl FnMut() -> bool, budget_ms: u64, what: &str) {
+    let t0 = std::time::Instant::now();
+    while !cond() {
+        assert!(
+            t0.elapsed().as_millis() < budget_ms as u128,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// The drift reference matching `session_rows` (randn * 3 per feature).
+fn matched_profile() -> lttf::obs::ReferenceProfile {
+    lttf::obs::ReferenceProfile {
+        features: vec![
+            lttf::obs::FeatureStats {
+                mean: 0.0,
+                std: 3.0,
+                q10: -3.84,
+                q50: 0.0,
+                q90: 3.84
+            };
+            3
+        ],
+        count: 1000,
+    }
+}
+
+#[test]
+fn session_push_forecasts_match_one_shot_bit_for_bit() {
+    // With adaptation off, a session push that completes the window must
+    // answer with exactly the floats a one-shot forecast of the same
+    // window would produce — streaming is a protocol change, not a
+    // numerics change.
+    let reference = test_model();
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let mut client = SessionClient::connect(handle.addr());
+    let (session, window_rows) = client.open(1);
+    assert_eq!(window_rows, 12, "tiny(3, 12, 6) keeps a 12-row window");
+
+    let rows = session_rows(20, 4242);
+    for (t, row) in rows.iter().enumerate() {
+        let reply = client.push(10 + t as u64, session, row).expect("push served");
+        let pushed = t + 1;
+        if pushed < window_rows {
+            match reply {
+                protocol::PushReply::Pending(p) => assert_eq!(p, window_rows - pushed),
+                other => panic!("expected pending at row {t}, got {other:?}"),
+            }
+        } else {
+            let protocol::PushReply::Forecast {
+                generation,
+                adapted,
+                forecast,
+            } = reply
+            else {
+                panic!("expected a forecast at row {t}");
+            };
+            assert_eq!(generation, 1);
+            assert!(!adapted, "adaptation is off");
+            let window: Vec<f32> = rows[pushed - window_rows..pushed].concat();
+            let slice_t0 = 1_700_000_000 + 3600 * (pushed - window_rows) as i64;
+            let want = reference
+                .forecast_one(&window, slice_t0, 3600)
+                .expect("direct forward");
+            assert_eq!(forecast, want, "row {t} diverged from the one-shot path");
+        }
+    }
+    let (pushed, forecasts) = client.close(99, session);
+    assert_eq!(pushed, 20);
+    assert_eq!(forecasts, 9, "every push from row 12 on forecasts");
+    handle.shutdown();
+}
+
+#[test]
+fn session_ttl_evicts_idle_sessions_over_tcp() {
+    let handle = serve(
+        Registry::single("m", test_model()),
+        "127.0.0.1:0",
+        ServeConfig {
+            session: SessionConfig {
+                max_sessions: 4,
+                ttl_ms: 60,
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = SessionClient::connect(handle.addr());
+    let (session, _) = client.open(1);
+    client
+        .push(2, session, &[1.0, 2.0, 3.0])
+        .expect("fresh session accepts pushes");
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let err = client
+        .push(3, session, &[1.0, 2.0, 3.0])
+        .expect_err("an idle session past its TTL must be gone");
+    assert!(err.contains("unknown session"), "unexpected error: {err}");
+    let stats = ask_stats(handle.addr(), 4);
+    assert_eq!(stats.sessions_open, 0);
+    assert!(stats.session_evictions >= 1, "{stats:?}");
+    assert_eq!(stats.adapt_state, "off");
+    handle.shutdown();
+}
+
+#[test]
+fn sessions_survive_hot_reload() {
+    // A session binds a model *name*, not a generation: reloading the
+    // checkpoint mid-session must not invalidate the session, and the
+    // next push is served by the new generation.
+    let dir = std::env::temp_dir().join(format!(
+        "lttf-session-reload-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("ckpt");
+    let base = base.to_str().unwrap().to_string();
+    let model = test_model();
+    model.save(&base).expect("write checkpoint");
+
+    let handle = serve(
+        Registry::single("m", model),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let mut client = SessionClient::connect(addr);
+    let (session, window_rows) = client.open(1);
+
+    let rows = session_rows(13, 555);
+    for (t, row) in rows[..12].iter().enumerate() {
+        let reply = client.push(10 + t as u64, session, row).expect("push served");
+        if t + 1 == window_rows {
+            let protocol::PushReply::Forecast { generation, .. } = reply else {
+                panic!("full window must forecast");
+            };
+            assert_eq!(generation, 1);
+        }
+    }
+
+    // Reload the same checkpoint: generation 2, same parameter bits.
+    let reload = SessionClient::connect(addr).ask(&protocol::format_reload(9000, Some("m"), &base));
+    let (_, info) = protocol::parse_reload_response(&reload).expect("reload reply");
+    assert_eq!(info.expect("reload succeeds").generation, 2);
+    let reply = client.push(100, session, &rows[12]).expect("push after reload");
+    let protocol::PushReply::Forecast {
+        generation,
+        adapted,
+        forecast,
+    } = reply
+    else {
+        panic!("the session must keep forecasting across the reload");
+    };
+    assert_eq!(generation, 2, "the push after the swap lands on the new generation");
+    assert!(!adapted, "a checkpoint reload is not an adapter publish");
+    let window: Vec<f32> = rows[13 - window_rows..13].concat();
+    let slice_t0 = 1_700_000_000 + 3600 * (13 - window_rows) as i64;
+    let reference = test_model();
+    assert_eq!(
+        forecast,
+        reference.forecast_one(&window, slice_t0, 3600).unwrap(),
+        "same checkpoint bits on both generations must agree"
+    );
+    let (pushed, forecasts) = client.close(200, session);
+    assert_eq!((pushed, forecasts), (13, 2));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_nan_adapt_round_rolls_back_and_leaves_forecasts_bit_identical() {
+    // Fault injection: every adapter round ends with a NaN written into
+    // the tuned copy. The health gate must catch it, count a rollback,
+    // publish nothing — and the live model must keep forecasting the
+    // exact same floats as an untouched reference model.
+    let handle = serve(
+        Registry::single("m", test_model().with_profile(matched_profile())),
+        "127.0.0.1:0",
+        ServeConfig {
+            drift: DriftConfig {
+                min_count: 8,
+                ..DriftConfig::default()
+            },
+            adapt: AdaptConfig {
+                enabled: true,
+                inject_nan: true,
+                interval_ms: 10,
+                min_examples: 2,
+                steps: 1,
+                batch: 2,
+                ..AdaptConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let reference = test_model();
+    let mut client = SessionClient::connect(addr);
+    let (session, _) = client.open(1);
+
+    // 5σ-shifted traffic: trips the drift monitor and feeds the adapter
+    // real out-of-distribution examples (keep = lx + ly = 18 rows).
+    let rows: Vec<Vec<f32>> = session_rows(30, 77)
+        .into_iter()
+        .map(|r| r.into_iter().map(|v| v + 15.0).collect())
+        .collect();
+    for (t, row) in rows.iter().enumerate() {
+        client.push(10 + t as u64, session, row).expect("push served");
+    }
+    wait_for(
+        || ask_stats(addr, 500).adapt_rollbacks >= 1,
+        10_000,
+        "a watchdog rollback",
+    );
+    let stats = ask_stats(addr, 501);
+    assert_eq!(
+        stats.adapt_publishes, 0,
+        "a poisoned round must never publish: {stats:?}"
+    );
+
+    let reply = client.push(900, session, &rows[0]).expect("post-rollback push");
+    let protocol::PushReply::Forecast {
+        generation,
+        adapted,
+        forecast,
+    } = reply
+    else {
+        panic!("post-rollback push must still forecast");
+    };
+    assert_eq!(generation, 1, "no adapted generation may exist after rollback");
+    assert!(!adapted);
+    // 31 rows pushed in total; the window is the trailing 12.
+    let mut all = rows.clone();
+    all.push(rows[0].clone());
+    let window: Vec<f32> = all[all.len() - 12..].concat();
+    let slice_t0 = 1_700_000_000 + 3600 * (all.len() - 12) as i64;
+    assert_eq!(
+        forecast,
+        reference.forecast_one(&window, slice_t0, 3600).unwrap(),
+        "serving params must be bit-identical to the pre-adapt snapshot"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn drift_triggered_adaptation_publishes_on_shift_and_stays_quiet_in_distribution() {
+    let handle = serve(
+        Registry::single("m", test_model().with_profile(matched_profile())),
+        "127.0.0.1:0",
+        ServeConfig {
+            drift: DriftConfig {
+                min_count: 8,
+                ..DriftConfig::default()
+            },
+            adapt: AdaptConfig {
+                enabled: true,
+                interval_ms: 10,
+                min_examples: 2,
+                steps: 2,
+                batch: 2,
+                ..AdaptConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let mut client = SessionClient::connect(addr);
+    let (session, _) = client.open(1);
+
+    // Phase 1: in-distribution traffic. Examples accumulate, but the
+    // drift monitor never alerts, so the adapter must not fire.
+    for (t, row) in session_rows(24, 88).iter().enumerate() {
+        client.push(10 + t as u64, session, row).expect("push served");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let stats = ask_stats(addr, 300);
+    assert!(stats.adapt_enabled);
+    assert_eq!(
+        stats.adapt_publishes, 0,
+        "in-distribution traffic must not trigger adaptation: {stats:?}"
+    );
+    assert_eq!(stats.adapt_rollbacks, 0, "{stats:?}");
+
+    // Phase 2: shift every value by +5 training stds. The monitor
+    // alerts, the adapter fine-tunes and publishes, and push replies
+    // start carrying the adapted generation.
+    let shifted: Vec<Vec<f32>> = session_rows(16, 89)
+        .into_iter()
+        .map(|r| r.into_iter().map(|v| v + 15.0).collect())
+        .collect();
+    for (t, row) in shifted.iter().enumerate() {
+        client.push(100 + t as u64, session, row).expect("push served");
+    }
+    wait_for(
+        || ask_stats(addr, 400).adapt_publishes >= 1,
+        15_000,
+        "a drift-triggered publish",
+    );
+
+    let mut saw_adapted = false;
+    for i in 0..200u64 {
+        let reply = client
+            .push(1000 + i, session, &shifted[i as usize % shifted.len()])
+            .expect("push served");
+        if let protocol::PushReply::Forecast {
+            generation, adapted, ..
+        } = reply
+        {
+            if adapted && generation >= 2 {
+                saw_adapted = true;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(saw_adapted, "push replies never reached an adapted generation");
+    handle.shutdown();
 }
