@@ -1,34 +1,39 @@
 //! Std-only JSONL / trace validator used by `scripts/ci.sh`.
 //!
-//! Usage: `jsonl_check [--bench|--trace] <file>...`
+//! Usage: `jsonl_check [--bench|--trace|--flame] <file>...`
 //!
 //! Files whose name starts with `BENCH_` (or given via `--bench`) are
 //! checked as bench-record lines (every line a flat JSON object);
 //! `--trace` files are checked as Chrome `trace_event` JSON produced by
-//! `lttf trace` (framing, per-line strict parse, B/E nesting); all other
-//! files are validated against the training run-log schema in
+//! `lttf trace` (framing, per-line strict parse, B/E nesting); `--flame`
+//! files are checked as collapsed-stack text produced by `lttf flame` /
+//! `lttf profile --flame` (one `frame;frame count` line per stack); all
+//! other files are validated against the training run-log schema in
 //! `lttf_obs::runlog`. Every mode requires a trailing newline at EOF.
 //! Exits non-zero on the first invalid file.
 
 use std::process::ExitCode;
 
 use lttf_obs::jsonl::parse_object;
-use lttf_obs::{runlog, trace};
+use lttf_obs::{runlog, sampler, trace};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut force_bench = false;
     let mut force_trace = false;
+    let mut force_flame = false;
     let mut paths = Vec::new();
     for a in &mut args {
         match a.as_str() {
             "--bench" => force_bench = true,
             "--trace" => force_trace = true,
+            "--flame" => force_flame = true,
             _ => paths.push(a),
         }
     }
-    if paths.is_empty() || (force_bench && force_trace) {
-        eprintln!("usage: jsonl_check [--bench|--trace] <file>...");
+    let modes = force_bench as u8 + force_trace as u8 + force_flame as u8;
+    if paths.is_empty() || modes > 1 {
+        eprintln!("usage: jsonl_check [--bench|--trace|--flame] <file>...");
         return ExitCode::from(2);
     }
 
@@ -41,6 +46,8 @@ fn main() -> ExitCode {
                 .is_some_and(|n| n.starts_with("BENCH_"));
         let outcome = if force_trace {
             check_trace(path)
+        } else if force_flame {
+            check_flame(path)
         } else if is_bench {
             check_bench(path)
         } else {
@@ -80,6 +87,15 @@ fn check_trace(path: &str) -> Result<(), String> {
     println!(
         "ok {path}: {} events on {} threads, {} slices, {} async",
         summary.events, summary.threads, summary.slices, summary.async_slices
+    );
+    Ok(())
+}
+
+fn check_flame(path: &str) -> Result<(), String> {
+    let summary = sampler::validate_collapsed(&read_with_newline(path)?)?;
+    println!(
+        "ok {path}: {} stacks, {} samples, {} roots",
+        summary.stacks, summary.samples, summary.roots
     );
     Ok(())
 }

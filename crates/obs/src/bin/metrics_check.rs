@@ -9,9 +9,16 @@
 //! `--require` asserts a substring appears in every file — ci.sh uses it
 //! to pin down the series the serving tier must expose. Exits non-zero
 //! on the first invalid file.
+//!
+//! Files whose first non-whitespace character is `{` are treated as the
+//! scrape-snapshot JSONL written by `lttf watch --scrape-out`: one
+//! `{"t_ms":…,"iter":…,"metrics":"<exposition>"}` object per period.
+//! Every embedded exposition is validated; `--require` applies to the
+//! **last** snapshot (the freshest scrape).
 
 use std::process::ExitCode;
 
+use lttf_obs::jsonl::{field, parse_object};
 use lttf_obs::metrics;
 
 fn main() -> ExitCode {
@@ -54,6 +61,9 @@ fn main() -> ExitCode {
 
 fn check(path: &str, required: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if text.trim_start().starts_with('{') {
+        return check_snapshots(path, &text, required);
+    }
     let summary = metrics::validate(&text)?;
     for needle in required {
         if !text.contains(needle.as_str()) {
@@ -64,5 +74,39 @@ fn check(path: &str, required: &[String]) -> Result<(), String> {
         "ok {path}: {} samples, {} metric names, {} histogram families",
         summary.samples, summary.names, summary.histograms
     );
+    Ok(())
+}
+
+/// Validate a `lttf watch --scrape-out` JSONL file: every line is a
+/// snapshot object whose `metrics` string is a full exposition. All
+/// snapshots must validate; `--require` substrings are checked against
+/// the last one only, since earlier periods may predate a series.
+fn check_snapshots(path: &str, text: &str, required: &[String]) -> Result<(), String> {
+    let mut snapshots = 0usize;
+    let mut last: Option<String> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_object(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        for key in ["t_ms", "iter"] {
+            if field(&fields, key).and_then(|v| v.as_num()).is_none() {
+                return Err(format!("line {}: missing numeric field {key:?}", i + 1));
+            }
+        }
+        let exposition = field(&fields, "metrics")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {}: missing string field \"metrics\"", i + 1))?;
+        metrics::validate(exposition).map_err(|e| format!("line {} exposition: {e}", i + 1))?;
+        snapshots += 1;
+        last = Some(exposition.to_string());
+    }
+    let last = last.ok_or("no snapshots")?;
+    for needle in required {
+        if !last.contains(needle.as_str()) {
+            return Err(format!("required series {needle:?} not found in last snapshot"));
+        }
+    }
+    println!("ok {path}: {snapshots} metrics snapshots (all expositions valid)");
     Ok(())
 }

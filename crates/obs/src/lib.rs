@@ -20,6 +20,13 @@
 //!    divergence watchdog, and Prometheus-style text exposition for the
 //!    serve front end. [`env`] centralizes the `LTTF_*`/`OBS_*`
 //!    environment knobs all of this reads.
+//! 5. **Resource observability** ([`alloc`], [`sampler`], [`cputime`]):
+//!    an instrumented global allocator that counts every allocation and
+//!    charges it to the innermost open span, a continuous stack-sampling
+//!    profiler (`LTTF_PROFILE_HZ`, exported as collapsed flamegraph
+//!    stacks), and std-only process/thread CPU-time clocks used by the
+//!    serve tier for per-request cost attribution. All of it compiles
+//!    out with the `telemetry` feature.
 //!
 //! Overhead discipline: an active span costs two `Instant::now()` calls
 //! plus a few relaxed atomic adds (~50 ns); call sites gate on a work-size
@@ -50,6 +57,8 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc;
+pub mod cputime;
 pub mod env;
 pub mod health;
 pub mod hist;
@@ -58,6 +67,7 @@ pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod runlog;
+pub mod sampler;
 pub mod sketch;
 pub mod trace;
 
@@ -73,19 +83,21 @@ pub use sketch::{FeatureSketch, FeatureStats, ReferenceProfile, Welford};
 #[cfg(test)]
 mod proptests;
 
+/// The registry is process-global; tests that reset or snapshot it
+/// must not interleave.
+#[cfg(test)]
+pub(crate) fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard, OnceLock};
-
-    /// The registry is process-global; tests that reset or snapshot it
-    /// must not interleave.
-    fn exclusive() -> MutexGuard<'static, ()> {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-    }
+    use crate::exclusive;
 
     #[test]
     fn span_records_calls_and_time() {
@@ -300,6 +312,8 @@ mod tests {
                 min_ns: 50_000,
                 max_ns: 200_000,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
             SpanSnapshot {
                 name: "big".into(),
@@ -310,6 +324,8 @@ mod tests {
                 min_ns: 4_000_000,
                 max_ns: 5_000_000,
                 bytes: 9_000_000,
+                alloc_bytes: 2048,
+                allocs: 4,
             },
             SpanSnapshot {
                 name: "pool.busy_ns".into(),
@@ -320,6 +336,8 @@ mod tests {
                 min_ns: 0,
                 max_ns: 0,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
             SpanSnapshot {
                 name: "pool.capacity_ns".into(),
@@ -330,6 +348,8 @@ mod tests {
                 min_ns: 0,
                 max_ns: 0,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
         ];
         let text = report::render(&snap);

@@ -436,6 +436,8 @@ mod tests {
                 min_ns: 1,
                 max_ns: 2,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
             SpanSnapshot {
                 name: "pool.tasks".into(),
@@ -446,6 +448,8 @@ mod tests {
                 min_ns: 0,
                 max_ns: 0,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
             SpanSnapshot {
                 name: "pool.busy_ns".into(),
@@ -456,6 +460,8 @@ mod tests {
                 min_ns: 0,
                 max_ns: 0,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
             SpanSnapshot {
                 name: "serve.batch_size".into(),
@@ -466,6 +472,8 @@ mod tests {
                 min_ns: 4,
                 max_ns: 6,
                 bytes: 0,
+                alloc_bytes: 0,
+                allocs: 0,
             },
         ];
         let mut m = MetricsText::new();

@@ -1,5 +1,6 @@
-//! Property-based tests for the histogram and sketch layer.
+//! Property-based tests for the histogram, sketch, and allocation layers.
 
+use crate::alloc::AllocCounters;
 use crate::hist::{Histogram, WindowedHistogram};
 use lttf_testkit::{prop_assert, prop_assert_eq, properties, Xoshiro256PlusPlus as Rng};
 
@@ -108,5 +109,80 @@ properties! {
             last = now;
         }
         prop_assert_eq!(w.snapshot(t + span).count(), 0);
+    }
+
+    // Allocator bookkeeping invariants on a random alloc/free trace:
+    // live always equals allocated-minus-freed bytes, and the peak is the
+    // exact running maximum of live (monotone within a run, never beaten
+    // by the final live count).
+    fn alloc_counters_track_live_and_peak(seed in 0u64..10_000, n in 1usize..500) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut c = AllocCounters::new();
+        // Sizes of blocks currently "live"; frees always pick one of them
+        // so the model mirrors a real allocator trace.
+        let mut blocks: Vec<u64> = Vec::new();
+        let mut expected_peak = 0u64;
+        let mut last_peak = 0u64;
+        for _ in 0..n {
+            if blocks.is_empty() || rng.below(3) > 0 {
+                let size = 1 + rng.below(1 << 20);
+                blocks.push(size);
+                c.record_alloc(size);
+            } else {
+                let i = rng.below(blocks.len() as u64) as usize;
+                let size = blocks.swap_remove(i);
+                c.record_free(size);
+            }
+            let live: u64 = blocks.iter().sum();
+            prop_assert_eq!(c.live_bytes(), live);
+            expected_peak = expected_peak.max(live);
+            prop_assert_eq!(c.peak_bytes, expected_peak);
+            prop_assert!(c.peak_bytes >= last_peak, "peak must be monotone");
+            last_peak = c.peak_bytes;
+        }
+        prop_assert_eq!(c.allocs - c.frees, blocks.len() as u64);
+        prop_assert!(c.peak_bytes >= c.live_bytes());
+    }
+
+    // Splitting one alloc/free trace across per-thread counter sets and
+    // merging them back reproduces the global counts and byte totals
+    // exactly, and the merged peak (sum of per-part peaks) bounds the
+    // true interleaved peak from above.
+    fn alloc_counters_merge_bounds_global(seed in 0u64..10_000, n in 1usize..400, parts in 2usize..5) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut global = AllocCounters::new();
+        let mut per_thread = vec![AllocCounters::new(); parts];
+        // Live blocks tagged with the part that allocated them, so each
+        // part sees a well-formed trace of its own.
+        let mut blocks: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..n {
+            if blocks.is_empty() || rng.below(3) > 0 {
+                let p = rng.below(parts as u64) as usize;
+                let size = 1 + rng.below(1 << 16);
+                blocks.push((p, size));
+                global.record_alloc(size);
+                per_thread[p].record_alloc(size);
+            } else {
+                let i = rng.below(blocks.len() as u64) as usize;
+                let (p, size) = blocks.swap_remove(i);
+                global.record_free(size);
+                per_thread[p].record_free(size);
+            }
+        }
+        let mut merged = AllocCounters::new();
+        for part in &per_thread {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.allocs, global.allocs);
+        prop_assert_eq!(merged.frees, global.frees);
+        prop_assert_eq!(merged.alloc_bytes, global.alloc_bytes);
+        prop_assert_eq!(merged.freed_bytes, global.freed_bytes);
+        prop_assert_eq!(merged.live_bytes(), global.live_bytes());
+        prop_assert!(
+            merged.peak_bytes >= global.peak_bytes,
+            "sum of per-part peaks ({}) must bound the interleaved peak ({})",
+            merged.peak_bytes,
+            global.peak_bytes
+        );
     }
 }

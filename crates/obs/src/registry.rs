@@ -15,6 +15,8 @@
 //! from the pool gauges instead.
 
 use std::cell::RefCell;
+#[cfg(feature = "telemetry")]
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -63,6 +65,11 @@ pub struct SpanStats {
     min_ns: AtomicU64,
     max_ns: AtomicU64,
     bytes: AtomicU64,
+    /// Heap bytes allocated while this span was the innermost open one
+    /// on the allocating thread (charged by [`crate::alloc`]).
+    alloc_bytes: AtomicU64,
+    /// Heap allocations charged alongside `alloc_bytes`.
+    allocs: AtomicU64,
     /// Cached [`trace`] name index for this site's display name, interned
     /// lazily the first time the site fires while tracing is enabled.
     /// `u32::MAX` = not yet interned.
@@ -81,7 +88,19 @@ impl SpanStats {
             min_ns: AtomicU64::new(u64::MAX),
             max_ns: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            alloc_bytes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
             trace_idx: AtomicU32::new(u32::MAX),
+        }
+    }
+
+    /// `group.name` display form (just `name` when the group is empty),
+    /// as rendered by snapshots and the sampling profiler.
+    pub(crate) fn display_name(&self) -> String {
+        if self.group.is_empty() {
+            self.name.to_string()
+        } else {
+            format!("{}.{}", self.group, self.name)
         }
     }
 
@@ -108,6 +127,8 @@ impl SpanStats {
         self.min_ns.store(u64::MAX, Ordering::Relaxed);
         self.max_ns.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        self.alloc_bytes.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
     }
 
     /// Add `delta` to the event count (used by counters).
@@ -151,9 +172,45 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<(*const SpanStats, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
+#[cfg(feature = "telemetry")]
+thread_local! {
+    /// The innermost open span, read by the allocation hook. A dedicated
+    /// `Cell` (not [`SPAN_STACK`]): the hook must never touch the
+    /// `RefCell` — pushing onto its `Vec` can itself allocate, and the
+    /// hook would then re-enter a borrowed cell. Reading a const-init
+    /// `Cell` allocates nothing, so the hook cannot recurse.
+    static CURRENT_SPAN: Cell<*const SpanStats> =
+        const { Cell::new(std::ptr::null()) };
+}
+
+/// Charge one allocation of `size` bytes to the calling thread's
+/// innermost open span, if any. Called from the global-allocator hook:
+/// must not allocate, lock, or panic (`try_with` covers TLS teardown).
+#[cfg(feature = "telemetry")]
+#[inline]
+pub(crate) fn charge_alloc(size: usize) {
+    let _ = CURRENT_SPAN.try_with(|c| {
+        let p = c.get();
+        if !p.is_null() {
+            // SAFETY: the cell only ever holds pointers to leaked
+            // 'static registry entries (or null).
+            let site = unsafe { &*p };
+            site.alloc_bytes.fetch_add(size as u64, Ordering::Relaxed);
+            site.allocs.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
 struct ActiveSpan {
     site: &'static SpanStats,
     start: Instant,
+    /// The span this one nested inside, restored on drop.
+    #[cfg(feature = "telemetry")]
+    prev: *const SpanStats,
+    /// Whether this span published a sampler shadow-stack frame (the
+    /// sampler may start or stop mid-span; push/pop must stay balanced).
+    #[cfg(feature = "telemetry")]
+    published: bool,
 }
 
 /// RAII timer for one span activation. Obtain via [`crate::span!`] or
@@ -167,9 +224,21 @@ impl SpanGuard {
         if trace::enabled() {
             trace::begin(site.trace_idx());
         }
+        #[cfg(feature = "telemetry")]
+        let prev = CURRENT_SPAN.with(|c| c.replace(site as *const SpanStats));
+        #[cfg(feature = "telemetry")]
+        let published = crate::sampler::publishing();
+        #[cfg(feature = "telemetry")]
+        if published {
+            crate::sampler::push_frame(site);
+        }
         SpanGuard(Some(ActiveSpan {
             site,
             start: Instant::now(),
+            #[cfg(feature = "telemetry")]
+            prev,
+            #[cfg(feature = "telemetry")]
+            published,
         }))
     }
 
@@ -193,6 +262,13 @@ impl Drop for SpanGuard {
         let elapsed = a.start.elapsed().as_nanos() as u64;
         if trace::enabled() {
             trace::end(a.site.trace_idx());
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            if a.published {
+                crate::sampler::pop_frame();
+            }
+            let _ = CURRENT_SPAN.try_with(|c| c.set(a.prev));
         }
         let child_ns = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
@@ -243,6 +319,11 @@ pub struct SpanSnapshot {
     pub max_ns: u64,
     /// Bytes attributed via [`SpanGuard::bytes`].
     pub bytes: u64,
+    /// Heap bytes allocated while this span was innermost (0 unless the
+    /// instrumented allocator is compiled in; see [`crate::alloc`]).
+    pub alloc_bytes: u64,
+    /// Heap allocations charged alongside `alloc_bytes`.
+    pub allocs: u64,
 }
 
 /// Copy every registry entry, sorted by display name. Entries with zero
@@ -255,11 +336,7 @@ pub fn snapshot() -> Vec<SpanSnapshot> {
             let calls = s.calls.load(Ordering::Relaxed);
             let min = s.min_ns.load(Ordering::Relaxed);
             SpanSnapshot {
-                name: if s.group.is_empty() {
-                    s.name.to_string()
-                } else {
-                    format!("{}.{}", s.group, s.name)
-                },
+                name: s.display_name(),
                 kind: s.kind,
                 calls,
                 total_ns: s.total_ns.load(Ordering::Relaxed),
@@ -267,6 +344,8 @@ pub fn snapshot() -> Vec<SpanSnapshot> {
                 min_ns: if min == u64::MAX { 0 } else { min },
                 max_ns: s.max_ns.load(Ordering::Relaxed),
                 bytes: s.bytes.load(Ordering::Relaxed),
+                alloc_bytes: s.alloc_bytes.load(Ordering::Relaxed),
+                allocs: s.allocs.load(Ordering::Relaxed),
             }
         })
         .filter(|s| s.calls > 0 || s.total_ns > 0)

@@ -30,6 +30,35 @@ fn fmt_gbps(bytes: u64, total_ns: u64) -> String {
     }
 }
 
+/// Byte counts with a binary-unit suffix so the alloc column stays
+/// readable from KiB churn up to GiB churn; `-` when nothing was charged
+/// (e.g. the instrumented allocator is compiled out).
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    if b == 0 {
+        return "-".to_string();
+    }
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.1}{}", UNITS[u])
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    if n == 0 {
+        "-".to_string()
+    } else {
+        n.to_string()
+    }
+}
+
 /// Pool utilization extracted from a snapshot: busy worker-nanoseconds over
 /// available worker-nanoseconds across all parallel regions.
 pub fn pool_utilization(snap: &[SpanSnapshot]) -> Option<f64> {
@@ -55,8 +84,9 @@ pub fn render(snap: &[SpanSnapshot]) -> String {
         out.push_str("no spans recorded (telemetry feature off, or nothing ran)\n");
     } else {
         out.push_str(&format!(
-            "{:<24} {:>9} {:>11} {:>11} {:>7} {:>11} {:>8}\n",
-            "span", "calls", "total_ms", "self_ms", "self%", "mean_us", "GB/s"
+            "{:<24} {:>9} {:>11} {:>11} {:>7} {:>11} {:>8} {:>11} {:>9}\n",
+            "span", "calls", "total_ms", "self_ms", "self%", "mean_us", "GB/s", "alloc_bytes",
+            "allocs"
         ));
         for s in &spans {
             let pct = if total_self == 0 {
@@ -65,7 +95,7 @@ pub fn render(snap: &[SpanSnapshot]) -> String {
                 100.0 * s.self_ns as f64 / total_self as f64
             };
             out.push_str(&format!(
-                "{:<24} {:>9} {:>11} {:>11} {:>6.1}% {:>11} {:>8}\n",
+                "{:<24} {:>9} {:>11} {:>11} {:>6.1}% {:>11} {:>8} {:>11} {:>9}\n",
                 s.name,
                 s.calls,
                 fmt_ms(s.total_ns),
@@ -73,6 +103,8 @@ pub fn render(snap: &[SpanSnapshot]) -> String {
                 pct,
                 fmt_mean_us(s.total_ns, s.calls),
                 fmt_gbps(s.bytes, s.total_ns),
+                fmt_bytes(s.alloc_bytes),
+                fmt_count(s.allocs),
             ));
         }
     }

@@ -1,0 +1,415 @@
+//! Continuous sampling profiler: weighted stack samples from every
+//! thread's live span stack, exported as flamegraph-compatible
+//! collapsed-stack text.
+//!
+//! Each thread publishes a fixed-depth **shadow stack** of its currently
+//! open spans through a seqlock (the same writer protocol as the
+//! [`crate::trace`] rings): the writer bumps a sequence counter to odd,
+//! stores the frames, and bumps it back to even, so a reader that sees
+//! the same even value before and after copying observed a consistent
+//! stack. Frames hold pointers to the leaked [`crate::SpanStats`]
+//! registry entries, so a cross-thread deref is always sound.
+//!
+//! Publication is gated on a single relaxed [`AtomicBool`] that is only
+//! set while a sampler runs (`LTTF_PROFILE_HZ` / `lttf flame`), so the
+//! default-off cost added to every span enter/exit is one relaxed load —
+//! the <3% telemetry-overhead budget (DESIGN.md §12) is unaffected.
+//!
+//! The sampler itself is one background thread: sleep `1/hz`, snapshot
+//! every registered shadow stack, and count identical stacks. [`stop`]
+//! renders the counts as collapsed-stack text (`thread;span;... count`
+//! lines), the format `flamegraph.pl` and speedscope ingest directly.
+//! [`validate_collapsed`] is the strict in-repo parser CI runs on every
+//! export. Everything here compiles out with the `telemetry` feature:
+//! [`start`] then fails and span enter/exit carries no hook at all.
+
+use std::collections::BTreeMap;
+
+/// Deepest span nesting a shadow stack records; deeper frames are
+/// dropped (the sample still counts, truncated at this depth).
+pub const MAX_DEPTH: usize = 32;
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::MAX_DEPTH;
+    use crate::registry::SpanStats;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// One thread's published span stack, leaked on first use so the
+    /// sampler thread can read it for the rest of the process lifetime
+    /// (mirrors the trace ring registration).
+    pub struct ShadowStack {
+        /// Seqlock: odd while the owner is writing.
+        seq: AtomicU64,
+        /// Current nesting depth (frames beyond [`MAX_DEPTH`] are not
+        /// stored but still counted here).
+        depth: AtomicU64,
+        /// Span pointers, innermost last; valid entries are `0..depth`.
+        frames: [AtomicU64; MAX_DEPTH],
+        /// Owner's thread name, fixed at registration.
+        name: String,
+    }
+
+    pub static PUBLISH: AtomicBool = AtomicBool::new(false);
+
+    fn stacks() -> &'static Mutex<Vec<&'static ShadowStack>> {
+        static STACKS: OnceLock<Mutex<Vec<&'static ShadowStack>>> = OnceLock::new();
+        STACKS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static MY_STACK: &'static ShadowStack = register_stack();
+    }
+
+    fn register_stack() -> &'static ShadowStack {
+        let seq = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_default();
+        let mut all = stacks().lock().unwrap_or_else(|e| e.into_inner());
+        let name = if seq.is_empty() {
+            format!("thread-{}", all.len())
+        } else {
+            seq
+        };
+        let stack: &'static ShadowStack = Box::leak(Box::new(ShadowStack {
+            seq: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            frames: [const { AtomicU64::new(0) }; MAX_DEPTH],
+            name,
+        }));
+        all.push(stack);
+        stack
+    }
+
+    /// Publish `site` as the new innermost frame of this thread's stack.
+    #[inline]
+    pub fn push_frame(site: &'static SpanStats) {
+        MY_STACK.with(|st| {
+            let seq = st.seq.load(Ordering::Relaxed);
+            st.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+            let d = st.depth.load(Ordering::Relaxed);
+            if (d as usize) < MAX_DEPTH {
+                st.frames[d as usize]
+                    .store(site as *const SpanStats as usize as u64, Ordering::Relaxed);
+            }
+            st.depth.store(d + 1, Ordering::Relaxed);
+            st.seq.store(seq.wrapping_add(2), Ordering::Release);
+        });
+    }
+
+    /// Retract this thread's innermost frame.
+    #[inline]
+    pub fn pop_frame() {
+        MY_STACK.with(|st| {
+            let seq = st.seq.load(Ordering::Relaxed);
+            st.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+            let d = st.depth.load(Ordering::Relaxed);
+            st.depth.store(d.saturating_sub(1), Ordering::Relaxed);
+            st.seq.store(seq.wrapping_add(2), Ordering::Release);
+        });
+    }
+
+    /// One consistent copy of a shadow stack, or `None` when the owner
+    /// was mid-write (the sample is simply skipped — at sampling rates
+    /// of ~100 Hz a retry is not worth the complexity).
+    fn read_stack(st: &ShadowStack) -> Option<(String, Vec<*const SpanStats>)> {
+        let seq0 = st.seq.load(Ordering::Acquire);
+        if seq0 % 2 == 1 {
+            return None;
+        }
+        let depth = st.depth.load(Ordering::Relaxed) as usize;
+        if depth == 0 {
+            return None;
+        }
+        let frames: Vec<*const SpanStats> = st.frames[..depth.min(MAX_DEPTH)]
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed) as usize as *const SpanStats)
+            .collect();
+        fence(Ordering::Acquire);
+        if st.seq.load(Ordering::Relaxed) != seq0 {
+            return None;
+        }
+        Some((st.name.clone(), frames))
+    }
+
+    struct Running {
+        stop: std::sync::mpsc::Sender<()>,
+        join: std::thread::JoinHandle<()>,
+        counts: std::sync::Arc<Mutex<BTreeMap<String, u64>>>,
+    }
+
+    fn state() -> &'static Mutex<Option<Running>> {
+        static STATE: OnceLock<Mutex<Option<Running>>> = OnceLock::new();
+        STATE.get_or_init(|| Mutex::new(None))
+    }
+
+    pub fn start(hz: u64) -> Result<(), String> {
+        if hz == 0 {
+            return Err("sampling rate must be positive".to_string());
+        }
+        let mut slot = state().lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_some() {
+            return Err("sampler already running".to_string());
+        }
+        let counts = std::sync::Arc::new(Mutex::new(BTreeMap::new()));
+        let shared = counts.clone();
+        let (stop, stopped) = std::sync::mpsc::channel::<()>();
+        let period = std::time::Duration::from_nanos(1_000_000_000 / hz.min(10_000));
+        PUBLISH.store(true, Ordering::Relaxed);
+        let join = std::thread::Builder::new()
+            .name("lttf-sampler".to_string())
+            .spawn(move || loop {
+                match stopped.recv_timeout(period) {
+                    Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                }
+                let all = stacks().lock().unwrap_or_else(|e| e.into_inner());
+                let mut tick: Vec<(String, Vec<*const SpanStats>)> = Vec::new();
+                for st in all.iter() {
+                    if let Some(s) = read_stack(st) {
+                        tick.push(s);
+                    }
+                }
+                drop(all);
+                if tick.is_empty() {
+                    continue;
+                }
+                let mut counts = shared.lock().unwrap_or_else(|e| e.into_inner());
+                for (name, frames) in tick {
+                    let mut key = name;
+                    for f in frames {
+                        // SAFETY: frames hold pointers to leaked 'static
+                        // registry entries; they are valid forever.
+                        let site = unsafe { &*f };
+                        key.push(';');
+                        key.push_str(&site.display_name());
+                    }
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+            })
+            .map_err(|e| format!("cannot spawn sampler thread: {e}"))?;
+        *slot = Some(Running { stop, join, counts });
+        Ok(())
+    }
+
+    pub fn stop() -> BTreeMap<String, u64> {
+        let running = {
+            let mut slot = state().lock().unwrap_or_else(|e| e.into_inner());
+            slot.take()
+        };
+        PUBLISH.store(false, Ordering::Relaxed);
+        let Some(r) = running else {
+            return BTreeMap::new();
+        };
+        let _ = r.stop.send(());
+        let _ = r.join.join();
+        let counts = r.counts.lock().unwrap_or_else(|e| e.into_inner());
+        counts.clone()
+    }
+}
+
+/// Whether span enter/exit should publish shadow-stack frames right now.
+/// A single relaxed load; false whenever no sampler is running or the
+/// `telemetry` feature is compiled out.
+#[inline]
+pub fn publishing() -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::PUBLISH.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        false
+    }
+}
+
+#[cfg(feature = "telemetry")]
+pub(crate) use imp::{pop_frame, push_frame};
+
+/// Start the background sampler at `hz` samples per second (clamped to
+/// 10 kHz). Errors when a sampler is already running, `hz` is zero, or
+/// the `telemetry` feature is compiled out.
+pub fn start(hz: u64) -> Result<(), String> {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::start(hz)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = hz;
+        Err("sampler compiled out (built without the 'telemetry' feature)".to_string())
+    }
+}
+
+/// What one sampler run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplerReport {
+    /// Collapsed-stack text: one `thread;span;... count` line per
+    /// distinct stack, lexicographically sorted, trailing newline.
+    pub collapsed: String,
+    /// Total weighted samples across all stacks.
+    pub samples: u64,
+    /// Distinct stacks observed.
+    pub stacks: usize,
+}
+
+/// Stop the sampler (if running) and render everything it saw as
+/// collapsed-stack text. Safe to call when no sampler runs: the report
+/// is then empty.
+pub fn stop() -> SamplerReport {
+    #[cfg(feature = "telemetry")]
+    {
+        let counts = imp::stop();
+        let mut collapsed = String::new();
+        let mut samples = 0u64;
+        for (stack, n) in &counts {
+            collapsed.push_str(stack);
+            collapsed.push(' ');
+            collapsed.push_str(&n.to_string());
+            collapsed.push('\n');
+            samples += n;
+        }
+        SamplerReport {
+            collapsed,
+            samples,
+            stacks: counts.len(),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        SamplerReport {
+            collapsed: String::new(),
+            samples: 0,
+            stacks: 0,
+        }
+    }
+}
+
+/// Summary returned by [`validate_collapsed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollapsedSummary {
+    /// Distinct stack lines.
+    pub stacks: usize,
+    /// Total weighted samples.
+    pub samples: u64,
+    /// Distinct root frames (usually one per sampled thread).
+    pub roots: usize,
+}
+
+/// Strictly validate collapsed-stack text: every line must be
+/// `frame[;frame]* count` with non-empty frames and a positive integer
+/// count, no duplicate stacks, and the text must end in a newline
+/// (empty text — a run that caught no samples — is valid and empty).
+pub fn validate_collapsed(text: &str) -> Result<CollapsedSummary, String> {
+    if text.is_empty() {
+        return Ok(CollapsedSummary { stacks: 0, samples: 0, roots: 0 });
+    }
+    if !text.ends_with('\n') {
+        return Err("missing trailing newline".to_string());
+    }
+    let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+    let mut roots: BTreeMap<&str, ()> = BTreeMap::new();
+    let mut samples = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no space-separated count"))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("line {n}: count {count:?} is not an integer"))?;
+        if count == 0 {
+            return Err(format!("line {n}: zero-weight sample"));
+        }
+        if stack.is_empty() {
+            return Err(format!("line {n}: empty stack"));
+        }
+        for frame in stack.split(';') {
+            if frame.is_empty() {
+                return Err(format!("line {n}: empty frame in {stack:?}"));
+            }
+            if frame.contains(' ') {
+                return Err(format!("line {n}: frame {frame:?} contains a space"));
+            }
+        }
+        if seen.insert(stack, ()).is_some() {
+            return Err(format!("line {n}: duplicate stack {stack:?}"));
+        }
+        roots.insert(stack.split(';').next().unwrap_or(stack), ());
+        samples += count;
+    }
+    Ok(CollapsedSummary {
+        stacks: seen.len(),
+        samples,
+        roots: roots.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_well_formed_collapsed_text() {
+        let text = "main;matmul 40\nmain;matmul;reduce_dot 2\nworker;conv1d 9\n";
+        let s = validate_collapsed(text).unwrap();
+        assert_eq!(s.stacks, 3);
+        assert_eq!(s.samples, 51);
+        assert_eq!(s.roots, 2);
+        assert_eq!(
+            validate_collapsed(""),
+            Ok(CollapsedSummary { stacks: 0, samples: 0, roots: 0 })
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for (text, why) in [
+            ("main;matmul 40", "newline"),
+            ("main;matmul zero\n", "integer"),
+            ("main;matmul 0\n", "zero-weight"),
+            (" 4\n", "empty stack"),
+            ("main;;matmul 4\n", "empty frame"),
+            ("main;mat mul;x 4\n", "space"),
+            ("main;matmul 4\nmain;matmul 5\n", "duplicate"),
+        ] {
+            let err = validate_collapsed(text).unwrap_err();
+            assert!(err.contains(why) || !err.is_empty(), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn sampler_catches_a_long_running_span() {
+        let _guard = crate::exclusive();
+        start(2_000).expect("start sampler");
+        assert!(publishing());
+        assert!(start(100).is_err(), "double start must fail");
+        {
+            let _span = crate::span!("sampler_test_outer");
+            let _inner = crate::span!("sampler_test_inner");
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        let report = stop();
+        assert!(!publishing());
+        let summary = validate_collapsed(&report.collapsed).expect("collapsed validates");
+        assert_eq!(summary.samples, report.samples);
+        assert!(
+            report.collapsed.contains("sampler_test_outer;sampler_test_inner"),
+            "expected the nested test stack in:\n{}",
+            report.collapsed
+        );
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry"))]
+    fn compiled_out_sampler_refuses_to_start() {
+        assert!(start(99).is_err());
+        assert_eq!(stop().samples, 0);
+    }
+}

@@ -198,6 +198,8 @@ pub struct AdaptShared {
     steps: AtomicU64,
     rollbacks: AtomicU64,
     publishes: AtomicU64,
+    cpu_ns: AtomicU64,
+    alloc_bytes: AtomicU64,
 }
 
 impl AdaptShared {
@@ -249,6 +251,23 @@ impl AdaptShared {
     /// Lifetime published rounds.
     pub fn publishes(&self) -> u64 {
         self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Charge one adaptation round's resource cost (process-CPU delta
+    /// and allocation churn around the round; see the adapter loop).
+    pub fn add_cost(&self, cpu_ns: u64, alloc_bytes: u64) {
+        self.cpu_ns.fetch_add(cpu_ns, Ordering::Relaxed);
+        self.alloc_bytes.fetch_add(alloc_bytes, Ordering::Relaxed);
+    }
+
+    /// Lifetime process-CPU nanoseconds spent in adaptation rounds.
+    pub fn cpu_ns(&self) -> u64 {
+        self.cpu_ns.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime heap bytes allocated during adaptation rounds.
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes.load(Ordering::Relaxed)
     }
 }
 

@@ -325,6 +325,14 @@ fn batcher_loop(
             continue;
         }
 
+        // Cost attribution: process-CPU and allocation deltas around the
+        // forward, amortized per request. Process (not thread) CPU time,
+        // because the pool workers do the compute while this batcher
+        // thread mostly sleeps; under concurrent replicas both deltas
+        // over-attribute — an upper bound, documented in DESIGN.md §13.
+        // Both read 0 when telemetry is compiled out.
+        let cpu_before = lttf_obs::cputime::process_cpu_ns();
+        let alloc_before = lttf_obs::alloc::alloc_bytes_total();
         let rows = {
             let _span = lttf_obs::span!("serve.batch");
             lttf_obs::gauge!("serve.batch_size", live.len() as u64);
@@ -332,6 +340,11 @@ fn batcher_loop(
             model.forecast_rows(&windows)
         };
         let service_ns = dequeued.elapsed().as_nanos() as u64;
+        let n = live.len() as u64;
+        let cpu_ns_per_req =
+            lttf_obs::cputime::process_cpu_ns().saturating_sub(cpu_before) / n;
+        let alloc_bytes_per_req =
+            lttf_obs::alloc::alloc_bytes_total().saturating_sub(alloc_before) / n;
         let samples: Vec<(u64, u64)> = live
             .iter()
             .map(|job| {
@@ -339,7 +352,7 @@ fn batcher_loop(
                 (job.enqueued.elapsed().as_nanos() as u64, queue_ns)
             })
             .collect();
-        stats.record_batch(replica, &samples, service_ns);
+        stats.record_batch(replica, &samples, service_ns, cpu_ns_per_req, alloc_bytes_per_req);
         for (job, row) in live.into_iter().zip(rows) {
             if job.trace_id != 0 {
                 trace::async_instant(req_names().forward, job.trace_id);

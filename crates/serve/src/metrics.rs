@@ -54,6 +54,10 @@ pub struct ServerGauges {
     pub adapt_rollbacks: u64,
     /// Lifetime published adaptation rounds.
     pub adapt_publishes: u64,
+    /// Lifetime process-CPU nanoseconds spent in adaptation rounds.
+    pub adapt_cpu_ns: u64,
+    /// Lifetime heap bytes allocated during adaptation rounds.
+    pub adapt_alloc_bytes: u64,
 }
 
 /// Render the exposition for the routing table's current entries
@@ -113,6 +117,22 @@ pub fn render(entries: &[Arc<ModelEntry>], flow: &FlowRates, gauges: &ServerGaug
                 q(&mut m, "lttf_serve_queue_wait_seconds", &win.queue, label, p);
                 q(&mut m, "lttf_serve_service_time_seconds", &win.service, label, p);
             }
+            // Per-request cost quantiles, in raw units (ns / bytes): the
+            // cpu series is a duration-shaped cost, the alloc series a
+            // byte count — neither is a wall-clock latency, so they are
+            // not scaled to seconds like the series above.
+            let qr = |m: &mut MetricsText, metric: &str, hist: &lttf_obs::hist::Histogram,
+                          quantile: &str, p: f64| {
+                m.line(
+                    metric,
+                    &[("model", name), ("gen", gen.as_str()), ("quantile", quantile)],
+                    hist.quantile(p) as f64,
+                );
+            };
+            for (label, p) in [("0.5", 0.50), ("0.95", 0.95)] {
+                qr(&mut m, "lttf_request_cpu_ns", &win.cpu, label, p);
+                qr(&mut m, "lttf_request_alloc_bytes", &win.alloc, label, p);
+            }
         }
         for i in 0..stats.replicas() {
             let replica = i.to_string();
@@ -155,6 +175,13 @@ pub fn render(entries: &[Arc<ModelEntry>], flow: &FlowRates, gauges: &ServerGaug
     m.line("lttf_adapt_steps_total", &[], gauges.adapt_steps as f64);
     m.line("lttf_adapt_rollbacks_total", &[], gauges.adapt_rollbacks as f64);
     m.line("lttf_adapt_publishes_total", &[], gauges.adapt_publishes as f64);
+    m.line("lttf_adapt_cpu_seconds_total", &[], gauges.adapt_cpu_ns as f64 / 1e9);
+    m.line("lttf_adapt_alloc_bytes_total", &[], gauges.adapt_alloc_bytes as f64);
+    // Process-wide memory accounting from the instrumented allocator
+    // (both 0 when the telemetry feature is compiled out).
+    let mem = lttf_obs::alloc::snapshot();
+    m.line("lttf_mem_live_bytes", &[], mem.live_bytes as f64);
+    m.line("lttf_mem_peak_bytes", &[], mem.peak_bytes as f64);
     m.line("lttf_trace_dropped_total", &[], trace::dropped_total() as f64);
     match health::global() {
         Some(d) => m.line("lttf_health_diverged", &[("layer", &d.layer)], 1.0),
@@ -198,6 +225,8 @@ mod tests {
             adapt_steps: 8,
             adapt_rollbacks: 1,
             adapt_publishes: 2,
+            adapt_cpu_ns: 1_500_000_000,
+            adapt_alloc_bytes: 3_145_728,
         };
         let text = render(&[Arc::clone(&entry)], &flow.rates(), &gauges);
         assert!(text.contains("lttf_up 1\n"), "{text}");
@@ -244,6 +273,20 @@ mod tests {
         assert!(text.contains("lttf_adapt_steps_total 8\n"), "{text}");
         assert!(text.contains("lttf_adapt_rollbacks_total 1\n"), "{text}");
         assert!(text.contains("lttf_adapt_publishes_total 2\n"), "{text}");
+        assert!(text.contains("lttf_adapt_cpu_seconds_total 1.5\n"), "{text}");
+        assert!(text.contains("lttf_adapt_alloc_bytes_total 3145728\n"), "{text}");
+        // Always present, even when the allocator is compiled out (0).
+        assert!(text.contains("lttf_mem_live_bytes"), "{text}");
+        assert!(text.contains("lttf_mem_peak_bytes"), "{text}");
+        // Per-request cost quantiles in raw units, gen-labeled.
+        assert!(
+            text.contains("lttf_request_cpu_ns{model=\"demo\",gen=\"3\",quantile=\"0.95\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lttf_request_alloc_bytes{model=\"demo\",gen=\"3\",quantile=\"0.5\"}"),
+            "{text}"
+        );
         assert!(text.contains("lttf_trace_dropped_total"), "{text}");
         assert!(text.contains("lttf_health_diverged"), "{text}");
 

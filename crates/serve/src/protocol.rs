@@ -608,6 +608,19 @@ pub struct StatsReport {
     pub queue_p50_ms: f64,
     /// Windowed per-batch service-time median (ms).
     pub service_p50_ms: f64,
+    /// Windowed per-request process-CPU cost median (ms).
+    pub cpu_p50_ms: f64,
+    /// 95th percentile of windowed per-request process-CPU cost (ms).
+    pub cpu_p95_ms: f64,
+    /// Windowed per-request allocation-churn median (bytes).
+    pub alloc_p50_bytes: f64,
+    /// 95th percentile of windowed per-request allocation churn (bytes).
+    pub alloc_p95_bytes: f64,
+    /// Heap bytes currently live in the server process (0 when the
+    /// instrumented allocator is compiled out).
+    pub mem_live_bytes: u64,
+    /// High-water mark of live heap bytes.
+    pub mem_peak_bytes: u64,
     /// Admission refusals per second over the window.
     pub shed_per_sec: f64,
     /// Queue-full rejections per second over the window.
@@ -643,6 +656,10 @@ pub struct StatsReport {
     pub adapt_rollbacks: u64,
     /// Adapted generations published into the routing table.
     pub adapt_publishes: u64,
+    /// Process-CPU milliseconds spent in adaptation rounds (lifetime).
+    pub adapt_cpu_ms: f64,
+    /// Heap bytes allocated during adaptation rounds (lifetime).
+    pub adapt_alloc_bytes: u64,
 }
 
 /// Format a stats request line (client side).
@@ -671,6 +688,12 @@ pub fn format_stats(id: u64, r: &StatsReport) -> String {
         .num("p99_ms", r.p99_ms)
         .num("queue_p50_ms", r.queue_p50_ms)
         .num("service_p50_ms", r.service_p50_ms)
+        .num("cpu_p50_ms", r.cpu_p50_ms)
+        .num("cpu_p95_ms", r.cpu_p95_ms)
+        .num("alloc_p50_bytes", r.alloc_p50_bytes)
+        .num("alloc_p95_bytes", r.alloc_p95_bytes)
+        .int("mem_live_bytes", r.mem_live_bytes)
+        .int("mem_peak_bytes", r.mem_peak_bytes)
         .num("shed_per_sec", r.shed_per_sec)
         .num("rejected_per_sec", r.rejected_per_sec)
         .num("resubmitted_per_sec", r.resubmitted_per_sec)
@@ -688,6 +711,8 @@ pub fn format_stats(id: u64, r: &StatsReport) -> String {
         .int("adapt_steps", r.adapt_steps)
         .int("adapt_rollbacks", r.adapt_rollbacks)
         .int("adapt_publishes", r.adapt_publishes)
+        .num("adapt_cpu_ms", r.adapt_cpu_ms)
+        .int("adapt_alloc_bytes", r.adapt_alloc_bytes)
         .finish()
 }
 
@@ -720,6 +745,14 @@ pub fn parse_stats_response(line: &str) -> Result<(u64, Result<StatsReport, Stri
         p99_ms: need("p99_ms")?,
         queue_p50_ms: need("queue_p50_ms")?,
         service_p50_ms: need("service_p50_ms")?,
+        // Cost/memory fields are absent in pre-attribution stats lines;
+        // default them so old servers still parse.
+        cpu_p50_ms: num("cpu_p50_ms").unwrap_or(0.0),
+        cpu_p95_ms: num("cpu_p95_ms").unwrap_or(0.0),
+        alloc_p50_bytes: num("alloc_p50_bytes").unwrap_or(0.0),
+        alloc_p95_bytes: num("alloc_p95_bytes").unwrap_or(0.0),
+        mem_live_bytes: num("mem_live_bytes").unwrap_or(0.0) as u64,
+        mem_peak_bytes: num("mem_peak_bytes").unwrap_or(0.0) as u64,
         shed_per_sec: need("shed_per_sec")?,
         rejected_per_sec: need("rejected_per_sec")?,
         resubmitted_per_sec: need("resubmitted_per_sec")?,
@@ -745,6 +778,8 @@ pub fn parse_stats_response(line: &str) -> Result<(u64, Result<StatsReport, Stri
         adapt_steps: num("adapt_steps").unwrap_or(0.0) as u64,
         adapt_rollbacks: num("adapt_rollbacks").unwrap_or(0.0) as u64,
         adapt_publishes: num("adapt_publishes").unwrap_or(0.0) as u64,
+        adapt_cpu_ms: num("adapt_cpu_ms").unwrap_or(0.0),
+        adapt_alloc_bytes: num("adapt_alloc_bytes").unwrap_or(0.0) as u64,
     };
     Ok((id, Ok(report)))
 }
@@ -939,6 +974,12 @@ mod tests {
             p99_ms: 9.0,
             queue_p50_ms: 0.5,
             service_p50_ms: 1.0,
+            cpu_p50_ms: 0.75,
+            cpu_p95_ms: 2.5,
+            alloc_p50_bytes: 8_192.0,
+            alloc_p95_bytes: 65_536.0,
+            mem_live_bytes: 1_048_576,
+            mem_peak_bytes: 2_097_152,
             shed_per_sec: 0.25,
             rejected_per_sec: 0.0,
             resubmitted_per_sec: 0.125,
@@ -956,6 +997,8 @@ mod tests {
             adapt_steps: 12,
             adapt_rollbacks: 1,
             adapt_publishes: 2,
+            adapt_cpu_ms: 350.5,
+            adapt_alloc_bytes: 4_194_304,
         };
         let (id, got) = parse_stats_response(&format_stats(9, &report)).unwrap();
         assert_eq!(id, 9);

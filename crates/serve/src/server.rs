@@ -211,6 +211,8 @@ impl Shared {
             adapt_steps: self.adapt.steps(),
             adapt_rollbacks: self.adapt.rollbacks(),
             adapt_publishes: self.adapt.publishes(),
+            adapt_cpu_ns: self.adapt.cpu_ns(),
+            adapt_alloc_bytes: self.adapt.alloc_bytes(),
         }
     }
 }
@@ -630,6 +632,12 @@ fn stats_report(entry: &Arc<ModelEntry>, shared: &Shared) -> StatsReport {
         p99_ms: ms(win.total.quantile(0.99)),
         queue_p50_ms: ms(win.queue.quantile(0.50)),
         service_p50_ms: ms(win.service.quantile(0.50)),
+        cpu_p50_ms: ms(win.cpu.quantile(0.50)),
+        cpu_p95_ms: ms(win.cpu.quantile(0.95)),
+        alloc_p50_bytes: win.alloc.quantile(0.50) as f64,
+        alloc_p95_bytes: win.alloc.quantile(0.95) as f64,
+        mem_live_bytes: lttf_obs::alloc::live_bytes(),
+        mem_peak_bytes: lttf_obs::alloc::peak_bytes(),
         shed_per_sec: flow.shed_per_sec,
         rejected_per_sec: flow.rejected_per_sec,
         resubmitted_per_sec: flow.resubmitted_per_sec,
@@ -651,6 +659,8 @@ fn stats_report(entry: &Arc<ModelEntry>, shared: &Shared) -> StatsReport {
         adapt_steps: shared.adapt.steps(),
         adapt_rollbacks: shared.adapt.rollbacks(),
         adapt_publishes: shared.adapt.publishes(),
+        adapt_cpu_ms: shared.adapt.cpu_ns() as f64 / 1e6,
+        adapt_alloc_bytes: shared.adapt.alloc_bytes(),
     }
 }
 
@@ -715,7 +725,20 @@ fn adapter_loop(shared: Arc<Shared>) {
         round += 1;
         let examples = shared.examples.recent(cfg.batch.max(1));
         let seed = shared.cfg.seed.wrapping_add(round);
-        match adapt::fine_tune(entry.model(), &examples, &cfg, seed, &shared.adapt) {
+        // Cost-attribute the fine-tune round so `watch`/stats can show
+        // what online adaptation steals from serving. Process-CPU, like
+        // the request path: the round's forwards and backwards run on
+        // the shared pool.
+        let round_span = lttf_obs::span!("serve.adapt.round");
+        let cpu_before = lttf_obs::cputime::process_cpu_ns();
+        let alloc_before = lttf_obs::alloc::alloc_bytes_total();
+        let outcome = adapt::fine_tune(entry.model(), &examples, &cfg, seed, &shared.adapt);
+        shared.adapt.add_cost(
+            lttf_obs::cputime::process_cpu_ns().saturating_sub(cpu_before),
+            lttf_obs::alloc::alloc_bytes_total().saturating_sub(alloc_before),
+        );
+        drop(round_span);
+        match outcome {
             Ok((tuned, loss)) => {
                 if publish_adapted(&entry, tuned, &shared) {
                     shared.adapt.add_publish();

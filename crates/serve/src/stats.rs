@@ -28,11 +28,16 @@ pub const WINDOW_BUCKETS: usize = 12;
 /// Width of one window bucket in milliseconds (total window 2 minutes).
 pub const WINDOW_BUCKET_MS: u64 = 10_000;
 
-/// The three windowed latency phases tracked per model.
+/// The windowed latency phases and per-request costs tracked per model.
 struct Windows {
     total: WindowedHistogram,
     queue: WindowedHistogram,
     service: WindowedHistogram,
+    /// Process-CPU nanoseconds attributed to one request (forward delta
+    /// amortized over the batch).
+    cpu: WindowedHistogram,
+    /// Heap bytes allocated during the forward, amortized per request.
+    alloc: WindowedHistogram,
 }
 
 /// Per-replica slice of the live stats.
@@ -49,6 +54,11 @@ pub struct WindowSnapshot {
     pub queue: Histogram,
     /// Service time (batch forward pass, per batch) over the window.
     pub service: Histogram,
+    /// Per-request process-CPU cost (ns) over the window. Zero-valued
+    /// samples are recorded when cost attribution is compiled out.
+    pub cpu: Histogram,
+    /// Per-request allocation churn (bytes) over the window.
+    pub alloc: Histogram,
     /// Trailing-window span in milliseconds.
     pub window_ms: u64,
 }
@@ -75,7 +85,13 @@ impl ServeStats {
         Arc::new(ServeStats {
             epoch: Instant::now(),
             lifetime: Mutex::new(Histogram::new()),
-            windows: Mutex::new(Windows { total: wh(), queue: wh(), service: wh() }),
+            windows: Mutex::new(Windows {
+                total: wh(),
+                queue: wh(),
+                service: wh(),
+                cpu: wh(),
+                alloc: wh(),
+            }),
             replicas: (0..replicas.max(1))
                 .map(|_| ReplicaStats { served: AtomicU64::new(0), window: Mutex::new(wh()) })
                 .collect(),
@@ -94,9 +110,19 @@ impl ServeStats {
     }
 
     /// Record one flushed batch from `replica`: per-request
-    /// `(total_ns, queue_ns)` pairs plus the batch's shared forward
-    /// duration. One lock round per batch, not per request.
-    pub fn record_batch(&self, replica: usize, samples: &[(u64, u64)], service_ns: u64) {
+    /// `(total_ns, queue_ns)` pairs, the batch's shared forward duration,
+    /// and the forward's resource cost amortized per request
+    /// (process-CPU ns and allocated heap bytes; both 0 when cost
+    /// attribution is compiled out). One lock round per batch, not per
+    /// request.
+    pub fn record_batch(
+        &self,
+        replica: usize,
+        samples: &[(u64, u64)],
+        service_ns: u64,
+        cpu_ns_per_req: u64,
+        alloc_bytes_per_req: u64,
+    ) {
         if samples.is_empty() {
             return;
         }
@@ -112,6 +138,8 @@ impl ServeStats {
             for &(total, queue) in samples {
                 w.total.record(t, total);
                 w.queue.record(t, queue);
+                w.cpu.record(t, cpu_ns_per_req);
+                w.alloc.record(t, alloc_bytes_per_req);
             }
             w.service.record(t, service_ns);
         }
@@ -157,6 +185,8 @@ impl ServeStats {
             total: w.total.snapshot(t_ms),
             queue: w.queue.snapshot(t_ms),
             service: w.service.snapshot(t_ms),
+            cpu: w.cpu.snapshot(t_ms),
+            alloc: w.alloc.snapshot(t_ms),
             window_ms: w.total.window_ms(),
         }
     }
@@ -293,8 +323,14 @@ mod tests {
     #[test]
     fn batch_recording_feeds_all_views() {
         let stats = ServeStats::new(2);
-        stats.record_batch(0, &[(2_000_000, 500_000), (3_000_000, 700_000)], 1_500_000);
-        stats.record_batch(1, &[(10_000_000, 4_000_000)], 6_000_000);
+        stats.record_batch(
+            0,
+            &[(2_000_000, 500_000), (3_000_000, 700_000)],
+            1_500_000,
+            800_000,
+            4_096,
+        );
+        stats.record_batch(1, &[(10_000_000, 4_000_000)], 6_000_000, 5_000_000, 16_384);
         let s = stats.summary();
         assert_eq!(s.count, 3);
         assert!(s.min_ns >= 1_900_000 && s.min_ns <= 2_100_000, "{}", s.min_ns);
@@ -304,6 +340,10 @@ mod tests {
         assert_eq!(w.total.count(), 3);
         assert_eq!(w.queue.count(), 3);
         assert_eq!(w.service.count(), 2, "one service sample per batch");
+        assert_eq!(w.cpu.count(), 3, "one cpu cost sample per request");
+        assert_eq!(w.cpu.max(), 5_000_000);
+        assert_eq!(w.alloc.count(), 3);
+        assert_eq!(w.alloc.max(), 16_384);
         assert_eq!(stats.replica_served(0), 2);
         assert_eq!(stats.replica_served(1), 1);
         assert_eq!(stats.replica_window(0).count(), 2);
@@ -312,9 +352,9 @@ mod tests {
     #[test]
     fn window_forgets_but_lifetime_remembers() {
         let stats = ServeStats::with_window(1, 2, 50); // 100 ms window
-        stats.record_batch(0, &[(1_000, 100)], 900);
+        stats.record_batch(0, &[(1_000, 100)], 900, 0, 0);
         std::thread::sleep(std::time::Duration::from_millis(160));
-        stats.record_batch(0, &[(5_000, 200)], 4_800);
+        stats.record_batch(0, &[(5_000, 200)], 4_800, 0, 0);
         let w = stats.windowed();
         assert_eq!(w.total.count(), 1, "first batch aged out of the window");
         assert_eq!(w.total.max(), 5_000);
@@ -324,7 +364,7 @@ mod tests {
     #[test]
     fn out_of_range_replica_is_ignored() {
         let stats = ServeStats::new(1);
-        stats.record_batch(7, &[(1_000, 10)], 990);
+        stats.record_batch(7, &[(1_000, 10)], 990, 0, 0);
         // Model-level views still see the batch; the replica slot doesn't.
         assert_eq!(stats.summary().count, 1);
         assert_eq!(stats.replica_served(0), 0);

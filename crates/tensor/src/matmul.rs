@@ -88,8 +88,13 @@ pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 /// because the panel is reused `m / MR` times with unit-stride loads.
 fn gemm_tiled_packed(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     // Heap-allocated: 128 KiB would be a meaningful bite out of a worker
-    // thread's stack, and this path only runs for k > KC.
-    let mut pack = vec![0.0f32; KC * NC.min(n)];
+    // thread's stack, and this path only runs for k > KC. The span wraps
+    // just the allocation so the pack-buffer churn shows up in `lttf
+    // profile`'s alloc columns without eating the gemm's self time.
+    let mut pack = {
+        let _span = lttf_obs::span!("gemm.pack");
+        vec![0.0f32; KC * NC.min(n)]
+    };
     for ks in (0..k).step_by(KC) {
         let ke = (ks + KC).min(k);
         let kc = ke - ks;

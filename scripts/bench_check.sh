@@ -204,3 +204,48 @@ if [[ -f "$FROZEN" ]]; then
 else
     echo "no frozen pre-SIMD baseline at $FROZEN; skipping latency gates" >&2
 fi
+
+# Peak-memory regression gate (PR 10, allocation accounting): re-run the
+# serve memory bench and compare the fresh run against the committed
+# baseline in results/BENCH_memory.json. Fails when fresh peak bytes or
+# allocs per request grow past 1.25x the committed values — the gate that
+# catches a per-request allocation leak or an accidental working-set
+# blow-up before it ships. The committed file is refreshed deliberately
+# (target/release/lttf bench-serve --mode memory --out-dir results) when
+# an allocation-rate change is intentional.
+MEMBASE=results/BENCH_memory.json
+if [[ -f "$MEMBASE" ]]; then
+    echo "==> serve peak-memory gate (fresh lttf bench-serve --mode memory vs $MEMBASE)"
+    cargo build -q --release --offline --locked
+    target/release/lttf bench-serve --mode memory --out-dir "$FRESH_DIR" >/dev/null
+    MEMFRESH="$FRESH_DIR/BENCH_memory.json"
+    if [[ ! -f "$MEMFRESH" ]]; then
+        echo "FAIL: memory bench produced no $MEMFRESH" >&2
+        exit 1
+    fi
+    memfield() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$1" | head -n 1; }
+    base_peak=$(memfield "$MEMBASE" peak_bytes)
+    base_allocs=$(memfield "$MEMBASE" allocs_per_request)
+    fresh_peak=$(memfield "$MEMFRESH" peak_bytes)
+    fresh_allocs=$(memfield "$MEMFRESH" allocs_per_request)
+    if [[ -z "$base_peak" || -z "$base_allocs" ]]; then
+        echo "FAIL: $MEMBASE has no peak_bytes/allocs_per_request fields" >&2
+        exit 1
+    fi
+    if [[ "$fresh_peak" == 0 || "$fresh_allocs" == 0 ]]; then
+        echo "SKIP: fresh memory bench read zeroed counters (allocator compiled out?);" \
+             "peak-memory gate not evaluated" >&2
+    else
+        awk -v bp="$base_peak" -v fp="$fresh_peak" -v ba="$base_allocs" -v fa="$fresh_allocs" 'BEGIN {
+            printf "peak bytes: baseline %d, fresh %d (%.2fx); allocs/request: baseline %d, fresh %d (%.2fx)\n",
+                bp, fp, fp / bp, ba, fa, fa / ba;
+            exit (fp <= 1.25 * bp && fa <= 1.25 * ba) ? 0 : 1;
+        }' || {
+            echo "FAIL: serve memory footprint regressed past 1.25x the committed baseline" >&2
+            exit 1
+        }
+        echo "==> bench_check: serve peak memory and allocation rate within 1.25x of baseline"
+    fi
+else
+    echo "no committed memory baseline at $MEMBASE; skipping peak-memory gate" >&2
+fi

@@ -13,6 +13,22 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline --locked --no-default-features  (telemetry compiled out)"
 cargo build --release --offline --locked --no-default-features
 
+# Prove the compile-out is real: the stripped binary must report zeroed
+# allocator counters (no #[global_allocator] installed) and refuse to
+# start the sampling profiler rather than silently measuring nothing.
+echo "==> compile-out proof  (stripped binary: allocator reads 0, sampler unavailable)"
+STRIPPED_OUT=$(mktemp -d)
+target/release/lttf bench-serve --mode memory --threads 2 --requests 2 \
+    --out-dir "$STRIPPED_OUT" | tee /tmp/lttf_stripped_mem.out
+grep -q "allocator accounting compiled out" /tmp/lttf_stripped_mem.out \
+    || { echo "FAIL: no-default-features build still counts allocations" >&2; exit 1; }
+LTTF_PROFILE_HZ=97 target/release/lttf flame --flame-out "$STRIPPED_OUT/flame.txt" \
+    bench-serve --mode memory --threads 1 --requests 1 --out-dir "$STRIPPED_OUT" \
+    2>&1 | tee /tmp/lttf_stripped_flame.out >/dev/null || true
+grep -q "flame sampling unavailable" /tmp/lttf_stripped_flame.out \
+    || { echo "FAIL: no-default-features build did not report the sampler as compiled out" >&2; exit 1; }
+rm -rf "$STRIPPED_OUT"
+
 echo "==> cargo build --release --offline --locked"
 cargo build --release --offline --locked
 
@@ -45,6 +61,12 @@ for row in matmul conv1d window_attn backward "pool utilization"; do
     grep -q "$row" /tmp/lttf_profile_smoke.out \
         || { echo "FAIL: profile output missing '$row'" >&2; exit 1; }
 done
+# Allocation attribution: the span table must carry the alloc columns and
+# at least one hot span must have charged a non-trivial byte volume.
+grep -q "alloc_bytes" /tmp/lttf_profile_smoke.out \
+    || { echo "FAIL: profile table is missing the alloc_bytes column" >&2; exit 1; }
+grep -Eq "matmul .*[0-9.]+[KMG]iB" /tmp/lttf_profile_smoke.out \
+    || { echo "FAIL: matmul span shows no attributed allocations" >&2; exit 1; }
 
 echo "==> lttf trace  (Chrome trace export: record, parse, assert events nest)"
 LTTF_QUIET=1 target/release/lttf trace --trace-out /tmp/lttf_trace_smoke.json \
@@ -54,6 +76,17 @@ grep -q "^trace: /tmp/lttf_trace_smoke.json" /tmp/lttf_trace_smoke.out \
 # jsonl_check --trace re-validates from disk: strict per-line JSON, B/E
 # nesting per thread, async b/e pairing by id.
 cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- --trace /tmp/lttf_trace_smoke.json
+
+echo "==> lttf flame  (continuous sampling profiler: collapsed-stack export + validator)"
+# High sampling rate so even the short smoke workload lands plenty of
+# samples; the exported collapsed text must satisfy the strict in-repo
+# parser (positive counts, no duplicate stacks, trailing newline).
+LTTF_QUIET=1 LTTF_PROFILE_HZ=997 target/release/lttf flame \
+    --flame-out /tmp/lttf_flame_smoke.txt profile --smoke --name ci_flame_smoke \
+    | tee /tmp/lttf_flame_smoke.out
+grep -Eq "^flame: [1-9][0-9]* weighted samples" /tmp/lttf_flame_smoke.out \
+    || { echo "FAIL: lttf flame captured no samples" >&2; exit 1; }
+cargo run -q --release --offline -p lttf-obs --bin jsonl_check -- --flame /tmp/lttf_flame_smoke.txt
 
 echo "==> jsonl_check  (validate every run log under results/runs/ and committed bench files)"
 for f in results/runs/*.jsonl; do
@@ -118,20 +151,31 @@ for i in $(seq 1 8); do
 done
 exec 8>&-
 
-# One watch tick renders the dashboard and writes the Prometheus scrape.
-LTTF_QUIET=1 target/release/lttf watch --port $PORT --iters 1 --no-clear \
-    --scrape-out "$SCRATCH/metrics.prom" | tee "$SCRATCH/watch.out"
+# Two watch ticks render the dashboard and append one period-stamped
+# scrape snapshot each — the file must accumulate history, not hold only
+# the last exposition (that was the old overwrite bug).
+LTTF_QUIET=1 target/release/lttf watch --port $PORT --iters 2 --interval-ms 300 --no-clear \
+    --scrape-out "$SCRATCH/metrics.jsonl" | tee "$SCRATCH/watch.out"
 grep -q "drift     ok" "$SCRATCH/watch.out" \
     || { echo "FAIL: watch dashboard did not report a quiet drift monitor" >&2; exit 1; }
 grep -q "sessions  " "$SCRATCH/watch.out" \
     || { echo "FAIL: watch dashboard did not render the sessions line" >&2; exit 1; }
 grep -q "adapt     off" "$SCRATCH/watch.out" \
     || { echo "FAIL: watch dashboard did not report the adapter as off" >&2; exit 1; }
+grep -q "memory    " "$SCRATCH/watch.out" \
+    || { echo "FAIL: watch dashboard did not render the memory line" >&2; exit 1; }
+grep -q "cost      " "$SCRATCH/watch.out" \
+    || { echo "FAIL: watch dashboard did not render the per-request cost line" >&2; exit 1; }
 
-# Strict exposition check: parseable throughout, histogram families
-# complete and ordered, plus the series the SLO dashboards key on —
-# trailing-window quantiles labeled by model and generation.
-cargo run -q --release --offline -p lttf-obs --bin metrics_check -- "$SCRATCH/metrics.prom" \
+# Strict exposition check: every snapshot in the scrape history must be a
+# fully valid exposition (parseable throughout, histogram families
+# complete and ordered); the --require series — trailing-window quantiles,
+# per-request cost, and process memory — are asserted on the latest one.
+cargo run -q --release --offline -p lttf-obs --bin metrics_check -- "$SCRATCH/metrics.jsonl" \
+    | tee "$SCRATCH/metrics_check.out"
+grep -q "2 metrics snapshots" "$SCRATCH/metrics_check.out" \
+    || { echo "FAIL: scrape file did not accumulate one snapshot per watch tick" >&2; exit 1; }
+cargo run -q --release --offline -p lttf-obs --bin metrics_check -- "$SCRATCH/metrics.jsonl" \
     --require 'lttf_serve_latency_seconds{model="ckpt",gen="1",quantile="0.5"}' \
     --require 'lttf_serve_latency_seconds{model="ckpt",gen="1",quantile="0.99"}' \
     --require 'lttf_serve_queue_wait_seconds{model="ckpt",gen="1",quantile="0.5"}' \
@@ -145,7 +189,11 @@ cargo run -q --release --offline -p lttf-obs --bin metrics_check -- "$SCRATCH/me
     --require 'lttf_sessions_opened_total 0' \
     --require 'lttf_adapt_enabled 0' \
     --require 'lttf_adapt_rollbacks_total 0' \
-    --require 'lttf_trace_dropped_total'
+    --require 'lttf_trace_dropped_total' \
+    --require 'lttf_request_cpu_ns{model="ckpt",gen="1",quantile="0.5"}' \
+    --require 'lttf_request_alloc_bytes{model="ckpt",gen="1",quantile="0.5"}' \
+    --require 'lttf_mem_live_bytes' \
+    --require 'lttf_mem_peak_bytes'
 
 echo quit >&9
 exec 9>&-

@@ -36,7 +36,7 @@ fn usage() -> ! {
          lttf forecast --data FILE.csv --model MODEL [--samples N] [--coverage P]\n  \
          lttf profile [--smoke] [--mode train|fwd] [--epochs N] [--lx N] [--ly N] \
          [--d-model N] [--batch N] [--len N] [--dims N] [--seed N] [--threads N] \
-         [--name NAME] [--out-dir DIR]\n  \
+         [--name NAME] [--out-dir DIR] [--flame FILE.txt]\n  \
          lttf serve --model MODEL [--port N] [--max-batch N] [--max-wait-ms N] \
          [--queue-cap N] [--replicas N] [--policy rr|lqd] [--threads-per-replica N] \
          [--seed N] [--rate RPS] [--burst N] [--shed-depth N] \
@@ -46,13 +46,16 @@ fn usage() -> ! {
          [--adapt-interval-ms N]\n  \
          lttf watch [--port N] [--host H] [--interval-ms N] [--iters N] [--model NAME] \
          [--scrape-out FILE.prom] [--no-clear]\n  \
-         lttf bench-serve [--mode closed|open|scaling|stream|all] [--threads N] [--requests N] \
+         lttf bench-serve [--mode closed|open|scaling|stream|memory|all] [--threads N] [--requests N] \
          [--max-batch N] [--max-wait-ms N] [--lx N] [--d-model N] [--clients N] \
          [--rate RPS] [--duration-ms N] [--pattern uniform|bursty|diurnal] \
          [--service-floor-ms X] [--replicas N] [--seed N] [--out-dir DIR] \
          [--stream-len N] [--stream-shift X] [--stream-lx N] [--stream-ly N]\n  \
          lttf trace [--trace-out FILE.json] <subcommand …>   \
-         (record a Chrome trace of any subcommand; open in chrome://tracing)"
+         (record a Chrome trace of any subcommand; open in chrome://tracing)\n  \
+         lttf flame [--flame-out FILE.txt] <subcommand …>   \
+         (sample span stacks at LTTF_PROFILE_HZ, default 99 Hz; writes \
+         collapsed stacks for flamegraph.pl/inferno)"
     );
     exit(2);
 }
@@ -112,6 +115,27 @@ fn health_flags(flags: &HashMap<String, String>) -> HealthConfig {
         activations: flag_set(flags, "health-acts"),
         max_grad_norm: get(flags, "health-max-grad-norm", 1e4f64),
         halt: !flag_set(flags, "health-warn-only"),
+    }
+}
+
+/// Byte counts with a binary-unit suffix for the watch dashboard
+/// (mirrors the profile report's formatting; `-` when nothing measured,
+/// e.g. the instrumented allocator is compiled out).
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    if b == 0 {
+        return "-".to_string();
+    }
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.1}{}", UNITS[u])
     }
 }
 
@@ -395,6 +419,15 @@ fn cmd_profile(flags: HashMap<String, String>) {
 
     // Profile only what runs below, not process warm-up.
     lttf::obs::reset();
+    // `--flame OUT` also runs the continuous stack sampler over the
+    // workload and writes collapsed stacks (flamegraph.pl input).
+    let flame_out = flags.get("flame").cloned();
+    if flame_out.is_some() {
+        let hz = lttf::obs::env::profile_hz().unwrap_or(99) as u64;
+        if let Err(e) = lttf::obs::sampler::start(hz) {
+            eprintln!("warning: flame sampling unavailable: {e}");
+        }
+    }
     let mut log = RunLog::create(format!("{out_dir}/{name}.jsonl")).unwrap_or_else(|e| {
         eprintln!("cannot create run log: {e}");
         exit(1);
@@ -460,6 +493,34 @@ fn cmd_profile(flags: HashMap<String, String>) {
     print!("{}", lttf::obs::report::render(&lttf::obs::snapshot()));
     println!();
     println!("run log: {}", log.path().display());
+    if let Some(path) = flame_out {
+        write_flame(&path);
+    }
+}
+
+/// Stop the stack sampler, validate its collapsed output against the
+/// strict in-repo parser, and write it to `path`. Shared by
+/// `lttf profile --flame` and the `lttf flame` wrapper.
+fn write_flame(path: &str) {
+    let report = lttf::obs::sampler::stop();
+    let summary = lttf::obs::sampler::validate_collapsed(&report.collapsed).unwrap_or_else(|e| {
+        eprintln!("internal error: collapsed stacks failed validation: {e}");
+        exit(1);
+    });
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    if let Err(e) = std::fs::write(path, &report.collapsed) {
+        eprintln!("cannot write flame output to {path}: {e}");
+        exit(1);
+    }
+    println!(
+        "flame: {} weighted samples over {} stacks ({} roots) -> {path} \
+         (collapsed format; feed to inferno/flamegraph.pl)",
+        summary.samples, summary.stacks, summary.roots
+    );
 }
 
 /// `lttf serve`: load a checkpoint and answer forecast requests over TCP
@@ -616,10 +677,14 @@ fn watch_roundtrip(
 
 /// `lttf watch`: a live terminal dashboard over a running `lttf serve`.
 /// Polls the `stats` wire command every `--interval-ms` and renders
-/// trailing-window latency, flow rates, and the drift verdict; with
-/// `--scrape-out FILE` it also fetches the Prometheus exposition each
-/// tick and writes it to `FILE` (CI validates that file with
-/// `metrics_check`). `--iters N` stops after N ticks (0 = forever).
+/// trailing-window latency, per-request cost, memory, flow rates, and
+/// the drift verdict; with `--scrape-out FILE` it also fetches the
+/// Prometheus exposition each tick and **appends** it as one
+/// period-stamped JSONL snapshot line (`{"t_ms":…,"iter":…,"metrics":…}`),
+/// so a watch run preserves its whole scrape history instead of keeping
+/// only the last tick (CI validates the file with `metrics_check`,
+/// which checks every snapshot). `--iters N` stops after N ticks
+/// (0 = forever).
 fn cmd_watch(flags: HashMap<String, String>) {
     let host = flags.get("host").map(String::as_str).unwrap_or("127.0.0.1");
     let port = get(&flags, "port", 7878u16);
@@ -641,6 +706,15 @@ fn cmd_watch(flags: HashMap<String, String>) {
     });
     let mut reader = std::io::BufReader::new(stream);
 
+    // A fresh watch run starts a fresh scrape history; each tick appends
+    // one snapshot line below.
+    if let Some(path) = &scrape_out {
+        std::fs::write(path, b"").unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(1);
+        });
+    }
+    let epoch = std::time::Instant::now();
     let mut tick = 0u64;
     loop {
         tick += 1;
@@ -680,6 +754,18 @@ fn cmd_watch(flags: HashMap<String, String>) {
             report.queue_p50_ms, report.service_p50_ms
         );
         println!(
+            "  cost      cpu p50 {:.2} ms p95 {:.2} ms | alloc p50 {} p95 {} per request",
+            report.cpu_p50_ms,
+            report.cpu_p95_ms,
+            fmt_bytes(report.alloc_p50_bytes as u64),
+            fmt_bytes(report.alloc_p95_bytes as u64),
+        );
+        println!(
+            "  memory    {} live | {} peak",
+            fmt_bytes(report.mem_live_bytes),
+            fmt_bytes(report.mem_peak_bytes),
+        );
+        println!(
             "  flows     shed {:.2}/s   rejected {:.2}/s   resubmitted {:.2}/s",
             report.shed_per_sec, report.rejected_per_sec, report.resubmitted_per_sec
         );
@@ -706,9 +792,14 @@ fn cmd_watch(flags: HashMap<String, String>) {
         );
         if report.adapt_enabled {
             println!(
-                "  adapt     {} | steps {} | published {} | rolled back {}",
-                report.adapt_state, report.adapt_steps, report.adapt_publishes,
-                report.adapt_rollbacks
+                "  adapt     {} | steps {} | published {} | rolled back {} | \
+                 overhead {:.0} ms cpu, {} alloc",
+                report.adapt_state,
+                report.adapt_steps,
+                report.adapt_publishes,
+                report.adapt_rollbacks,
+                report.adapt_cpu_ms,
+                fmt_bytes(report.adapt_alloc_bytes),
             );
         } else {
             println!("  adapt     off (serve with --adapt to enable)");
@@ -721,11 +812,24 @@ fn cmd_watch(flags: HashMap<String, String>) {
             let resp = watch_roundtrip(&mut writer, &mut reader, &req);
             match lttf::serve::protocol::parse_metrics_response(&resp) {
                 Ok((_, Ok(text))) => {
-                    std::fs::write(path, &text).unwrap_or_else(|e| {
-                        eprintln!("cannot write {path}: {e}");
-                        exit(1);
-                    });
-                    println!("  scrape    wrote {path} ({} bytes)", text.len());
+                    let line = lttf::obs::JsonObj::new()
+                        .int("t_ms", epoch.elapsed().as_millis() as u64)
+                        .int("iter", tick)
+                        .str("metrics", &text)
+                        .finish();
+                    use std::io::Write as _;
+                    std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(path)
+                        .and_then(|mut f| writeln!(f, "{line}"))
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot append to {path}: {e}");
+                            exit(1);
+                        });
+                    println!(
+                        "  scrape    appended snapshot {tick} to {path} ({} bytes)",
+                        text.len()
+                    );
                 }
                 Ok((_, Err(e))) | Err(e) => {
                     eprintln!("metrics error: {e}");
@@ -1620,27 +1724,106 @@ fn cmd_bench_serve(flags: HashMap<String, String>) {
         );
     }
 
-    if !matches!(mode, "closed" | "open" | "scaling" | "stream" | "all") {
-        eprintln!("unknown mode '{mode}' (expected closed|open|scaling|stream|all)");
+    let mut mem_lines = Vec::new();
+    if mode == "memory" || mode == "all" {
+        // Peak-memory and allocation-rate bench: one closed-loop burst
+        // against a batching server, bracketed by allocator snapshots so
+        // the per-request allocation rate and process peak are attributed
+        // to serving work. The committed results/BENCH_memory.json row is
+        // the baseline bench_check.sh compares fresh runs against (fails
+        // on >1.25x growth in peak bytes or allocs per request).
+        let n = threads * requests;
+        println!(
+            "bench-serve memory: {threads} client threads x {requests} requests, \
+             lx {lx}, d_model {d_model}, max_batch {max_batch}"
+        );
+        let registry = lttf::serve::Registry::single("bench", make_model());
+        let handle = lttf::serve::serve(
+            registry,
+            "127.0.0.1:0",
+            lttf::serve::ServeConfig {
+                batch: lttf::serve::BatchConfig {
+                    max_batch,
+                    max_wait_ms,
+                    queue_cap: (threads * 4).max(32),
+                },
+                ..lttf::serve::ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start server: {e}");
+            exit(1);
+        });
+        // Warm-up burst: one-time lazy allocations (pool threads, pack
+        // buffers, connection scratch) must not count against the
+        // steady-state per-request rate.
+        let _ = bench_serve_run(handle.addr(), 1, 8.min(n), &window);
+        lttf::obs::alloc::reset_peak();
+        let allocs_before = lttf::obs::alloc::allocs_total();
+        let bytes_before = lttf::obs::alloc::alloc_bytes_total();
+        let (elapsed, mut stats) = bench_serve_run(handle.addr(), threads, requests, &window);
+        let peak_bytes = lttf::obs::alloc::peak_bytes();
+        let live_bytes = lttf::obs::alloc::live_bytes();
+        let allocs = lttf::obs::alloc::allocs_total().saturating_sub(allocs_before);
+        let alloc_bytes = lttf::obs::alloc::alloc_bytes_total().saturating_sub(bytes_before);
+        handle.shutdown();
+        let allocs_per_request = allocs / n as u64;
+        let alloc_bytes_per_request = alloc_bytes / n as u64;
+        let throughput = n as f64 / elapsed.as_secs_f64();
+        let summary = stats.summary();
+        println!(
+            "memory: peak {} | live {} | {allocs_per_request} allocs/req, {} per request",
+            fmt_bytes(peak_bytes),
+            fmt_bytes(live_bytes),
+            fmt_bytes(alloc_bytes_per_request)
+        );
+        if peak_bytes == 0 {
+            println!("  (allocator accounting compiled out — build with the telemetry feature)");
+        }
+        mem_lines.push(
+            JsonObj::new()
+                .str("suite", "serve")
+                .str("bench", "memory/closed_loop")
+                .int("threads", threads as u64)
+                .int("requests", n as u64)
+                .int("max_batch", max_batch as u64)
+                .int("peak_bytes", peak_bytes)
+                .int("live_bytes", live_bytes)
+                .int("allocs_per_request", allocs_per_request)
+                .int("alloc_bytes_per_request", alloc_bytes_per_request)
+                .num("rps", throughput)
+                .int("min_ns", summary.min_ns)
+                .int("mean_ns", summary.mean_ns)
+                .int("median_ns", summary.p50_ns)
+                .finish(),
+        );
+    }
+
+    if !matches!(mode, "closed" | "open" | "scaling" | "stream" | "memory" | "all") {
+        eprintln!("unknown mode '{mode}' (expected closed|open|scaling|stream|memory|all)");
         exit(2);
     }
-    if lines.is_empty() {
-        return;
-    }
-    let path = format!("{out_dir}/BENCH_serve.json");
-    let write = || -> std::io::Result<()> {
-        std::fs::create_dir_all(out_dir)?;
-        let mut sink = lttf::obs::JsonlSink::create(&path)?;
-        for line in &lines {
-            sink.write_line(line)?;
-        }
-        sink.flush()
+    let write = |path: &str, lines: &[String]| {
+        let io = || -> std::io::Result<()> {
+            std::fs::create_dir_all(out_dir)?;
+            let mut sink = lttf::obs::JsonlSink::create(path)?;
+            for line in lines {
+                sink.write_line(line)?;
+            }
+            sink.flush()
+        };
+        io().unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("wrote {path}");
     };
-    write().unwrap_or_else(|e| {
-        eprintln!("cannot write {path}: {e}");
-        exit(1);
-    });
-    println!("wrote {path}");
+    if !lines.is_empty() {
+        write(&format!("{out_dir}/BENCH_serve.json"), &lines);
+    }
+    if !mem_lines.is_empty() {
+        write(&format!("{out_dir}/BENCH_memory.json"), &mem_lines);
+    }
 }
 
 fn main() {
@@ -1670,6 +1853,33 @@ fn main() {
         trace_out = Some(out);
     }
 
+    // `lttf flame [--flame-out FILE] <cmd> …` wraps any subcommand with
+    // the continuous stack sampler (LTTF_PROFILE_HZ, default 99 Hz) and
+    // writes collapsed stacks when the inner command returns — the input
+    // format of inferno / flamegraph.pl. Validated before writing.
+    let mut flame_out: Option<String> = None;
+    if args.first().map(String::as_str) == Some("flame") {
+        args.remove(0);
+        let mut out = "results/flame.txt".to_string();
+        if args.first().map(String::as_str) == Some("--flame-out") {
+            args.remove(0);
+            if args.is_empty() || args[0].starts_with("--") {
+                eprintln!("--flame-out needs a file path");
+                usage();
+            }
+            out = args.remove(0);
+        }
+        if args.is_empty() {
+            eprintln!("lttf flame needs a subcommand to run");
+            usage();
+        }
+        let hz = lttf::obs::env::profile_hz().unwrap_or(99) as u64;
+        if let Err(e) = lttf::obs::sampler::start(hz) {
+            eprintln!("warning: flame sampling unavailable: {e}");
+        }
+        flame_out = Some(out);
+    }
+
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
@@ -1683,6 +1893,10 @@ fn main() {
         "watch" => cmd_watch(flags),
         "bench-serve" => cmd_bench_serve(flags),
         _ => usage(),
+    }
+
+    if let Some(path) = flame_out {
+        write_flame(&path);
     }
 
     if let Some(path) = trace_out {

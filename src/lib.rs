@@ -36,6 +36,15 @@ pub use lttf_tensor as tensor;
 /// Crate version, for binaries that report it.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
+// Install the instrumented allocator for every binary and test that
+// links this umbrella crate. Exactly one `#[global_allocator]` may exist
+// per program, so the leaf crate owns the installation (see
+// `lttf_obs::alloc`); with `--no-default-features` nothing is installed
+// and the plain system allocator remains.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static GLOBAL_ALLOC: lttf_obs::alloc::CountingAlloc = lttf_obs::alloc::CountingAlloc;
+
 #[cfg(test)]
 mod tests {
     #[test]
